@@ -1,0 +1,49 @@
+"""E11 — the semiring lift vs explicit path materialization.
+
+The Counting-semiring composition answers "how many alpha-beta paths link
+u to w" *without materializing any path* — the weighted relation stays
+O(|pairs|) where the path set is O(|paths|).  This ablation times both
+routes to the same answer (asserted equal every run), plus the tropical
+closure against Dijkstra.
+"""
+
+import pytest
+
+from repro.algorithms import DiGraph, dijkstra
+from repro.core.projection import project_label_sequence
+from repro.graph.generators import uniform_random
+from repro.semiring import COUNTING, TROPICAL, WeightedRelation, label_sequence_weights
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random(80, 500, labels=("alpha", "beta"), seed=23)
+
+
+def test_e11_counting_via_semiring(benchmark, graph):
+    relation = benchmark(
+        lambda: label_sequence_weights(graph, ["alpha", "beta"], COUNTING))
+    assert len(relation) > 0
+
+
+def test_e11_counting_via_materialized_paths(benchmark, graph):
+    projection = benchmark(
+        lambda: project_label_sequence(graph, ["alpha", "beta"]))
+    # Same answer through both routes.
+    relation = label_sequence_weights(graph, ["alpha", "beta"], COUNTING)
+    assert relation.support() == projection.pairs
+    for pair, count in projection.weights.items():
+        assert relation.weight(*pair) == count
+
+
+def test_e11_tropical_closure(benchmark, graph):
+    """All-pairs label-blind shortest hop counts via the tropical star."""
+    base = WeightedRelation(
+        TROPICAL, {e.endpoints(): 1.0 for e in graph.edge_set()})
+    closure = benchmark(lambda: base.star(max_steps=graph.order()))
+    # Cross-check a handful of sources against Dijkstra.
+    digraph = DiGraph(e.endpoints() for e in graph.edge_set())
+    for source in list(digraph.vertices())[:3]:
+        for target, distance in dijkstra(digraph, source).items():
+            if source != target:
+                assert closure.weight(source, target) == distance

@@ -1,0 +1,38 @@
+"""E1 — the section II worked join example, verified then scaled.
+
+Regenerates the paper's ``A ><_o B`` (asserting the exact four result paths
+each run) and measures the join at growing operand sizes so the equijoin's
+behaviour is visible beyond the 2x3 toy.
+"""
+
+import pytest
+
+from repro.core.pathset import PathSet
+from repro.datasets.paper import (
+    section2_expected_join,
+    section2_left_operand,
+    section2_right_operand,
+)
+from repro.graph.generators import uniform_random
+
+
+def test_e1_paper_join_example(benchmark):
+    """The literal paper example: must produce exactly the four listed paths."""
+    a = section2_left_operand()
+    b = section2_right_operand()
+
+    result = benchmark(lambda: a.join(b))
+    assert result == section2_expected_join()
+
+
+@pytest.mark.parametrize("edges", [50, 200, 800])
+def test_e1_join_scaling(benchmark, edges):
+    """|E| grows 4x per step; the hash join should scale near-linearly in
+    input + output, unlike the quadratic naive scan (see E6)."""
+    graph = uniform_random(max(10, edges // 10), edges,
+                           labels=("a", "b"), seed=edges)
+    left = graph.edges(label="a")
+    right = graph.edges(label="b")
+
+    result = benchmark(lambda: left.join(right))
+    assert isinstance(result, PathSet)

@@ -1,0 +1,64 @@
+"""E2/E4 — the Figure 1 automaton: recognition and generation.
+
+Regenerates the paper's only figure: the regular path expression is
+recognized (section IV-A) and generated (section IV-B) over the Figure 1
+graph, comparing the production per-path generator against the paper's
+verbatim whole-set stack automaton.
+"""
+
+import pytest
+
+from repro.automata import Recognizer, StackAutomaton, generate_paths
+from repro.datasets.paper import figure1_expression, figure1_graph
+
+MAX_LENGTH = 6
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="module")
+def expression():
+    return figure1_expression()
+
+
+@pytest.fixture(scope="module")
+def member_paths(graph, expression):
+    return list(generate_paths(graph, expression, MAX_LENGTH))
+
+
+def test_e2_recognize_members(benchmark, graph, expression, member_paths):
+    """Recognition cost over every generated member path."""
+    recognizer = Recognizer(expression, graph)
+
+    def recognize_all():
+        return sum(1 for p in member_paths if recognizer.accepts(p))
+
+    accepted = benchmark(recognize_all)
+    assert accepted == len(member_paths)
+
+
+def test_e2_generate_per_path(benchmark, graph, expression, member_paths):
+    """Section IV-B generation via the per-path product construction."""
+    result = benchmark(lambda: generate_paths(graph, expression, MAX_LENGTH))
+    assert len(result) == len(member_paths)
+
+
+def test_e2_generate_stack_automaton(benchmark, graph, expression, member_paths):
+    """Section IV-B generation via the paper's verbatim stack automaton.
+
+    Expected slower than the per-path search (whole path-sets on the stack
+    dedupe poorly) — the comparison is the point.
+    """
+    automaton = StackAutomaton(expression, graph)
+    result = benchmark(lambda: automaton.run(MAX_LENGTH))
+    assert len(result) == len(member_paths)
+
+
+@pytest.mark.parametrize("bound", [4, 6, 8])
+def test_e2_generation_vs_bound(benchmark, graph, expression, bound):
+    """Result growth as the star bound rises (the beta cycle is infinite)."""
+    result = benchmark(lambda: generate_paths(graph, expression, bound))
+    assert all(len(p) <= bound for p in result)

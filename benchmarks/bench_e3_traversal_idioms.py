@@ -1,0 +1,59 @@
+"""E3 — the section III traversal idioms at increasing depth.
+
+Complete / source / destination / labeled traversals over a random graph:
+the complete traversal's cost grows with the walk count (exponentially in
+dense graphs), while the restricted idioms stay proportional to their
+frontier — the reason the paper frames traversals as *restrictions* of E.
+"""
+
+import pytest
+
+from repro.core.traversal import (
+    between_traversal,
+    complete_traversal,
+    destination_traversal,
+    labeled_traversal,
+    source_traversal,
+)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_e3_complete_traversal(benchmark, small_random, length):
+    result = benchmark(lambda: complete_traversal(small_random, length))
+    assert all(len(p) == length for p in result)
+
+
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_e3_source_traversal(benchmark, medium_random, length):
+    sources = {0, 1, 2}
+    result = benchmark(lambda: source_traversal(medium_random, sources, length))
+    assert result.tails() <= sources
+
+
+@pytest.mark.parametrize("length", [2, 3])
+def test_e3_destination_traversal(benchmark, medium_random, length):
+    destinations = {0, 1, 2}
+    result = benchmark(
+        lambda: destination_traversal(medium_random, destinations, length))
+    assert result.heads() <= destinations
+
+
+def test_e3_between_traversal(benchmark, medium_random):
+    result = benchmark(
+        lambda: between_traversal(medium_random, {0, 1}, {2, 3}, 3))
+    assert all(p.tail in {0, 1} and p.head in {2, 3} for p in result)
+
+
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_e3_labeled_traversal(benchmark, medium_random, length):
+    sequence = [{"a"}, {"b"}, {"c"}, {"d"}][:length]
+    result = benchmark(lambda: labeled_traversal(medium_random, sequence))
+    for p in result:
+        assert p.label_path == tuple(next(iter(s)) for s in sequence)
+
+
+def test_e3_labeled_on_layered_dag(benchmark, layered):
+    """The layered DAG's label sequence is the guaranteed full-depth route."""
+    sequence = [{"step0"}, {"step1"}, {"step2"}, {"step3"}]
+    result = benchmark(lambda: labeled_traversal(layered, sequence))
+    assert len(result) > 0

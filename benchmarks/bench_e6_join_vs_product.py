@@ -1,0 +1,50 @@
+"""E6 — footnote 7: join vs product, and hash vs naive join.
+
+Two claims measured:
+
+* ``R ><_o Q subseteq R x_o Q`` and, when only joint paths are wanted, the
+  join "is a more efficient use of resources" — the product materializes
+  |R| * |Q| paths where the join materializes only the joint ones;
+* our design choice (DESIGN.md section 5): the hash equijoin vs the
+  definitional quadratic scan.
+"""
+
+import pytest
+
+from repro.graph.generators import star_graph, uniform_random
+
+
+@pytest.fixture(scope="module", params=[100, 400, 1600])
+def operands(request):
+    edges = request.param
+    graph = uniform_random(max(10, edges // 10), edges,
+                           labels=("a", "b"), seed=edges)
+    return graph.edges(label="a"), graph.edges(label="b")
+
+
+def test_e6_join_hash(benchmark, operands):
+    left, right = operands
+    result = benchmark(lambda: left.join(right))
+    assert result <= left.product(right)
+
+
+def test_e6_join_naive(benchmark, operands):
+    """The definitional O(|A||B|) scan — the ablation baseline."""
+    left, right = operands
+    result = benchmark(lambda: left.join_naive(right))
+    assert result == left.join(right)
+
+
+def test_e6_product(benchmark, operands):
+    """The product materializes every pair: |result| = |A| * |B|."""
+    left, right = operands
+    result = benchmark(lambda: left.product(right))
+    assert len(result) == len(left) * len(right)
+
+
+def test_e6_join_on_hub_skew(benchmark):
+    """Hub graphs are the hash join's worst case (one giant bucket)."""
+    hub_out = star_graph(300, label="a").edges(label="a")           # 0 -> leaves
+    hub_in = star_graph(300, label="a", inward=True).edges(label="a")  # leaves -> 0
+    result = benchmark(lambda: hub_in.join(hub_out))
+    assert len(result) == 300 * 300

@@ -1,0 +1,49 @@
+"""E7 — the ternary algebra vs the binary-relation baseline [4].
+
+Same 2-step cross-relation join through both algebras.  The binary algebra
+is marginally cheaper per operation (vertex strings are shorter than edge
+strings) — and that small saving is exactly what the paper trades away to
+keep path labels recoverable.  The assertions verify endpoint agreement and
+the label-loss asymmetry every run.
+"""
+
+import pytest
+
+from repro.core.binary import LabelLossError, binary_relations
+from repro.graph.generators import uniform_random
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random(60, 400, labels=("alpha", "beta"), seed=21)
+
+
+def test_e7_ternary_join(benchmark, graph):
+    alpha = graph.edges(label="alpha")
+    beta = graph.edges(label="beta")
+    result = benchmark(lambda: alpha.join(beta))
+    # The ternary result can always answer the label question.
+    assert all(p.label_path == ("alpha", "beta") for p in result)
+
+
+def test_e7_binary_join(benchmark, graph):
+    relations = binary_relations(graph)
+    alpha, beta = relations["alpha"], relations["beta"]
+    result = benchmark(lambda: alpha.join(beta))
+    # ... whereas the binary result cannot.
+    some = next(iter(result))
+    with pytest.raises(LabelLossError):
+        some.label_path()
+
+
+def test_e7_endpoint_agreement(benchmark, graph):
+    """Both algebras agree on reachability — labels are the only casualty."""
+    relations = binary_relations(graph)
+
+    def both():
+        ternary = graph.edges(label="alpha") @ graph.edges(label="beta")
+        binary = relations["alpha"] @ relations["beta"]
+        return ternary.endpoint_pairs(), binary.endpoint_pairs()
+
+    ternary_pairs, binary_pairs = benchmark(both)
+    assert ternary_pairs == binary_pairs

@@ -1,0 +1,51 @@
+"""E8 — engine strategy ablation: materialized vs streaming vs automaton vs stack.
+
+One PathQL workload over one graph, executed by all four strategies (results
+asserted identical), plus the streaming strategy's ``limit`` advantage: with
+``limit=5`` the lazy pipeline should beat any strategy that computes the
+full result first.
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+QUERIES = {
+    "chain": "[_, a, _] . [_, b, _] . [_, c, _]",
+    "star": "[0, _, _] . [_, a, _]* . [_, b, _]",
+    "union": "([_, a, _] . [_, b, _]) | ([_, b, _] . [_, c, _])",
+}
+
+
+@pytest.fixture(scope="module")
+def engine(small_random):
+    return Engine(small_random, default_max_length=5)
+
+
+@pytest.fixture(scope="module")
+def reference(engine):
+    return {name: engine.query(q).paths for name, q in QUERIES.items()}
+
+
+@pytest.mark.parametrize("strategy", ["materialized", "streaming", "automaton", "stack"])
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_e8_strategy(benchmark, engine, reference, strategy, query_name):
+    query = QUERIES[query_name]
+    result = benchmark(lambda: engine.query(query, strategy=strategy))
+    assert result.paths == reference[query_name]
+
+
+def test_e8_streaming_with_limit(benchmark, engine):
+    """limit=5: the pipeline's early exit is its reason to exist."""
+    query = QUERIES["chain"]
+    result = benchmark(
+        lambda: engine.query(query, strategy="streaming", limit=5))
+    assert len(result.paths) <= 5
+
+
+def test_e8_materialized_with_limit_pays_full_cost(benchmark, engine):
+    """The contrast case: materialized computes everything, then truncates."""
+    query = QUERIES["chain"]
+    result = benchmark(
+        lambda: engine.query(query, strategy="materialized", limit=5))
+    assert len(result.paths) <= 5

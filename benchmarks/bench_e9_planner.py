@@ -1,0 +1,58 @@
+"""E9 — the cost-based planner's join ordering vs left-deep evaluation.
+
+A selective atom placed at the *end* of a chain is the planner's showcase:
+left-to-right evaluation materializes the huge unrestricted prefix first,
+while the optimizer associates the chain so the selective atom prunes early.
+Results are asserted identical (join associativity); only cost may differ.
+"""
+
+import pytest
+
+from repro.engine import Engine
+from repro.regex import atom, join
+
+# [_, _, _] . [_, _, _] . [_, a, v] — the last atom is highly selective.
+def selective_tail_chain(vertex):
+    return join(atom(), atom(), atom(label="a", head=vertex))
+
+
+@pytest.fixture(scope="module")
+def optimized(medium_random):
+    return Engine(medium_random, default_max_length=4, optimize=True)
+
+
+@pytest.fixture(scope="module")
+def left_deep(medium_random):
+    return Engine(medium_random, default_max_length=4, optimize=False)
+
+
+def test_e9_optimized_plan(benchmark, optimized):
+    expr = selective_tail_chain(vertex=0)
+    result = benchmark(lambda: optimized.query(expr))
+    assert all(p.head == 0 for p in result.paths)
+
+
+def test_e9_left_deep_plan(benchmark, left_deep):
+    expr = selective_tail_chain(vertex=0)
+    result = benchmark(lambda: left_deep.query(expr))
+    assert all(p.head == 0 for p in result.paths)
+
+
+def test_e9_plans_agree(optimized, left_deep):
+    """Associativity: both plans must return the same path set."""
+    expr = selective_tail_chain(vertex=0)
+    assert optimized.query(expr).paths == left_deep.query(expr).paths
+
+
+def test_e9_estimated_costs_ordered(optimized, left_deep):
+    """The optimizer never picks a worse-estimated plan than left-deep."""
+    expr = selective_tail_chain(vertex=0)
+    assert (optimized.plan(expr).estimated_cost
+            <= left_deep.plan(expr).estimated_cost)
+
+
+def test_e9_planning_overhead(benchmark, optimized):
+    """Planning itself (the O(n^3) chain DP) must be negligible."""
+    expr = selective_tail_chain(vertex=0)
+    plan = benchmark(lambda: optimized.plan(expr))
+    assert plan.estimated_rows >= 0

@@ -1,0 +1,41 @@
+"""Shared benchmark workloads.
+
+Sizes are laptop-scale by design: the paper makes structural rather than
+performance claims, so the benchmarks exist to (a) regenerate each paper
+artifact and (b) measure the *relative* behaviour of our design choices
+(hash vs naive join, strategies, planner) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    layered_graph,
+    preferential_attachment,
+    uniform_random,
+)
+
+
+@pytest.fixture(scope="session")
+def small_random():
+    """~30 vertices / 120 edges / 3 labels — fits every strategy comfortably."""
+    return uniform_random(30, 120, labels=("a", "b", "c"), seed=1)
+
+
+@pytest.fixture(scope="session")
+def medium_random():
+    """~120 vertices / 600 edges / 4 labels — joins fan out noticeably."""
+    return uniform_random(120, 600, labels=("a", "b", "c", "d"), seed=2)
+
+
+@pytest.fixture(scope="session")
+def hub_graph():
+    """Preferential attachment: degree skew stresses join fan-out."""
+    return preferential_attachment(150, edges_per_vertex=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def layered():
+    """A 5-layer DAG whose labeled traversals are analytically predictable."""
+    return layered_graph(5, 8, seed=4, connection_probability=0.4)

@@ -1,0 +1,83 @@
+"""Scholarly knowledge graph: regular path queries and section IV-C pipelines.
+
+Run:  python examples/knowledge_graph.py
+
+Authors *authored* papers that *cites* papers *published_in* venues.  Shows
+regular path queries (citation chains of bounded depth), the co-authorship
+and author-citation projections, and how the paper's three methods (ignore
+labels / extract one relation / path projection) rank different things.
+"""
+
+from repro.algorithms import betweenness_centrality, pagerank
+from repro.core.projection import (
+    extract_relation,
+    ignore_labels,
+    project_paths,
+)
+from repro.datasets import scholarly_graph
+from repro.engine import Engine
+
+
+def top(scores, k=5, keep=None):
+    items = ((v, s) for v, s in scores.items()
+             if keep is None or str(v).startswith(keep))
+    return sorted(items, key=lambda kv: -kv[1])[:k]
+
+
+def main():
+    g = scholarly_graph(num_authors=20, num_papers=40, seed=11)
+    print("scholarly graph:", g)
+    engine = Engine(g, default_max_length=6)
+
+    # ------------------------------------------------------------------
+    # Regular path query: papers reachable from paper30 through 1-3 cites.
+    # ------------------------------------------------------------------
+    chains = engine.query("[paper30, cites, _] . [_, cites, _]{0,2}")
+    print("\ncitation chains from paper30 (depth 1-3):", len(chains), "paths")
+    print("reachable papers:", sorted(map(str, chains.heads()))[:8], "...")
+
+    # ------------------------------------------------------------------
+    # Venue reachability: author -> paper -> venue in one query.
+    # ------------------------------------------------------------------
+    venues = engine.query("[author3, authored, _] . [_, published_in, _]")
+    print("\nauthor3 publishes in:", sorted(map(str, venues.heads())))
+
+    # ------------------------------------------------------------------
+    # Section IV-C, method M3: two derived author-author relations.
+    # ------------------------------------------------------------------
+    authored = g.edges(label="authored")
+    cites = g.edges(label="cites")
+    inverse_authored = authored.map(lambda p: p.reversed())
+
+    coauthor = project_paths(authored @ inverse_authored,
+                             description="co-authorship")
+    author_cites = project_paths(authored @ cites @ inverse_authored,
+                                 description="author-level citation")
+    print("\nco-authorship pairs:", len(coauthor.pairs))
+    print("author-citation pairs:", len(author_cites.pairs))
+
+    print("\ninfluential authors (PageRank over author-level citations):")
+    for vertex, score in top(pagerank(author_cites.to_digraph()), keep="author"):
+        print("  {:<10} {:.4f}".format(str(vertex), score))
+
+    print("\nbridging authors (betweenness over co-authorship):")
+    for vertex, score in top(betweenness_centrality(coauthor.to_digraph())):
+        print("  {:<10} {:.4f}".format(str(vertex), score))
+
+    # ------------------------------------------------------------------
+    # The three-method comparison the paper motivates (E5).
+    # ------------------------------------------------------------------
+    print("\n--- method comparison ---")
+    m1 = pagerank(ignore_labels(g).to_digraph())
+    m2 = pagerank(extract_relation(g, "cites").to_digraph())
+    m3 = pagerank(author_cites.to_digraph())
+    print("M1 ignore-labels top:", [str(v) for v, _ in top(m1, 3)])
+    print("M2 cites-only top:   ", [str(v) for v, _ in top(m2, 3)])
+    print("M3 path-derived top: ", [str(v) for v, _ in top(m3, 3)])
+    print("\nM1 mixes venues/papers/authors into one murky ranking;")
+    print("M2 can only rank papers; M3 ranks exactly what was asked for —")
+    print("the paper's argument for path-derived projections.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Walk through every inline artifact of the paper, printing each result.
+
+Run:  python examples/paper_walkthrough.py
+
+Covers: the section II join example (E1), the section III traversal idioms
+on the same graph (E3), the Figure 1 recognizer/generator (E2/E4) including
+the four section IV-B stack evaluations, and the section IV-C E_alphabeta
+construction (E5).
+"""
+
+from repro.automata import Recognizer, StackAutomaton, generate_paths
+from repro.core.traversal import (
+    complete_traversal,
+    destination_traversal,
+    labeled_traversal,
+    source_traversal,
+)
+from repro.core.projection import project_label_sequence
+from repro.datasets.paper import (
+    ALPHA,
+    BETA,
+    figure1_expression,
+    figure1_graph,
+    section2_expected_join,
+    section2_graph,
+    section2_left_operand,
+    section2_right_operand,
+)
+
+
+def banner(title):
+    print("\n" + "=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def section2():
+    banner("Section II - the concatenative join worked example (E1)")
+    a = section2_left_operand()
+    b = section2_right_operand()
+    print("A =", [str(p) for p in a])
+    print("B =", [str(p) for p in b])
+    joined = a @ b
+    print("\nA join B:")
+    for path in joined:
+        print("  ", path)
+    assert joined == section2_expected_join()
+    print("\nmatches the paper's four listed paths: OK")
+
+
+def section3():
+    banner("Section III - traversal idioms on the section II graph (E3)")
+    g = section2_graph()
+    print("complete, n=2:", len(complete_traversal(g, 2)), "paths")
+    src = source_traversal(g, {"i"}, 2)
+    print("source from {i}, n=2:", [str(p) for p in src])
+    dst = destination_traversal(g, {"k"}, 2)
+    print("destination to {k}, n=2:", [str(p) for p in dst])
+    lab = labeled_traversal(g, [{ALPHA}, {BETA}])
+    print("labeled alpha.beta:", [str(p) for p in lab])
+
+
+def section4ab():
+    banner("Section IV-A/B - the Figure 1 automaton (E2/E4)")
+    g = figure1_graph()
+    expr = figure1_expression()
+    print("expression:", expr)
+
+    generated = generate_paths(g, expr, max_length=6)
+    print("\ngenerated paths (bound 6):", len(generated))
+    for path in sorted(generated, key=lambda p: (len(p), str(p)))[:8]:
+        print("  ", path)
+    print("   ...")
+
+    recognizer = Recognizer(expr, g)
+    member = next(iter(generated))
+    from repro.core.path import Path
+    decoy = Path.of(("i", BETA, "m"), ("m", ALPHA, "k"))
+    print("\nrecognizer on a member:", recognizer.accepts(member))
+    print("recognizer on the wrong-first-label decoy:", recognizer.accepts(decoy))
+
+    stack_result = StackAutomaton(expr, g).run(max_length=6)
+    print("\npaper-verbatim stack automaton agrees:",
+          stack_result == generated)
+
+
+def section4c():
+    banner("Section IV-C - E_alphabeta projection (E5)")
+    g = section2_graph()
+    projection = project_label_sequence(g, [ALPHA, BETA])
+    print("E_ab = union of (gamma-, gamma+) over alpha.beta paths:")
+    for pair in sorted(projection.pairs):
+        print("  ", pair, " witnesses:", projection.weights[pair])
+    print("\nThis binary edge set can now feed any single-relational")
+    print("algorithm (see examples/knowledge_graph.py for a full pipeline).")
+
+
+def main():
+    section2()
+    section3()
+    section4ab()
+    section4c()
+    print("\nAll paper artifacts reproduced.")
+
+
+if __name__ == "__main__":
+    main()

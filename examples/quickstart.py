@@ -1,0 +1,82 @@
+"""Quickstart: the path algebra in five minutes.
+
+Run:  python examples/quickstart.py
+
+Builds a small multi-relational graph, walks through each section II
+operation, a section III traversal, a PathQL query through the engine, and
+a section IV-C projection feeding PageRank.
+"""
+
+from repro import MultiRelationalGraph, Path, PathSet
+from repro.algorithms import pagerank
+from repro.engine import Engine
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A multi-relational graph: E is a set of (tail, label, head) triples.
+    # ------------------------------------------------------------------
+    g = MultiRelationalGraph([
+        ("marko", "knows", "josh"),
+        ("marko", "knows", "peter"),
+        ("josh", "created", "gremlin"),
+        ("peter", "created", "gremlin"),
+        ("josh", "created", "frames"),
+        ("gremlin", "depends_on", "blueprints"),
+        ("frames", "depends_on", "blueprints"),
+    ], name="tinker")
+    print("graph:", g)
+
+    # ------------------------------------------------------------------
+    # 2. Paths and the core operations (paper section II).
+    # ------------------------------------------------------------------
+    p = Path.of(("marko", "knows", "josh"), ("josh", "created", "gremlin"))
+    print("\npath:", p)
+    print("  length      ||a||      =", len(p))
+    print("  tail        gamma-(a)  =", p.tail)
+    print("  head        gamma+(a)  =", p.head)
+    print("  path label  omega'(a)  =", p.label_path)
+    print("  joint?      f(a)       =", p.is_joint)
+
+    # Edge sets via the paper's set-builder notation:
+    knows = g.edges(label="knows")          # [_, knows, _]
+    created = g.edges(label="created")      # [_, created, _]
+    print("\n[_, knows, _]   has", len(knows), "edges")
+    print("[_, created, _] has", len(created), "edges")
+
+    # The concatenative join: who do marko's acquaintances create?
+    fof_creations = knows @ created
+    print("\nknows . created paths:")
+    for path in fof_creations:
+        print("  ", path)
+
+    # The concatenative product allows teleporting (disjoint paths):
+    print("\n|knows x created| =", len(knows * created),
+          " vs  |knows . created| =", len(fof_creations))
+
+    # ------------------------------------------------------------------
+    # 3. A PathQL query through the traversal engine.
+    # ------------------------------------------------------------------
+    engine = Engine(g)
+    result = engine.query("[marko, knows, _] . [_, created, _] . [_, depends_on, _]")
+    print("\nPathQL 3-step query ->", len(result), "paths")
+    for path in result:
+        print("  ", path)
+    print("\nEXPLAIN:")
+    print(result.explain())
+
+    # ------------------------------------------------------------------
+    # 4. Section IV-C: project paths to a single-relational graph and rank.
+    # ------------------------------------------------------------------
+    projection = engine.project("[_, knows, _] . [_, created, _]",
+                                description="acquaintance-created")
+    print("\nprojected binary edges:", sorted(projection.pairs))
+    ranks = pagerank(projection.to_digraph())
+    top = sorted(ranks.items(), key=lambda kv: -kv[1])[:3]
+    print("PageRank over the projection:")
+    for vertex, score in top:
+        print("  {:<12} {:.4f}".format(str(vertex), score))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Route queries over a multi-modal travel network with PathQL.
+
+Run:  python examples/travel_planner.py
+
+Cities linked by *flight*, *train* and *bus* edges (with cost properties).
+Regular path expressions encode route policies ("one flight then any number
+of trains", "no flights at all"), and edge properties turn matched paths
+into priced itineraries.
+"""
+
+from repro.core.path import Path
+from repro.datasets import travel_network
+from repro.engine import Engine
+
+
+def itinerary_cost(graph, path):
+    """Sum the cost property along a matched path."""
+    return sum(graph.edge_properties(e.tail, e.label, e.head)["cost"]
+               for e in path)
+
+
+def show_routes(graph, title, paths, limit=5):
+    priced = sorted((itinerary_cost(graph, p), p) for p in paths)
+    print("\n{} ({} routes):".format(title, len(priced)))
+    for cost, path in priced[:limit]:
+        hops = " -> ".join("{}[{}]".format(e.head, e.label) for e in path)
+        print("  ${:<4} {} {}".format(cost, path.tail, hops))
+
+
+def main():
+    g = travel_network(num_cities=9, seed=3)
+    print("travel network:", g)
+    engine = Engine(g, default_max_length=5)
+
+    # Policy 1: one flight, then any number of trains.
+    fly_then_rail = engine.query(
+        "[city2, flight, _] . [_, train, _]*", strategy="automaton")
+    show_routes(g, "city2: one flight then trains", fly_then_rail.paths)
+
+    # Policy 2: surface-only travel (no flights) from city1 to city5.
+    surface = engine.query(
+        "([_, train, _] | [_, bus, _]){1,4}", strategy="automaton")
+    from_1_to_5 = surface.paths.starting_in({"city1"}).ending_in({"city5"})
+    show_routes(g, "city1 -> city5 without flying", from_1_to_5)
+
+    # Policy 3: the recognizer as a compliance checker — does a proposed
+    # itinerary satisfy "exactly one flight, at the start"?
+    policy = "[_, flight, _] . ([_, train, _] | [_, bus, _])*"
+    proposal_good = Path.of(("city0", "flight", "city3"),
+                            ("city3", "train", "city4"))
+    proposal_bad = Path.of(("city0", "train", "city1"),
+                           ("city0", "flight", "city3"))
+    print("\npolicy check '{}':".format(policy))
+    print("  flight-first itinerary:", engine.recognize(policy, proposal_good))
+    print("  train-first itinerary: ", engine.recognize(policy, proposal_bad))
+
+    # Streaming with a limit: the first few matches without full evaluation.
+    quick = engine.query("[city0, _, _] . [_, _, _]",
+                         strategy="streaming", limit=4)
+    show_routes(g, "any 2-hop trips from city0 (first 4 found)", quick.paths,
+                limit=4)
+
+    # EXPLAIN output for the planner-curious.
+    print("\nEXPLAIN [city2, flight, _] . [_, train, _] . [_, bus, _]:")
+    print(engine.explain("[city2, flight, _] . [_, train, _] . [_, bus, _]"))
+
+
+if __name__ == "__main__":
+    main()

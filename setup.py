@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs where `wheel` is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — A Path Algebra for Multi-Relational Graphs.
+
+A complete reproduction of Rodriguez & Neubauer, *"A Path Algebra for
+Multi-Relational Graphs"* (ICDE 2011 / arXiv:1011.0390): the section II
+path algebra, the section III traversal idioms, the section IV regular path
+recognizer and generator, the section IV-C single-relational projections,
+plus the multi-relational traversal engine the paper motivates (PathQL
+language, cost-based planner, three execution strategies) and every
+substrate they stand on (graph store, generators, serialization,
+single-relational algorithm library).
+
+Quickstart
+----------
+>>> from repro import MultiRelationalGraph
+>>> g = MultiRelationalGraph([("a", "knows", "b"), ("b", "knows", "c")])
+>>> knows = g.edges(label="knows")
+>>> friend_of_friend = knows @ knows        # concatenative join
+>>> sorted(str(p) for p in friend_of_friend)
+['(a, knows, b, b, knows, c)']
+
+See ``examples/`` for full scenarios and ``DESIGN.md`` for the system map.
+"""
+
+from repro.core import (
+    EMPTY,
+    EPSILON,
+    EPSILON_SET,
+    BinaryProjection,
+    Edge,
+    Path,
+    PathSet,
+    Step,
+    Traversal,
+    between_traversal,
+    complete_traversal,
+    destination_traversal,
+    edge,
+    extract_relation,
+    gamma_minus,
+    gamma_plus,
+    ignore_labels,
+    labeled_traversal,
+    omega,
+    omega_prime,
+    project_label_sequence,
+    project_paths,
+    project_regular,
+    sigma,
+    source_traversal,
+    traverse,
+)
+from repro.graph import MultiRelationalGraph
+from repro.errors import PathAlgebraError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MultiRelationalGraph",
+    "Edge", "edge", "Path", "EPSILON", "PathSet", "EMPTY", "EPSILON_SET",
+    "sigma", "gamma_minus", "gamma_plus", "omega", "omega_prime",
+    "Step", "traverse", "complete_traversal", "source_traversal",
+    "destination_traversal", "between_traversal", "labeled_traversal",
+    "Traversal",
+    "BinaryProjection", "ignore_labels", "extract_relation",
+    "project_paths", "project_label_sequence", "project_regular",
+    "PathAlgebraError",
+]

@@ -1,0 +1,61 @@
+"""The single-relational algorithm library (paper section IV-C's consumers).
+
+The substrate is :class:`DiGraph`; inputs typically come from
+:mod:`repro.core.projection` (``BinaryProjection.to_digraph``).  Every
+algorithm here is cross-validated against NetworkX in the test suite.
+"""
+
+from repro.algorithms.digraph import DiGraph
+from repro.algorithms.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    in_degree_centrality,
+    katz_centrality,
+    out_degree_centrality,
+)
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.geodesics import (
+    all_pairs_shortest_lengths,
+    average_path_length,
+    diameter,
+    dijkstra,
+    eccentricity,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.algorithms.components import (
+    average_clustering,
+    clustering_coefficient,
+    condensation_edges,
+    is_weakly_connected,
+    reachable_set,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.algorithms.assortativity import (
+    degree_assortativity,
+    discrete_assortativity,
+    mixing_matrix,
+    scalar_assortativity,
+)
+from repro.algorithms.spreading import spreading_activation
+from repro.algorithms.link_analysis import harmonic_centrality, hits
+
+__all__ = [
+    "hits", "harmonic_centrality",
+    "DiGraph",
+    "degree_centrality", "in_degree_centrality", "out_degree_centrality",
+    "closeness_centrality", "betweenness_centrality",
+    "eigenvector_centrality", "katz_centrality",
+    "pagerank",
+    "shortest_path_lengths", "shortest_path", "all_pairs_shortest_lengths",
+    "dijkstra", "eccentricity", "diameter", "average_path_length",
+    "weakly_connected_components", "strongly_connected_components",
+    "is_weakly_connected", "reachable_set", "condensation_edges",
+    "clustering_coefficient", "average_clustering",
+    "scalar_assortativity", "degree_assortativity",
+    "discrete_assortativity", "mixing_matrix",
+    "spreading_activation",
+]

@@ -1,0 +1,146 @@
+"""Connectivity structure: weak/strong components, reachability, clustering.
+
+Strongly connected components use Tarjan's algorithm (iterative, so deep
+graphs do not hit the recursion limit); weak components use union-find.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Set
+
+from repro.algorithms.digraph import DiGraph
+
+__all__ = [
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "is_weakly_connected",
+    "reachable_set",
+    "condensation_edges",
+    "clustering_coefficient",
+    "average_clustering",
+]
+
+
+def weakly_connected_components(graph: DiGraph) -> List[FrozenSet[Hashable]]:
+    """Components of the underlying undirected graph (union-find)."""
+    parent: Dict[Hashable, Hashable] = {v: v for v in graph.vertices()}
+
+    def find(v: Hashable) -> Hashable:
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    for tail, head, _ in graph.edges():
+        parent[find(tail)] = find(head)
+    groups: Dict[Hashable, Set[Hashable]] = {}
+    for v in graph.vertices():
+        groups.setdefault(find(v), set()).add(v)
+    return sorted((frozenset(group) for group in groups.values()),
+                  key=lambda group: (-len(group), repr(sorted(group, key=repr))))
+
+
+def strongly_connected_components(graph: DiGraph) -> List[FrozenSet[Hashable]]:
+    """Tarjan's SCC algorithm, iterative formulation."""
+    index_counter = [0]
+    index: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[FrozenSet[Hashable]] = []
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        work: List[tuple] = [(root, iter(sorted(graph.successors(root), key=repr)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor,
+                                 iter(sorted(graph.successors(successor), key=repr))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == index[vertex]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == vertex:
+                        break
+                components.append(frozenset(component))
+    return sorted(components,
+                  key=lambda group: (-len(group), repr(sorted(group, key=repr))))
+
+
+def is_weakly_connected(graph: DiGraph) -> bool:
+    """True when the underlying undirected graph has one component."""
+    if graph.order() == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def reachable_set(graph: DiGraph, source: Hashable) -> FrozenSet[Hashable]:
+    """Every vertex reachable from ``source`` (including itself)."""
+    return frozenset(graph.bfs_distances(source))
+
+
+def condensation_edges(graph: DiGraph) -> Set[tuple]:
+    """Edges between SCCs: ``(component_index_tail, component_index_head)``.
+
+    Components are indexed by their position in
+    :func:`strongly_connected_components`'s sorted output.
+    """
+    components = strongly_connected_components(graph)
+    membership: Dict[Hashable, int] = {}
+    for position, component in enumerate(components):
+        for v in component:
+            membership[v] = position
+    out: Set[tuple] = set()
+    for tail, head, _ in graph.edges():
+        if membership[tail] != membership[head]:
+            out.add((membership[tail], membership[head]))
+    return out
+
+
+def clustering_coefficient(graph: DiGraph, vertex: Hashable) -> float:
+    """Undirected local clustering: triangle density among neighbors."""
+    neighbors = graph.undirected_neighbors(vertex) - {vertex}
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_list = sorted(neighbors, key=repr)
+    for position, a in enumerate(neighbor_list):
+        for b in neighbor_list[position + 1:]:
+            if graph.has_edge(a, b) or graph.has_edge(b, a):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: DiGraph) -> float:
+    """Mean local clustering over all vertices (0 on the empty graph)."""
+    vertices = graph.vertices()
+    if not vertices:
+        return 0.0
+    return sum(clustering_coefficient(graph, v) for v in vertices) / len(vertices)

@@ -1,0 +1,131 @@
+"""Geodesic (shortest-path) machinery: distances, paths, eccentricity, diameter.
+
+The "geodesics" family of section IV-C's algorithm inventory.  Unweighted
+shortest paths use BFS; weighted use Dijkstra (non-negative weights).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.algorithms.digraph import DiGraph
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "shortest_path_lengths",
+    "shortest_path",
+    "all_pairs_shortest_lengths",
+    "dijkstra",
+    "eccentricity",
+    "diameter",
+    "average_path_length",
+]
+
+
+def shortest_path_lengths(graph: DiGraph, source: Hashable) -> Dict[Hashable, int]:
+    """BFS hop distances from ``source`` to every reachable vertex."""
+    return graph.bfs_distances(source)
+
+
+def shortest_path(graph: DiGraph, source: Hashable,
+                  target: Hashable) -> Optional[List[Hashable]]:
+    """One unweighted shortest path as a vertex list, or None if unreachable."""
+    if source == target:
+        return [source]
+    parents: Dict[Hashable, Hashable] = {source: source}
+    queue: deque = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor in parents:
+                continue
+            parents[successor] = vertex
+            if successor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(successor)
+    return None
+
+
+def all_pairs_shortest_lengths(graph: DiGraph) -> Dict[Hashable, Dict[Hashable, int]]:
+    """BFS from every vertex: ``source -> {target -> hops}``."""
+    return {v: graph.bfs_distances(v) for v in graph.vertices()}
+
+
+def dijkstra(graph: DiGraph, source: Hashable) -> Dict[Hashable, float]:
+    """Weighted shortest distances from ``source`` (non-negative weights).
+
+    Raises
+    ------
+    AlgorithmError
+        On encountering a negative edge weight.
+    """
+    distances: Dict[Hashable, float] = {source: 0.0}
+    visited = set()
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        distance, _, vertex = heapq.heappop(heap)
+        if vertex in visited:
+            continue
+        visited.add(vertex)
+        for successor, weight in graph.successor_weights(vertex).items():
+            if weight < 0:
+                raise AlgorithmError(
+                    "dijkstra requires non-negative weights (got {})".format(weight))
+            candidate = distance + weight
+            if successor not in distances or candidate < distances[successor]:
+                distances[successor] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, successor))
+    return distances
+
+
+def eccentricity(graph: DiGraph, vertex: Hashable) -> int:
+    """Max hop distance from ``vertex`` over its reachable set.
+
+    Raises
+    ------
+    AlgorithmError
+        If the vertex reaches nothing (eccentricity undefined).
+    """
+    distances = graph.bfs_distances(vertex)
+    if len(distances) <= 1:
+        raise AlgorithmError(
+            "eccentricity undefined: {!r} reaches no other vertex".format(vertex))
+    return max(distances.values())
+
+
+def diameter(graph: DiGraph) -> int:
+    """Max eccentricity over vertices that can reach something.
+
+    Computed over reachable pairs only (the graph need not be strongly
+    connected); raises if no vertex reaches any other.
+    """
+    best = -1
+    for v in graph.vertices():
+        distances = graph.bfs_distances(v)
+        if len(distances) > 1:
+            best = max(best, max(distances.values()))
+    if best < 0:
+        raise AlgorithmError("diameter undefined on an edgeless graph")
+    return best
+
+
+def average_path_length(graph: DiGraph) -> float:
+    """Mean hop distance over all reachable ordered pairs (excluding self)."""
+    total = 0
+    count = 0
+    for v in graph.vertices():
+        for target, distance in graph.bfs_distances(v).items():
+            if target != v:
+                total += distance
+                count += 1
+    if count == 0:
+        raise AlgorithmError("average path length undefined: no reachable pairs")
+    return total / float(count)

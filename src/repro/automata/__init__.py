@@ -1,0 +1,23 @@
+"""Automata over edge-set alphabets: recognition and generation (section IV).
+
+* :func:`build_nfa` — Thompson construction from a regex AST,
+* :class:`Recognizer` / :func:`recognizes` — section IV-A membership,
+* :func:`generate_paths` — the production regular path query evaluator,
+* :class:`StackAutomaton` — the paper's section IV-B single-stack automaton,
+  implemented verbatim for fidelity and cross-validation.
+"""
+
+from repro.automata.nfa import NFA, AtomMatcher, ExactMatcher, build_nfa
+from repro.automata.recognizer import Recognizer, recognizes
+from repro.automata.generator import StackAutomaton, generate_paths
+
+__all__ = [
+    "NFA",
+    "AtomMatcher",
+    "ExactMatcher",
+    "build_nfa",
+    "Recognizer",
+    "recognizes",
+    "StackAutomaton",
+    "generate_paths",
+]

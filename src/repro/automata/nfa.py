@@ -1,0 +1,374 @@
+"""Thompson-construction NFA over edge-set alphabets (paper section IV-A).
+
+The paper's automaton (Figure 1) transitions on **set membership**: a
+transition is labeled with an edge set and fires for any input edge in that
+set (footnote 9 notes this is shorthand for one classical transition per
+member).  We keep the set-labeled form: a consuming transition carries a
+*matcher* — either an :class:`AtomMatcher` wrapping a set-builder pattern or
+an :class:`ExactMatcher` pinning one concrete edge (literals).
+
+Join semantics live on the epsilon transitions.  The key observation (see
+``docs/algebra.md``): for non-empty operands the join constraint
+``gamma+(a) = gamma-(b)`` binds the *last edge consumed on the left* to the
+*first edge consumed on the right* — two consecutive input edges — while an
+epsilon operand imposes nothing.  The automaton therefore needs to know, at
+each sequence boundary, whether the left operand actually consumed input.
+Two mechanisms encode this exactly:
+
+* every fragment has **two accept states** — ``accept_empty`` (the fragment
+  matched epsilon) and ``accept_consumed`` (it consumed at least one edge);
+  sequence boundaries leave from the right one;
+* epsilon transitions carry one of three **kinds**: ``EPS_PLAIN`` preserves
+  the adjacency-exemption flag, ``EPS_PRODUCT`` (a crossed ``x_o`` boundary
+  after consumption) sets it, and ``EPS_JOIN`` (a crossed ``><_o`` boundary
+  after consumption) clears it.  The flag is cleared by every consumption.
+
+Without the accept split, ``E ><_o (eps x_o E)`` would wrongly exempt the
+second edge from the *outer* join's adjacency (the product's left side
+matched epsilon, so its boundary must impose — and waive — nothing); the
+property tests caught exactly that, and
+``tests/test_recognizer.py::TestJoinBoundaries`` pins the cases.
+
+The construction duplicates the right operand of each sequence step (one
+copy entered from ``accept_empty``, one from ``accept_consumed``), so flat
+n-ary joins stay linear; only pathologically right-nested sequences grow
+faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, NamedTuple, Set, Tuple
+
+from repro.core.edge import Edge
+from repro.core.pathset import PathSet
+from repro.errors import AutomatonError
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex.ast import (
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+
+__all__ = [
+    "AtomMatcher",
+    "ExactMatcher",
+    "NFA",
+    "build_nfa",
+    "EPS_PLAIN",
+    "EPS_PRODUCT",
+    "EPS_JOIN",
+]
+
+#: Epsilon kinds: preserve / set / clear the adjacency-exemption flag.
+EPS_PLAIN = 0
+EPS_PRODUCT = 1
+EPS_JOIN = 2
+
+
+@dataclass(frozen=True)
+class AtomMatcher:
+    """Transition label: a set-builder pattern (``[i, a, _]`` etc.)."""
+
+    atom: Atom
+
+    def matches(self, e: Edge, graph: MultiRelationalGraph) -> bool:
+        """Membership of ``e`` in the pattern's edge set over ``graph``."""
+        return self.atom.matches_edge(e, graph)
+
+    def resolve(self, graph: MultiRelationalGraph) -> PathSet:
+        """The pattern's edge set as length-1 paths (for the generator)."""
+        return self.atom.resolve(graph)
+
+    def candidate_edges(self, graph: MultiRelationalGraph,
+                        from_vertex) -> FrozenSet[Edge]:
+        """Pattern edges whose tail is ``from_vertex`` — index-accelerated."""
+        atom = self.atom
+        if atom.tail is not None and atom.tail != from_vertex:
+            return frozenset()
+        return graph.match(tail=from_vertex, label=atom.label, head=atom.head)
+
+    def all_edges(self, graph: MultiRelationalGraph) -> FrozenSet[Edge]:
+        """All pattern edges over the graph."""
+        return graph.match(tail=self.atom.tail, label=self.atom.label,
+                           head=self.atom.head)
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class ExactMatcher:
+    """Transition label: one pinned concrete edge (from a Literal path).
+
+    Graph-independent: literals match whether or not the edge exists in the
+    queried graph, exactly like the AST's :class:`Literal` semantics.
+    """
+
+    edge: Edge
+
+    def matches(self, e: Edge, graph: MultiRelationalGraph) -> bool:
+        """Exact equality with the pinned edge."""
+        return e == self.edge
+
+    def resolve(self, graph: MultiRelationalGraph) -> PathSet:
+        """The singleton path set of the pinned edge."""
+        return PathSet([self.edge])
+
+    def candidate_edges(self, graph: MultiRelationalGraph,
+                        from_vertex) -> FrozenSet[Edge]:
+        """The pinned edge when its tail matches, else nothing."""
+        if self.edge.tail == from_vertex:
+            return frozenset([self.edge])
+        return frozenset()
+
+    def all_edges(self, graph: MultiRelationalGraph) -> FrozenSet[Edge]:
+        """The singleton set of the pinned edge."""
+        return frozenset([self.edge])
+
+    def __str__(self) -> str:
+        return "{{{!r}}}".format(self.edge)
+
+
+class _Fragment(NamedTuple):
+    """A sub-automaton with split accepts (empty-match vs consumed-match)."""
+
+    start: int
+    accept_empty: int
+    accept_consumed: int
+
+
+class NFA:
+    """A non-deterministic finite automaton over edge sets.
+
+    States are integers with a single ``start`` and a single ``accept``
+    (the two internal accepts of the root fragment are funnelled into one).
+    ``epsilon[q]`` lists ``(target, kind)`` silent moves with kind in
+    {:data:`EPS_PLAIN`, :data:`EPS_PRODUCT`, :data:`EPS_JOIN`};
+    ``consuming[q]`` lists ``(matcher, target)`` input moves.
+    """
+
+    def __init__(self) -> None:
+        self.num_states = 0
+        self.start = 0
+        self.accept = 0
+        self.epsilon: List[List[Tuple[int, int]]] = []
+        self.consuming: List[List[Tuple[object, int]]] = []
+
+    def new_state(self) -> int:
+        """Allocate a fresh state id."""
+        state = self.num_states
+        self.num_states += 1
+        self.epsilon.append([])
+        self.consuming.append([])
+        return state
+
+    def add_epsilon(self, source: int, target: int, kind: int = EPS_PLAIN) -> None:
+        """Add a silent move of the given kind."""
+        self.epsilon[source].append((target, kind))
+
+    def add_consuming(self, source: int, matcher, target: int) -> None:
+        """Add an input move labeled with an edge-set matcher."""
+        self.consuming[source].append((matcher, target))
+
+    # ------------------------------------------------------------------
+
+    def closure(self, seeds: Dict[int, bool]) -> Dict[int, bool]:
+        """Epsilon closure over ``state -> exempt`` configurations.
+
+        ``exempt`` records whether the next consumed edge skips the
+        adjacency check.  Plain epsilons preserve the flag, product
+        boundaries set it, join boundaries clear it.  ``exempt=True``
+        strictly dominates (it admits a superset of edges), so each state
+        keeps the maximum.
+        """
+        result: Dict[int, bool] = dict(seeds)
+        stack = list(seeds.items())
+        while stack:
+            state, exempt = stack.pop()
+            for target, kind in self.epsilon[state]:
+                if kind == EPS_PRODUCT:
+                    new_exempt = True
+                elif kind == EPS_JOIN:
+                    new_exempt = False
+                else:
+                    new_exempt = exempt
+                if target not in result or (new_exempt and not result[target]):
+                    result[target] = new_exempt
+                    stack.append((target, new_exempt))
+        return result
+
+    def alive_states(self) -> Set[int]:
+        """States on some start-to-accept route (for diagnostics/pruning)."""
+        forward = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            targets = [t for t, _ in self.epsilon[state]]
+            targets += [t for _, t in self.consuming[state]]
+            for target in targets:
+                if target not in forward:
+                    forward.add(target)
+                    stack.append(target)
+        reverse: Dict[int, List[int]] = {s: [] for s in range(self.num_states)}
+        for source in range(self.num_states):
+            for target, _ in self.epsilon[source]:
+                reverse[target].append(source)
+            for _, target in self.consuming[source]:
+                reverse[target].append(source)
+        backward = {self.accept}
+        stack = [self.accept]
+        while stack:
+            state = stack.pop()
+            for source in reverse[state]:
+                if source not in backward:
+                    backward.add(source)
+                    stack.append(source)
+        return forward & backward
+
+    def transition_count(self) -> int:
+        """Total number of transitions (epsilon + consuming)."""
+        return (sum(len(moves) for moves in self.epsilon)
+                + sum(len(moves) for moves in self.consuming))
+
+    def __repr__(self) -> str:
+        return "NFA<{} states, {} transitions>".format(
+            self.num_states, self.transition_count())
+
+
+def build_nfa(expression: RegexExpr) -> NFA:
+    """Compile a regular path expression into an :class:`NFA`.
+
+    :class:`Repeat` nodes are expanded into the primitive operators first,
+    so the construction only sees union/join/product/star/atoms/literals.
+    """
+    nfa = NFA()
+    fragment = _build(nfa, expression)
+    accept = nfa.new_state()
+    nfa.add_epsilon(fragment.accept_empty, accept)
+    nfa.add_epsilon(fragment.accept_consumed, accept)
+    nfa.start = fragment.start
+    nfa.accept = accept
+    return nfa
+
+
+def _build(nfa: NFA, expr: RegexExpr) -> _Fragment:
+    """Recursive construction; returns the fragment's split-accept triple."""
+    if isinstance(expr, Empty):
+        return _Fragment(nfa.new_state(), nfa.new_state(), nfa.new_state())
+    if isinstance(expr, Epsilon):
+        start = nfa.new_state()
+        accept_empty = nfa.new_state()
+        nfa.add_epsilon(start, accept_empty)
+        return _Fragment(start, accept_empty, nfa.new_state())
+    if isinstance(expr, Atom):
+        start = nfa.new_state()
+        accept_consumed = nfa.new_state()
+        nfa.add_consuming(start, AtomMatcher(expr), accept_consumed)
+        return _Fragment(start, nfa.new_state(), accept_consumed)
+    if isinstance(expr, Literal):
+        return _build_literal(nfa, expr)
+    if isinstance(expr, Union):
+        start = nfa.new_state()
+        accept_empty = nfa.new_state()
+        accept_consumed = nfa.new_state()
+        for part in expr.parts:
+            fragment = _build(nfa, part)
+            nfa.add_epsilon(start, fragment.start)
+            nfa.add_epsilon(fragment.accept_empty, accept_empty)
+            nfa.add_epsilon(fragment.accept_consumed, accept_consumed)
+        return _Fragment(start, accept_empty, accept_consumed)
+    if isinstance(expr, Join):
+        return _build_sequence(nfa, expr.parts, boundary=EPS_JOIN)
+    if isinstance(expr, Product):
+        return _build_sequence(nfa, expr.parts, boundary=EPS_PRODUCT)
+    if isinstance(expr, Star):
+        return _build_star(nfa, expr.inner)
+    if isinstance(expr, Repeat):
+        return _build(nfa, expr.expand())
+    raise AutomatonError("cannot compile unknown node {!r}".format(expr))
+
+
+def _build_sequence(nfa: NFA, parts, boundary: int) -> _Fragment:
+    """Left-fold a sequence, duplicating each right operand per entry route.
+
+    From ``accept_empty`` of the accumulated left (it matched epsilon so
+    the boundary imposes nothing) the next part is entered by a *plain*
+    epsilon; from ``accept_consumed`` by the marked boundary epsilon
+    (join clears the exemption flag, product sets it).
+    """
+    fragment = _build(nfa, parts[0])
+    for part in parts[1:]:
+        entered_empty = _build(nfa, part)     # left matched epsilon
+        entered_consumed = _build(nfa, part)  # left consumed >= 1 edge
+        nfa.add_epsilon(fragment.accept_empty, entered_empty.start, EPS_PLAIN)
+        nfa.add_epsilon(fragment.accept_consumed, entered_consumed.start,
+                        boundary)
+        accept_empty = nfa.new_state()
+        accept_consumed = nfa.new_state()
+        nfa.add_epsilon(entered_empty.accept_empty, accept_empty)
+        nfa.add_epsilon(entered_empty.accept_consumed, accept_consumed)
+        nfa.add_epsilon(entered_consumed.accept_empty, accept_consumed)
+        nfa.add_epsilon(entered_consumed.accept_consumed, accept_consumed)
+        fragment = _Fragment(fragment.start, accept_empty, accept_consumed)
+    return fragment
+
+
+def _build_star(nfa: NFA, inner: RegexExpr) -> _Fragment:
+    """Star with join-repetition semantics and correct empty accounting.
+
+    Two copies of the body: the first repetition (whose empty match means
+    the whole star matched epsilon) and the looping repetition (entered
+    only after consumption, via a flag-clearing join epsilon — repetitions
+    of a star must be adjacent).
+    """
+    start = nfa.new_state()
+    accept_empty = nfa.new_state()
+    accept_consumed = nfa.new_state()
+    first = _build(nfa, inner)
+    looper = _build(nfa, inner)
+    nfa.add_epsilon(start, accept_empty)              # zero repetitions
+    nfa.add_epsilon(start, first.start)
+    nfa.add_epsilon(first.accept_empty, accept_empty)  # first rep empty
+    nfa.add_epsilon(first.accept_consumed, accept_consumed)
+    nfa.add_epsilon(first.accept_consumed, looper.start, EPS_JOIN)
+    nfa.add_epsilon(looper.accept_consumed, looper.start, EPS_JOIN)
+    nfa.add_epsilon(looper.accept_consumed, accept_consumed)
+    # A later empty repetition adds nothing but remains an accept route.
+    nfa.add_epsilon(looper.accept_empty, accept_consumed)
+    return _Fragment(start, accept_empty, accept_consumed)
+
+
+def _build_literal(nfa: NFA, expr: Literal) -> _Fragment:
+    """One branch per literal path; multi-edge paths become pinned chains.
+
+    Boundaries inside a pinned chain are product-marked: the literal's path
+    is accepted exactly as written, joint or not — the exact matchers
+    already pin the structure, so adjacency re-checking would only wrongly
+    reject deliberately disjoint literal paths.
+    """
+    start = nfa.new_state()
+    accept_empty = nfa.new_state()
+    accept_consumed = nfa.new_state()
+    for path in expr.path_set:
+        if not path:
+            nfa.add_epsilon(start, accept_empty)
+            continue
+        current = start
+        for index, e in enumerate(path):
+            nxt = nfa.new_state()
+            if index > 0:
+                bridge = nfa.new_state()
+                nfa.add_epsilon(current, bridge, EPS_PRODUCT)
+                current = bridge
+            nfa.add_consuming(current, ExactMatcher(e), nxt)
+            current = nxt
+        nfa.add_epsilon(current, accept_consumed)
+    return _Fragment(start, accept_empty, accept_consumed)

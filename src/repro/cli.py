@@ -1,0 +1,142 @@
+"""Command-line interface for the traversal engine.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli query GRAPH_FILE 'PATHQL'   [--strategy S] [--max-length N] [--limit K]
+    python -m repro.cli explain GRAPH_FILE 'PATHQL' [--max-length N]
+    python -m repro.cli stats GRAPH_FILE
+    python -m repro.cli dot GRAPH_FILE
+    python -m repro.cli demo
+
+``GRAPH_FILE`` may be triple CSV (``.csv``/``.txt``), JSON (``.json``) or
+GraphML (``.graphml``/``.xml``); the loader dispatches on extension.
+``demo`` runs the Figure 1 query on the built-in Figure 1 graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.datasets.paper import figure1_graph
+from repro.engine import Engine
+from repro.errors import PathAlgebraError
+from repro.graph import io as graph_io
+from repro.graph import statistics
+from repro.graph.graph import MultiRelationalGraph
+from repro.viz import graph_to_dot
+
+__all__ = ["main", "load_graph", "build_parser"]
+
+FIGURE1_QUERY = ("[i, alpha, _] . [_, beta, _]* . "
+                 "(([_, alpha, j] . {(j, alpha, i)}) | [_, alpha, k])")
+
+
+def load_graph(path: str) -> MultiRelationalGraph:
+    """Load a graph file, dispatching on its extension."""
+    lower = path.lower()
+    if lower.endswith(".json"):
+        return graph_io.read_json(path)
+    if lower.endswith((".graphml", ".xml")):
+        return graph_io.read_graphml(path)
+    return graph_io.read_triples(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-relational path algebra traversal engine")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run a PathQL query")
+    query.add_argument("graph", help="graph file (csv/json/graphml)")
+    query.add_argument("pathql", help="PathQL query text")
+    query.add_argument("--strategy", default="materialized",
+                       choices=["materialized", "streaming", "automaton", "stack"])
+    query.add_argument("--max-length", type=int, default=8)
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--json", action="store_true",
+                       help="emit results as JSON instead of text")
+
+    explain = commands.add_parser("explain", help="show the query plan")
+    explain.add_argument("graph")
+    explain.add_argument("pathql")
+    explain.add_argument("--max-length", type=int, default=8)
+
+    stats = commands.add_parser("stats", help="summarize a graph file")
+    stats.add_argument("graph")
+
+    dot = commands.add_parser("dot", help="emit Graphviz DOT for a graph file")
+    dot.add_argument("graph")
+
+    commands.add_parser("demo", help="run the paper's Figure 1 query")
+    return parser
+
+
+def _run_query(graph: MultiRelationalGraph, pathql: str, strategy: str,
+               max_length: int, limit: Optional[int], as_json: bool,
+               out) -> None:
+    engine = Engine(graph)
+    result = engine.query(pathql, strategy=strategy,
+                          max_length=max_length, limit=limit)
+    if as_json:
+        payload = {
+            "query": pathql,
+            "strategy": result.strategy,
+            "elapsed_seconds": result.elapsed,
+            "count": len(result),
+            "paths": [
+                [[e.tail, e.label, e.head] for e in p] for p in result.paths
+            ],
+        }
+        out.write(json.dumps(payload, indent=2, default=str) + "\n")
+        return
+    out.write("{} paths via {} in {:.4f}s\n".format(
+        len(result), result.strategy, result.elapsed))
+    for p in result.paths:
+        out.write("  {}\n".format(p))
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "query":
+            _run_query(load_graph(args.graph), args.pathql, args.strategy,
+                       args.max_length, args.limit, args.json, out)
+        elif args.command == "explain":
+            engine = Engine(load_graph(args.graph))
+            out.write(engine.explain(args.pathql, max_length=args.max_length) + "\n")
+        elif args.command == "stats":
+            summary = statistics.summarize(load_graph(args.graph))
+            out.write(json.dumps(summary, indent=2, default=str) + "\n")
+        elif args.command == "dot":
+            out.write(graph_to_dot(load_graph(args.graph)) + "\n")
+        elif args.command == "demo":
+            out.write("Figure 1 query over the built-in Figure 1 graph:\n")
+            out.write("  {}\n\n".format(FIGURE1_QUERY))
+            _run_query(figure1_graph(), FIGURE1_QUERY, "automaton", 6, None,
+                       False, out)
+        return 0
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (PathAlgebraError, OSError) as error:
+        try:
+            out.write("error: {}\n".format(error))
+        except BrokenPipeError:
+            pass
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The path algebra core (paper section II) and its direct applications.
+
+* :class:`Edge`, :class:`Path`, :data:`EPSILON` — the free monoid ``E*``,
+* :class:`PathSet` — ``P(E*)`` with union, concatenative join, product,
+* the functional operator spellings ``sigma``/``gamma_minus``/``gamma_plus``
+  /``omega``/``omega_prime``,
+* the section III traversal idioms and the fluent :class:`Traversal` DSL,
+* the section IV-C projections (:mod:`repro.core.projection`),
+* the Russling-style binary baseline (:mod:`repro.core.binary`).
+"""
+
+from repro.core.edge import Edge, edge
+from repro.core.path import (
+    EPSILON,
+    Path,
+    gamma_minus,
+    gamma_plus,
+    omega,
+    omega_prime,
+    sigma,
+)
+from repro.core.pathset import EMPTY, EPSILON_SET, PathSet
+from repro.core.traversal import (
+    Step,
+    between_traversal,
+    complete_traversal,
+    destination_traversal,
+    labeled_traversal,
+    resolve_step,
+    source_traversal,
+    traverse,
+)
+from repro.core.fluent import Traversal
+from repro.core.projection import (
+    BinaryProjection,
+    extract_relation,
+    ignore_labels,
+    project_label_sequence,
+    project_paths,
+    project_regular,
+)
+
+__all__ = [
+    "Edge", "edge", "Path", "EPSILON", "sigma", "gamma_minus", "gamma_plus",
+    "omega", "omega_prime", "PathSet", "EMPTY", "EPSILON_SET",
+    "Step", "traverse", "resolve_step", "complete_traversal",
+    "source_traversal", "destination_traversal", "between_traversal",
+    "labeled_traversal", "Traversal",
+    "BinaryProjection", "ignore_labels", "extract_relation",
+    "project_paths", "project_label_sequence", "project_regular",
+]

@@ -1,0 +1,166 @@
+"""The binary-relation path algebra of Russling [4] — the paper's baseline.
+
+Section II closes by explaining why the paper does *not* model a
+multi-relational graph as a family of binary relations: joining paths drawn
+from different binary relations yields a bare vertex sequence, so the *path
+label* — which relations were traversed — is unrecoverable.  This module
+implements that older algebra faithfully so the deficiency is demonstrable
+(experiment E7) rather than asserted:
+
+* a **vertex path** is a string over ``V`` (``o : V* x V* -> V*``), not over
+  ``E``;
+* concatenative join glues vertex paths whose endpoints match, *merging* the
+  shared vertex (Russling's composition), so an n-step path is n+1 vertices;
+* there is no ``omega``: given a joined path, asking for its path label
+  raises :class:`LabelLossError`.
+
+The tests and E7 benchmark join the same data through both algebras and
+check that (a) endpoint reachability agrees, and (b) only the ternary
+algebra can answer label queries.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, Tuple
+
+from repro.errors import AlgebraError
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = ["VertexPath", "VertexPathSet", "LabelLossError", "binary_relations"]
+
+
+class LabelLossError(AlgebraError):
+    """Raised when a label projection is requested from the binary algebra.
+
+    This is the deficiency the paper's section II describes: "if e and f are
+    edges from two different binary relations, then e o f would only provide
+    a sequence of vertices and as such would not specify from which
+    relations the join was constructed."
+    """
+
+
+class VertexPath(tuple):
+    """A path as a vertex string — the [4]-style representation.
+
+    A single edge ``(i, j)`` is the vertex path ``(i, j)``; a 2-step path is
+    ``(i, j, k)``.  Length (edge count) is ``len(vertices) - 1``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, vertices: Iterable[Hashable]) -> "VertexPath":
+        path = tuple.__new__(cls, vertices)
+        if len(path) < 1:
+            raise ValueError("a vertex path needs at least one vertex")
+        return path
+
+    @property
+    def tail(self) -> Hashable:
+        """The first vertex (gamma-)."""
+        return tuple.__getitem__(self, 0)
+
+    @property
+    def head(self) -> Hashable:
+        """The last vertex (gamma+)."""
+        return tuple.__getitem__(self, len(self) - 1)
+
+    @property
+    def length(self) -> int:
+        """Edge count: one less than the number of vertices."""
+        return len(self) - 1
+
+    def compose(self, other: "VertexPath") -> "VertexPath":
+        """Russling's join-composition: glue on the shared endpoint.
+
+        Requires ``self.head == other.tail``; the shared vertex appears once
+        in the result (``(i,j) o (j,k) = (i,j,k)``).
+        """
+        if self.head != other.tail:
+            raise AlgebraError(
+                "cannot compose: head {!r} != tail {!r}".format(self.head, other.tail))
+        return VertexPath(tuple(self) + tuple(other)[1:])
+
+    def label_path(self):
+        """Always raises: the binary representation has discarded the labels."""
+        raise LabelLossError(
+            "vertex paths carry no edge labels; the binary-relation algebra "
+            "cannot reconstruct which relations a join traversed")
+
+    def __repr__(self) -> str:
+        return "VertexPath({})".format(", ".join(repr(v) for v in self))
+
+
+class VertexPathSet:
+    """A set of vertex paths with union and concatenative join."""
+
+    __slots__ = ("_paths",)
+
+    def __init__(self, paths: Iterable = ()):  # noqa: D107
+        normalized = []
+        for p in paths:
+            normalized.append(p if isinstance(p, VertexPath) else VertexPath(p))
+        self._paths: FrozenSet[VertexPath] = frozenset(normalized)
+
+    @classmethod
+    def from_relation(cls, pairs: Iterable[Tuple[Hashable, Hashable]]) -> "VertexPathSet":
+        """Lift a binary relation to its length-1 vertex paths."""
+        return cls(VertexPath(pair) for pair in pairs)
+
+    def union(self, other: "VertexPathSet") -> "VertexPathSet":
+        """Set union."""
+        return VertexPathSet(self._paths | other._paths)
+
+    def __or__(self, other: "VertexPathSet") -> "VertexPathSet":
+        return self.union(other)
+
+    def join(self, other: "VertexPathSet") -> "VertexPathSet":
+        """Concatenative join: compose all endpoint-matching pairs."""
+        by_tail: dict = {}
+        for p in other._paths:
+            by_tail.setdefault(p.tail, []).append(p)
+        out = []
+        for a in self._paths:
+            for b in by_tail.get(a.head, ()):
+                out.append(a.compose(b))
+        return VertexPathSet(out)
+
+    def __matmul__(self, other: "VertexPathSet") -> "VertexPathSet":
+        return self.join(other)
+
+    def endpoint_pairs(self) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        """``{(tail, head)}`` over the set — comparable with the ternary algebra."""
+        return frozenset((p.tail, p.head) for p in self._paths)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[VertexPath]:
+        return iter(sorted(self._paths, key=repr))
+
+    def __contains__(self, item) -> bool:
+        p = item if isinstance(item, VertexPath) else VertexPath(item)
+        return p in self._paths
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VertexPathSet):
+            return NotImplemented
+        return self._paths == other._paths
+
+    def __hash__(self) -> int:
+        return hash(self._paths)
+
+    def __repr__(self) -> str:
+        return "VertexPathSet<{} paths>".format(len(self._paths))
+
+
+def binary_relations(graph: MultiRelationalGraph) -> dict:
+    """Decompose a graph into the [4]-style family ``{label: VertexPathSet}``.
+
+    This is the ``G-dot = (V, {E1..Em})`` representation: one binary
+    relation per label, each lifted to length-1 vertex paths.  Joining
+    across members of the family is where the label information dies.
+    """
+    return {
+        label: VertexPathSet.from_relation(graph.relation(label))
+        for label in graph.labels()
+    }

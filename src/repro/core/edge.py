@@ -1,0 +1,94 @@
+"""The edge type: the atoms of the path algebra.
+
+The paper models a multi-relational graph as ``G = (V, E)`` with
+``E subseteq (V x Omega x V)``: every edge is a *ternary* tuple
+``(tail, label, head)``.  Keeping the label inside the edge (rather than
+using one binary relation per label) is the paper's central representational
+choice — it is what lets concatenative joins preserve path labels (section II,
+closing discussion).
+
+:class:`Edge` is an immutable, hashable value type.  Vertices and labels may
+be any hashable Python values (ints, strings, tuples, frozen dataclasses...).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+__all__ = ["Edge", "edge"]
+
+
+class Edge(tuple):
+    """An immutable directed labeled edge ``(tail, label, head)``.
+
+    ``Edge`` subclasses :class:`tuple`, so an edge *is* the paper's ternary
+    tuple: it compares, hashes, unpacks and sorts exactly like
+    ``(tail, label, head)``.  The named accessors implement the paper's
+    projection operators for single edges:
+
+    * ``edge.tail``   — gamma-minus, the source vertex,
+    * ``edge.head``   — gamma-plus, the target vertex,
+    * ``edge.label``  — omega, the relation type in Omega.
+
+    Examples
+    --------
+    >>> e = Edge("i", "alpha", "j")
+    >>> e.tail, e.label, e.head
+    ('i', 'alpha', 'j')
+    >>> e == ("i", "alpha", "j")
+    True
+    >>> e.inverted()
+    Edge('j', 'alpha', 'i')
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, tail: Hashable, label: Hashable, head: Hashable) -> "Edge":
+        return tuple.__new__(cls, (tail, label, head))
+
+    @property
+    def tail(self) -> Hashable:
+        """The source vertex (the paper's ``gamma-(e)``)."""
+        return tuple.__getitem__(self, 0)
+
+    @property
+    def label(self) -> Hashable:
+        """The edge label / relation type (the paper's ``omega(e)``)."""
+        return tuple.__getitem__(self, 1)
+
+    @property
+    def head(self) -> Hashable:
+        """The target vertex (the paper's ``gamma+(e)``)."""
+        return tuple.__getitem__(self, 2)
+
+    def inverted(self) -> "Edge":
+        """Return the edge with tail and head swapped, keeping the label.
+
+        Useful for treating a directed multi-relational graph as undirected
+        or for defining inverse relations (e.g. ``created`` / ``created_by``).
+        """
+        return Edge(self.head, self.label, self.tail)
+
+    def relabeled(self, label: Hashable) -> "Edge":
+        """Return a copy of this edge carrying ``label`` instead."""
+        return Edge(self.tail, label, self.head)
+
+    def is_loop(self) -> bool:
+        """True when the edge adjoins a vertex to itself."""
+        return self.tail == self.head
+
+    def endpoints(self) -> Tuple[Hashable, Hashable]:
+        """The ``(tail, head)`` vertex pair, dropping the label.
+
+        This is the binary-relation view used by the paper's section IV-C
+        single-relational projections.
+        """
+        return (self.tail, self.head)
+
+    def __repr__(self) -> str:
+        return "Edge({!r}, {!r}, {!r})".format(self.tail, self.label, self.head)
+
+
+def edge(tail: Hashable, label: Hashable, head: Hashable) -> Edge:
+    """Convenience constructor: ``edge(i, a, j)`` is ``Edge(i, a, j)``."""
+    return Edge(tail, label, head)

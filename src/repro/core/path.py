@@ -1,0 +1,360 @@
+"""Paths: elements of the free monoid ``E*`` over edges.
+
+Definition 1 of the paper: *a path ``a`` in a multi-relational graph is a
+sequence, or string, where ``a in E*`` and ``E subseteq (V x Omega x V)``*.
+Paths allow repeated edges, the path length ``||a||`` is the number of edges,
+and any single edge is a path of length 1.
+
+The Kleene star forms the free monoid ``E* = U_{n>=0} E^n`` whose identity is
+the empty path ``epsilon`` — exposed here as the module constant
+:data:`EPSILON`.  Concatenation ``o : E* x E* -> E*`` is associative,
+non-commutative, and has ``epsilon`` as two-sided identity; in Python it is
+spelled ``a + b`` (or :meth:`Path.concat`).
+
+Projection operators from section II:
+
+* ``sigma(a, n)``  — :meth:`Path.edge` (1-indexed, per the paper) or plain
+  0-indexed ``a[i]`` indexing,
+* ``gamma-(a)``    — :attr:`Path.tail`,
+* ``gamma+(a)``    — :attr:`Path.head`,
+* ``omega'(a)``    — :attr:`Path.label_path` (Definition 2),
+* ``f(a)``         — :attr:`Path.is_joint` (Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Tuple, Union
+
+from repro.core.edge import Edge
+from repro.errors import (
+    DisjointConcatenationError,
+    EmptyPathProjectionError,
+    IndexOutOfRangeError,
+)
+
+__all__ = ["Path", "EPSILON", "sigma", "gamma_minus", "gamma_plus", "omega", "omega_prime"]
+
+
+def _as_edge(item) -> Edge:
+    """Coerce a 3-tuple (or Edge) into an :class:`Edge`, validating arity."""
+    if isinstance(item, Edge):
+        return item
+    if isinstance(item, tuple) and len(item) == 3:
+        return Edge(item[0], item[1], item[2])
+    raise TypeError(
+        "path elements must be Edge or (tail, label, head) tuples, got {!r}".format(item))
+
+
+class Path(tuple):
+    """An immutable sequence of edges — one element of the free monoid ``E*``.
+
+    ``Path`` subclasses :class:`tuple` (of :class:`Edge`), so equality,
+    hashing, ordering and slicing behave like the underlying edge string.
+    ``Path()`` is the empty path ``epsilon``; prefer the module constant
+    :data:`EPSILON`.
+
+    Examples
+    --------
+    >>> a = Path.of(("i", "alpha", "j"), ("j", "beta", "k"))
+    >>> len(a)
+    2
+    >>> a.tail, a.head
+    ('i', 'k')
+    >>> a.label_path
+    ('alpha', 'beta')
+    >>> a.is_joint
+    True
+    >>> (a + EPSILON) == a == (EPSILON + a)
+    True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, edges: Iterable = ()) -> "Path":
+        return tuple.__new__(cls, (_as_edge(e) for e in edges))
+
+    @classmethod
+    def of(cls, *edges) -> "Path":
+        """Build a path from edge arguments: ``Path.of(e1, e2, ...)``."""
+        return cls(edges)
+
+    @classmethod
+    def single(cls, tail: Hashable, label: Hashable, head: Hashable) -> "Path":
+        """Build the length-1 path for one edge ``(tail, label, head)``."""
+        return cls((Edge(tail, label, head),))
+
+    @classmethod
+    def through(cls, vertices: Iterable[Hashable], labels: Iterable[Hashable]) -> "Path":
+        """Build the joint path visiting ``vertices`` via ``labels``.
+
+        ``len(labels)`` must be ``len(vertices) - 1``.  Convenient for tests
+        and examples: ``Path.through("ijk", ["alpha", "beta"])`` is the path
+        ``(i, alpha, j, j, beta, k)``.
+        """
+        vertex_list = list(vertices)
+        label_list = list(labels)
+        if len(label_list) != max(0, len(vertex_list) - 1):
+            raise ValueError(
+                "need exactly len(vertices) - 1 labels, got {} vertices / {} labels"
+                .format(len(vertex_list), len(label_list)))
+        edges = [
+            Edge(vertex_list[n], label_list[n], vertex_list[n + 1])
+            for n in range(len(label_list))
+        ]
+        return cls(edges)
+
+    # ------------------------------------------------------------------
+    # Monoid structure
+    # ------------------------------------------------------------------
+
+    def concat(self, other: "Path") -> "Path":
+        """The paper's concatenation ``a o b`` — associative, identity epsilon.
+
+        Concatenation never checks jointness: the concatenative product
+        ``x_o`` explicitly concatenates potentially disjoint paths.  Use
+        :meth:`joint_concat` when adjacency must hold.
+        """
+        if not isinstance(other, Path):
+            other = Path(other)
+        if not self:
+            return other
+        if not other:
+            return self
+        return Path(tuple.__add__(self, other))
+
+    def joint_concat(self, other: "Path") -> "Path":
+        """Concatenate, requiring ``gamma+(a) == gamma-(b)`` (join condition).
+
+        Either operand being ``epsilon`` always succeeds, mirroring the
+        ``a = epsilon or b = epsilon`` disjunct in the paper's definition of
+        the concatenative join.
+
+        Raises
+        ------
+        DisjointConcatenationError
+            If both paths are non-empty and not adjacent.
+        """
+        if self and other and self.head != other.tail:
+            raise DisjointConcatenationError(
+                "cannot joint-concatenate: head {!r} != tail {!r}"
+                .format(self.head, other.tail))
+        return self.concat(other)
+
+    def __add__(self, other) -> "Path":  # type: ignore[override]
+        return self.concat(other if isinstance(other, Path) else Path(other))
+
+    def __radd__(self, other) -> "Path":
+        return Path(other).concat(self)
+
+    def __mul__(self, times: int) -> "Path":  # type: ignore[override]
+        """``a * n`` repeats the edge string n times (``a o a o ... o a``)."""
+        if not isinstance(times, int):
+            return NotImplemented
+        if times < 0:
+            raise ValueError("cannot repeat a path a negative number of times")
+        return Path(tuple.__mul__(self, times))
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Projections (section II)
+    # ------------------------------------------------------------------
+
+    def edge(self, n: int) -> Edge:
+        """The paper's ``sigma(a, n)``: the nth edge, **1-indexed**.
+
+        ``a.edge(1)`` is the first edge.  Use plain ``a[i]`` for 0-indexed
+        Pythonic access.
+
+        Raises
+        ------
+        IndexOutOfRangeError
+            If ``n`` is not in ``1..len(a)``.
+        """
+        if not 1 <= n <= len(self):
+            raise IndexOutOfRangeError(
+                "sigma(a, {}) undefined for a path of length {}".format(n, len(self)))
+        return tuple.__getitem__(self, n - 1)
+
+    @property
+    def tail(self) -> Hashable:
+        """The paper's ``gamma-(a)``: the first vertex of the path.
+
+        Raises
+        ------
+        EmptyPathProjectionError
+            If the path is ``epsilon``.
+        """
+        if not self:
+            raise EmptyPathProjectionError("gamma- is undefined for the empty path")
+        return tuple.__getitem__(self, 0).tail
+
+    @property
+    def head(self) -> Hashable:
+        """The paper's ``gamma+(a)``: the last vertex of the path.
+
+        Raises
+        ------
+        EmptyPathProjectionError
+            If the path is ``epsilon``.
+        """
+        if not self:
+            raise EmptyPathProjectionError("gamma+ is undefined for the empty path")
+        return tuple.__getitem__(self, len(self) - 1).head
+
+    @property
+    def label_path(self) -> Tuple[Hashable, ...]:
+        """Definition 2, the path label ``omega'(a)``: the string over Omega.
+
+        The path label of the empty path is the empty string ``()``; the path
+        label of a single edge is a 1-tuple of its label.
+        """
+        return tuple(e.label for e in self)
+
+    @property
+    def is_joint(self) -> bool:
+        """Definition 3, the jointness characteristic function ``f(a)``.
+
+        True when every consecutive edge pair is adjacent
+        (``gamma+(sigma(a, n)) == gamma-(sigma(a, n+1))``).  Per the paper a
+        single edge is joint; we extend the convention to ``epsilon`` (the
+        identity element joins with everything, so it is vacuously joint).
+        """
+        return all(
+            tuple.__getitem__(self, n).head == tuple.__getitem__(self, n + 1).tail
+            for n in range(len(self) - 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived inspection helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_epsilon(self) -> bool:
+        """True for the empty path (the monoid identity)."""
+        return len(self) == 0
+
+    def vertices(self) -> Tuple[Hashable, ...]:
+        """The vertex sequence visited by a joint path.
+
+        For a joint path of length n this is the ``n + 1`` visited vertices
+        in order.  For a disjoint path every edge contributes both endpoints
+        (so discontinuities remain visible).  Empty for ``epsilon``.
+        """
+        if not self:
+            return ()
+        out = [tuple.__getitem__(self, 0).tail]
+        for e in self:
+            if e.tail != out[-1]:
+                out.append(e.tail)
+            out.append(e.head)
+        return tuple(out)
+
+    def visits(self, vertex: Hashable) -> bool:
+        """True when ``vertex`` appears anywhere along the path."""
+        return any(e.tail == vertex or e.head == vertex for e in self)
+
+    def uses_label(self, label: Hashable) -> bool:
+        """True when some edge of the path carries ``label``."""
+        return any(e.label == label for e in self)
+
+    def is_simple(self) -> bool:
+        """True when the path repeats no vertex (a *regular simple path*).
+
+        This is the restriction studied by Mendelzon & Wood (the paper's
+        reference [8]).  ``epsilon`` is simple; a loop edge is not.
+        """
+        if not self:
+            return True
+        seen = {self.tail}
+        for e in self:
+            if e.head in seen:
+                return False
+            seen.add(e.head)
+        return True
+
+    def reversed(self) -> "Path":
+        """The path traversed backwards, with every edge inverted.
+
+        Reversal is an anti-automorphism: ``(a o b).reversed() ==
+        b.reversed() o a.reversed()``.
+        """
+        return Path(tuple(e.inverted() for e in reversed(self)))
+
+    def prefix(self, n: int) -> "Path":
+        """The first ``n`` edges as a path."""
+        return Path(tuple.__getitem__(self, slice(0, n)))
+
+    def suffix(self, n: int) -> "Path":
+        """The last ``n`` edges as a path."""
+        if n == 0:
+            return EPSILON
+        return Path(tuple.__getitem__(self, slice(len(self) - n, len(self))))
+
+    def __getitem__(self, index):  # type: ignore[override]
+        result = tuple.__getitem__(self, index)
+        if isinstance(index, slice):
+            return Path(result)
+        return result
+
+    def __iter__(self) -> Iterator[Edge]:
+        return tuple.__iter__(self)
+
+    def __repr__(self) -> str:
+        if not self:
+            return "Path.epsilon"
+        flat = ", ".join(
+            "{!r}, {!r}, {!r}".format(e.tail, e.label, e.head) for e in self)
+        return "Path({})".format(flat)
+
+    def __str__(self) -> str:
+        """Render like the paper: ``(i, alpha, j, j, beta, k)``; epsilon as its name."""
+        if not self:
+            return "epsilon"
+        parts = []
+        for e in self:
+            parts.extend((str(e.tail), str(e.label), str(e.head)))
+        return "({})".format(", ".join(parts))
+
+
+#: The empty path ``epsilon`` — the identity of the free monoid ``E*``.
+EPSILON = Path()
+
+
+# ----------------------------------------------------------------------
+# Functional spellings of the paper's operators, for readers following the
+# notation directly.  All are thin wrappers over Path/Edge accessors.
+# ----------------------------------------------------------------------
+
+def sigma(a: Path, n: int) -> Edge:
+    """``sigma(a, n)``: project the nth (1-indexed) edge of path ``a``."""
+    return a.edge(n)
+
+
+def gamma_minus(a: Union[Path, Edge]) -> Hashable:
+    """``gamma-(a)``: the tail (first vertex) of a path or edge."""
+    if isinstance(a, Edge):
+        return a.tail
+    return a.tail
+
+
+def gamma_plus(a: Union[Path, Edge]) -> Hashable:
+    """``gamma+(a)``: the head (last vertex) of a path or edge."""
+    if isinstance(a, Edge):
+        return a.head
+    return a.head
+
+
+def omega(e: Edge) -> Hashable:
+    """``omega(e)``: the label of a single edge."""
+    if isinstance(e, Path):
+        if len(e) != 1:
+            raise EmptyPathProjectionError(
+                "omega is defined on single edges; use omega_prime for paths")
+        return e[0].label
+    return e.label
+
+
+def omega_prime(a: Path) -> Tuple[Hashable, ...]:
+    """``omega'(a)``: the path label (Definition 2) of path ``a``."""
+    return a.label_path

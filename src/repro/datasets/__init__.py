@@ -1,0 +1,34 @@
+"""Built-in datasets: the paper's literal examples plus scenario graphs.
+
+``repro.datasets.paper`` carries the exact structures written out in the
+paper's text (the section II join example, the Figure 1 automaton's
+supporting graph).  ``repro.datasets.scenarios`` builds the richer synthetic
+domains used by the examples and the E5 experiment (a software-community
+social graph and a scholarly collaboration/citation graph).
+"""
+
+from repro.datasets.paper import (
+    section2_edges,
+    section2_left_operand,
+    section2_right_operand,
+    section2_expected_join,
+    figure1_graph,
+    figure1_expression,
+)
+from repro.datasets.scenarios import (
+    software_community,
+    scholarly_graph,
+    travel_network,
+)
+
+__all__ = [
+    "section2_edges",
+    "section2_left_operand",
+    "section2_right_operand",
+    "section2_expected_join",
+    "figure1_graph",
+    "figure1_expression",
+    "software_community",
+    "scholarly_graph",
+    "travel_network",
+]

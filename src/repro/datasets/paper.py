@@ -1,0 +1,143 @@
+"""The paper's literal worked examples, reproduced as data.
+
+Two artifacts appear verbatim in the paper:
+
+* the **section II join example** — path sets ``A`` and ``B`` over a small
+  {i, j, k} graph and the four paths of ``A ><_o B`` the paper lists;
+* the **Figure 1 automaton** — the regular path expression
+  ``[i,a,_] ><_o [_,b,_]* ><_o (([_,a,j] ><_o {(j,a,i)}) U [_,a,k])``
+  together with a graph on which it recognizes/generates non-trivial paths.
+
+Everything here is deterministic and used directly by
+``tests/test_paper_examples.py`` and the E1/E2/E4 benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = [
+    "ALPHA",
+    "BETA",
+    "section2_edges",
+    "section2_graph",
+    "section2_left_operand",
+    "section2_right_operand",
+    "section2_expected_join",
+    "figure1_graph",
+    "figure1_expression",
+]
+
+#: The paper's two labels, spelled out (the text uses Greek alpha/beta).
+ALPHA = "alpha"
+BETA = "beta"
+
+
+def section2_edges() -> Tuple[Tuple[str, str, str], ...]:
+    """The seven edges the section II example declares to be in ``E``."""
+    return (
+        ("i", ALPHA, "j"),
+        ("j", BETA, "k"),
+        ("k", ALPHA, "j"),
+        ("j", BETA, "j"),
+        ("j", BETA, "i"),
+        ("i", ALPHA, "k"),
+        ("i", BETA, "k"),
+    )
+
+
+def section2_graph() -> MultiRelationalGraph:
+    """The {i, j, k} multi-relational graph of the section II example."""
+    return MultiRelationalGraph(section2_edges(), name="paper-section2")
+
+
+def section2_left_operand() -> PathSet:
+    """The paper's ``A = {(i,a,j), (j,b,k, k,a,j)}``."""
+    return PathSet([
+        Path.single("i", ALPHA, "j"),
+        Path.of(("j", BETA, "k"), ("k", ALPHA, "j")),
+    ])
+
+
+def section2_right_operand() -> PathSet:
+    """The paper's ``B = {(j,b,j), (j,b,i, i,a,k), (i,b,k)}``."""
+    return PathSet([
+        Path.single("j", BETA, "j"),
+        Path.of(("j", BETA, "i"), ("i", ALPHA, "k")),
+        Path.single("i", BETA, "k"),
+    ])
+
+
+def section2_expected_join() -> PathSet:
+    """The four paths the paper lists as ``A ><_o B``."""
+    return PathSet([
+        Path.of(("i", ALPHA, "j"), ("j", BETA, "j")),
+        Path.of(("i", ALPHA, "j"), ("j", BETA, "i"), ("i", ALPHA, "k")),
+        Path.of(("j", BETA, "k"), ("k", ALPHA, "j"), ("j", BETA, "j")),
+        Path.of(("j", BETA, "k"), ("k", ALPHA, "j"), ("j", BETA, "i"),
+                ("i", ALPHA, "k")),
+    ])
+
+
+def figure1_graph() -> MultiRelationalGraph:
+    """A graph on which the Figure 1 expression is non-trivially satisfiable.
+
+    The paper draws the automaton but fixes no graph, so this one is
+    constructed to exercise every branch of the state machine:
+
+    * paths taking **zero** beta steps: ``i -a-> m -a-> k``;
+    * paths taking **one or more** beta steps through the ``m <-> n`` beta
+      cycle (the cycle makes the star unbounded, so bounded generation is
+      meaningfully tested);
+    * both accepting branches: the ``[_,a,j] ><_o {(j,a,i)}`` suffix (via
+      ``m -a-> j -a-> i`` and ``n -a-> j -a-> i``) and the ``[_,a,k]``
+      suffix;
+    * decoys that must **not** be accepted: a beta edge out of ``i`` (wrong
+      first label), a gamma edge into ``k`` (wrong label), and an alpha edge
+      into ``j`` *not* followed by the literal ``(j, a, i)`` requirement
+      failing (there is exactly one ``(j, a, i)`` edge, so that branch always
+      completes — the decoy is ``(j, a, q)`` which the literal set excludes).
+    """
+    return MultiRelationalGraph([
+        # entry
+        ("i", ALPHA, "m"),
+        # beta machinery (a 2-cycle, so beta* is infinite)
+        ("m", BETA, "n"),
+        ("n", BETA, "m"),
+        ("m", BETA, "m"),
+        # accepting branch 1: alpha into j, then the literal (j, alpha, i)
+        ("m", ALPHA, "j"),
+        ("n", ALPHA, "j"),
+        ("j", ALPHA, "i"),
+        # accepting branch 2: alpha into k
+        ("m", ALPHA, "k"),
+        ("n", ALPHA, "k"),
+        # decoys
+        ("i", BETA, "m"),      # wrong first label
+        ("m", "gamma", "k"),   # wrong label entirely
+        ("j", ALPHA, "q"),     # alpha out of j that is not (j, alpha, i)
+        ("k", BETA, "i"),      # continues past an accept state
+    ], name="paper-figure1")
+
+
+def figure1_expression():
+    """The Figure 1 regular path expression as a regex AST.
+
+    ``[i,a,_] ><_o [_,b,_]* ><_o (([_,a,j] ><_o {(j,a,i)}) U [_,a,k])``
+
+    Imported lazily so :mod:`repro.datasets` does not cycle with
+    :mod:`repro.regex` at package-import time.
+    """
+    from repro.regex import atom, join, literal, star, union
+    return join(
+        atom(tail="i", label=ALPHA),
+        star(atom(label=BETA)),
+        union(
+            join(atom(label=ALPHA, head="j"), literal(("j", ALPHA, "i"))),
+            atom(label=ALPHA, head="k"),
+        ),
+    )

@@ -1,0 +1,46 @@
+"""The multi-relational graph traversal engine (the paper's section V goal).
+
+* :class:`Engine` — the facade: PathQL in, paths out, with strategies,
+  planning, EXPLAIN, recognition and projection,
+* :class:`GraphStatistics` / :class:`Planner` — cost-based join ordering,
+* :func:`execute_plan` / :func:`stream_paths` / :func:`run_strategy` — the
+  executors.
+"""
+
+from repro.engine.engine import Engine, QueryResult
+from repro.engine.executor import (
+    STRATEGIES,
+    execute_plan,
+    run_strategy,
+    stream_paths,
+)
+from repro.engine.plan import (
+    AtomScan,
+    EmptyScan,
+    EpsilonScan,
+    JoinPlan,
+    LiteralScan,
+    PlanNode,
+    ProductPlan,
+    StarPlan,
+    UnionPlan,
+)
+from repro.engine.planner import Planner
+from repro.engine.stats import GraphStatistics
+from repro.engine.cache import QueryCache
+from repro.engine.views import JoinView
+from repro.engine.rewrite import (
+    distribute_joins,
+    factor_unions,
+    fold_literals,
+    normalize,
+)
+
+__all__ = [
+    "Engine", "QueryResult",
+    "STRATEGIES", "execute_plan", "stream_paths", "run_strategy",
+    "PlanNode", "AtomScan", "LiteralScan", "EpsilonScan", "EmptyScan",
+    "JoinPlan", "ProductPlan", "UnionPlan", "StarPlan",
+    "Planner", "GraphStatistics", "QueryCache", "JoinView",
+    "fold_literals", "distribute_joins", "factor_unions", "normalize",
+]

@@ -1,0 +1,75 @@
+"""Query result caching keyed on the graph's mutation version.
+
+Traversal workloads repeat queries (dashboards, recommendation batches), so
+the engine supports an optional LRU result cache.  Correctness hinges on
+invalidation: every :class:`MultiRelationalGraph` mutation bumps a version
+counter, and cache keys embed it — any stale entry simply never matches
+again and ages out of the LRU.
+
+The cache stores whole :class:`PathSet` results (immutable, so sharing is
+safe).  Only full-result strategies use it; ``limit`` queries bypass caching
+(a truncated result is not reusable).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.pathset import PathSet
+from repro.regex.ast import RegexExpr
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """A bounded LRU cache of ``(expression, bound, graph version) -> PathSet``."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, PathSet]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, expression: RegexExpr, max_length: int,
+             graph_version: int, strategy: str) -> Tuple:
+        # Strategy is part of the key only to keep benchmark comparisons
+        # honest; all strategies return equal sets, so sharing across them
+        # would also be sound.
+        return (expression, max_length, graph_version, strategy)
+
+    def get(self, expression: RegexExpr, max_length: int,
+            graph_version: int, strategy: str) -> Optional[PathSet]:
+        """The cached result, or None; a hit refreshes LRU recency."""
+        key = self._key(expression, max_length, graph_version, strategy)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, expression: RegexExpr, max_length: int,
+            graph_version: int, strategy: str, result: PathSet) -> None:
+        """Insert a result, evicting the least recently used beyond capacity."""
+        key = self._key(expression, max_length, graph_version, strategy)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "QueryCache<{}/{} entries, {} hits, {} misses>".format(
+            len(self._entries), self.capacity, self.hits, self.misses)

@@ -1,0 +1,202 @@
+"""The multi-relational graph traversal engine — the paper's closing goal.
+
+:class:`Engine` ties the layers together: PathQL text (or a regex AST) in,
+paths out, with strategy selection, cost-based planning, EXPLAIN output and
+section IV-C projection as a first-class operation.
+
+Example
+-------
+>>> from repro.datasets import figure1_graph
+>>> from repro.engine import Engine
+>>> engine = Engine(figure1_graph())
+>>> result = engine.query(
+...     "[i, alpha, _] . [_, beta, _]* . "
+...     "(([_, alpha, j] . {(j, alpha, i)}) | [_, alpha, k])",
+...     max_length=6)
+>>> len(result.paths) > 0
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.automata.recognizer import Recognizer
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.core.projection import BinaryProjection, project_paths
+from repro.engine.executor import STRATEGIES, run_strategy
+from repro.engine.plan import PlanNode
+from repro.engine.planner import Planner
+from repro.engine.stats import GraphStatistics
+from repro.errors import ExecutionError
+from repro.graph.graph import MultiRelationalGraph
+from repro.lang.parser import parse
+from repro.regex.ast import RegexExpr
+
+__all__ = ["Engine", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one engine query.
+
+    ``paths`` is the matched path set; ``elapsed`` the wall-clock seconds;
+    ``plan`` the physical plan (populated for the materialized strategy, or
+    whenever ``explain=True`` was requested); ``strategy`` what ran it.
+    """
+
+    paths: PathSet
+    expression: RegexExpr
+    strategy: str
+    max_length: int
+    elapsed: float
+    plan: Optional[PlanNode] = None
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def heads(self):
+        """``{gamma+(a)}`` over the results."""
+        return self.paths.heads()
+
+    def tails(self):
+        """``{gamma-(a)}`` over the results."""
+        return self.paths.tails()
+
+    def projection(self, description: str = "") -> BinaryProjection:
+        """Section IV-C projection of the result paths to a binary edge set."""
+        return project_paths(self.paths, description=description)
+
+    def explain(self) -> str:
+        """The EXPLAIN tree (or a note when the strategy is planless)."""
+        if self.plan is None:
+            return "(no plan: strategy {!r} executes the expression directly)".format(
+                self.strategy)
+        return self.plan.explain()
+
+    def __repr__(self) -> str:
+        return "QueryResult<{} paths via {} in {:.4f}s>".format(
+            len(self.paths), self.strategy, self.elapsed)
+
+
+class Engine:
+    """A traversal engine bound to one graph.
+
+    Parameters
+    ----------
+    graph:
+        The multi-relational graph to query.
+    default_max_length:
+        Bound applied when a query does not specify one (stars make
+        unbounded result sets possible, so a bound always exists).
+    optimize:
+        Whether the planner reorders join chains (turn off to measure the
+        optimizer's benefit — experiment E9 does exactly that).
+    """
+
+    def __init__(self, graph: MultiRelationalGraph,
+                 default_max_length: int = 8, optimize: bool = True,
+                 cache: Optional["QueryCache"] = None):
+        self.graph = graph
+        self.default_max_length = default_max_length
+        self.optimize = optimize
+        self.cache = cache
+        self._statistics: Optional[GraphStatistics] = None
+        self._statistics_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> GraphStatistics:
+        """Current graph statistics (recomputed when the edge count changes)."""
+        version = self.graph.size()
+        if self._statistics is None or self._statistics_version != version:
+            self._statistics = GraphStatistics(self.graph)
+            self._statistics_version = version
+        return self._statistics
+
+    def compile(self, query: Union[str, RegexExpr]) -> RegexExpr:
+        """PathQL text -> AST (ASTs pass through), algebraically normalized.
+
+        Normalization (see :mod:`repro.engine.rewrite`) simplifies, folds
+        constant sub-expressions, and factors shared union prefixes —
+        language-preserving by construction and by property test.
+        """
+        from repro.engine.rewrite import normalize
+        expression = parse(query) if isinstance(query, str) else query
+        return normalize(expression)
+
+    def plan(self, query: Union[str, RegexExpr],
+             max_length: Optional[int] = None) -> PlanNode:
+        """The physical plan the materialized strategy would run."""
+        expression = self.compile(query)
+        planner = Planner(self.statistics(),
+                          max_length=max_length or self.default_max_length,
+                          optimize_joins=self.optimize)
+        return planner.plan(expression)
+
+    def explain(self, query: Union[str, RegexExpr],
+                max_length: Optional[int] = None) -> str:
+        """EXPLAIN: the annotated plan tree as text."""
+        return self.plan(query, max_length).explain()
+
+    def query(self, query: Union[str, RegexExpr], strategy: str = "materialized",
+              max_length: Optional[int] = None,
+              limit: Optional[int] = None) -> QueryResult:
+        """Run a query and return its :class:`QueryResult`.
+
+        ``strategy`` is one of ``materialized`` (planned, set-at-a-time),
+        ``streaming`` (lazy pipeline, respects ``limit`` early),
+        ``automaton`` (per-path product BFS) or ``stack`` (the paper's
+        section IV-B construction).
+        """
+        if strategy not in STRATEGIES:
+            raise ExecutionError(
+                "unknown strategy {!r}; expected one of {}".format(
+                    strategy, STRATEGIES))
+        expression = self.compile(query)
+        bound = max_length if max_length is not None else self.default_max_length
+        cacheable = self.cache is not None and limit is None
+        if cacheable:
+            cached = self.cache.get(expression, bound, self.graph.version(),
+                                    strategy)
+            if cached is not None:
+                return QueryResult(paths=cached, expression=expression,
+                                   strategy=strategy, max_length=bound,
+                                   elapsed=0.0, plan=None)
+        plan = None
+        if strategy == "materialized":
+            planner = Planner(self.statistics(), max_length=bound,
+                              optimize_joins=self.optimize)
+            plan = planner.plan(expression)
+        started = time.perf_counter()
+        paths = run_strategy(strategy, self.graph, expression, plan, bound, limit)
+        elapsed = time.perf_counter() - started
+        if cacheable:
+            self.cache.put(expression, bound, self.graph.version(),
+                           strategy, paths)
+        return QueryResult(paths=paths, expression=expression,
+                           strategy=strategy, max_length=bound,
+                           elapsed=elapsed, plan=plan)
+
+    def recognize(self, query: Union[str, RegexExpr], path: Path) -> bool:
+        """Section IV-A recognition: is ``path`` in the query's language?"""
+        expression = self.compile(query)
+        return Recognizer(expression, self.graph).accepts(path)
+
+    def project(self, query: Union[str, RegexExpr],
+                max_length: Optional[int] = None,
+                strategy: str = "automaton",
+                description: str = "") -> BinaryProjection:
+        """Section IV-C: run a query and project its paths to a binary edge set."""
+        result = self.query(query, strategy=strategy, max_length=max_length)
+        return result.projection(description=description)
+
+    def __repr__(self) -> str:
+        return "Engine<{!r}, default_max_length={}, optimize={}>".format(
+            self.graph, self.default_max_length, self.optimize)

@@ -1,0 +1,145 @@
+"""The cost-based planner: regex AST -> physical plan.
+
+The planner's one real decision is **join association order**.  The
+concatenative join is associative (section II), so a chain
+``a1 ><_o a2 ><_o ... ><_o an`` may be evaluated under any parenthesization;
+intermediate result sizes differ wildly when some atoms are selective (a
+bound vertex) and others are not (``[_, _, _]``).  We run the classical
+matrix-chain dynamic program over the chain with
+
+* ``rows(i, j)`` — estimated paths for the sub-chain ``i..j`` (equijoin
+  formula from :class:`GraphStatistics`),
+* ``cost(i, j) = min_k cost(i, k) + cost(k+1, j) + rows(i, k) + rows(k+1, j)
+  + rows(i, j)`` — hash-join cost is linear in both inputs plus the output.
+
+Products are planned the same way (their estimate just omits the
+selectivity factor); unions and stars plan their children recursively.
+Correctness never depends on the chosen order — ``tests/test_engine.py``
+asserts plan-result invariance — only resource use does (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engine.plan import (
+    AtomScan,
+    EmptyScan,
+    EpsilonScan,
+    JoinPlan,
+    LiteralScan,
+    PlanNode,
+    ProductPlan,
+    StarPlan,
+    UnionPlan,
+)
+from repro.engine.stats import GraphStatistics
+from repro.errors import PlanningError
+from repro.regex.ast import (
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Builds cost-annotated physical plans for one graph's statistics."""
+
+    def __init__(self, statistics: GraphStatistics, max_length: int = 8,
+                 optimize_joins: bool = True):
+        self.statistics = statistics
+        self.max_length = max_length
+        self.optimize_joins = optimize_joins
+
+    def plan(self, expression: RegexExpr) -> PlanNode:
+        """Compile an expression into a physical plan tree."""
+        expr = expression
+        if isinstance(expr, Empty):
+            return EmptyScan(estimated_rows=0.0, estimated_cost=0.0)
+        if isinstance(expr, Epsilon):
+            return EpsilonScan(estimated_rows=1.0, estimated_cost=0.0)
+        if isinstance(expr, Atom):
+            rows = float(self.statistics.atom_cardinality(expr))
+            return AtomScan(estimated_rows=rows, estimated_cost=rows, atom=expr)
+        if isinstance(expr, Literal):
+            rows = float(len(expr.path_set))
+            return LiteralScan(estimated_rows=rows, estimated_cost=rows,
+                               literal=expr)
+        if isinstance(expr, Union):
+            parts = tuple(self.plan(part) for part in expr.parts)
+            rows = sum(part.estimated_rows for part in parts)
+            cost = sum(part.estimated_cost for part in parts) + rows
+            return UnionPlan(estimated_rows=rows, estimated_cost=cost, parts=parts)
+        if isinstance(expr, Join):
+            children = [self.plan(part) for part in expr.parts]
+            return self._plan_chain(children, JoinPlan,
+                                    self.statistics.join_selectivity())
+        if isinstance(expr, Product):
+            children = [self.plan(part) for part in expr.parts]
+            return self._plan_chain(children, ProductPlan, 1.0)
+        if isinstance(expr, Star):
+            inner = self.plan(expr.inner)
+            rows = self.statistics.estimate(expr, self.max_length)
+            cost = inner.estimated_cost + rows * max(self.max_length, 1)
+            return StarPlan(estimated_rows=rows, estimated_cost=cost, inner=inner)
+        if isinstance(expr, Repeat):
+            return self.plan(expr.expand())
+        raise PlanningError("cannot plan unknown node {!r}".format(expr))
+
+    # ------------------------------------------------------------------
+
+    def _plan_chain(self, children: List[PlanNode], node_type,
+                    selectivity: float) -> PlanNode:
+        """Choose an association order for an n-ary join/product chain."""
+        if len(children) == 1:
+            return children[0]
+        if not self.optimize_joins or len(children) == 2:
+            return self._left_deep(children, node_type, selectivity)
+        return self._matrix_chain(children, node_type, selectivity)
+
+    def _combine(self, left: PlanNode, right: PlanNode, node_type,
+                 selectivity: float) -> PlanNode:
+        rows = left.estimated_rows * right.estimated_rows * selectivity
+        cost = (left.estimated_cost + right.estimated_cost
+                + left.estimated_rows + right.estimated_rows + rows)
+        return node_type(estimated_rows=rows, estimated_cost=cost,
+                         left=left, right=right)
+
+    def _left_deep(self, children: List[PlanNode], node_type,
+                   selectivity: float) -> PlanNode:
+        result = children[0]
+        for child in children[1:]:
+            result = self._combine(result, child, node_type, selectivity)
+        return result
+
+    def _matrix_chain(self, children: List[PlanNode], node_type,
+                      selectivity: float) -> PlanNode:
+        """Optimal parenthesization by interval dynamic programming.
+
+        O(n^3) over the chain length — chains in practice are short (query
+        depth), so this never dominates.
+        """
+        n = len(children)
+        # best[i][j] is the cheapest plan covering children[i..j] inclusive.
+        best: List[List[PlanNode]] = [[None] * n for _ in range(n)]  # type: ignore
+        for i in range(n):
+            best[i][i] = children[i]
+        for span in range(2, n + 1):
+            for i in range(0, n - span + 1):
+                j = i + span - 1
+                candidates = []
+                for k in range(i, j):
+                    candidate = self._combine(best[i][k], best[k + 1][j],
+                                              node_type, selectivity)
+                    candidates.append(candidate)
+                best[i][j] = min(candidates, key=lambda node: node.estimated_cost)
+        return best[0][n - 1]

@@ -1,0 +1,116 @@
+"""Planner-facing statistics and cardinality estimation.
+
+The cost-based planner needs two things: the **exact** cardinality of each
+atom's edge set (cheap — the graph's indices already know), and an
+**estimate** of join result sizes.  The join estimate is the classical
+equijoin formula: ``|A ><_o B| ~= |A| * |B| / max(|V|, 1)`` — each left path's
+head matches a ``1/|V|`` fraction of right tails under uniformity.  Skewed
+graphs (hubs) violate uniformity, which is precisely what experiment E9
+measures the planner against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex.ast import (
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+
+__all__ = ["GraphStatistics"]
+
+
+class GraphStatistics:
+    """Cardinality statistics for one graph, cached at construction.
+
+    Build once per (graph version, planning session); the planner treats it
+    as immutable.
+    """
+
+    def __init__(self, graph: MultiRelationalGraph):
+        self.graph = graph
+        self.vertex_count = graph.order()
+        self.edge_count = graph.size()
+        self.label_histogram: Dict[Hashable, int] = graph.label_histogram()
+
+    # ------------------------------------------------------------------
+
+    def atom_cardinality(self, atom: Atom) -> int:
+        """Exact edge count matched by a set-builder pattern.
+
+        Fully-wild and label-only patterns read cached counters; patterns
+        with a bound vertex consult the graph's per-vertex indices.
+        """
+        if atom.tail is None and atom.head is None:
+            if atom.label is None:
+                return self.edge_count
+            return self.label_histogram.get(atom.label, 0)
+        return len(self.graph.match(tail=atom.tail, label=atom.label,
+                                    head=atom.head))
+
+    def join_selectivity(self) -> float:
+        """Equijoin selectivity under the uniform join-vertex assumption."""
+        return 1.0 / max(self.vertex_count, 1)
+
+    def estimate(self, expression: RegexExpr, max_length: int = 8) -> float:
+        """Estimated number of paths matched by ``expression`` (bounded).
+
+        Recursive over the AST; stars assume the per-repetition growth
+        factor implied by the inner estimate, truncated at ``max_length``
+        repetitions or convergence, mirroring how the bounded evaluators
+        truncate.
+        """
+        expr = expression
+        if isinstance(expr, Empty):
+            return 0.0
+        if isinstance(expr, Epsilon):
+            return 1.0
+        if isinstance(expr, Atom):
+            return float(self.atom_cardinality(expr))
+        if isinstance(expr, Literal):
+            return float(len(expr.path_set))
+        if isinstance(expr, Union):
+            return sum(self.estimate(part, max_length) for part in expr.parts)
+        if isinstance(expr, Join):
+            selectivity = self.join_selectivity()
+            total = 1.0
+            for part in expr.parts:
+                total = total * self.estimate(part, max_length) * selectivity
+            return total / selectivity  # n-ary join applies n-1 selectivities
+        if isinstance(expr, Product):
+            total = 1.0
+            for part in expr.parts:
+                total *= self.estimate(part, max_length)
+            return total
+        if isinstance(expr, Star):
+            return self._estimate_star(expr.inner, max_length)
+        if isinstance(expr, Repeat):
+            return self.estimate(expr.expand(), max_length)
+        return float(self.edge_count)
+
+    def _estimate_star(self, inner: RegexExpr, max_length: int) -> float:
+        """``1 + sum_{k>=1} base * growth^(k-1)`` truncated at ``max_length`` terms.
+
+        ``base`` estimates one repetition; each further repetition joins the
+        previous result with ``inner``, multiplying by ``base * selectivity``.
+        """
+        base = self.estimate(inner, max_length)
+        growth = base * self.join_selectivity()
+        total = 1.0  # the epsilon repetition
+        term = base
+        for _ in range(max_length):
+            total += term
+            term *= growth
+            if term < 1.0e-12:
+                break
+        return total

@@ -1,0 +1,170 @@
+"""Exception hierarchy for the path-algebra library.
+
+Every error raised by this package derives from :class:`PathAlgebraError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+organized by subsystem: the graph store, the algebra core, the regular
+expression layer, the automata layer, the PathQL language, and the engine.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PathAlgebraError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "DuplicateVertexError",
+    "LabelNotFoundError",
+    "AlgebraError",
+    "DisjointConcatenationError",
+    "EmptyPathProjectionError",
+    "IndexOutOfRangeError",
+    "RegexError",
+    "AutomatonError",
+    "PathQLError",
+    "PathQLSyntaxError",
+    "PathQLCompileError",
+    "EngineError",
+    "PlanningError",
+    "ExecutionError",
+    "SerializationError",
+    "AlgorithmError",
+    "ConvergenceError",
+]
+
+
+class PathAlgebraError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(PathAlgebraError):
+    """Base class for errors raised by the multi-relational graph store."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A referenced vertex does not exist in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self):
+        return "vertex {!r} is not in the graph".format(self.vertex)
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, edge):
+        super().__init__(edge)
+        self.edge = edge
+
+    def __str__(self):
+        return "edge {!r} is not in the graph".format(self.edge)
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex was added twice with ``strict=True``."""
+
+
+class LabelNotFoundError(GraphError, KeyError):
+    """A referenced edge label (relation type) does not exist in the graph."""
+
+    def __init__(self, label):
+        super().__init__(label)
+        self.label = label
+
+    def __str__(self):
+        return "label {!r} is not in the graph".format(self.label)
+
+
+class AlgebraError(PathAlgebraError):
+    """Base class for errors raised by the path-algebra core."""
+
+
+class DisjointConcatenationError(AlgebraError, ValueError):
+    """A strict joint concatenation was attempted on non-adjacent paths.
+
+    Raised by :meth:`Path.joint_concat` when ``gamma_plus(a) != gamma_minus(b)``.
+    The plain concatenation operator never raises this: the paper's ``x_o``
+    (concatenative product) explicitly allows disjoint paths.
+    """
+
+
+class EmptyPathProjectionError(AlgebraError, ValueError):
+    """A projection (tail/head/label) was requested from the empty path.
+
+    The paper's gamma-/gamma+/omega are defined on ``E*`` but the empty path
+    epsilon has no first or last vertex, so projecting from it is an error.
+    """
+
+
+class IndexOutOfRangeError(AlgebraError, IndexError):
+    """``sigma(a, n)`` was called with ``n`` outside ``1..len(a)``."""
+
+
+class RegexError(PathAlgebraError):
+    """Base class for errors in the regular path-expression layer."""
+
+
+class AutomatonError(PathAlgebraError):
+    """Base class for errors in the automata layer."""
+
+
+class PathQLError(PathAlgebraError):
+    """Base class for errors in the PathQL language front end."""
+
+
+class PathQLSyntaxError(PathQLError, SyntaxError):
+    """The PathQL source text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.message = message
+        self.position = position
+        self.text = text
+
+    def __str__(self):
+        if self.position is None:
+            return self.message
+        location = "at offset {}".format(self.position)
+        if self.text is not None:
+            snippet = self.text[max(0, self.position - 10):self.position + 10]
+            location += " near {!r}".format(snippet)
+        return "{} ({})".format(self.message, location)
+
+
+class PathQLCompileError(PathQLError):
+    """A parsed PathQL query could not be compiled against a graph."""
+
+
+class EngineError(PathAlgebraError):
+    """Base class for errors raised by the traversal engine."""
+
+
+class PlanningError(EngineError):
+    """The planner could not produce a plan for a query."""
+
+
+class ExecutionError(EngineError):
+    """Plan execution failed."""
+
+
+class SerializationError(GraphError):
+    """A graph could not be read from or written to an external format."""
+
+
+class AlgorithmError(PathAlgebraError):
+    """Base class for errors in the single-relational algorithm library."""
+
+
+class ConvergenceError(AlgorithmError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+    def __init__(self, algorithm, iterations, tolerance):
+        message = "{} did not converge in {} iterations (tol={})".format(
+            algorithm, iterations, tolerance)
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.iterations = iterations
+        self.tolerance = tolerance

@@ -1,0 +1,8 @@
+"""The multi-relational graph substrate (store, generators, io, interop)."""
+
+from repro.graph.graph import MultiRelationalGraph
+from repro.graph import generators
+from repro.graph import io
+from repro.graph import statistics
+
+__all__ = ["MultiRelationalGraph", "generators", "io", "statistics"]

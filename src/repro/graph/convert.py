@@ -1,0 +1,110 @@
+"""NetworkX interoperability.
+
+NetworkX is the reference ecosystem for single-relational graph analysis, so
+cross-checking our section IV-C algorithm substrate against it is the main
+validation path for :mod:`repro.algorithms` (see tests).  Conversion is kept
+in its own module so the rest of the library has **no** NetworkX dependency
+— the import happens lazily inside each function.
+
+Mappings:
+
+* ``MultiRelationalGraph -> networkx.MultiDiGraph`` with the edge label as
+  the ``key`` and a ``label`` attribute (the natural encoding of a ternary
+  relation).
+* ``MultiRelationalGraph -> networkx.DiGraph`` by collapsing labels (section
+  IV-C method M1) or selecting one relation (method M2).
+* Binary edge sets (projection results) -> ``networkx.DiGraph``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Tuple
+
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = [
+    "to_networkx_multidigraph",
+    "from_networkx",
+    "to_networkx_digraph",
+    "binary_edges_to_networkx",
+]
+
+
+def _networkx():
+    """Import networkx lazily so the core library stays dependency-free."""
+    import networkx
+    return networkx
+
+
+def to_networkx_multidigraph(graph: MultiRelationalGraph):
+    """Encode the full ternary structure as a ``networkx.MultiDiGraph``.
+
+    The edge label becomes both the multigraph *key* (so one triple maps to
+    one parallel edge) and a ``label`` attribute.  Vertex and edge properties
+    ride along as attributes.
+    """
+    networkx = _networkx()
+    out = networkx.MultiDiGraph(name=graph.name)
+    for v in graph.vertices():
+        out.add_node(v, **graph.vertex_properties(v))
+    for e in graph.edge_set():
+        out.add_edge(e.tail, e.head, key=e.label, label=e.label,
+                     **graph.edge_properties(e.tail, e.label, e.head))
+    return out
+
+
+def from_networkx(nx_graph, label_attribute: str = "label",
+                  default_label: Hashable = "edge") -> MultiRelationalGraph:
+    """Build a :class:`MultiRelationalGraph` from any NetworkX (di)graph.
+
+    The edge label is taken from ``label_attribute`` if present, else from
+    the multigraph key if the input is a multigraph, else ``default_label``.
+    Undirected inputs contribute both directions.
+    """
+    graph = MultiRelationalGraph(name=getattr(nx_graph, "name", "") or "")
+    for node, attrs in nx_graph.nodes(data=True):
+        graph.add_vertex(node, **attrs)
+    if nx_graph.is_multigraph():
+        edge_iter = (
+            (tail, head, attrs, key)
+            for tail, head, key, attrs in nx_graph.edges(keys=True, data=True)
+        )
+    else:
+        edge_iter = (
+            (tail, head, attrs, None)
+            for tail, head, attrs in nx_graph.edges(data=True)
+        )
+    for tail, head, attrs, key in edge_iter:
+        attrs = dict(attrs)
+        label = attrs.pop(label_attribute, None)
+        if label is None:
+            label = key if key is not None else default_label
+        graph.add_edge(tail, label, head, **attrs)
+        if not nx_graph.is_directed():
+            graph.add_edge(head, label, tail, **attrs)
+    return graph
+
+
+def to_networkx_digraph(graph: MultiRelationalGraph,
+                        label: Optional[Hashable] = None):
+    """A plain ``networkx.DiGraph`` view of the graph.
+
+    With ``label=None`` this is section IV-C method M1 (ignore labels,
+    collapse repeated edges); with a label it is method M2 (extract the
+    single relation ``E_label``).
+    """
+    networkx = _networkx()
+    out = networkx.DiGraph(name=graph.name)
+    out.add_nodes_from(graph.vertices())
+    pairs = graph.collapsed() if label is None else graph.relation(label)
+    out.add_edges_from(pairs)
+    return out
+
+
+def binary_edges_to_networkx(pairs: Iterable[Tuple[Hashable, Hashable]],
+                             name: str = ""):
+    """Lift a binary edge set (e.g. a section IV-C projection) to a DiGraph."""
+    networkx = _networkx()
+    out = networkx.DiGraph(name=name)
+    out.add_edges_from(pairs)
+    return out

@@ -1,0 +1,269 @@
+"""Synthetic multi-relational graph generators.
+
+The paper evaluates nothing quantitatively, so these generators are the
+substitute testbed (see DESIGN.md section 3): seeded, laptop-scale random
+graphs whose structure exercises every algebra code path — multiple relation
+types, cycles (so Kleene stars are non-trivial), hubs (so joins fan out), and
+deterministic families (so tests can assert exact path counts).
+
+All generators take an explicit ``seed`` and are fully deterministic given
+it; none of them uses global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence
+
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = [
+    "uniform_random",
+    "gnp_random",
+    "preferential_attachment",
+    "stochastic_blocks",
+    "complete_multirelational",
+    "cycle_graph",
+    "line_graph",
+    "star_graph",
+    "layered_graph",
+]
+
+_DEFAULT_LABELS: Sequence[Hashable] = ("alpha", "beta", "gamma")
+
+
+def uniform_random(num_vertices: int, num_edges: int,
+                   labels: Sequence[Hashable] = _DEFAULT_LABELS,
+                   seed: int = 0, allow_loops: bool = True,
+                   name: str = "uniform") -> MultiRelationalGraph:
+    """A G(n, m)-style multi-relational graph: ``num_edges`` distinct triples.
+
+    Each edge draws tail, head and label uniformly at random; duplicate
+    triples are redrawn so the result has exactly ``num_edges`` edges
+    (capped by the number of possible triples).
+    """
+    if num_vertices <= 0:
+        raise ValueError("need at least one vertex")
+    if not labels:
+        raise ValueError("need at least one label")
+    rng = random.Random(seed)
+    vertex_list = list(range(num_vertices))
+    possible = num_vertices * num_vertices * len(labels)
+    if not allow_loops:
+        possible = num_vertices * (num_vertices - 1) * len(labels)
+    target = min(num_edges, possible)
+    graph = MultiRelationalGraph(name=name)
+    for v in vertex_list:
+        graph.add_vertex(v)
+    while graph.size() < target:
+        tail = rng.choice(vertex_list)
+        head = rng.choice(vertex_list)
+        if not allow_loops and tail == head:
+            continue
+        label = rng.choice(list(labels))
+        graph.add_edge(tail, label, head)
+    return graph
+
+
+def gnp_random(num_vertices: int, probability: float,
+               labels: Sequence[Hashable] = _DEFAULT_LABELS,
+               seed: int = 0, name: str = "gnp") -> MultiRelationalGraph:
+    """A G(n, p) multi-relational graph: each possible triple appears w.p. ``p``.
+
+    Every ordered vertex pair and label combination is flipped independently,
+    so expected size is ``p * n^2 * |labels|``.  Use small ``p``.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = MultiRelationalGraph(name=name)
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for tail in range(num_vertices):
+        for head in range(num_vertices):
+            for label in labels:
+                if rng.random() < probability:
+                    graph.add_edge(tail, label, head)
+    return graph
+
+
+def preferential_attachment(num_vertices: int, edges_per_vertex: int = 2,
+                            labels: Sequence[Hashable] = _DEFAULT_LABELS,
+                            seed: int = 0,
+                            name: str = "preferential") -> MultiRelationalGraph:
+    """A Barabási–Albert-style growth model with labeled edges.
+
+    Each arriving vertex attaches ``edges_per_vertex`` out-edges to existing
+    vertices chosen proportionally to their current degree, each edge taking
+    a uniformly random label.  Produces the hub-dominated degree skew that
+    stresses join fan-out.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if edges_per_vertex < 1:
+        raise ValueError("need at least one edge per vertex")
+    rng = random.Random(seed)
+    graph = MultiRelationalGraph(name=name)
+    graph.add_vertex(0)
+    graph.add_vertex(1)
+    graph.add_edge(0, rng.choice(list(labels)), 1)
+    # Repeated-vertex pool: each incident edge endpoint adds one entry, so
+    # sampling from the pool is sampling proportional to degree.
+    pool: List[Hashable] = [0, 1]
+    for vertex in range(2, num_vertices):
+        graph.add_vertex(vertex)
+        targets = set()
+        attempts = 0
+        while len(targets) < min(edges_per_vertex, vertex) and attempts < 50 * edges_per_vertex:
+            targets.add(rng.choice(pool))
+            attempts += 1
+        for target in targets:
+            label = rng.choice(list(labels))
+            graph.add_edge(vertex, label, target)
+            pool.extend((vertex, target))
+    return graph
+
+
+def stochastic_blocks(block_sizes: Sequence[int], within_probability: float,
+                      between_probability: float,
+                      labels: Sequence[Hashable] = _DEFAULT_LABELS,
+                      seed: int = 0, name: str = "sbm") -> MultiRelationalGraph:
+    """A stochastic block model with label choice biased by block membership.
+
+    Vertices are partitioned into blocks; within-block pairs connect with
+    ``within_probability`` and between-block pairs with
+    ``between_probability``.  The edge label is the block index's label
+    (cycled through ``labels``) for within-block edges and a uniformly random
+    label otherwise — giving communities a dominant relation type, which is
+    what makes labeled traversals selective.
+    """
+    rng = random.Random(seed)
+    graph = MultiRelationalGraph(name=name)
+    blocks: List[List[int]] = []
+    next_vertex = 0
+    for size in block_sizes:
+        block = list(range(next_vertex, next_vertex + size))
+        blocks.append(block)
+        next_vertex += size
+    for block in blocks:
+        for v in block:
+            graph.add_vertex(v, block=blocks.index(block))
+    label_list = list(labels)
+    for b_index, block in enumerate(blocks):
+        block_label = label_list[b_index % len(label_list)]
+        for tail in block:
+            for head in block:
+                if tail != head and rng.random() < within_probability:
+                    graph.add_edge(tail, block_label, head)
+    for i, block_a in enumerate(blocks):
+        for block_b in blocks[i + 1:]:
+            for tail in block_a:
+                for head in block_b:
+                    if rng.random() < between_probability:
+                        graph.add_edge(tail, rng.choice(label_list), head)
+                    if rng.random() < between_probability:
+                        graph.add_edge(head, rng.choice(label_list), tail)
+    return graph
+
+
+def complete_multirelational(num_vertices: int,
+                             labels: Sequence[Hashable] = _DEFAULT_LABELS,
+                             loops: bool = False,
+                             name: str = "complete") -> MultiRelationalGraph:
+    """Every ordered pair connected by every label — the densest case."""
+    graph = MultiRelationalGraph(name=name)
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for tail in range(num_vertices):
+        for head in range(num_vertices):
+            if tail == head and not loops:
+                continue
+            for label in labels:
+                graph.add_edge(tail, label, head)
+    return graph
+
+
+def cycle_graph(num_vertices: int, labels: Sequence[Hashable] = _DEFAULT_LABELS,
+                name: str = "cycle") -> MultiRelationalGraph:
+    """A directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` with labels cycled.
+
+    Deterministic: vertex ``k`` connects to ``k+1 mod n`` with label
+    ``labels[k % len(labels)]``.  Exact path counts are easy to reason about,
+    which test assertions exploit.
+    """
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex")
+    graph = MultiRelationalGraph(name=name)
+    label_list = list(labels)
+    for k in range(num_vertices):
+        graph.add_edge(k, label_list[k % len(label_list)], (k + 1) % num_vertices)
+    return graph
+
+
+def line_graph(num_vertices: int, labels: Sequence[Hashable] = _DEFAULT_LABELS,
+               name: str = "line") -> MultiRelationalGraph:
+    """A directed path ``0 -> 1 -> ... -> n-1`` with labels cycled."""
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex")
+    graph = MultiRelationalGraph(name=name)
+    graph.add_vertex(0)
+    label_list = list(labels)
+    for k in range(num_vertices - 1):
+        graph.add_edge(k, label_list[k % len(label_list)], k + 1)
+    return graph
+
+
+def star_graph(num_leaves: int, label: Hashable = "alpha",
+               inward: bool = False, name: str = "star") -> MultiRelationalGraph:
+    """A hub vertex 0 connected to ``num_leaves`` leaves by one relation.
+
+    ``inward=False`` points edges hub->leaf; ``inward=True`` leaf->hub.
+    The extreme fan-out case for join benchmarks.
+    """
+    graph = MultiRelationalGraph(name=name)
+    graph.add_vertex(0)
+    for leaf in range(1, num_leaves + 1):
+        if inward:
+            graph.add_edge(leaf, label, 0)
+        else:
+            graph.add_edge(0, label, leaf)
+    return graph
+
+
+def layered_graph(layers: int, width: int,
+                  labels: Optional[Sequence[Hashable]] = None,
+                  seed: int = 0, connection_probability: float = 0.5,
+                  name: str = "layered") -> MultiRelationalGraph:
+    """A DAG of ``layers`` layers of ``width`` vertices each.
+
+    Edges only go from layer ``k`` to layer ``k+1``, all carrying the layer's
+    label (``labels[k]``, default ``"step<k>"``).  Because every path from
+    layer 0 to layer L has the same label sequence, the expected result of an
+    L-step labeled traversal is analytically checkable — used by the
+    traversal tests and the E3 benchmark.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive")
+    rng = random.Random(seed)
+    if labels is None:
+        labels = ["step{}".format(k) for k in range(layers - 1)]
+    graph = MultiRelationalGraph(name=name)
+    def vertex(layer: int, slot: int) -> str:
+        return "L{}v{}".format(layer, slot)
+    for layer in range(layers):
+        for slot in range(width):
+            graph.add_vertex(vertex(layer, slot), layer=layer)
+    for layer in range(layers - 1):
+        label = labels[layer % len(labels)]
+        for tail_slot in range(width):
+            connected = False
+            for head_slot in range(width):
+                if rng.random() < connection_probability:
+                    graph.add_edge(vertex(layer, tail_slot), label,
+                                   vertex(layer + 1, head_slot))
+                    connected = True
+            if not connected:
+                # Guarantee progress so length-(layers-1) paths always exist.
+                graph.add_edge(vertex(layer, tail_slot), label,
+                               vertex(layer + 1, rng.randrange(width)))
+    return graph

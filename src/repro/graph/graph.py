@@ -1,0 +1,483 @@
+"""The multi-relational graph store.
+
+The paper's structure is ``G = (V, E)`` with ``E subseteq (V x Omega x V)``:
+a finite vertex set, a finite label set Omega (the relation types), and a set
+of ternary edges.  :class:`MultiRelationalGraph` is an in-memory store for
+that structure with the indices a traversal engine needs:
+
+* ``out``  — tail vertex  -> edges leaving it,
+* ``in``   — head vertex  -> edges entering it,
+* ``rel``  — label        -> edges carrying it,
+* combined ``(tail, label)`` and ``(label, head)`` indices so the paper's
+  set-builder atoms ``[i, a, _]`` / ``[_, a, j]`` resolve without scanning.
+
+Vertices and edges may carry property dictionaries (the "property graph"
+model the authors' Gremlin system popularized); properties never affect
+algebraic identity — an edge *is* its ``(tail, label, head)`` triple.
+
+The store is mutable; every query returns fresh immutable results
+(:class:`frozenset` / :class:`PathSet`), so callers can never corrupt the
+indices through a returned value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.edge import Edge
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.errors import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    LabelNotFoundError,
+    VertexNotFoundError,
+)
+
+__all__ = ["MultiRelationalGraph"]
+
+
+class MultiRelationalGraph:
+    """A directed multi-relational graph ``G = (V, E subseteq V x Omega x V)``.
+
+    Examples
+    --------
+    >>> g = MultiRelationalGraph()
+    >>> g.add_edge("marko", "created", "gremlin")
+    Edge('marko', 'created', 'gremlin')
+    >>> g.add_edge("marko", "knows", "peter")
+    Edge('marko', 'knows', 'peter')
+    >>> sorted(g.labels())
+    ['created', 'knows']
+    >>> len(g.edges(tail="marko"))
+    2
+    """
+
+    def __init__(self, edges: Iterable = (), name: str = ""):
+        """Create a graph, optionally bulk-loading ``(tail, label, head)`` triples."""
+        self.name = name
+        self._version = 0
+        self._vertices: Dict[Hashable, Dict[str, Any]] = {}
+        self._edges: Dict[Edge, Dict[str, Any]] = {}
+        self._out: Dict[Hashable, Set[Edge]] = defaultdict(set)
+        self._in: Dict[Hashable, Set[Edge]] = defaultdict(set)
+        self._rel: Dict[Hashable, Set[Edge]] = defaultdict(set)
+        self._out_by_label: Dict[Tuple[Hashable, Hashable], Set[Edge]] = defaultdict(set)
+        self._in_by_label: Dict[Tuple[Hashable, Hashable], Set[Edge]] = defaultdict(set)
+        self._listeners: List = []
+        for item in edges:
+            e = item if isinstance(item, Edge) else Edge(*item)
+            self.add_edge(e.tail, e.label, e.head)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Hashable, strict: bool = False, **properties: Any) -> Hashable:
+        """Add a vertex; merging properties if it already exists.
+
+        With ``strict=True`` re-adding an existing vertex raises
+        :class:`DuplicateVertexError` instead of merging.
+        """
+        if vertex in self._vertices:
+            if strict:
+                raise DuplicateVertexError(
+                    "vertex {!r} already exists".format(vertex))
+            self._vertices[vertex].update(properties)
+            self._version += 1
+        else:
+            self._vertices[vertex] = dict(properties)
+            self._version += 1
+        return vertex
+
+    def add_edge(self, tail: Hashable, label: Hashable, head: Hashable,
+                 **properties: Any) -> Edge:
+        """Add the edge ``(tail, label, head)``, creating endpoints as needed.
+
+        Adding an existing edge merges its properties (edge identity is the
+        triple itself — ``E`` is a *set*, so there are no parallel duplicates
+        of one triple).
+        """
+        e = Edge(tail, label, head)
+        if e in self._edges:
+            self._edges[e].update(properties)
+            self._version += 1
+            return e
+        self.add_vertex(tail)
+        self.add_vertex(head)
+        self._edges[e] = dict(properties)
+        self._out[tail].add(e)
+        self._in[head].add(e)
+        self._rel[label].add(e)
+        self._out_by_label[(tail, label)].add(e)
+        self._in_by_label[(label, head)].add(e)
+        self._version += 1
+        for listener in self._listeners:
+            listener("add_edge", e)
+        return e
+
+    def add_edges(self, triples: Iterable) -> List[Edge]:
+        """Bulk-add ``(tail, label, head)`` triples; returns the edges added."""
+        return [
+            self.add_edge(*((t.tail, t.label, t.head) if isinstance(t, Edge) else t))
+            for t in triples
+        ]
+
+    def remove_edge(self, tail: Hashable, label: Hashable, head: Hashable) -> None:
+        """Remove one edge.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        e = Edge(tail, label, head)
+        if e not in self._edges:
+            raise EdgeNotFoundError(e)
+        del self._edges[e]
+        self._out[tail].discard(e)
+        self._in[head].discard(e)
+        self._rel[label].discard(e)
+        if not self._rel[label]:
+            del self._rel[label]
+        self._out_by_label[(tail, label)].discard(e)
+        self._in_by_label[(label, head)].discard(e)
+        self._version += 1
+        for listener in self._listeners:
+            listener("remove_edge", e)
+
+    def remove_vertex(self, vertex: Hashable) -> None:
+        """Remove a vertex and every edge incident to it.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If the vertex is not present.
+        """
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        for e in list(self._out.get(vertex, ())) + list(self._in.get(vertex, ())):
+            if e in self._edges:
+                self.remove_edge(e.tail, e.label, e.head)
+        self._out.pop(vertex, None)
+        self._in.pop(vertex, None)
+        del self._vertices[vertex]
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Basic inspection
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> FrozenSet[Hashable]:
+        """The vertex set ``V``."""
+        return frozenset(self._vertices)
+
+    def labels(self) -> FrozenSet[Hashable]:
+        """The label set ``Omega`` (only labels with at least one edge)."""
+        return frozenset(self._rel)
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        """The raw edge set ``E`` as a frozenset of :class:`Edge`."""
+        return frozenset(self._edges)
+
+    def has_vertex(self, vertex: Hashable) -> bool:
+        """True when ``vertex in V``."""
+        return vertex in self._vertices
+
+    def has_edge(self, tail: Hashable, label: Hashable, head: Hashable) -> bool:
+        """True when ``(tail, label, head) in E``."""
+        return Edge(tail, label, head) in self._edges
+
+    def has_label(self, label: Hashable) -> bool:
+        """True when some edge carries ``label``."""
+        return label in self._rel
+
+    def order(self) -> int:
+        """``|V|`` — the number of vertices."""
+        return len(self._vertices)
+
+    def size(self) -> int:
+        """``|E|`` — the number of edges."""
+        return len(self._edges)
+
+    def relation_count(self) -> int:
+        """``|Omega|`` — the number of distinct relation types in use."""
+        return len(self._rel)
+
+
+    def version(self) -> int:
+        """A counter bumped by every mutation (cache-invalidation token)."""
+        return self._version
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event, edge)`` for edge mutations.
+
+        ``event`` is ``"add_edge"`` or ``"remove_edge"``.  Used by
+        incrementally-maintained views (:mod:`repro.engine.views`).
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, Edge):
+            return item in self._edges
+        if isinstance(item, tuple) and len(item) == 3:
+            return Edge(*item) in self._edges
+        return item in self._vertices
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(sorted(self._edges, key=repr))
+
+    def __repr__(self) -> str:
+        label = " {!r}".format(self.name) if self.name else ""
+        return "MultiRelationalGraph{}<|V|={}, |E|={}, |Omega|={}>".format(
+            label, self.order(), self.size(), self.relation_count())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MultiRelationalGraph):
+            return NotImplemented
+        return (self.vertices() == other.vertices()
+                and self.edge_set() == other.edge_set())
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    def vertex_properties(self, vertex: Hashable) -> Dict[str, Any]:
+        """A copy of the property map of ``vertex``."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return dict(self._vertices[vertex])
+
+    def edge_properties(self, tail: Hashable, label: Hashable, head: Hashable) -> Dict[str, Any]:
+        """A copy of the property map of one edge."""
+        e = Edge(tail, label, head)
+        if e not in self._edges:
+            raise EdgeNotFoundError(e)
+        return dict(self._edges[e])
+
+    def set_vertex_property(self, vertex: Hashable, key: str, value: Any) -> None:
+        """Set one property on an existing vertex."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        self._vertices[vertex][key] = value
+        self._version += 1
+
+    def set_edge_property(self, tail: Hashable, label: Hashable, head: Hashable,
+                          key: str, value: Any) -> None:
+        """Set one property on an existing edge."""
+        e = Edge(tail, label, head)
+        if e not in self._edges:
+            raise EdgeNotFoundError(e)
+        self._edges[e][key] = value
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # The paper's set-builder notation (section IV-A)
+    # ------------------------------------------------------------------
+
+    def edges(self, tail: Optional[Hashable] = None, label: Optional[Hashable] = None,
+              head: Optional[Hashable] = None) -> PathSet:
+        """Resolve a set-builder atom to a :class:`PathSet` of length-1 paths.
+
+        ``None`` plays the paper's underscore wildcard:
+
+        * ``g.edges()``                      is ``[_, _, _] = E``,
+        * ``g.edges(tail=i)``                is ``[i, _, _]``,
+        * ``g.edges(label=a)``               is ``[_, a, _]``,
+        * ``g.edges(head=j)``                is ``[_, _, j]``,
+        * ``g.edges(tail=i, label=a)``       is ``[i, a, _]``, etc.
+
+        Every result is a set of single-edge paths, ready for ``@`` joins.
+        """
+        return PathSet.from_edges(self.match(tail, label, head))
+
+    def match(self, tail: Optional[Hashable] = None, label: Optional[Hashable] = None,
+              head: Optional[Hashable] = None) -> FrozenSet[Edge]:
+        """Like :meth:`edges` but returning raw :class:`Edge` objects.
+
+        Uses the most selective available index; only the fully-wild pattern
+        touches the whole edge set.
+        """
+        if tail is not None and label is not None:
+            candidates = self._out_by_label.get((tail, label), set())
+            if head is not None:
+                return frozenset(e for e in candidates if e.head == head)
+            return frozenset(candidates)
+        if label is not None and head is not None:
+            return frozenset(self._in_by_label.get((label, head), set()))
+        if tail is not None:
+            candidates = self._out.get(tail, set())
+            if head is not None:
+                return frozenset(e for e in candidates if e.head == head)
+            return frozenset(candidates)
+        if head is not None:
+            return frozenset(self._in.get(head, set()))
+        if label is not None:
+            return frozenset(self._rel.get(label, set()))
+        return frozenset(self._edges)
+
+    def all_paths(self) -> PathSet:
+        """``E`` lifted to a path set — the starting point of every traversal."""
+        return PathSet.from_edges(self._edges)
+
+    # ------------------------------------------------------------------
+    # Neighborhood queries
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Edge]:
+        """Edges leaving ``vertex`` (optionally restricted to one label)."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        if label is None:
+            return frozenset(self._out.get(vertex, set()))
+        return frozenset(self._out_by_label.get((vertex, label), set()))
+
+    def in_edges(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Edge]:
+        """Edges entering ``vertex`` (optionally restricted to one label)."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        if label is None:
+            return frozenset(self._in.get(vertex, set()))
+        return frozenset(e for e in self._in.get(vertex, set()) if e.label == label)
+
+    def successors(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Hashable]:
+        """Vertices reachable from ``vertex`` by one edge."""
+        return frozenset(e.head for e in self.out_edges(vertex, label))
+
+    def predecessors(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Hashable]:
+        """Vertices with one edge into ``vertex``."""
+        return frozenset(e.tail for e in self.in_edges(vertex, label))
+
+    def out_degree(self, vertex: Hashable, label: Optional[Hashable] = None) -> int:
+        """Number of edges leaving ``vertex``."""
+        return len(self.out_edges(vertex, label))
+
+    def in_degree(self, vertex: Hashable, label: Optional[Hashable] = None) -> int:
+        """Number of edges entering ``vertex``."""
+        return len(self.in_edges(vertex, label))
+
+    def degree(self, vertex: Hashable, label: Optional[Hashable] = None) -> int:
+        """Total degree (in + out)."""
+        return self.in_degree(vertex, label) + self.out_degree(vertex, label)
+
+    # ------------------------------------------------------------------
+    # Relation-level views (section IV-C method M2: extract one relation)
+    # ------------------------------------------------------------------
+
+    def relation(self, label: Hashable) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        """The binary relation ``E_a = {(gamma-(e), gamma+(e)) | omega(e) = a}``.
+
+        This is the paper's "extract a single edge relation, based on its
+        label" construction — section IV-C's second method of applying
+        single-relational algorithms to a multi-relational graph.
+
+        Raises
+        ------
+        LabelNotFoundError
+            If no edge carries ``label``.
+        """
+        if label not in self._rel:
+            raise LabelNotFoundError(label)
+        return frozenset(e.endpoints() for e in self._rel[label])
+
+    def subgraph_by_labels(self, labels: Iterable[Hashable]) -> "MultiRelationalGraph":
+        """The multi-relational subgraph keeping only edges whose label is given.
+
+        Vertices incident to a kept edge are retained (with their
+        properties); isolated vertices are dropped.
+        """
+        wanted = set(labels)
+        sub = MultiRelationalGraph(name=self.name)
+        for label in wanted:
+            for e in self._rel.get(label, ()):
+                sub.add_edge(e.tail, e.label, e.head, **self._edges[e])
+        for v in sub.vertices():
+            for key, value in self._vertices.get(v, {}).items():
+                sub.set_vertex_property(v, key, value)
+        return sub
+
+    def subgraph_by_vertices(self, vertices: Iterable[Hashable]) -> "MultiRelationalGraph":
+        """The induced subgraph on a vertex subset (all labels kept)."""
+        wanted = set(vertices)
+        sub = MultiRelationalGraph(name=self.name)
+        for v in wanted:
+            if v in self._vertices:
+                sub.add_vertex(v, **self._vertices[v])
+        for e, props in self._edges.items():
+            if e.tail in wanted and e.head in wanted:
+                sub.add_edge(e.tail, e.label, e.head, **props)
+        return sub
+
+    def collapsed(self) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        """The label-blind binary relation ``{(gamma-(e), gamma+(e)) | e in E}``.
+
+        Section IV-C's *first* method — "simply ignore edge labels and,
+        potentially, repeated edges between the same two vertices".  The
+        paper warns this destroys semantics; we expose it so experiment E5
+        can demonstrate exactly that.
+        """
+        return frozenset(e.endpoints() for e in self._edges)
+
+    def inverted(self) -> "MultiRelationalGraph":
+        """A new graph with every edge reversed (labels preserved)."""
+        out = MultiRelationalGraph(name=self.name)
+        for v, props in self._vertices.items():
+            out.add_vertex(v, **props)
+        for e, props in self._edges.items():
+            out.add_edge(e.head, e.label, e.tail, **props)
+        return out
+
+    def copy(self) -> "MultiRelationalGraph":
+        """A deep-enough copy: structure and property maps are duplicated."""
+        out = MultiRelationalGraph(name=self.name)
+        for v, props in self._vertices.items():
+            out.add_vertex(v, **props)
+        for e, props in self._edges.items():
+            out.add_edge(e.tail, e.label, e.head, **props)
+        return out
+
+    def merged(self, other: "MultiRelationalGraph") -> "MultiRelationalGraph":
+        """The union graph of two multi-relational graphs."""
+        out = self.copy()
+        for v in other.vertices():
+            out.add_vertex(v, **other.vertex_properties(v))
+        for e in other.edge_set():
+            out.add_edge(e.tail, e.label, e.head,
+                         **other.edge_properties(e.tail, e.label, e.head))
+        return out
+
+    # ------------------------------------------------------------------
+    # Statistics hooks (consumed by the engine's planner)
+    # ------------------------------------------------------------------
+
+    def label_histogram(self) -> Dict[Hashable, int]:
+        """``label -> edge count`` — the planner's base cardinality statistic."""
+        return {label: len(edges) for label, edges in self._rel.items()}
+
+    def density(self) -> float:
+        """``|E| / (|V|^2 * |Omega|)`` — fraction of possible ternary edges present."""
+        v, omega = self.order(), self.relation_count()
+        if v == 0 or omega == 0:
+            return 0.0
+        return self.size() / float(v * v * omega)

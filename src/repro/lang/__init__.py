@@ -1,0 +1,16 @@
+"""PathQL — the textual query language for the path algebra.
+
+One entry point: :func:`parse` turns PathQL source into a
+:mod:`repro.regex` AST, which the engine (or :func:`repro.regex.evaluate`,
+or the automata) can execute.
+
+.. code-block:: text
+
+    [i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . {(j, alpha, i)}) | [_, alpha, k])
+
+is the paper's Figure 1 expression.
+"""
+
+from repro.lang.parser import parse
+
+__all__ = ["parse"]

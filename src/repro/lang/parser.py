@@ -1,0 +1,235 @@
+"""PathQL recursive-descent parser.
+
+Grammar (precedence low to high; ``.``/``&`` bind tighter than ``|``,
+postfix repetition tightest):
+
+.. code-block:: text
+
+    expression := concat ('|' concat)*
+    concat     := postfix (('.' | '&') postfix)*
+    postfix    := primary ('*' | '+' | '?' | '{' NUMBER (',' NUMBER?)? '}')*
+    primary    := atom | literal_set | '(' expression ')' | 'eps' | 'empty'
+    atom       := '[' part ',' part ',' part ']'
+    part       := '_' | value
+    literal_set:= '{' path (';' path)* '}' | '{' '}'
+    path       := '(' value ',' value ',' value (',' value ',' value ',' value)* ')'
+    value      := IDENT | STRING | NUMBER
+
+Atoms are the paper's ``[tail, label, head]`` patterns; literal path sets
+are written as parenthesized flat triples (``(j, alpha, i)``), with longer
+paths as repeated triples (``(a,x,b, b,y,c)``), exactly like the paper
+prints them.  The brace ambiguity (``{`` opens both repetition and literal
+sets) resolves by position: repetition only follows a postfix expression.
+
+The parser produces :mod:`repro.regex` AST nodes directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.errors import PathQLSyntaxError
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Atom,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise PathQLSyntaxError(
+                "expected {} but found {}".format(kind, token.kind),
+                token.position, self.text)
+        return self.advance()
+
+    def error(self, message: str) -> PathQLSyntaxError:
+        token = self.peek()
+        return PathQLSyntaxError(message, token.position, self.text)
+
+    # -- productions ---------------------------------------------------------
+
+    def parse_expression(self) -> RegexExpr:
+        parts = [self.parse_concat()]
+        while self.peek().kind == TokenKind.PIPE:
+            self.advance()
+            parts.append(self.parse_concat())
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+
+    def parse_concat(self) -> RegexExpr:
+        first = self.parse_postfix()
+        items: List[Tuple[str, RegexExpr]] = []
+        while self.peek().kind in (TokenKind.DOT, TokenKind.AMP):
+            operator = self.advance().kind
+            items.append((operator, self.parse_postfix()))
+        if not items:
+            return first
+        # Group maximal runs of one operator so mixed chains keep their
+        # left-to-right structure: a . b & c . d == ((a . b) & c) . d? No:
+        # '.' and '&' share precedence and associate left, pairwise.
+        result = first
+        for operator, operand in items:
+            if operator == TokenKind.DOT:
+                result = (Join(result.parts + (operand,))
+                          if isinstance(result, Join) else Join((result, operand)))
+            else:
+                result = (Product(result.parts + (operand,))
+                          if isinstance(result, Product) else Product((result, operand)))
+        return result
+
+    def parse_postfix(self) -> RegexExpr:
+        expr = self.parse_primary()
+        while True:
+            kind = self.peek().kind
+            if kind == TokenKind.STAR:
+                self.advance()
+                expr = Star(expr)
+            elif kind == TokenKind.PLUS:
+                self.advance()
+                expr = Repeat(expr, 1, None)
+            elif kind == TokenKind.QUESTION:
+                self.advance()
+                expr = Repeat(expr, 0, 1)
+            elif kind == TokenKind.LBRACE and self._brace_is_repetition():
+                expr = self._parse_repetition(expr)
+            else:
+                return expr
+
+    def _brace_is_repetition(self) -> bool:
+        """A ``{`` after a postfix expression is a repetition iff a number follows."""
+        return self.tokens[self.index + 1].kind == TokenKind.NUMBER
+
+    def _parse_repetition(self, expr: RegexExpr) -> RegexExpr:
+        self.expect(TokenKind.LBRACE)
+        minimum = self.expect(TokenKind.NUMBER).value
+        maximum: Optional[int] = minimum
+        if self.peek().kind == TokenKind.COMMA:
+            self.advance()
+            if self.peek().kind == TokenKind.NUMBER:
+                maximum = self.advance().value
+            else:
+                maximum = None
+        self.expect(TokenKind.RBRACE)
+        return Repeat(expr, minimum, maximum)
+
+    def parse_primary(self) -> RegexExpr:
+        token = self.peek()
+        if token.kind == TokenKind.LBRACKET:
+            return self.parse_atom()
+        if token.kind == TokenKind.LBRACE:
+            return self.parse_literal_set()
+        if token.kind == TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind == TokenKind.IDENT and token.value == "eps":
+            self.advance()
+            return EPSILON
+        if token.kind == TokenKind.IDENT and token.value == "empty":
+            self.advance()
+            return EMPTY
+        raise self.error("expected an atom, literal set, '(', 'eps' or 'empty'")
+
+    def parse_atom(self) -> Atom:
+        self.expect(TokenKind.LBRACKET)
+        tail = self.parse_part()
+        self.expect(TokenKind.COMMA)
+        label = self.parse_part()
+        self.expect(TokenKind.COMMA)
+        head = self.parse_part()
+        self.expect(TokenKind.RBRACKET)
+        return Atom(tail=tail, label=label, head=head)
+
+    def parse_part(self):
+        token = self.peek()
+        if token.kind == TokenKind.UNDERSCORE:
+            self.advance()
+            return None
+        return self.parse_value()
+
+    def parse_value(self):
+        token = self.peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.STRING, TokenKind.NUMBER):
+            return self.advance().value
+        raise self.error("expected a value (identifier, string or number)")
+
+    def parse_literal_set(self) -> Literal:
+        self.expect(TokenKind.LBRACE)
+        paths: List[Path] = []
+        if self.peek().kind != TokenKind.RBRACE:
+            paths.append(self.parse_literal_path())
+            while self.peek().kind == TokenKind.SEMICOLON:
+                self.advance()
+                paths.append(self.parse_literal_path())
+        self.expect(TokenKind.RBRACE)
+        return Literal(PathSet(paths))
+
+    def parse_literal_path(self) -> Path:
+        self.expect(TokenKind.LPAREN)
+        values = [self.parse_value()]
+        while self.peek().kind == TokenKind.COMMA:
+            self.advance()
+            values.append(self.parse_value())
+        closer = self.expect(TokenKind.RPAREN)
+        if len(values) % 3 != 0:
+            raise PathQLSyntaxError(
+                "a literal path needs a multiple of 3 values "
+                "(tail, label, head triples), got {}".format(len(values)),
+                closer.position, self.text)
+        edges = [
+            (values[base], values[base + 1], values[base + 2])
+            for base in range(0, len(values), 3)
+        ]
+        return Path(edges)
+
+
+def parse(text: str) -> RegexExpr:
+    """Parse PathQL source into a regular path expression AST.
+
+    Raises
+    ------
+    PathQLSyntaxError
+        With the offending position, on any lexical or grammatical error.
+    """
+    parser = _Parser(text)
+    expression = parser.parse_expression()
+    trailing = parser.peek()
+    if trailing.kind != TokenKind.END:
+        raise PathQLSyntaxError(
+            "unexpected trailing {}".format(trailing.kind),
+            trailing.position, text)
+    return expression

@@ -1,0 +1,5 @@
+"""Basic graph patterns (conjunctive queries) over the ternary store."""
+
+from repro.pattern.bgp import BGPQuery, PatternError, TriplePattern, Var, solve, triple
+
+__all__ = ["Var", "TriplePattern", "BGPQuery", "triple", "solve", "PatternError"]

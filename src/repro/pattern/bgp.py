@@ -1,0 +1,233 @@
+"""Basic graph patterns: conjunctive queries over the ternary store.
+
+A traversal engine needs more than linear path expressions: real queries
+("find authors of papers that cite a paper published in venue V") are
+*conjunctions* of triple patterns sharing variables — SPARQL's basic graph
+patterns, Cypher's MATCH clauses.  This module adds that layer on top of
+the store's indices:
+
+* :class:`Var` — a query variable (``Var("x")``, or the ``?x`` shorthand in
+  :func:`triple`),
+* :class:`TriplePattern` — one ``(tail, label, head)`` pattern over
+  constants and variables,
+* :class:`BGPQuery` — a conjunction, solved by index-backed backtracking
+  with greedy most-selective-first pattern ordering (the same statistics
+  rationale as the path planner).
+
+Solutions are immutable bindings ``variable name -> value``.  Path atoms
+and BGPs compose: a path query's endpoint pairs can seed a BGP via
+constants, and a BGP's bindings can parameterize path queries (see
+``examples/knowledge_graph.py`` and the integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import PathAlgebraError
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = ["Var", "TriplePattern", "BGPQuery", "triple", "solve"]
+
+
+class PatternError(PathAlgebraError):
+    """Raised for malformed patterns (e.g. a query with no patterns)."""
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "?{}".format(self.name)
+
+
+Term = Union[Var, Hashable]
+
+
+def _parse_term(term: Term) -> Term:
+    """Strings beginning with ``?`` become variables; all else is constant."""
+    if isinstance(term, str) and term.startswith("?") and len(term) > 1:
+        return Var(term[1:])
+    return term
+
+
+def triple(tail: Term, label: Term, head: Term) -> "TriplePattern":
+    """Build a pattern with the ``?name`` shorthand for variables.
+
+    >>> triple("?author", "authored", "?paper")
+    TriplePattern(?author, 'authored', ?paper)
+    """
+    return TriplePattern(_parse_term(tail), _parse_term(label), _parse_term(head))
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One ``(tail, label, head)`` pattern over constants and variables."""
+
+    tail: Term
+    label: Term
+    head: Term
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of the variables this pattern mentions."""
+        return frozenset(
+            term.name for term in (self.tail, self.label, self.head)
+            if isinstance(term, Var))
+
+    def ground(self, binding: Dict[str, Hashable]) -> "TriplePattern":
+        """Substitute bound variables with their values."""
+        def substitute(term: Term) -> Term:
+            if isinstance(term, Var) and term.name in binding:
+                return binding[term.name]
+            return term
+        return TriplePattern(substitute(self.tail), substitute(self.label),
+                             substitute(self.head))
+
+    def constant_parts(self) -> Tuple[Optional[Hashable], Optional[Hashable],
+                                      Optional[Hashable]]:
+        """The (tail, label, head) constants, None where a variable sits."""
+        def constant(term: Term) -> Optional[Hashable]:
+            return None if isinstance(term, Var) else term
+        return (constant(self.tail), constant(self.label), constant(self.head))
+
+    def selectivity_key(self, graph: MultiRelationalGraph,
+                        bound: FrozenSet[str]) -> int:
+        """Estimated candidate count after grounding the ``bound`` variables.
+
+        Used by the greedy join-ordering: patterns whose constants (or
+        already-bound variables) pin an index come first.
+        """
+        tail, label, head = self.constant_parts()
+        tail_known = tail is not None or (
+            isinstance(self.tail, Var) and self.tail.name in bound)
+        label_known = label is not None or (
+            isinstance(self.label, Var) and self.label.name in bound)
+        head_known = head is not None or (
+            isinstance(self.head, Var) and self.head.name in bound)
+        # Rough cardinalities per index shape; exact values are not needed,
+        # only a sensible ordering.
+        if tail_known and label_known:
+            return 1
+        if label_known and head_known:
+            return 1
+        if tail_known or head_known:
+            return max(1, graph.size() // max(1, graph.order()))
+        if label_known:
+            histogram = graph.label_histogram()
+            if label is not None:
+                return histogram.get(label, graph.size())
+            return max(histogram.values(), default=graph.size())
+        return graph.size()
+
+    def __repr__(self) -> str:
+        return "TriplePattern({!r}, {!r}, {!r})".format(
+            self.tail, self.label, self.head)
+
+
+class BGPQuery:
+    """A conjunction of triple patterns, solved against one graph.
+
+    >>> q = BGPQuery([
+    ...     triple("?a", "authored", "?p"),
+    ...     triple("?p", "published_in", "venue0"),
+    ... ])
+    >>> # solutions = list(q.solve(graph))
+    """
+
+    def __init__(self, patterns: Iterable[TriplePattern]):
+        self.patterns: List[TriplePattern] = list(patterns)
+        if not self.patterns:
+            raise PatternError("a BGP needs at least one triple pattern")
+
+    def variables(self) -> FrozenSet[str]:
+        """All variable names across the conjunction."""
+        out: set = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return frozenset(out)
+
+    def solve(self, graph: MultiRelationalGraph,
+              limit: Optional[int] = None) -> Iterator[Dict[str, Hashable]]:
+        """Yield solution bindings, lazily.
+
+        Backtracking with greedy dynamic ordering: at each depth the
+        remaining pattern with the smallest selectivity key (given the
+        variables bound so far) is expanded next.
+        """
+        produced = 0
+
+        def backtrack(remaining: List[TriplePattern],
+                      binding: Dict[str, Hashable]) -> Iterator[Dict[str, Hashable]]:
+            if not remaining:
+                yield dict(binding)
+                return
+            bound = frozenset(binding)
+            ordered = sorted(
+                range(len(remaining)),
+                key=lambda i: remaining[i].selectivity_key(graph, bound))
+            chosen = remaining[ordered[0]]
+            rest = [p for i, p in enumerate(remaining) if i != ordered[0]]
+            grounded = chosen.ground(binding)
+            tail_c, label_c, head_c = grounded.constant_parts()
+            for e in graph.match(tail=tail_c, label=label_c, head=head_c):
+                extension = dict(binding)
+                consistent = True
+                for term, value in ((grounded.tail, e.tail),
+                                    (grounded.label, e.label),
+                                    (grounded.head, e.head)):
+                    if isinstance(term, Var):
+                        if term.name in extension and extension[term.name] != value:
+                            consistent = False
+                            break
+                        extension[term.name] = value
+                    elif term != value:
+                        consistent = False
+                        break
+                if consistent:
+                    yield from backtrack(rest, extension)
+
+        for solution in backtrack(self.patterns, {}):
+            yield solution
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def solve_all(self, graph: MultiRelationalGraph) -> List[Dict[str, Hashable]]:
+        """All solutions, materialized and deduplicated, deterministic order."""
+        unique = {tuple(sorted(s.items(), key=repr)): s
+                  for s in self.solve(graph)}
+        return [unique[key] for key in sorted(unique, key=repr)]
+
+    def select(self, graph: MultiRelationalGraph,
+               *variables: str) -> List[Tuple[Hashable, ...]]:
+        """Project solutions onto the named variables (distinct rows).
+
+        Raises
+        ------
+        PatternError
+            If a projected variable does not occur in the query.
+        """
+        known = self.variables()
+        for name in variables:
+            if name not in known:
+                raise PatternError(
+                    "variable ?{} does not occur in the query".format(name))
+        rows = {tuple(s[name] for name in variables) for s in self.solve(graph)}
+        return sorted(rows, key=repr)
+
+    def __repr__(self) -> str:
+        return "BGPQuery<{} patterns, vars={}>".format(
+            len(self.patterns), sorted(self.variables()))
+
+
+def solve(graph: MultiRelationalGraph, *patterns: TriplePattern,
+          limit: Optional[int] = None) -> List[Dict[str, Hashable]]:
+    """One-shot convenience: build the query and materialize its solutions."""
+    out = []
+    for solution in BGPQuery(patterns).solve(graph, limit=limit):
+        out.append(solution)
+    return out

@@ -1,0 +1,56 @@
+"""Regular path expressions over the edge alphabet (paper section IV-A).
+
+Public surface:
+
+* the AST node types (:class:`Atom`, :class:`Literal`, :class:`Union`,
+  :class:`Join`, :class:`Product`, :class:`Star`, :class:`Repeat`,
+  :data:`EMPTY`, :data:`EPSILON`),
+* builder helpers (:func:`atom`, :func:`literal`, :func:`union`,
+  :func:`join`, :func:`product`, :func:`star`, :func:`plus`,
+  :func:`optional`, :func:`power`, :func:`repeat`),
+* :func:`evaluate` — the direct reference semantics,
+* :func:`repro.regex.derivatives.matches` — derivative-based recognition.
+"""
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+    evaluate,
+)
+from repro.regex.builder import (
+    any_edge,
+    atom,
+    empty,
+    epsilon,
+    from_vertex,
+    join,
+    labeled,
+    literal,
+    optional,
+    plus,
+    power,
+    product,
+    repeat,
+    star,
+    to_vertex,
+    union,
+)
+from repro.regex.derivatives import derive, matches
+
+__all__ = [
+    "RegexExpr", "Empty", "Epsilon", "Atom", "Literal", "Union", "Join",
+    "Product", "Star", "Repeat", "EMPTY", "EPSILON", "evaluate",
+    "atom", "literal", "empty", "epsilon", "union", "join", "product",
+    "star", "plus", "optional", "power", "repeat", "any_edge", "labeled",
+    "from_vertex", "to_vertex", "derive", "matches",
+]

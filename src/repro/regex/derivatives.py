@@ -1,0 +1,234 @@
+"""Brzozowski derivatives for regular path expressions.
+
+An independent recognition method: the derivative of an expression with
+respect to an edge ``e`` is the expression matching exactly the suffixes of
+strings that started with ``e``.  A path is matched when, after deriving by
+each of its edges in turn, the residual expression is nullable.
+
+The subtlety relative to classical word derivatives is the **join
+constraint**: crossing a ``><_o`` boundary after having consumed edges on the
+left requires the next consumed edge to be adjacent (``gamma+`` of the
+previous edge equals ``gamma-`` of the next), while crossing a ``x_o``
+boundary exempts it, and crossing either boundary *without* having consumed
+anything inherits the enclosing context's requirement.  We encode this with
+a private residual node :class:`_Seq` that records, for sequences produced
+*after* consumption, whether their crossing demands adjacency — pristine
+``Join``/``Product`` nodes inherit the outer requirement instead.
+
+The derivative matcher, the NFA recognizer (:mod:`repro.automata`) and the
+direct evaluator (:func:`repro.regex.ast.evaluate`) are three independent
+implementations of one semantics; the property-based tests triangulate them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.core.edge import Edge
+from repro.core.path import Path
+from repro.errors import RegexError
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+
+__all__ = ["derive", "matches"]
+
+
+class _Seq(RegexExpr):
+    """Residual sequence ``left ; right`` with a *determined* crossing rule.
+
+    ``require_adjacent`` is True when this sequence arose from a join whose
+    left side already consumed an edge (so handing over to ``right`` demands
+    adjacency) and False for the product counterpart (handover exempt).
+    """
+
+    __slots__ = ("left", "right", "require_adjacent")
+
+    def __init__(self, left: RegexExpr, right: RegexExpr, require_adjacent: bool):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "require_adjacent", require_adjacent)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("_Seq is immutable")
+
+    @property
+    def nullable(self) -> bool:
+        return self.left.nullable and self.right.nullable
+
+    def children(self) -> Tuple[RegexExpr, ...]:
+        return (self.left, self.right)
+
+    def _key(self):
+        return (self.left, self.right, self.require_adjacent)
+
+    def __repr__(self) -> str:
+        return "_Seq({!r}, {!r}, {})".format(self.left, self.right, self.require_adjacent)
+
+
+class _ExactSuffix(RegexExpr):
+    """Residual of a multi-edge :class:`Literal` path: the pinned remaining edges.
+
+    Each remaining edge must be matched *exactly*, with no adjacency checks —
+    the literal's path is accepted verbatim, joint or not.
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, remaining: Path):
+        object.__setattr__(self, "remaining", remaining)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("_ExactSuffix is immutable")
+
+    @property
+    def nullable(self) -> bool:
+        return len(self.remaining) == 0
+
+    def _key(self):
+        return (self.remaining,)
+
+    def __repr__(self) -> str:
+        return "_ExactSuffix({!r})".format(self.remaining)
+
+
+def _seq(left: RegexExpr, right: RegexExpr, require_adjacent: bool) -> RegexExpr:
+    """Smart constructor for residual sequences (applies zero/identity laws)."""
+    if isinstance(left, Empty) or isinstance(right, Empty):
+        return EMPTY
+    if isinstance(left, Epsilon):
+        # An epsilon left with a recorded crossing still demands the crossing
+        # rule for right's first edge, so only drop it when rule-free passage
+        # is equivalent: it is not, keep the node unless right is epsilon.
+        if isinstance(right, Epsilon):
+            return EPSILON
+        return _Seq(left, right, require_adjacent)
+    if isinstance(right, Epsilon):
+        return left
+    return _Seq(left, right, require_adjacent)
+
+
+def _union(*parts: RegexExpr) -> RegexExpr:
+    kept = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if part not in kept:
+            kept.append(part)
+    if not kept:
+        return EMPTY
+    if len(kept) == 1:
+        return kept[0]
+    return Union(tuple(kept))
+
+
+def derive(expression: RegexExpr, e: Edge, graph: MultiRelationalGraph,
+           previous_head: Optional[Hashable] = None,
+           required: bool = True) -> RegexExpr:
+    """The derivative of ``expression`` with respect to consuming edge ``e``.
+
+    ``previous_head`` is ``gamma+`` of the previously consumed edge (``None``
+    at the start of input); ``required`` states whether the *enclosing*
+    context demands ``e`` be adjacent to it.  Callers normally use
+    :func:`matches` instead of driving this directly.
+    """
+    expr = expression
+    if isinstance(expr, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(expr, Atom):
+        if not expr.matches_edge(e, graph):
+            return EMPTY
+        if required and previous_head is not None and e.tail != previous_head:
+            return EMPTY
+        return EPSILON
+    if isinstance(expr, Literal):
+        branches = []
+        for p in expr.path_set:
+            if not p or p[0] != e:
+                continue
+            if required and previous_head is not None and e.tail != previous_head:
+                continue
+            rest = p[1:]
+            branches.append(EPSILON if not rest else _ExactSuffix(rest))
+        return _union(*branches)
+    if isinstance(expr, _ExactSuffix):
+        remaining = expr.remaining
+        if not remaining or remaining[0] != e:
+            return EMPTY
+        # Pinned suffix edges never check adjacency: the literal path is
+        # accepted exactly as written.
+        rest = remaining[1:]
+        return EPSILON if not rest else _ExactSuffix(rest)
+    if isinstance(expr, Union):
+        return _union(*(derive(p, e, graph, previous_head, required)
+                        for p in expr.parts))
+    if isinstance(expr, Join):
+        left, right = _split(expr, Join)
+        branches = [_seq(derive(left, e, graph, previous_head, required),
+                         right, require_adjacent=True)]
+        if left.nullable:
+            # Left matched epsilon (consumed nothing here), so the crossing
+            # imposes nothing: right's first edge inherits the outer rule.
+            branches.append(derive(right, e, graph, previous_head, required))
+        return _union(*branches)
+    if isinstance(expr, Product):
+        left, right = _split(expr, Product)
+        branches = [_seq(derive(left, e, graph, previous_head, required),
+                         right, require_adjacent=False)]
+        if left.nullable:
+            branches.append(derive(right, e, graph, previous_head, required))
+        return _union(*branches)
+    if isinstance(expr, _Seq):
+        branches = [_seq(derive(expr.left, e, graph, previous_head, required),
+                         expr.right, expr.require_adjacent)]
+        if expr.left.nullable:
+            # The crossing rule was determined when this residual was built.
+            branches.append(derive(expr.right, e, graph, previous_head,
+                                   required=expr.require_adjacent))
+        return _union(*branches)
+    if isinstance(expr, Star):
+        inner = derive(expr.inner, e, graph, previous_head, required)
+        # Star repetitions are join-repetitions: after consuming within one
+        # copy, re-entry into the next copy demands adjacency.
+        return _seq(inner, expr, require_adjacent=True)
+    if isinstance(expr, Repeat):
+        return derive(expr.expand(), e, graph, previous_head, required)
+    raise RegexError("cannot derive unknown node {!r}".format(expr))
+
+
+def _split(expr, node_type) -> Tuple[RegexExpr, RegexExpr]:
+    """Split an n-ary Join/Product into (first, rest-of-same-type)."""
+    parts = expr.parts
+    if len(parts) == 1:
+        return parts[0], EPSILON
+    if len(parts) == 2:
+        return parts[0], parts[1]
+    return parts[0], node_type(parts[1:])
+
+
+def matches(expression: RegexExpr, path: Path,
+            graph: MultiRelationalGraph) -> bool:
+    """True when ``path`` is in the language of ``expression`` over ``graph``.
+
+    Derivative-based: derive by each edge in turn, then test nullability.
+    """
+    current = expression
+    previous_head: Optional[Hashable] = None
+    for e in path:
+        current = derive(current, e, graph, previous_head, required=True)
+        if isinstance(current, Empty):
+            return False
+        previous_head = e.head
+    return current.nullable

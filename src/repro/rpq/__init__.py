@@ -1,0 +1,48 @@
+"""Label-level regular path queries — the Mendelzon & Wood [8] baseline.
+
+The paper defines its regular expressions over the edge alphabet ``E``;
+its reference [8] defines them over the label alphabet ``Omega``.  This
+package implements the latter (label regex AST, NFA, DFA via subset
+construction, product-automaton RPQ evaluation, and the NP-hard regular
+*simple* path variant), plus :func:`lift_to_edge_expression`, the bridge
+showing the label formulation embeds into the paper's.
+"""
+
+from repro.rpq.labelregex import (
+    LabelConcat,
+    LabelDFA,
+    LabelEmpty,
+    LabelEpsilon,
+    LabelExpr,
+    LabelNFA,
+    LabelStar,
+    LabelSymbol,
+    LabelUnion,
+    accepts_label_word,
+    build_label_nfa,
+    determinize,
+    lconcat,
+    loptional,
+    lplus,
+    lstar,
+    lunion,
+    sym,
+)
+from repro.rpq.evaluation import (
+    compile_rpq,
+    lift_to_edge_expression,
+    regular_simple_paths,
+    rpq_pairs,
+    rpq_paths,
+)
+from repro.rpq.minimize import equivalent, expressions_equivalent, minimize
+
+__all__ = [
+    "LabelExpr", "LabelEmpty", "LabelEpsilon", "LabelSymbol", "LabelUnion",
+    "LabelConcat", "LabelStar", "sym", "lunion", "lconcat", "lstar",
+    "loptional", "lplus", "LabelNFA", "LabelDFA", "build_label_nfa",
+    "determinize", "accepts_label_word",
+    "compile_rpq", "rpq_pairs", "rpq_paths", "regular_simple_paths",
+    "lift_to_edge_expression",
+    "minimize", "equivalent", "expressions_equivalent",
+]

@@ -1,0 +1,31 @@
+"""The semiring-weighted path algebra (the classical "path algebra" lift).
+
+* :class:`Semiring` plus the built-ins: :data:`BOOLEAN` (reachability),
+  :data:`COUNTING` (witness paths), :data:`TROPICAL` (shortest cost),
+  :data:`BOTTLENECK` (widest path), :data:`VITERBI` (most probable),
+* :class:`WeightedRelation` — sparse weighted binary relations with the
+  lifted union / composition / star,
+* :func:`relation_of_label` / :func:`label_sequence_weights` — the weighted
+  generalization of section IV-C's projections.
+"""
+
+from repro.semiring.semirings import (
+    BOOLEAN,
+    BOTTLENECK,
+    COUNTING,
+    TROPICAL,
+    VITERBI,
+    Semiring,
+)
+from repro.semiring.regexweights import WeightedAnswer, weighted_query
+from repro.semiring.weighted import (
+    WeightedRelation,
+    label_sequence_weights,
+    relation_of_label,
+)
+
+__all__ = [
+    "Semiring", "BOOLEAN", "COUNTING", "TROPICAL", "BOTTLENECK", "VITERBI",
+    "WeightedRelation", "relation_of_label", "label_sequence_weights",
+    "weighted_query", "WeightedAnswer",
+]

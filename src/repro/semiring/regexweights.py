@@ -1,0 +1,217 @@
+"""Semiring evaluation of full regular path expressions.
+
+:func:`label_sequence_weights` handles straight-line label sequences; this
+module generalizes to the whole regex AST, following the weighted-automata
+tradition: an expression denotes, per ``(tail, head)`` pair, the semiring
+sum over **derivations** (ways the expression matches a path) of the
+product of edge weights along the derived path:
+
+    W(expr)[u, w] = SUM_{derivations d of expr yielding u ->...-> w} PROD_e weight(e)
+
+For *unambiguous* expressions — each matching path has exactly one
+derivation, e.g. fixed label sequences, disjoint unions, stars of
+single-step atoms — this equals the sum over distinct matching paths, and
+with the Counting semiring it is exactly the witness-path count of the set
+semantics (asserted by tests against :func:`repro.regex.evaluate`).  For
+ambiguous expressions derivations are counted, not paths — the standard
+semantics of weighted regular expressions (a test demonstrates the
+difference deliberately).
+
+Composition rules (``eps`` is the scalar weight of deriving the empty path;
+``rel`` the weighted relation over non-empty derivations):
+
+* union    — ``(relA | relB,  epsA + epsB)``
+* join     — ``(relA∘relB + epsA·relB + epsB·relA,  epsA · epsB)``
+* product  — like join but with the *outer* composition
+  ``C[u, w] = (SUM_v relA[u, v]) * (SUM_v relB[v, w])`` for the non-empty
+  part (disjoint concatenation forgets the middle vertices),
+* star     — ``(closure of rel (epsilon part dropped first),  1)``,
+  iterated to a fixpoint for idempotent semirings and bounded by
+  ``star_steps`` otherwise ("at most k repetitions").
+
+With Tropical weights this answers "cheapest path matching the query" —
+the regex generalization of label-constrained shortest paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, NamedTuple, Optional, Tuple
+
+from repro.core.edge import Edge
+from repro.errors import RegexError
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex.ast import (
+    Atom,
+    Empty,
+    Epsilon,
+    Join,
+    Literal,
+    Product,
+    RegexExpr,
+    Repeat,
+    Star,
+    Union,
+)
+from repro.semiring.semirings import COUNTING, Semiring
+from repro.semiring.weighted import WeightedRelation
+
+__all__ = ["weighted_query", "WeightedAnswer"]
+
+WeightFunction = Callable[[Edge, MultiRelationalGraph], Any]
+
+
+class WeightedAnswer(NamedTuple):
+    """A weighted query's result: the endpoint relation plus the ε weight.
+
+    ``epsilon`` is the semiring weight of the expression deriving the empty
+    path (zero when the expression is not nullable); the empty path has no
+    endpoints, so it cannot live inside ``relation``.
+    """
+
+    relation: WeightedRelation
+    epsilon: Any
+
+    def weight(self, tail: Hashable, head: Hashable) -> Any:
+        """Convenience passthrough to the relation's pair weight."""
+        return self.relation.weight(tail, head)
+
+
+def weighted_query(graph: MultiRelationalGraph, expression: RegexExpr,
+                   semiring: Semiring = COUNTING,
+                   weight: Optional[WeightFunction] = None,
+                   star_steps: int = 16) -> WeightedAnswer:
+    """Evaluate a regex to a weighted endpoint relation over ``semiring``.
+
+    See the module docstring for the exact (derivation-sum) semantics.
+    """
+    evaluator = _Evaluator(graph, semiring, weight, star_steps)
+    relation, epsilon = evaluator.evaluate(expression)
+    return WeightedAnswer(relation, epsilon)
+
+
+class _Evaluator:
+    """Structural recursion over (non-empty relation, epsilon scalar) pairs."""
+
+    def __init__(self, graph: MultiRelationalGraph, semiring: Semiring,
+                 weight: Optional[WeightFunction], star_steps: int):
+        self.graph = graph
+        self.semiring = semiring
+        self.weight = weight
+        self.star_steps = star_steps
+
+    def edge_value(self, e: Edge) -> Any:
+        if self.weight is None:
+            return self.semiring.one
+        return self.weight(e, self.graph)
+
+    def _scale(self, relation: WeightedRelation, scalar: Any) -> WeightedRelation:
+        semiring = self.semiring
+        if scalar == semiring.zero:
+            return WeightedRelation(semiring)
+        if scalar == semiring.one:
+            return relation
+        return relation.map_weights(lambda value: semiring.mul(scalar, value))
+
+    def evaluate(self, expr: RegexExpr) -> Tuple[WeightedRelation, Any]:
+        semiring = self.semiring
+        if isinstance(expr, Empty):
+            return WeightedRelation(semiring), semiring.zero
+        if isinstance(expr, Epsilon):
+            return WeightedRelation(semiring), semiring.one
+        if isinstance(expr, Atom):
+            entries: Dict[Tuple[Hashable, Hashable], Any] = {}
+            for e in self.graph.match(tail=expr.tail, label=expr.label,
+                                      head=expr.head):
+                pair = e.endpoints()
+                value = self.edge_value(e)
+                if pair in entries:
+                    entries[pair] = semiring.add(entries[pair], value)
+                else:
+                    entries[pair] = value
+            return WeightedRelation(semiring, entries), semiring.zero
+        if isinstance(expr, Literal):
+            entries = {}
+            epsilon = semiring.zero
+            for p in expr.path_set:
+                if not p:
+                    epsilon = semiring.add(epsilon, semiring.one)
+                    continue
+                pair = (p.tail, p.head)
+                value = semiring.product(self.edge_value(e) for e in p)
+                if pair in entries:
+                    entries[pair] = semiring.add(entries[pair], value)
+                else:
+                    entries[pair] = value
+            return WeightedRelation(semiring, entries), epsilon
+        if isinstance(expr, Union):
+            relation = WeightedRelation(semiring)
+            epsilon = semiring.zero
+            for part in expr.parts:
+                part_rel, part_eps = self.evaluate(part)
+                relation = relation | part_rel
+                epsilon = semiring.add(epsilon, part_eps)
+            return relation, epsilon
+        if isinstance(expr, Join):
+            return self._sequence(expr.parts, outer=False)
+        if isinstance(expr, Product):
+            return self._sequence(expr.parts, outer=True)
+        if isinstance(expr, Star):
+            inner_rel, _inner_eps = self.evaluate(expr.inner)
+            # The star's empty derivation is reported via epsilon (one);
+            # the non-empty part is the PLUS closure A + A@A + ... — using
+            # the identity-seeded star() would double-count epsilon as a
+            # diagonal (v, v) entry.
+            return self._plus_closure(inner_rel), semiring.one
+        if isinstance(expr, Repeat):
+            return self.evaluate(expr.expand())
+        raise RegexError("cannot weight unknown node {!r}".format(expr))
+
+    def _sequence(self, parts, outer: bool) -> Tuple[WeightedRelation, Any]:
+        relation, epsilon = self.evaluate(parts[0])
+        for part in parts[1:]:
+            right_rel, right_eps = self.evaluate(part)
+            if outer:
+                combined = self._outer(relation, right_rel)
+            else:
+                combined = relation.compose(right_rel)
+            # epsilon on either side passes the other side through, scaled.
+            combined = combined | self._scale(right_rel, epsilon)
+            combined = combined | self._scale(relation, right_eps)
+            relation = combined
+            epsilon = self.semiring.mul(epsilon, right_eps)
+        return relation, epsilon
+
+    def _plus_closure(self, relation: WeightedRelation) -> WeightedRelation:
+        """``A + A@A + ...`` to a fixpoint (idempotent) or ``star_steps`` terms."""
+        total = relation
+        term = relation
+        for _ in range(self.star_steps - 1):
+            term = term.compose(relation)
+            if not len(term):
+                break
+            grown = total | term
+            if self.semiring.idempotent_add and grown == total:
+                break
+            total = grown
+        return total
+
+    def _outer(self, left: WeightedRelation,
+               right: WeightedRelation) -> WeightedRelation:
+        """Disjoint concatenation of the non-empty parts.
+
+        ``C[u, w] = (SUM_v L[u, v]) * (SUM_v R[v, w])`` — any left path may
+        precede any right path; middles are forgotten.
+        """
+        semiring = self.semiring
+        row: Dict[Hashable, Any] = {}
+        for (tail, _head), value in left.entries().items():
+            row[tail] = semiring.add(row.get(tail, semiring.zero), value)
+        col: Dict[Hashable, Any] = {}
+        for (_tail, head), value in right.entries().items():
+            col[head] = semiring.add(col.get(head, semiring.zero), value)
+        entries = {
+            (tail, head): semiring.mul(row_value, col_value)
+            for tail, row_value in row.items()
+            for head, col_value in col.items()
+        }
+        return WeightedRelation(semiring, entries)

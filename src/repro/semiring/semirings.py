@@ -1,0 +1,120 @@
+"""Semirings: the weight structures of the algebraic path problem.
+
+The paper's algebra is Boolean at heart — a path either exists in a set or
+does not.  The classical "path algebra" literature (Carré, Tarjan's
+algebraic path problem) generalizes exactly this structure to arbitrary
+semirings: union becomes semiring addition, concatenation becomes semiring
+multiplication.  This package is that generalization over the paper's
+*labeled* relations, so one framework answers reachability (Boolean),
+path counting (Counting — which is precisely the witness-count weights of
+:class:`repro.core.projection.BinaryProjection`), shortest cost (Tropical),
+widest bottleneck (Bottleneck) and most-probable path (Viterbi).
+
+A semiring here is ``(carrier, +, *, 0, 1)`` with ``+`` commutative,
+associative, identity 0; ``*`` associative, identity 1, annihilated by 0,
+distributing over ``+``.  :meth:`Semiring.check_laws` spot-checks these on
+sample values (used by the property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "TROPICAL",
+    "BOTTLENECK",
+    "VITERBI",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(carrier, add, mul, zero, one)`` as first-class data."""
+
+    name: str
+    zero: Any
+    one: Any
+    add: Callable[[Any, Any], Any] = field(compare=False)
+    mul: Callable[[Any, Any], Any] = field(compare=False)
+    #: True when ``a + a == a`` for all a — lets fixpoints detect convergence.
+    idempotent_add: bool = True
+
+    def sum(self, values) -> Any:
+        """Fold ``add`` over an iterable (zero for empty input)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values) -> Any:
+        """Fold ``mul`` over an iterable (one for empty input)."""
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def check_laws(self, samples: Sequence[Any]) -> None:
+        """Assert the semiring axioms on every triple of sample values.
+
+        Raises AssertionError on the first violated law — used by tests to
+        certify each built-in (and any user-supplied) semiring.
+        """
+        for a in samples:
+            assert self.add(a, self.zero) == a, "0 must be additive identity"
+            assert self.add(self.zero, a) == a, "0 must be additive identity"
+            assert self.mul(a, self.one) == a, "1 must be multiplicative identity"
+            assert self.mul(self.one, a) == a, "1 must be multiplicative identity"
+            assert self.mul(a, self.zero) == self.zero, "0 must annihilate"
+            assert self.mul(self.zero, a) == self.zero, "0 must annihilate"
+            if self.idempotent_add:
+                assert self.add(a, a) == a, "declared idempotent but a+a != a"
+        for a in samples:
+            for b in samples:
+                assert self.add(a, b) == self.add(b, a), "+ must commute"
+                for c in samples:
+                    assert self.add(self.add(a, b), c) == self.add(a, self.add(b, c))
+                    assert self.mul(self.mul(a, b), c) == self.mul(a, self.mul(b, c))
+                    assert self.mul(a, self.add(b, c)) == \
+                        self.add(self.mul(a, b), self.mul(a, c)), "left distributivity"
+                    assert self.mul(self.add(a, b), c) == \
+                        self.add(self.mul(a, c), self.mul(b, c)), "right distributivity"
+
+    def __repr__(self) -> str:
+        return "Semiring({})".format(self.name)
+
+
+#: Reachability: ({False, True}, or, and) — the paper's implicit semiring.
+BOOLEAN = Semiring(
+    name="boolean", zero=False, one=True,
+    add=lambda a, b: a or b, mul=lambda a, b: a and b,
+    idempotent_add=True)
+
+#: Path counting: (N, +, *) — matches BinaryProjection witness weights.
+COUNTING = Semiring(
+    name="counting", zero=0, one=1,
+    add=lambda a, b: a + b, mul=lambda a, b: a * b,
+    idempotent_add=False)
+
+#: Shortest cost: (R U {inf}, min, +).
+TROPICAL = Semiring(
+    name="tropical", zero=_INF, one=0.0,
+    add=min, mul=lambda a, b: a + b,
+    idempotent_add=True)
+
+#: Widest path: (R U {-inf? use 0..}, max, min) over non-negative capacities.
+BOTTLENECK = Semiring(
+    name="bottleneck", zero=0.0, one=_INF,
+    add=max, mul=min,
+    idempotent_add=True)
+
+#: Most probable path: ([0, 1], max, *).
+VITERBI = Semiring(
+    name="viterbi", zero=0.0, one=1.0,
+    add=max, mul=lambda a, b: a * b,
+    idempotent_add=True)

@@ -1,0 +1,107 @@
+"""Graphviz DOT rendering (dependency-free text emission).
+
+Two renderers:
+
+* :func:`graph_to_dot` — a multi-relational graph as a DOT digraph, with
+  edge labels and optional per-label colors and vertex-kind shapes,
+* :func:`nfa_to_dot` — a compiled expression NFA in the style of the
+  paper's Figure 1 (double-circled accept states, edge-set transition
+  labels, dashed epsilon moves, dotted product boundaries).
+
+Emission is plain string building, so the library gains no dependency;
+pipe the output to ``dot -Tpng`` to render.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.automata.nfa import NFA
+from repro.graph.graph import MultiRelationalGraph
+
+__all__ = ["graph_to_dot", "nfa_to_dot"]
+
+_PALETTE = ("black", "blue3", "red3", "darkgreen", "purple3",
+            "darkorange2", "deeppink3", "cyan4")
+
+
+def _quote(value) -> str:
+    """DOT-quote an identifier, escaping embedded quotes."""
+    return '"{}"'.format(str(value).replace('"', '\\"'))
+
+
+def graph_to_dot(graph: MultiRelationalGraph, name: Optional[str] = None,
+                 color_labels: bool = True,
+                 kind_property: Optional[str] = "kind") -> str:
+    """Render a multi-relational graph as DOT text.
+
+    Each relation type gets a stable color (cycled from a small palette)
+    when ``color_labels``; vertices whose ``kind_property`` property is set
+    get one shape per kind (box, ellipse, diamond, ... cycled).
+    """
+    lines = ["digraph {} {{".format(_quote(name or graph.name or "G"))]
+    lines.append("  rankdir=LR;")
+    label_colors: Dict[Hashable, str] = {}
+    if color_labels:
+        for position, label in enumerate(sorted(graph.labels(), key=repr)):
+            label_colors[label] = _PALETTE[position % len(_PALETTE)]
+    shapes = ("ellipse", "box", "diamond", "hexagon", "octagon")
+    kind_shapes: Dict[Hashable, str] = {}
+    for vertex in sorted(graph.vertices(), key=repr):
+        attributes = []
+        if kind_property is not None:
+            kind = graph.vertex_properties(vertex).get(kind_property)
+            if kind is not None:
+                if kind not in kind_shapes:
+                    kind_shapes[kind] = shapes[len(kind_shapes) % len(shapes)]
+                attributes.append("shape={}".format(kind_shapes[kind]))
+        suffix = " [{}]".format(", ".join(attributes)) if attributes else ""
+        lines.append("  {}{};".format(_quote(vertex), suffix))
+    for e in sorted(graph.edge_set(), key=repr):
+        attributes = ["label={}".format(_quote(e.label))]
+        color = label_colors.get(e.label)
+        if color:
+            attributes.append("color={}".format(color))
+            attributes.append("fontcolor={}".format(color))
+        lines.append("  {} -> {} [{}];".format(
+            _quote(e.tail), _quote(e.head), ", ".join(attributes)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: NFA, name: str = "NFA") -> str:
+    """Render a compiled NFA as DOT, Figure-1 style.
+
+    * the accept state is a double circle,
+    * consuming transitions are solid, labeled with the edge-set matcher,
+    * plain epsilon moves are dashed and labeled with an epsilon marker,
+    * product-boundary epsilons are dotted and annotated ``x`` (they exempt
+      the adjacency check — the ``x_o`` boundary).
+    """
+    lines = ["digraph {} {{".format(_quote(name))]
+    lines.append("  rankdir=LR;")
+    lines.append("  __start [shape=point];")
+    for state in range(nfa.num_states):
+        shape = "doublecircle" if state == nfa.accept else "circle"
+        lines.append("  {} [shape={}];".format(state, shape))
+    lines.append("  __start -> {};".format(nfa.start))
+    from repro.automata.nfa import EPS_JOIN, EPS_PRODUCT
+    for source in range(nfa.num_states):
+        for matcher, target in nfa.consuming[source]:
+            lines.append("  {} -> {} [label={}];".format(
+                source, target, _quote(str(matcher))))
+        for target, kind in nfa.epsilon[source]:
+            if kind == EPS_PRODUCT:
+                lines.append(
+                    "  {} -> {} [style=dotted, label=\"eps(x)\"];".format(
+                        source, target))
+            elif kind == EPS_JOIN:
+                lines.append(
+                    "  {} -> {} [style=dotted, label=\"eps(.)\"];".format(
+                        source, target))
+            else:
+                lines.append(
+                    "  {} -> {} [style=dashed, label=\"eps\"];".format(
+                        source, target))
+    lines.append("}")
+    return "\n".join(lines)

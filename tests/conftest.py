@@ -1,0 +1,83 @@
+"""Shared fixtures: the paper's graphs plus small deterministic structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.datasets.paper import figure1_graph, section2_graph
+from repro.datasets.scenarios import scholarly_graph, software_community
+from repro.graph.generators import cycle_graph, line_graph, uniform_random
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def section2():
+    """The {i, j, k} graph of the paper's section II worked example."""
+    return section2_graph()
+
+
+@pytest.fixture
+def figure1():
+    """The graph constructed for the Figure 1 automaton."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def diamond():
+    """A 2-relation diamond: a ->(x2) b/c ->(x2) d, plus a shortcut.
+
+    Hand-countable path structure:
+      a -alpha-> b -beta-> d
+      a -alpha-> c -beta-> d
+      a -beta-> d (shortcut)
+    """
+    return MultiRelationalGraph([
+        ("a", "alpha", "b"),
+        ("a", "alpha", "c"),
+        ("b", "beta", "d"),
+        ("c", "beta", "d"),
+        ("a", "beta", "d"),
+    ], name="diamond")
+
+
+@pytest.fixture
+def triangle_cycle():
+    """A 3-cycle with labels alpha, beta, gamma in order."""
+    return cycle_graph(3, labels=("alpha", "beta", "gamma"))
+
+
+@pytest.fixture
+def line5():
+    """A 5-vertex directed line with labels cycling alpha/beta."""
+    return line_graph(5, labels=("alpha", "beta"))
+
+
+@pytest.fixture
+def random_graph():
+    """A seeded 30-vertex / 90-edge / 3-label random graph."""
+    return uniform_random(30, 90, labels=("a", "b", "c"), seed=42)
+
+
+@pytest.fixture
+def community():
+    """The software-community scenario graph."""
+    return software_community()
+
+
+@pytest.fixture
+def scholarly():
+    """The authors/papers/venues scenario graph."""
+    return scholarly_graph()
+
+
+@pytest.fixture
+def abc_path():
+    """The joint 2-path (a, alpha, b, b, beta, c)."""
+    return Path.of(("a", "alpha", "b"), ("b", "beta", "c"))
+
+
+def paths_as_strings(path_set: PathSet):
+    """Stable string rendering of a path set, for readable assertions."""
+    return sorted(str(p) for p in path_set)

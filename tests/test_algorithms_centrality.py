@@ -1,0 +1,149 @@
+"""Centrality algorithms cross-validated against NetworkX."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    DiGraph,
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    in_degree_centrality,
+    katz_centrality,
+    out_degree_centrality,
+    pagerank,
+)
+from repro.errors import AlgorithmError, ConvergenceError
+
+
+def random_edges(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        tail, head = rng.randrange(n), rng.randrange(n)
+        if tail != head:
+            edges.add((tail, head))
+    return edges
+
+
+@pytest.fixture(params=[0, 1, 2])
+def pair(request):
+    """(our DiGraph, the same graph in NetworkX) for three random seeds."""
+    edges = random_edges(15, 45, seed=request.param)
+    ours = DiGraph(edges)
+    theirs = nx.DiGraph(list(edges))
+    return ours, theirs
+
+
+def assert_close(ours, theirs, tolerance=1e-6):
+    assert set(ours) == set(theirs)
+    for vertex, value in ours.items():
+        assert value == pytest.approx(theirs[vertex], abs=tolerance), vertex
+
+
+class TestAgainstNetworkx:
+    def test_degree_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(degree_centrality(ours), nx.degree_centrality(theirs))
+
+    def test_in_degree_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(in_degree_centrality(ours), nx.in_degree_centrality(theirs))
+
+    def test_out_degree_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(out_degree_centrality(ours), nx.out_degree_centrality(theirs))
+
+    def test_closeness_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(closeness_centrality(ours), nx.closeness_centrality(theirs))
+
+    def test_betweenness_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(betweenness_centrality(ours),
+                     nx.betweenness_centrality(theirs))
+
+    def test_betweenness_unnormalized(self, pair):
+        ours, theirs = pair
+        assert_close(betweenness_centrality(ours, normalized=False),
+                     nx.betweenness_centrality(theirs, normalized=False))
+
+    def test_pagerank(self, pair):
+        ours, theirs = pair
+        assert_close(pagerank(ours), nx.pagerank(theirs, tol=1e-12), 1e-8)
+
+    def test_pagerank_personalized(self, pair):
+        ours, theirs = pair
+        seeds = {0: 1.0, 1: 2.0}
+        assert_close(pagerank(ours, personalization=seeds),
+                     nx.pagerank(theirs, personalization=seeds, tol=1e-12),
+                     1e-8)
+
+    def test_pagerank_damping(self, pair):
+        ours, theirs = pair
+        assert_close(pagerank(ours, damping=0.6),
+                     nx.pagerank(theirs, alpha=0.6, tol=1e-12), 1e-8)
+
+    def test_eigenvector_centrality(self, pair):
+        ours, theirs = pair
+        try:
+            expected = nx.eigenvector_centrality(theirs, max_iter=2000, tol=1e-10)
+        except nx.PowerIterationFailedConvergence:
+            pytest.skip("networkx did not converge on this instance")
+        assert_close(eigenvector_centrality(ours, max_iterations=2000),
+                     expected, 1e-4)
+
+    def test_katz_centrality(self, pair):
+        ours, theirs = pair
+        assert_close(katz_centrality(ours, alpha=0.05),
+                     nx.katz_centrality(theirs, alpha=0.05, tol=1e-10), 1e-5)
+
+
+class TestEdgeCasesAndErrors:
+    def test_single_vertex_centralities_are_zero(self):
+        g = DiGraph()
+        g.add_vertex("only")
+        assert degree_centrality(g) == {"only": 0.0}
+        assert closeness_centrality(g) == {"only": 0.0}
+
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert pagerank(g) == {}
+        assert eigenvector_centrality(g) == {}
+
+    def test_pagerank_sums_to_one(self):
+        g = DiGraph(random_edges(20, 60, seed=9))
+        assert sum(pagerank(g).values()) == pytest.approx(1.0)
+
+    def test_pagerank_dangling_nodes(self):
+        g = DiGraph([("a", "b"), ("a", "c")])  # b, c dangle
+        ours = pagerank(g)
+        theirs = nx.pagerank(nx.DiGraph([("a", "b"), ("a", "c")]), tol=1e-12)
+        assert_close(ours, theirs, 1e-8)
+
+    def test_pagerank_validates_damping(self):
+        with pytest.raises(AlgorithmError):
+            pagerank(DiGraph([("a", "b")]), damping=1.5)
+
+    def test_pagerank_validates_personalization(self):
+        with pytest.raises(AlgorithmError):
+            pagerank(DiGraph([("a", "b")]), personalization={"a": 0.0})
+
+    def test_weighted_pagerank_biases_ranks(self):
+        g = DiGraph()
+        g.add_edge("s", "heavy", weight=10.0)
+        g.add_edge("s", "light", weight=1.0)
+        ranks = pagerank(g)
+        assert ranks["heavy"] > ranks["light"]
+
+    def test_eigenvector_non_convergence_raises(self):
+        # A directed 2-cycle oscillates under power iteration only if the
+        # iterate is antisymmetric; uniform start converges. Use a path
+        # graph where mass drains to a sink and norm goes degenerate slowly:
+        # force failure with a tiny iteration cap instead.
+        g = DiGraph([("a", "b"), ("b", "a"), ("b", "c")])
+        with pytest.raises(ConvergenceError):
+            eigenvector_centrality(g, max_iterations=1)

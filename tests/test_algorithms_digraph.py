@@ -1,0 +1,91 @@
+"""Tests for the DiGraph substrate."""
+
+import pytest
+
+from repro.algorithms.digraph import DiGraph
+from repro.errors import VertexNotFoundError
+
+
+@pytest.fixture
+def graph():
+    g = DiGraph()
+    g.add_edge("a", "b", weight=2.0)
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    g.add_edge("a", "c")
+    return g
+
+
+class TestStructure:
+    def test_counts(self, graph):
+        assert graph.order() == 3
+        assert graph.size() == 4
+
+    def test_add_vertex_idempotent(self, graph):
+        graph.add_vertex("a")
+        assert graph.order() == 3
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_weight(self, graph):
+        assert graph.weight("a", "b") == 2.0
+        assert graph.weight("b", "c") == 1.0
+
+    def test_reweighting(self, graph):
+        graph.add_edge("a", "b", weight=5.0)
+        assert graph.weight("a", "b") == 5.0
+        assert graph.size() == 4
+
+    def test_remove_edge(self, graph):
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        with pytest.raises(KeyError):
+            graph.remove_edge("a", "b")
+
+    def test_successors_predecessors(self, graph):
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("c") == {"b", "a"}
+
+    def test_degrees(self, graph):
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("a") == 1
+        assert graph.out_degree("a", weighted=True) == 3.0
+
+    def test_missing_vertex_raises(self, graph):
+        with pytest.raises(VertexNotFoundError):
+            graph.successors("zzz")
+
+    def test_reversed(self, graph):
+        rev = graph.reversed()
+        assert rev.has_edge("b", "a")
+        assert rev.weight("b", "a") == 2.0
+        assert rev.size() == graph.size()
+
+    def test_undirected_neighbors(self, graph):
+        assert graph.undirected_neighbors("a") == {"b", "c"}
+
+    def test_contains_and_len(self, graph):
+        assert "a" in graph
+        assert len(graph) == 3
+
+    def test_edges_iteration(self, graph):
+        triples = set(graph.edges())
+        assert ("a", "b", 2.0) in triples
+        assert len(triples) == 4
+
+
+class TestBfs:
+    def test_bfs_distances(self, graph):
+        distances = graph.bfs_distances("a")
+        assert distances == {"a": 0, "b": 1, "c": 1}
+
+    def test_bfs_unreachable_excluded(self):
+        g = DiGraph([("a", "b")])
+        g.add_vertex("island")
+        assert "island" not in g.bfs_distances("a")
+
+    def test_bfs_on_cycle(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        assert g.bfs_distances("a") == {"a": 0, "b": 1, "c": 2}

@@ -1,0 +1,233 @@
+"""Geodesics, components, assortativity and spreading activation tests."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    DiGraph,
+    average_clustering,
+    average_path_length,
+    clustering_coefficient,
+    condensation_edges,
+    degree_assortativity,
+    diameter,
+    dijkstra,
+    discrete_assortativity,
+    eccentricity,
+    is_weakly_connected,
+    mixing_matrix,
+    reachable_set,
+    scalar_assortativity,
+    shortest_path,
+    shortest_path_lengths,
+    spreading_activation,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.errors import AlgorithmError
+
+
+def random_digraph(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        tail, head = rng.randrange(n), rng.randrange(n)
+        if tail != head:
+            edges.add((tail, head))
+    return DiGraph(edges), nx.DiGraph(list(edges))
+
+
+class TestGeodesics:
+    def test_shortest_path_lengths_match_networkx(self):
+        ours, theirs = random_digraph(12, 30, seed=3)
+        for source in ours.vertices():
+            assert shortest_path_lengths(ours, source) == \
+                nx.single_source_shortest_path_length(theirs, source)
+
+    def test_shortest_path_is_valid_and_minimal(self):
+        ours, theirs = random_digraph(12, 30, seed=4)
+        lengths = nx.single_source_shortest_path_length(theirs, 0)
+        for target, expected in lengths.items():
+            path = shortest_path(ours, 0, target)
+            assert path[0] == 0 and path[-1] == target
+            assert len(path) - 1 == expected
+            for a, b in zip(path, path[1:]):
+                assert ours.has_edge(a, b)
+
+    def test_shortest_path_unreachable(self):
+        g = DiGraph([("a", "b")])
+        g.add_vertex("island")
+        assert shortest_path(g, "a", "island") is None
+
+    def test_shortest_path_to_self(self):
+        g = DiGraph([("a", "b")])
+        assert shortest_path(g, "a", "a") == ["a"]
+
+    def test_dijkstra_matches_networkx(self):
+        rng = random.Random(5)
+        ours = DiGraph()
+        theirs = nx.DiGraph()
+        for _ in range(40):
+            tail, head = rng.randrange(10), rng.randrange(10)
+            if tail == head:
+                continue
+            weight = rng.randint(1, 9)
+            ours.add_edge(tail, head, weight=weight)
+            theirs.add_edge(tail, head, weight=weight)
+        for source in ours.vertices():
+            expected = nx.single_source_dijkstra_path_length(theirs, source)
+            assert dijkstra(ours, source) == pytest.approx(expected)
+
+    def test_dijkstra_rejects_negative(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=-1)
+        with pytest.raises(AlgorithmError):
+            dijkstra(g, "a")
+
+    def test_eccentricity_and_diameter(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "d")])
+        assert eccentricity(g, "a") == 3
+        assert diameter(g) == 3
+
+    def test_eccentricity_undefined_for_sink(self):
+        g = DiGraph([("a", "b")])
+        with pytest.raises(AlgorithmError):
+            eccentricity(g, "b")
+
+    def test_average_path_length(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        # pairs: a->b 1, a->c 2, b->c 1.
+        assert average_path_length(g) == pytest.approx(4 / 3)
+
+
+class TestComponents:
+    def test_weak_components_match_networkx(self):
+        ours, theirs = random_digraph(15, 20, seed=6)
+        ours_parts = {frozenset(c) for c in weakly_connected_components(ours)}
+        theirs_parts = {frozenset(c) for c in nx.weakly_connected_components(theirs)}
+        assert ours_parts == theirs_parts
+
+    def test_strong_components_match_networkx(self):
+        ours, theirs = random_digraph(15, 35, seed=7)
+        ours_parts = {frozenset(c) for c in strongly_connected_components(ours)}
+        theirs_parts = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+        assert ours_parts == theirs_parts
+
+    def test_strong_components_on_known_graph(self):
+        g = DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")])
+        parts = {frozenset(c) for c in strongly_connected_components(g)}
+        assert parts == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_is_weakly_connected(self):
+        assert is_weakly_connected(DiGraph([("a", "b"), ("c", "b")]))
+        g = DiGraph([("a", "b")])
+        g.add_vertex("island")
+        assert not is_weakly_connected(g)
+
+    def test_reachable_set(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("x", "a")])
+        assert reachable_set(g, "a") == {"a", "b", "c"}
+
+    def test_condensation_is_acyclic_dag(self):
+        g = DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")])
+        edges = condensation_edges(g)
+        assert len(edges) == 1  # {a,b} -> {c,d}
+
+    def test_clustering_matches_networkx_on_undirectedized(self):
+        # Our definition: triangle density among undirected neighbors.
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        assert clustering_coefficient(g, "a") == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_clustering_low_degree_is_zero(self):
+        g = DiGraph([("a", "b")])
+        assert clustering_coefficient(g, "a") == 0.0
+
+
+class TestAssortativity:
+    def test_scalar_assortativity_matches_networkx(self):
+        ours, theirs = random_digraph(12, 40, seed=8)
+        attribute = {v: float(v % 4) for v in ours.vertices()}
+        nx.set_node_attributes(theirs, attribute, "value")
+        expected = nx.numeric_assortativity_coefficient(theirs, "value")
+        assert scalar_assortativity(ours, attribute) == pytest.approx(expected, abs=1e-6)
+
+    def test_degree_assortativity_matches_networkx(self):
+        ours, theirs = random_digraph(12, 40, seed=9)
+        expected = nx.degree_pearson_correlation_coefficient(
+            theirs, x="out", y="in")
+        assert degree_assortativity(ours) == pytest.approx(expected, abs=1e-6)
+
+    def test_discrete_assortativity_matches_networkx(self):
+        ours, theirs = random_digraph(12, 40, seed=10)
+        category = {v: "even" if v % 2 == 0 else "odd" for v in ours.vertices()}
+        nx.set_node_attributes(theirs, category, "cat")
+        expected = nx.attribute_assortativity_coefficient(theirs, "cat")
+        assert discrete_assortativity(ours, category) == pytest.approx(expected, abs=1e-6)
+
+    def test_perfectly_assortative(self):
+        g = DiGraph([("a1", "a2"), ("b1", "b2")])
+        category = {"a1": "a", "a2": "a", "b1": "b", "b2": "b"}
+        assert discrete_assortativity(g, category) == pytest.approx(1.0)
+
+    def test_mixing_matrix_sums_to_one(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        category = {"a": 0, "b": 0, "c": 1}
+        matrix = mixing_matrix(g, category)
+        assert sum(matrix.values()) == pytest.approx(1.0)
+
+    def test_errors(self):
+        with pytest.raises(AlgorithmError):
+            scalar_assortativity(DiGraph(), {})
+        with pytest.raises(AlgorithmError):
+            degree_assortativity(DiGraph())
+        g = DiGraph([("a", "b")])
+        with pytest.raises(AlgorithmError):
+            scalar_assortativity(g, {"a": 1.0})  # missing b
+        with pytest.raises(AlgorithmError):
+            discrete_assortativity(g, {"a": "x", "b": "x"})  # single category
+
+
+class TestSpreadingActivation:
+    def test_energy_reaches_neighbors(self):
+        g = DiGraph([("s", "a"), ("s", "b"), ("a", "c")])
+        activation = spreading_activation(g, {"s": 1.0}, steps=2, decay=1.0)
+        assert activation["a"] == pytest.approx(0.5)
+        assert activation["b"] == pytest.approx(0.5)
+        assert activation["c"] == pytest.approx(0.5)
+
+    def test_decay_reduces_downstream_energy(self):
+        g = DiGraph([("s", "a"), ("a", "b")])
+        activation = spreading_activation(g, {"s": 1.0}, steps=2, decay=0.5)
+        assert activation["a"] == pytest.approx(0.5)
+        assert activation["b"] == pytest.approx(0.25)
+
+    def test_weights_split_energy(self):
+        g = DiGraph()
+        g.add_edge("s", "heavy", weight=3.0)
+        g.add_edge("s", "light", weight=1.0)
+        activation = spreading_activation(g, {"s": 1.0}, steps=1, decay=1.0)
+        assert activation["heavy"] == pytest.approx(0.75)
+        assert activation["light"] == pytest.approx(0.25)
+
+    def test_zero_steps_returns_seeds(self):
+        g = DiGraph([("s", "a")])
+        assert spreading_activation(g, {"s": 2.0}, steps=0) == {"s": 2.0}
+
+    def test_sink_absorbs(self):
+        g = DiGraph([("s", "sink")])
+        activation = spreading_activation(g, {"s": 1.0}, steps=5, decay=1.0)
+        assert activation["sink"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        g = DiGraph([("s", "a")])
+        with pytest.raises(AlgorithmError):
+            spreading_activation(g, {}, steps=1)
+        with pytest.raises(AlgorithmError):
+            spreading_activation(g, {"s": 1.0}, steps=-1)
+        with pytest.raises(AlgorithmError):
+            spreading_activation(g, {"s": 1.0}, decay=0.0)
+        with pytest.raises(AlgorithmError):
+            spreading_activation(g, {"nope": 1.0})

@@ -1,0 +1,110 @@
+"""Tests for the binary-relation baseline (Russling [4]) and its label loss (E7)."""
+
+import pytest
+
+from repro.core.binary import (
+    LabelLossError,
+    VertexPath,
+    VertexPathSet,
+    binary_relations,
+)
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "alpha", "b"),
+        ("b", "beta", "c"),
+        ("a", "beta", "b"),
+        ("b", "alpha", "c"),
+    ])
+
+
+class TestVertexPath:
+    def test_single_edge_is_two_vertices(self):
+        p = VertexPath(("a", "b"))
+        assert p.tail == "a"
+        assert p.head == "b"
+        assert p.length == 1
+
+    def test_compose_merges_shared_vertex(self):
+        """Russling composition: (a,b) o (b,c) = (a,b,c)."""
+        composed = VertexPath(("a", "b")).compose(VertexPath(("b", "c")))
+        assert tuple(composed) == ("a", "b", "c")
+        assert composed.length == 2
+
+    def test_compose_requires_adjacency(self):
+        from repro.errors import AlgebraError
+        with pytest.raises(AlgebraError):
+            VertexPath(("a", "b")).compose(VertexPath(("x", "y")))
+
+    def test_needs_a_vertex(self):
+        with pytest.raises(ValueError):
+            VertexPath(())
+
+    def test_label_path_is_lost(self):
+        """The section II deficiency, as an explicit error."""
+        with pytest.raises(LabelLossError):
+            VertexPath(("a", "b", "c")).label_path()
+
+
+class TestVertexPathSet:
+    def test_from_relation(self, graph):
+        paths = VertexPathSet.from_relation(graph.relation("alpha"))
+        assert len(paths) == 2
+
+    def test_join(self):
+        a = VertexPathSet([("a", "b")])
+        b = VertexPathSet([("b", "c"), ("x", "y")])
+        joined = a @ b
+        assert len(joined) == 1
+        assert ("a", "b", "c") in joined
+
+    def test_union(self):
+        a = VertexPathSet([("a", "b")])
+        b = VertexPathSet([("b", "c")])
+        assert len(a | b) == 2
+
+    def test_endpoint_pairs(self):
+        s = VertexPathSet([("a", "b", "c")])
+        assert s.endpoint_pairs() == {("a", "c")}
+
+
+class TestLabelLossDemonstration:
+    """E7: same join through both algebras; only the ternary keeps labels."""
+
+    def test_reachability_agrees_between_algebras(self, graph):
+        relations = binary_relations(graph)
+        binary_join = relations["alpha"] @ relations["beta"]
+
+        ternary_join = graph.edges(label="alpha") @ graph.edges(label="beta")
+        assert binary_join.endpoint_pairs() == ternary_join.endpoint_pairs()
+
+    def test_cross_relation_join_is_ambiguous_in_binary(self, graph):
+        """(a,b,c) arises from alpha.beta AND beta.alpha — indistinguishable."""
+        relations = binary_relations(graph)
+        alpha_beta = relations["alpha"] @ relations["beta"]
+        beta_alpha = relations["beta"] @ relations["alpha"]
+        # Both joins contain the same vertex string.
+        assert ("a", "b", "c") in alpha_beta
+        assert ("a", "b", "c") in beta_alpha
+        # The ternary algebra distinguishes them by path label.
+        ab = graph.edges(label="alpha") @ graph.edges(label="beta")
+        ba = graph.edges(label="beta") @ graph.edges(label="alpha")
+        ab_labels = ab.label_paths()
+        ba_labels = ba.label_paths()
+        assert ("alpha", "beta") in ab_labels
+        assert ("beta", "alpha") in ba_labels
+        assert ab_labels.isdisjoint(ba_labels)
+
+    def test_label_query_impossible_in_binary(self, graph):
+        relations = binary_relations(graph)
+        joined = relations["alpha"] @ relations["beta"]
+        some_path = next(iter(joined))
+        with pytest.raises(LabelLossError):
+            some_path.label_path()
+
+    def test_decomposition_covers_all_labels(self, graph):
+        relations = binary_relations(graph)
+        assert set(relations) == graph.labels()

@@ -1,0 +1,140 @@
+"""Regression tests for sequence-boundary semantics in the automata.
+
+These pin the subtle cases around epsilon operands at join/product
+boundaries — the class of bug hypothesis found during development (an
+``eps x_o E`` product operand must not waive the *enclosing* join's
+adjacency constraint).  Every case is checked against the direct evaluator,
+which is the reference semantics.
+"""
+
+import pytest
+
+from repro.automata import Recognizer, StackAutomaton, generate_paths
+from repro.core.path import Path
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import (
+    EPSILON,
+    atom,
+    evaluate,
+    join,
+    literal,
+    matches,
+    optional,
+    product,
+    star,
+    union,
+)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("u", "a", "v"),
+        ("v", "a", "w"),
+        ("p", "a", "q"),
+    ])
+
+
+def assert_all_agree(expr, graph, bound=4):
+    """evaluate == generate_paths == StackAutomaton; recognizer/derivatives
+    agree on a candidate pool."""
+    reference = evaluate(expr, graph, bound)
+    assert generate_paths(graph, expr, bound) == reference
+    assert StackAutomaton(expr, graph).run(bound) == reference
+    recognizer = Recognizer(expr, graph)
+    pool = graph.all_paths().closure(3) | reference
+    for p in pool:
+        in_language = p in evaluate(expr, graph, max(bound, len(p)))
+        assert recognizer.accepts(p) == in_language, (str(expr), str(p))
+        assert matches(expr, p, graph) == in_language, (str(expr), str(p))
+    return reference
+
+
+class TestEpsilonOperandsAtBoundaries:
+    def test_join_with_epsilon_product_right(self, graph):
+        """E . (eps & E): the regression case — outer join adjacency must hold."""
+        expr = join(atom(), product(EPSILON, atom()))
+        reference = assert_all_agree(expr, graph)
+        # Disjoint u->v then p->q must NOT be matched.
+        disjoint = Path.of(("u", "a", "v"), ("p", "a", "q"))
+        assert disjoint not in reference
+        # Adjacent u->v then v->w must be matched.
+        assert Path.of(("u", "a", "v"), ("v", "a", "w")) in reference
+
+    def test_join_with_product_epsilon_left(self, graph):
+        """E . (E & eps): symmetric case, epsilon on the product's right."""
+        expr = join(atom(), product(atom(), EPSILON))
+        reference = assert_all_agree(expr, graph)
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) not in reference
+
+    def test_product_with_epsilon_join_right(self, graph):
+        """E & (eps . E): the inner join with epsilon imposes nothing; the
+        outer product waives adjacency — disjoint pairs ARE matched."""
+        expr = product(atom(), join(EPSILON, atom()))
+        reference = assert_all_agree(expr, graph)
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) in reference
+
+    def test_stale_exemption_cleared_at_join(self, graph):
+        """(E & eps) . E: the product boundary into eps must not leak an
+        exemption past the subsequent join boundary."""
+        expr = join(product(atom(), EPSILON), atom())
+        reference = assert_all_agree(expr, graph)
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) not in reference
+
+    def test_nullable_left_in_product_inherits_outer_join(self, graph):
+        """E . (E? & E): skipping the optional means the adjacent constraint
+        of the outer join applies to the product's second operand."""
+        expr = join(atom(), product(optional(atom()), atom()))
+        reference = assert_all_agree(expr, graph)
+        # With the optional skipped, u->v then p->q needs outer adjacency:
+        # rejected. With the optional taken, u->v, v->w (optional), then any
+        # edge disjointly: accepted via the product boundary.
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) not in reference
+        assert Path.of(("u", "a", "v"), ("v", "a", "w"), ("p", "a", "q")) in reference
+
+
+class TestStarBoundaries:
+    def test_star_reps_always_adjacent(self, graph):
+        expr = star(atom())
+        reference = assert_all_agree(expr, graph)
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) not in reference
+
+    def test_star_of_product_pair(self, graph):
+        """(E & E)*: disjoint inside one repetition, adjacent between reps."""
+        expr = star(product(atom(), atom()))
+        reference = assert_all_agree(expr, graph)
+        # One repetition: any pair, disjoint allowed.
+        assert Path.of(("u", "a", "v"), ("p", "a", "q")) in reference
+        # Between repetitions: rep1 ends at q, rep2 must start at q — no
+        # q-out edges exist, so no length-4 path ending that way.
+        assert all(
+            len(p) != 4 or p[1].head == p[2].tail
+            for p in reference)
+
+    def test_star_after_epsilon_union(self, graph):
+        expr = join(union(EPSILON, atom()), star(atom()))
+        assert_all_agree(expr, graph)
+
+
+class TestLiteralBoundaries:
+    def test_disjoint_literal_inside_join_chain(self, graph):
+        """A literal's own disjoint path is accepted verbatim, but its ends
+        still participate in the enclosing joins."""
+        weird = Path.of(("v", "x", "z"), ("m", "x", "n"))  # internally disjoint
+        expr = join(atom(), literal(weird))
+        recognizer = Recognizer(expr, graph)
+        good = Path.of(("u", "a", "v")) + weird
+        assert recognizer.accepts(good)
+        bad = Path.of(("p", "a", "q")) + weird  # q != v at the join seam
+        assert not recognizer.accepts(bad)
+
+    def test_epsilon_literal_member(self, graph):
+        from repro.core.pathset import PathSet
+        from repro.regex import Literal
+        lit = Literal(PathSet([Path(), Path.single("v", "a", "w")]))
+        expr = join(atom(), lit)
+        reference = assert_all_agree(expr, graph)
+        # epsilon member: single edges pass through.
+        assert Path.single("u", "a", "v") in reference
+        # non-epsilon member requires adjacency.
+        assert Path.of(("u", "a", "v"), ("v", "a", "w")) in reference

@@ -1,0 +1,75 @@
+"""NetworkX interop tests."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import convert
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def graph():
+    g = MultiRelationalGraph(name="demo")
+    g.add_vertex("a", kind="person")
+    g.add_edge("a", "knows", "b")
+    g.add_edge("a", "created", "b")
+    g.add_edge("b", "knows", "c")
+    return g
+
+
+class TestToNetworkx:
+    def test_multidigraph_keeps_parallel_relations(self, graph):
+        nxg = convert.to_networkx_multidigraph(graph)
+        assert nxg.number_of_edges() == 3
+        assert nxg.number_of_edges("a", "b") == 2
+
+    def test_labels_become_keys_and_attributes(self, graph):
+        nxg = convert.to_networkx_multidigraph(graph)
+        assert nxg.has_edge("a", "b", key="knows")
+        assert nxg["a"]["b"]["knows"]["label"] == "knows"
+
+    def test_vertex_properties_carry_over(self, graph):
+        nxg = convert.to_networkx_multidigraph(graph)
+        assert nxg.nodes["a"]["kind"] == "person"
+
+    def test_digraph_collapses_labels(self, graph):
+        nxg = convert.to_networkx_digraph(graph)
+        assert nxg.number_of_edges() == 2  # (a,b) merged
+
+    def test_digraph_single_relation(self, graph):
+        nxg = convert.to_networkx_digraph(graph, label="knows")
+        assert set(nxg.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_binary_edges_to_networkx(self):
+        nxg = convert.binary_edges_to_networkx({("x", "y")})
+        assert nxg.has_edge("x", "y")
+
+
+class TestFromNetworkx:
+    def test_round_trip_via_multidigraph(self, graph):
+        back = convert.from_networkx(convert.to_networkx_multidigraph(graph))
+        assert back == graph
+
+    def test_plain_digraph_uses_default_label(self):
+        nxg = nx.DiGraph([("a", "b")])
+        back = convert.from_networkx(nxg)
+        assert back.has_edge("a", "edge", "b")
+
+    def test_label_attribute_respected(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b", label="likes")
+        back = convert.from_networkx(nxg)
+        assert back.has_edge("a", "likes", "b")
+
+    def test_undirected_graph_gets_both_directions(self):
+        nxg = nx.Graph([("a", "b")])
+        back = convert.from_networkx(nxg)
+        assert back.has_edge("a", "edge", "b")
+        assert back.has_edge("b", "edge", "a")
+
+    def test_node_attributes_carry_over(self):
+        nxg = nx.DiGraph()
+        nxg.add_node("a", kind="person")
+        nxg.add_edge("a", "b", label="r")
+        back = convert.from_networkx(nxg)
+        assert back.vertex_properties("a")["kind"] == "person"

@@ -1,0 +1,77 @@
+"""Dataset sanity tests: the scenario graphs hold their documented invariants."""
+
+import pytest
+
+from repro.core.fluent import Traversal
+from repro.datasets import scholarly_graph, software_community, travel_network
+
+
+class TestSoftwareCommunity:
+    def test_kinds_partition(self):
+        g = software_community()
+        kinds = {g.vertex_properties(v)["kind"] for v in g.vertices()}
+        assert kinds == {"person", "software"}
+
+    def test_every_project_has_a_creator(self):
+        g = software_community()
+        for v in g.vertices():
+            if g.vertex_properties(v)["kind"] == "software":
+                assert g.in_degree(v, "created") >= 1
+
+    def test_dependencies_form_a_dag(self):
+        g = software_community()
+        from repro.core.traversal import complete_traversal
+        deps = g.subgraph_by_labels(["depends_on"])
+        if deps.size() == 0:
+            pytest.skip("seed produced no dependencies")
+        # A DAG has no walks longer than its vertex count.
+        order = deps.order()
+        from repro.core.traversal import labeled_traversal
+        walks = labeled_traversal(deps, [{"depends_on"}] * order)
+        assert len(walks) == 0
+
+    def test_friend_of_friend_is_nonempty(self):
+        g = software_community()
+        t = Traversal(g).start("person0").out("knows").out("knows")
+        assert t.count() > 0
+
+    def test_deterministic(self):
+        assert software_community(seed=7) == software_community(seed=7)
+
+
+class TestScholarly:
+    def test_citations_point_backward_in_time(self):
+        g = scholarly_graph()
+        for e in g.match(label="cites"):
+            assert g.vertex_properties(e.tail)["year"] > \
+                g.vertex_properties(e.head)["year"]
+
+    def test_every_paper_published_once(self):
+        g = scholarly_graph()
+        for v in g.vertices():
+            if g.vertex_properties(v).get("kind") == "paper":
+                assert g.out_degree(v, "published_in") == 1
+
+    def test_every_paper_has_authors(self):
+        g = scholarly_graph()
+        for v in g.vertices():
+            if g.vertex_properties(v).get("kind") == "paper":
+                assert 1 <= g.in_degree(v, "authored") <= 4
+
+
+class TestTravel:
+    def test_flights_are_hub_and_spoke(self):
+        g = travel_network()
+        for e in g.match(label="flight"):
+            assert "city0" in (e.tail, e.head)
+
+    def test_edges_carry_costs(self):
+        g = travel_network()
+        for e in g.edge_set():
+            cost = g.edge_properties(e.tail, e.label, e.head)["cost"]
+            assert cost > 0
+
+    def test_train_corridor_connects_neighbors(self):
+        g = travel_network(num_cities=6)
+        assert g.has_edge("city2", "train", "city3")
+        assert g.has_edge("city3", "train", "city2")

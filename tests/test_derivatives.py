@@ -1,0 +1,120 @@
+"""Tests for Brzozowski-derivative recognition."""
+
+import pytest
+
+from repro.core.path import EPSILON as EPSILON_PATH
+from repro.core.path import Path
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    Empty,
+    atom,
+    join,
+    literal,
+    matches,
+    optional,
+    plus,
+    product,
+    star,
+    union,
+)
+from repro.regex.derivatives import derive
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "x", "b"),
+        ("b", "y", "c"),
+        ("b", "y", "b"),
+        ("c", "x", "d"),
+        ("p", "y", "q"),
+    ])
+
+
+class TestDerive:
+    def test_derivative_of_matching_atom_is_epsilon(self, graph):
+        from repro.core.edge import Edge
+        d = derive(atom(label="x"), Edge("a", "x", "b"), graph)
+        assert d.nullable
+
+    def test_derivative_of_non_matching_atom_is_empty(self, graph):
+        from repro.core.edge import Edge
+        d = derive(atom(label="x"), Edge("b", "y", "c"), graph)
+        assert isinstance(d, Empty)
+
+    def test_derivative_respects_adjacency_requirement(self, graph):
+        from repro.core.edge import Edge
+        d = derive(atom(label="y"), Edge("p", "y", "q"), graph,
+                   previous_head="b", required=True)
+        assert isinstance(d, Empty)
+        d2 = derive(atom(label="y"), Edge("p", "y", "q"), graph,
+                    previous_head="b", required=False)
+        assert d2.nullable
+
+
+class TestMatches:
+    def test_epsilon(self, graph):
+        assert matches(EPSILON, EPSILON_PATH, graph)
+        assert not matches(EMPTY, EPSILON_PATH, graph)
+
+    def test_atom(self, graph):
+        assert matches(atom(label="x"), Path.single("a", "x", "b"), graph)
+        assert not matches(atom(label="x"), Path.single("b", "y", "c"), graph)
+
+    def test_join_adjacency(self, graph):
+        expr = join(atom(label="x"), atom(label="y"))
+        assert matches(expr, Path.of(("a", "x", "b"), ("b", "y", "c")), graph)
+        assert not matches(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+    def test_product_exemption(self, graph):
+        expr = product(atom(label="x"), atom(label="y"))
+        assert matches(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+    def test_handover_after_consumption_requires_adjacency(self, graph):
+        # (x . y?) . x — if y is taken, next x must be adjacent to y's head.
+        expr = join(atom(label="x"), optional(atom(label="y")), atom(label="x"))
+        good = Path.of(("a", "x", "b"), ("b", "y", "c"), ("c", "x", "d"))
+        bad = Path.of(("a", "x", "b"), ("b", "y", "b"), ("c", "x", "d"))
+        assert matches(expr, good, graph)
+        assert not matches(expr, bad, graph)
+
+    def test_product_boundary_after_consumption(self, graph):
+        # (x & y) where x consumed: boundary into y is free.
+        expr = product(atom(label="x"), atom(label="y"))
+        assert matches(expr, Path.of(("c", "x", "d"), ("b", "y", "b")), graph)
+
+    def test_join_into_product_subtree(self, graph):
+        # x . (y & y): first boundary adjacent, inner boundary free.
+        expr = join(atom(label="x"),
+                    product(atom(label="y"), atom(label="y")))
+        good = Path.of(("a", "x", "b"), ("b", "y", "c"), ("p", "y", "q"))
+        bad = Path.of(("a", "x", "b"), ("p", "y", "q"), ("b", "y", "c"))
+        assert matches(expr, good, graph)
+        assert not matches(expr, bad, graph)
+
+    def test_star(self, graph):
+        expr = star(atom(label="y"))
+        assert matches(expr, EPSILON_PATH, graph)
+        assert matches(expr, Path.of(("b", "y", "b"), ("b", "y", "c")), graph)
+        assert not matches(expr, Path.of(("b", "y", "c"), ("p", "y", "q")), graph)
+
+    def test_plus(self, graph):
+        expr = plus(atom(label="y"))
+        assert not matches(expr, EPSILON_PATH, graph)
+        assert matches(expr, Path.single("b", "y", "c"), graph)
+
+    def test_union(self, graph):
+        expr = union(atom(label="x"), atom(label="y"))
+        assert matches(expr, Path.single("b", "y", "b"), graph)
+
+    def test_multi_edge_literal(self, graph):
+        disjoint = Path.of(("u", "r", "v"), ("w", "r", "z"))
+        expr = literal(disjoint)
+        assert matches(expr, disjoint, graph)
+        assert not matches(expr, Path.of(("u", "r", "v"), ("v", "r", "z")), graph)
+
+    def test_literal_prefix_not_enough(self, graph):
+        expr = literal(Path.of(("u", "r", "v"), ("v", "r", "w")))
+        assert not matches(expr, Path.single("u", "r", "v"), graph)

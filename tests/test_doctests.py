@@ -1,0 +1,40 @@
+"""Run the executable examples embedded in module docstrings.
+
+Docstring examples are part of the documentation deliverable; this keeps
+them honest.  Only modules whose docstrings contain self-contained
+doctests are listed (modules with illustrative-but-stateful snippets are
+deliberately excluded).
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+DOCTESTED_MODULES = [
+    "repro",
+    "repro.core.edge",
+    "repro.core.path",
+    "repro.core.pathset",
+    "repro.core.fluent",
+    "repro.graph.graph",
+    "repro.engine.engine",
+    "repro.pattern.bgp",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTESTED_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "{} doctest failures in {}".format(
+        results.failed, module_name)
+
+
+def test_doctests_were_actually_found():
+    total = 0
+    for module_name in DOCTESTED_MODULES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 10, "expected a healthy number of doctest examples"

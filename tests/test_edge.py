@@ -1,0 +1,73 @@
+"""Unit tests for the Edge value type."""
+
+import pytest
+
+from repro.core.edge import Edge, edge
+
+
+class TestConstruction:
+    def test_edge_is_a_triple(self):
+        e = Edge("i", "alpha", "j")
+        assert tuple(e) == ("i", "alpha", "j")
+
+    def test_projections(self):
+        e = Edge("i", "alpha", "j")
+        assert e.tail == "i"
+        assert e.label == "alpha"
+        assert e.head == "j"
+
+    def test_factory_function(self):
+        assert edge(1, "knows", 2) == Edge(1, "knows", 2)
+
+    def test_equals_plain_tuple(self):
+        assert Edge("i", "a", "j") == ("i", "a", "j")
+
+    def test_hash_matches_tuple(self):
+        assert hash(Edge("i", "a", "j")) == hash(("i", "a", "j"))
+
+    def test_usable_in_sets(self):
+        s = {Edge("i", "a", "j"), ("i", "a", "j")}
+        assert len(s) == 1
+
+    def test_unpacking(self):
+        tail, label, head = Edge("x", "r", "y")
+        assert (tail, label, head) == ("x", "r", "y")
+
+    def test_non_string_vertices(self):
+        e = Edge(1, ("rel", 2), frozenset([3]))
+        assert e.tail == 1
+        assert e.label == ("rel", 2)
+        assert e.head == frozenset([3])
+
+    def test_repr_round_trips_through_eval(self):
+        e = Edge("i", "alpha", "j")
+        assert eval(repr(e)) == e
+
+
+class TestDerivedOperations:
+    def test_inverted_swaps_endpoints(self):
+        assert Edge("i", "a", "j").inverted() == Edge("j", "a", "i")
+
+    def test_inverted_twice_is_identity(self):
+        e = Edge("i", "a", "j")
+        assert e.inverted().inverted() == e
+
+    def test_relabeled(self):
+        assert Edge("i", "a", "j").relabeled("b") == Edge("i", "b", "j")
+
+    def test_is_loop_true(self):
+        assert Edge("i", "a", "i").is_loop()
+
+    def test_is_loop_false(self):
+        assert not Edge("i", "a", "j").is_loop()
+
+    def test_endpoints_drops_label(self):
+        assert Edge("i", "a", "j").endpoints() == ("i", "j")
+
+    def test_ordering_is_tuple_ordering(self):
+        assert Edge("a", "x", "b") < Edge("b", "x", "a")
+
+    def test_immutability(self):
+        e = Edge("i", "a", "j")
+        with pytest.raises((AttributeError, TypeError)):
+            e.tail = "z"

@@ -1,0 +1,171 @@
+"""Engine tests: strategies, planner, explain, limits, projections."""
+
+import pytest
+
+from repro.core.path import Path
+from repro.datasets import figure1_graph
+from repro.engine import Engine, GraphStatistics, Planner
+from repro.engine.executor import stream_paths
+from repro.engine.plan import AtomScan, JoinPlan
+from repro.errors import ExecutionError
+from repro.graph.generators import uniform_random
+from repro.lang import parse
+from repro.regex import atom, evaluate, join, star, union
+
+FIGURE1_QUERY = ("[i, alpha, _] . [_, beta, _]* . "
+                 "(([_, alpha, j] . {(j, alpha, i)}) | [_, alpha, k])")
+
+
+@pytest.fixture
+def engine():
+    return Engine(figure1_graph(), default_max_length=6)
+
+
+@pytest.fixture
+def random_engine():
+    return Engine(uniform_random(25, 80, labels=("a", "b", "c"), seed=11),
+                  default_max_length=4)
+
+
+class TestStrategies:
+    def test_all_strategies_agree_on_figure1(self, engine):
+        results = {
+            strategy: engine.query(FIGURE1_QUERY, strategy=strategy).paths
+            for strategy in ("materialized", "streaming", "automaton", "stack")
+        }
+        reference = results["materialized"]
+        assert len(reference) > 0
+        for strategy, paths in results.items():
+            assert paths == reference, strategy
+
+    def test_all_strategies_agree_on_random_graph(self, random_engine):
+        query = "[_, a, _] . [_, b, _]* . [_, c, _]"
+        results = [
+            random_engine.query(query, strategy=strategy).paths
+            for strategy in ("materialized", "streaming", "automaton", "stack")
+        ]
+        assert results[0] == results[1] == results[2] == results[3]
+
+    def test_unknown_strategy_rejected(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.query(FIGURE1_QUERY, strategy="quantum")
+
+    def test_results_match_reference_evaluator(self, engine):
+        expression = parse(FIGURE1_QUERY)
+        expected = evaluate(expression, engine.graph, 6)
+        assert engine.query(FIGURE1_QUERY).paths == expected
+
+    def test_ast_queries_accepted(self, engine):
+        expr = join(atom(tail="i", label="alpha"), atom(label="beta"))
+        result = engine.query(expr)
+        assert all(p.tail == "i" for p in result.paths)
+
+    def test_max_length_override(self, engine):
+        short = engine.query(FIGURE1_QUERY, max_length=2)
+        long = engine.query(FIGURE1_QUERY, max_length=6)
+        assert short.paths < long.paths
+
+
+class TestLimit:
+    def test_streaming_limit_truncates(self, engine):
+        limited = engine.query(FIGURE1_QUERY, strategy="streaming", limit=3)
+        assert len(limited.paths) == 3
+
+    def test_limited_results_are_members(self, engine):
+        full = engine.query(FIGURE1_QUERY).paths
+        limited = engine.query(FIGURE1_QUERY, strategy="streaming", limit=4)
+        assert limited.paths <= full
+
+    def test_stream_paths_is_lazy(self, random_engine):
+        stream = stream_paths(random_engine.graph,
+                              parse("[_, a, _] . [_, b, _]"), 4)
+        first = next(stream, None)
+        if first is not None:
+            assert isinstance(first, Path)
+
+
+class TestPlanner:
+    def test_plan_result_invariance(self, random_engine):
+        """Optimized and unoptimized plans return identical path sets."""
+        query = "[0, _, _] . [_, _, _] . [_, a, _]"
+        optimized = random_engine.query(query).paths
+        random_engine.optimize = False
+        unoptimized = random_engine.query(query).paths
+        assert optimized == unoptimized
+
+    def test_planner_prefers_selective_side(self):
+        graph = uniform_random(40, 400, labels=("a", "b"), seed=5)
+        stats = GraphStatistics(graph)
+        # [v0,_,_] is tiny; [_,_,_] huge: the optimizer should not start by
+        # joining the two full scans.
+        expr = join(atom(tail=0), atom(), atom())
+        optimized = Planner(stats, optimize_joins=True).plan(expr)
+        greedy = Planner(stats, optimize_joins=False).plan(expr)
+        assert optimized.estimated_cost <= greedy.estimated_cost
+
+    def test_explain_renders_tree(self, engine):
+        text = engine.explain(FIGURE1_QUERY)
+        assert "AtomScan" in text
+        assert "Join" in text
+        assert "rows~" in text
+
+    def test_explain_notes_planless_strategies(self, engine):
+        result = engine.query(FIGURE1_QUERY, strategy="automaton")
+        assert "no plan" in result.explain()
+
+    def test_plan_shape(self, engine):
+        plan = engine.plan("[i, alpha, _] . [_, beta, _]")
+        assert isinstance(plan, JoinPlan)
+        assert isinstance(plan.left, AtomScan)
+
+    def test_statistics_refresh_on_mutation(self, engine):
+        before = engine.statistics().edge_count
+        engine.graph.add_edge("new1", "alpha", "new2")
+        after = engine.statistics().edge_count
+        assert after == before + 1
+
+    def test_statistics_atom_cardinality(self, engine):
+        stats = engine.statistics()
+        assert stats.atom_cardinality(atom(label="beta")) == 5
+        assert stats.atom_cardinality(atom()) == engine.graph.size()
+        assert stats.atom_cardinality(atom(tail="i", label="alpha")) == 1
+
+    def test_estimates_are_nonnegative(self, random_engine):
+        stats = random_engine.statistics()
+        expressions = [
+            atom(), star(atom(label="a")),
+            union(atom(label="a"), atom(label="b")),
+            join(atom(), atom()),
+        ]
+        for expr in expressions:
+            assert stats.estimate(expr) >= 0.0
+
+
+class TestResultObject:
+    def test_result_metadata(self, engine):
+        result = engine.query(FIGURE1_QUERY)
+        assert result.strategy == "materialized"
+        assert result.max_length == 6
+        assert result.elapsed >= 0.0
+        assert len(result) == len(result.paths)
+        assert set(iter(result)) == set(result.paths)
+
+    def test_heads_and_tails(self, engine):
+        result = engine.query(FIGURE1_QUERY)
+        assert result.tails() == {"i"}
+        assert result.heads() <= {"i", "k"}
+
+    def test_projection(self, engine):
+        projection = engine.project(FIGURE1_QUERY, max_length=6)
+        assert projection.pairs <= {("i", "i"), ("i", "k")}
+        assert len(projection.pairs) == 2
+
+
+class TestRecognition:
+    def test_recognize_accepts_query_member(self, engine):
+        member = Path.of(("i", "alpha", "m"), ("m", "alpha", "k"))
+        assert engine.recognize(FIGURE1_QUERY, member)
+
+    def test_recognize_rejects_non_member(self, engine):
+        assert not engine.recognize(FIGURE1_QUERY,
+                                    Path.single("i", "beta", "m"))

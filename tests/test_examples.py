@@ -1,0 +1,38 @@
+"""Every example script must run cleanly — examples are part of the API."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def example_scripts():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+@pytest.mark.parametrize("script", example_scripts())
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_expected_example_set_present():
+    scripts = example_scripts()
+    for required in ("quickstart.py", "paper_walkthrough.py",
+                     "social_network.py", "knowledge_graph.py",
+                     "travel_planner.py", "weighted_and_patterns.py"):
+        assert required in scripts
+
+
+def test_paper_walkthrough_reports_success():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "paper_walkthrough.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "All paper artifacts reproduced." in completed.stdout

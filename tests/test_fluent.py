@@ -1,0 +1,149 @@
+"""Tests for the fluent Gremlin-style Traversal DSL."""
+
+import pytest
+
+from repro.core.fluent import Traversal
+from repro.core.path import Path
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("marko", "knows", "josh"),
+        ("marko", "knows", "peter"),
+        ("josh", "created", "gremlin"),
+        ("peter", "created", "gremlin"),
+        ("josh", "created", "frames"),
+        ("marko", "created", "blueprints"),
+    ])
+
+
+class TestStarting:
+    def test_must_start_before_stepping(self, graph):
+        with pytest.raises(ValueError):
+            Traversal(graph).out("knows")
+
+    def test_start_validates_vertices(self, graph):
+        with pytest.raises(VertexNotFoundError):
+            Traversal(graph).start("nobody")
+
+    def test_start_everywhere(self, graph):
+        t = Traversal(graph).start().out("created")
+        assert t.count() == 4
+
+    def test_start_is_immutable_branching(self, graph):
+        base = Traversal(graph).start("marko")
+        knows = base.out("knows")
+        created = base.out("created")
+        assert knows.heads() == {"josh", "peter"}
+        assert created.heads() == {"blueprints"}
+
+
+class TestOutSteps:
+    def test_single_out(self, graph):
+        t = Traversal(graph).start("marko").out("knows")
+        assert t.heads() == {"josh", "peter"}
+
+    def test_out_without_label_follows_everything(self, graph):
+        t = Traversal(graph).start("marko").out()
+        assert t.heads() == {"josh", "peter", "blueprints"}
+
+    def test_chained_out(self, graph):
+        t = Traversal(graph).start("marko").out("knows").out("created")
+        assert t.heads() == {"gremlin", "frames"}
+
+    def test_multiple_labels_in_one_step(self, graph):
+        t = Traversal(graph).start("marko").out("knows", "created")
+        assert t.heads() == {"josh", "peter", "blueprints"}
+
+    def test_paths_record_full_history(self, graph):
+        t = Traversal(graph).start("marko").out("knows").out("created")
+        assert Path.of(("marko", "knows", "josh"),
+                       ("josh", "created", "gremlin")) in t.paths()
+
+    def test_dead_end_gives_empty(self, graph):
+        t = Traversal(graph).start("gremlin").out("created")
+        assert t.count() == 0
+
+    def test_repeat(self, graph):
+        direct = Traversal(graph).start("marko").out("knows").out("created")
+        repeated = Traversal(graph).start("marko").repeat(
+            lambda s: s.out(), 2)
+        assert direct.paths() <= repeated.paths()
+
+
+class TestInAndBoth:
+    def test_in_traverses_against_direction(self, graph):
+        t = Traversal(graph).start("gremlin").in_("created")
+        assert t.heads() == {"josh", "peter"}
+
+    def test_in_records_inverted_edges(self, graph):
+        t = Traversal(graph).start("gremlin").in_("created")
+        assert Path.single("gremlin", "created", "josh") in t.paths()
+
+    def test_both(self, graph):
+        t = Traversal(graph).start("josh").both("knows")
+        assert t.heads() == {"marko"}
+
+    def test_co_creator_pattern(self, graph):
+        """Who created something marko's acquaintances created?"""
+        t = (Traversal(graph).start("marko")
+             .out("knows").out("created").in_("created"))
+        assert "peter" in t.heads()
+
+
+class TestFilters:
+    def test_filter_predicate(self, graph):
+        t = Traversal(graph).start("marko").out().filter(
+            lambda p: p.head.startswith("b"))
+        assert t.heads() == {"blueprints"}
+
+    def test_simple_filter_removes_revisits(self, graph):
+        t = (Traversal(graph).start("marko")
+             .out("knows").in_("knows").simple())
+        # marko -> josh -> marko revisits marko.
+        assert t.count() == 0
+
+    def test_where_head(self, graph):
+        t = Traversal(graph).start("marko").out("knows").where_head("josh")
+        assert t.heads() == {"josh"}
+
+    def test_where_head_has_property(self):
+        g = MultiRelationalGraph()
+        g.add_vertex("x", kind="software")
+        g.add_vertex("y", kind="person")
+        g.add_edge("a", "r", "x")
+        g.add_edge("a", "r", "y")
+        t = Traversal(g).start("a").out().where_head_has("kind", "software")
+        assert t.heads() == {"x"}
+
+    def test_dedup_heads(self, graph):
+        t = Traversal(graph).start("josh", "peter").out("created").dedup_heads()
+        assert t.count() == len(t.heads())
+
+
+class TestTerminals:
+    def test_count_and_len(self, graph):
+        t = Traversal(graph).start("marko").out("knows")
+        assert t.count() == len(t) == 2
+
+    def test_iteration(self, graph):
+        t = Traversal(graph).start("marko").out("knows")
+        assert len(list(t)) == 2
+
+    def test_tails(self, graph):
+        t = Traversal(graph).start("marko").out("knows")
+        assert t.tails() == {"marko"}
+
+    def test_head_histogram_counts_witness_paths(self, graph):
+        t = Traversal(graph).start("marko").out("knows").out("created")
+        histogram = t.head_histogram()
+        assert histogram["gremlin"] == 2  # via josh and via peter
+        assert histogram["frames"] == 1
+
+    def test_start_from_paths_resumes(self, graph):
+        first = Traversal(graph).start("marko").out("knows")
+        resumed = Traversal(graph).start_from_paths(first.paths()).out("created")
+        assert resumed.heads() == {"gremlin", "frames"}

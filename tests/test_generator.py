@@ -1,0 +1,123 @@
+"""Tests for path generation (section IV-B): per-path search and stack automaton."""
+
+import pytest
+
+from repro.automata import Recognizer, StackAutomaton, generate_paths
+from repro.core.path import EPSILON as EPSILON_PATH
+from repro.core.path import Path
+from repro.errors import AutomatonError
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    atom,
+    evaluate,
+    join,
+    literal,
+    optional,
+    plus,
+    power,
+    product,
+    star,
+    union,
+)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "x", "b"),
+        ("b", "y", "c"),
+        ("b", "y", "b"),
+        ("c", "x", "d"),
+        ("p", "y", "q"),
+    ])
+
+
+class TestGeneratePaths:
+    def test_atom_generates_its_edge_set(self, graph):
+        result = generate_paths(graph, atom(label="x"), 4)
+        assert result == graph.edges(label="x")
+
+    def test_empty_generates_nothing(self, graph):
+        assert len(generate_paths(graph, EMPTY, 4)) == 0
+
+    def test_epsilon_generates_epsilon(self, graph):
+        result = generate_paths(graph, EPSILON, 4)
+        assert result == {EPSILON_PATH}
+
+    def test_join_chain(self, graph):
+        result = generate_paths(graph, join(atom(label="x"), atom(label="y")), 4)
+        expected = {
+            Path.of(("a", "x", "b"), ("b", "y", "c")),
+            Path.of(("a", "x", "b"), ("b", "y", "b")),
+        }
+        assert result == expected
+
+    def test_star_respects_bound(self, graph):
+        result = generate_paths(graph, star(atom(label="y")), 3)
+        assert all(len(p) <= 3 for p in result)
+        assert EPSILON_PATH in result
+        # The loop (b,y,b) makes arbitrarily long paths; bound must cut.
+        assert max(len(p) for p in result) == 3
+
+    def test_product_generates_disjoint(self, graph):
+        result = generate_paths(graph, product(atom(label="x"), atom(label="y")), 4)
+        disjoint = [p for p in result if not p.is_joint]
+        assert disjoint  # (a,x,b)o(p,y,q) among others
+
+    def test_literal_generated_even_if_not_in_graph(self, graph):
+        result = generate_paths(graph, literal(("zz", "r", "ww")), 4)
+        assert len(result) == 1
+
+    def test_agreement_with_reference_evaluator(self, graph):
+        expressions = [
+            atom(label="x"),
+            join(atom(label="x"), atom(label="y")),
+            join(atom(label="x"), star(atom(label="y"))),
+            union(atom(label="x"), plus(atom(label="y"))),
+            product(atom(label="x"), atom(label="y")),
+            join(atom(label="x"), optional(atom(label="y")), atom(label="x")),
+            power(atom(label="y"), 2),
+        ]
+        for expr in expressions:
+            assert generate_paths(graph, expr, 5) == evaluate(expr, graph, 5), str(expr)
+
+    def test_generated_paths_are_recognized(self, graph):
+        expr = join(atom(label="x"), star(atom(label="y")), atom(label="x"))
+        recognizer = Recognizer(expr, graph)
+        for p in generate_paths(graph, expr, 6):
+            assert recognizer.accepts(p)
+
+    def test_negative_bound_rejected(self, graph):
+        with pytest.raises(AutomatonError):
+            generate_paths(graph, atom(), -1)
+
+    def test_zero_bound_keeps_only_epsilon(self, graph):
+        assert generate_paths(graph, star(atom()), 0) == {EPSILON_PATH}
+
+
+class TestStackAutomaton:
+    def test_matches_per_path_generator(self, graph):
+        expressions = [
+            join(atom(label="x"), atom(label="y")),
+            join(atom(label="x"), star(atom(label="y"))),
+            union(atom(label="x"), atom(label="y")),
+            product(atom(label="x"), atom(label="y")),
+        ]
+        for expr in expressions:
+            stack_result = StackAutomaton(expr, graph).run(5)
+            per_path = generate_paths(graph, expr, 5)
+            assert stack_result == per_path, str(expr)
+
+    def test_empty_branch_halts(self, graph):
+        """A branch whose stack set empties must halt (the paper's rule)."""
+        expr = join(atom(label="x"), atom(label="zz"))
+        assert len(StackAutomaton(expr, graph).run(5)) == 0
+
+    def test_bound_validation(self, graph):
+        with pytest.raises(AutomatonError):
+            StackAutomaton(atom(), graph).run(-1)
+
+    def test_repr(self, graph):
+        assert "StackAutomaton" in repr(StackAutomaton(atom(), graph))

@@ -1,0 +1,129 @@
+"""Tests for the synthetic graph generators (determinism + structure)."""
+
+import pytest
+
+from repro.graph import generators
+
+
+class TestUniformRandom:
+    def test_exact_edge_count(self):
+        g = generators.uniform_random(20, 50, seed=1)
+        assert g.size() == 50
+        assert g.order() == 20
+
+    def test_deterministic_under_seed(self):
+        a = generators.uniform_random(20, 50, seed=7)
+        b = generators.uniform_random(20, 50, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.uniform_random(20, 50, seed=1)
+        b = generators.uniform_random(20, 50, seed=2)
+        assert a != b
+
+    def test_labels_drawn_from_given_set(self):
+        g = generators.uniform_random(10, 30, labels=("r", "s"), seed=3)
+        assert g.labels() <= {"r", "s"}
+
+    def test_no_loops_option(self):
+        g = generators.uniform_random(10, 40, seed=5, allow_loops=False)
+        assert all(not e.is_loop() for e in g.edge_set())
+
+    def test_edge_cap_at_possible_triples(self):
+        g = generators.uniform_random(2, 1000, labels=("r",), seed=0)
+        assert g.size() == 4  # 2 * 2 * 1 with loops
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            generators.uniform_random(0, 5)
+        with pytest.raises(ValueError):
+            generators.uniform_random(5, 5, labels=())
+
+
+class TestGnpRandom:
+    def test_extreme_probabilities(self):
+        empty = generators.gnp_random(5, 0.0, seed=0)
+        full = generators.gnp_random(5, 1.0, labels=("r",), seed=0)
+        assert empty.size() == 0
+        assert full.size() == 25
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            generators.gnp_random(5, 1.5)
+
+    def test_deterministic(self):
+        assert generators.gnp_random(8, 0.2, seed=9) == generators.gnp_random(8, 0.2, seed=9)
+
+
+class TestPreferentialAttachment:
+    def test_vertex_count(self):
+        g = generators.preferential_attachment(30, seed=1)
+        assert g.order() == 30
+
+    def test_degree_skew_exists(self):
+        g = generators.preferential_attachment(120, edges_per_vertex=2, seed=4)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        # A heavy tail: the max degree should well exceed the median.
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(1)
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(10, edges_per_vertex=0)
+
+
+class TestStochasticBlocks:
+    def test_block_property_recorded(self):
+        g = generators.stochastic_blocks([4, 4], 0.8, 0.05, seed=2)
+        assert g.vertex_properties(0)["block"] == 0
+        assert g.vertex_properties(7)["block"] == 1
+
+    def test_within_block_label_dominates(self):
+        g = generators.stochastic_blocks(
+            [6, 6], 0.9, 0.0, labels=("r", "s"), seed=3)
+        # With zero between-block probability, every edge stays in-block and
+        # uses the block's label.
+        for e in g.edge_set():
+            block_tail = g.vertex_properties(e.tail)["block"]
+            block_head = g.vertex_properties(e.head)["block"]
+            assert block_tail == block_head
+
+
+class TestDeterministicFamilies:
+    def test_complete_size(self):
+        g = generators.complete_multirelational(4, labels=("r", "s"))
+        assert g.size() == 4 * 3 * 2
+
+    def test_complete_with_loops(self):
+        g = generators.complete_multirelational(3, labels=("r",), loops=True)
+        assert g.size() == 9
+
+    def test_cycle_structure(self):
+        g = generators.cycle_graph(5, labels=("a", "b"))
+        assert g.size() == 5
+        assert g.has_edge(4, "a", 0)  # labels cycle a,b,a,b,a
+
+    def test_line_structure(self):
+        g = generators.line_graph(4, labels=("a",))
+        assert g.size() == 3
+        assert g.has_edge(0, "a", 1)
+        assert not g.has_edge(3, "a", 0)
+
+    def test_star_directions(self):
+        out = generators.star_graph(5, label="r")
+        into = generators.star_graph(5, label="r", inward=True)
+        assert out.out_degree(0) == 5 and out.in_degree(0) == 0
+        assert into.in_degree(0) == 5 and into.out_degree(0) == 0
+
+    def test_layered_always_has_full_depth_paths(self):
+        g = generators.layered_graph(4, 3, seed=0, connection_probability=0.1)
+        # Every vertex in layer 0 must reach layer 3 (guaranteed progress).
+        from repro.core.traversal import source_traversal
+        starts = {v for v in g.vertices() if g.vertex_properties(v)["layer"] == 0}
+        paths = source_traversal(g, starts, 3)
+        assert paths.tails() == starts
+
+    def test_layered_validation(self):
+        with pytest.raises(ValueError):
+            generators.layered_graph(0, 3)

@@ -1,0 +1,144 @@
+"""Serialization tests: triple CSV, JSON, GraphML round trips and errors."""
+
+import io
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph import io as graph_io
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def graph():
+    g = MultiRelationalGraph(name="demo")
+    g.add_vertex("a", kind="person")
+    g.add_edge("a", "knows", "b", since=2020)
+    g.add_edge("b", "created", "c")
+    return g
+
+
+class TestTriples:
+    def test_round_trip(self, graph):
+        text = graph_io.to_triple_text(graph)
+        back = graph_io.from_triple_text(text)
+        assert back.edge_set() == graph.edge_set()
+
+    def test_text_format(self, graph):
+        text = graph_io.to_triple_text(graph)
+        assert "a,knows,b" in text
+
+    def test_file_round_trip(self, graph, tmp_path):
+        target = str(tmp_path / "edges.csv")
+        graph_io.write_triples(graph, target)
+        back = graph_io.read_triples(target)
+        assert back.size() == 2
+
+    def test_bad_field_count_raises_with_line(self):
+        with pytest.raises(SerializationError) as info:
+            graph_io.from_triple_text("a,knows\n")
+        assert "line 1" in str(info.value)
+
+    def test_blank_lines_skipped(self):
+        back = graph_io.from_triple_text("a,r,b\n\nb,r,c\n")
+        assert back.size() == 2
+
+    def test_triples_lose_properties_by_design(self, graph):
+        back = graph_io.from_triple_text(graph_io.to_triple_text(graph))
+        assert back.vertex_properties("a") == {}
+
+
+class TestJson:
+    def test_round_trip_preserves_everything(self, graph):
+        data = graph_io.to_json_dict(graph)
+        back = graph_io.from_json_dict(data)
+        assert back == graph
+        assert back.vertex_properties("a") == {"kind": "person"}
+        assert back.edge_properties("a", "knows", "b") == {"since": 2020}
+        assert back.name == "demo"
+
+    def test_file_round_trip(self, graph, tmp_path):
+        target = str(tmp_path / "graph.json")
+        graph_io.write_json(graph, target)
+        back = graph_io.read_json(target)
+        assert back == graph
+
+    def test_isolated_vertices_survive(self):
+        g = MultiRelationalGraph()
+        g.add_vertex("lonely")
+        back = graph_io.from_json_dict(graph_io.to_json_dict(g))
+        assert back.has_vertex("lonely")
+
+    def test_unknown_format_marker_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_io.from_json_dict({"format": "something-else"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_io.from_json_dict([1, 2, 3])
+
+    def test_edge_missing_fields_rejected(self):
+        data = {"format": "repro-multirelational-v1",
+                "edges": [{"tail": "a", "head": "b"}]}
+        with pytest.raises(SerializationError) as info:
+            graph_io.from_json_dict(data)
+        assert "label" in str(info.value)
+
+    def test_vertex_missing_id_rejected(self):
+        data = {"format": "repro-multirelational-v1",
+                "vertices": [{"properties": {}}]}
+        with pytest.raises(SerializationError):
+            graph_io.from_json_dict(data)
+
+    def test_invalid_json_stream(self):
+        with pytest.raises(SerializationError):
+            graph_io.read_json(io.StringIO("{not json"))
+
+
+class TestGraphML:
+    def test_round_trip_structure(self, graph):
+        buffer = io.StringIO()
+        graph_io.write_graphml(graph, buffer)
+        back = graph_io.read_graphml(io.StringIO(buffer.getvalue()))
+        assert back.has_edge("a", "knows", "b")
+        assert back.has_edge("b", "created", "c")
+        assert back.size() == 2
+
+    def test_output_is_xml_with_namespace(self, graph):
+        buffer = io.StringIO()
+        graph_io.write_graphml(graph, buffer)
+        text = buffer.getvalue()
+        assert text.startswith("<?xml")
+        assert "graphml.graphdrawing.org" in text
+
+    def test_vertices_are_stringified(self):
+        g = MultiRelationalGraph([(1, "r", 2)])
+        buffer = io.StringIO()
+        graph_io.write_graphml(g, buffer)
+        back = graph_io.read_graphml(io.StringIO(buffer.getvalue()))
+        assert back.has_edge("1", "r", "2")
+
+    def test_unlabeled_edges_get_default_label(self):
+        doc = (
+            '<?xml version="1.0"?>'
+            '<graphml><graph id="G" edgedefault="directed">'
+            '<node id="a"/><node id="b"/>'
+            '<edge source="a" target="b"/>'
+            "</graph></graphml>"
+        )
+        back = graph_io.read_graphml(io.StringIO(doc))
+        assert back.has_edge("a", "edge", "b")
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_io.read_graphml(io.StringIO("<graphml><unclosed"))
+
+    def test_document_without_graph_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_io.read_graphml(io.StringIO("<?xml version='1.0'?><graphml/>"))
+
+    def test_file_round_trip(self, graph, tmp_path):
+        target = str(tmp_path / "graph.graphml")
+        graph_io.write_graphml(graph, target)
+        back = graph_io.read_graphml(target)
+        assert back.size() == 2

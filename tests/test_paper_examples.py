@@ -1,0 +1,201 @@
+"""The paper's literal worked examples, asserted exactly (experiments E1, E2, E4)."""
+
+import pytest
+
+from repro.automata import Recognizer, StackAutomaton, generate_paths
+from repro.core.path import Path
+from repro.core.pathset import PathSet
+from repro.datasets.paper import (
+    ALPHA,
+    BETA,
+    figure1_expression,
+    figure1_graph,
+    section2_edges,
+    section2_expected_join,
+    section2_graph,
+    section2_left_operand,
+    section2_right_operand,
+)
+from repro.regex import evaluate
+from repro.regex.derivatives import matches
+
+
+class TestSection2JoinExample:
+    """E1: the A join B example printed in section II."""
+
+    def test_join_produces_exactly_the_four_listed_paths(self):
+        a = section2_left_operand()
+        b = section2_right_operand()
+        assert a @ b == section2_expected_join()
+
+    def test_each_listed_path_verbatim(self):
+        joined = section2_left_operand() @ section2_right_operand()
+        listed = [
+            "(i, alpha, j, j, beta, j)",
+            "(i, alpha, j, j, beta, i, i, alpha, k)",
+            "(j, beta, k, k, alpha, j, j, beta, j)",
+            "(j, beta, k, k, alpha, j, j, beta, i, i, alpha, k)",
+        ]
+        assert sorted(str(p) for p in joined) == sorted(listed)
+
+    def test_naive_join_agrees(self):
+        a = section2_left_operand()
+        b = section2_right_operand()
+        assert a.join_naive(b) == section2_expected_join()
+
+    def test_every_mentioned_edge_is_in_e(self):
+        """The paper lists the seven edges as members of E."""
+        graph = section2_graph()
+        for triple in section2_edges():
+            assert graph.has_edge(*triple)
+        assert graph.size() == 7
+
+    def test_operands_use_only_declared_edges(self):
+        graph = section2_graph()
+        for operand in (section2_left_operand(), section2_right_operand()):
+            for path in operand:
+                for e in path:
+                    assert graph.has_edge(e.tail, e.label, e.head)
+
+    def test_all_results_are_joint(self):
+        for path in section2_expected_join():
+            assert path.is_joint
+
+    def test_result_lengths_match_operand_sums(self):
+        # A has lengths {1, 2}; B has lengths {1, 2, 1}; the four results
+        # pair them as 1+1, 1+2, 2+1, 2+2.
+        lengths = sorted(len(p) for p in section2_expected_join())
+        assert lengths == [2, 3, 3, 4]
+
+
+class TestFigure1Automaton:
+    """E2/E4: the Figure 1 regular path expression, recognized and generated."""
+
+    @pytest.fixture
+    def graph(self):
+        return figure1_graph()
+
+    @pytest.fixture
+    def expression(self):
+        return figure1_expression()
+
+    @pytest.fixture
+    def generated(self, graph, expression):
+        return generate_paths(graph, expression, max_length=6)
+
+    def test_generation_is_nonempty(self, generated):
+        assert len(generated) > 0
+
+    def test_zero_beta_branch_to_k(self, generated):
+        """i -alpha-> m -alpha-> k takes the star zero times."""
+        assert Path.of(("i", ALPHA, "m"), ("m", ALPHA, "k")) in generated
+
+    def test_zero_beta_branch_to_j_then_i(self, generated):
+        p = Path.of(("i", ALPHA, "m"), ("m", ALPHA, "j"), ("j", ALPHA, "i"))
+        assert p in generated
+
+    def test_beta_steps_accepted(self, generated):
+        p = Path.of(("i", ALPHA, "m"), ("m", BETA, "n"), ("n", ALPHA, "k"))
+        assert p in generated
+
+    def test_multi_beta_through_cycle(self, generated):
+        p = Path.of(("i", ALPHA, "m"), ("m", BETA, "n"), ("n", BETA, "m"),
+                    ("m", ALPHA, "k"))
+        assert p in generated
+
+    def test_every_generated_path_structure(self, generated):
+        """First label alpha from i; beta middles; an alpha suffix per branch.
+
+        The k-branch ends with one alpha edge; the i-branch ends with two
+        (the ``[_, alpha, j]`` step and then the literal ``(j, alpha, i)``).
+        """
+        for p in generated:
+            labels = p.label_path
+            assert p.tail == "i"
+            assert labels[0] == ALPHA
+            assert p.head in ("i", "k")
+            if p.head == "k":
+                middles = labels[1:-1]
+                assert labels[-1] == ALPHA
+            else:
+                middles = labels[1:-2]
+                assert labels[-2] == ALPHA and labels[-1] == ALPHA
+            assert all(lab == BETA for lab in middles)
+
+    def test_terminal_vertex_rule(self, generated):
+        """Paths end at i (via the (j, alpha, i) literal) or at k."""
+        for p in generated:
+            if p.head == "i":
+                assert p[-1] == ("j", ALPHA, "i")
+            else:
+                assert p.head == "k"
+
+    def test_wrong_first_label_rejected(self, graph, expression):
+        recognizer = Recognizer(expression, graph)
+        bad = Path.of(("i", BETA, "m"), ("m", ALPHA, "k"))
+        assert not recognizer.accepts(bad)
+
+    def test_alpha_to_j_without_literal_rejected(self, graph, expression):
+        recognizer = Recognizer(expression, graph)
+        # Ends after [_, alpha, j] without the mandatory (j, alpha, i).
+        bad = Path.of(("i", ALPHA, "m"), ("m", ALPHA, "j"))
+        assert not recognizer.accepts(bad)
+
+    def test_continuing_past_accept_rejected(self, graph, expression):
+        recognizer = Recognizer(expression, graph)
+        bad = Path.of(("i", ALPHA, "m"), ("m", ALPHA, "k"), ("k", BETA, "i"))
+        assert not recognizer.accepts(bad)
+
+    def test_recognizer_accepts_everything_generated(self, graph, expression, generated):
+        recognizer = Recognizer(expression, graph)
+        for p in generated:
+            assert recognizer.accepts(p)
+
+    def test_derivative_matcher_agrees(self, graph, expression, generated):
+        for p in generated:
+            assert matches(expression, p, graph)
+
+    def test_reference_evaluator_agrees(self, graph, expression, generated):
+        assert evaluate(expression, graph, max_length=6) == generated
+
+    def test_stack_automaton_agrees(self, graph, expression, generated):
+        """The paper's section IV-B construction yields the same set."""
+        assert StackAutomaton(expression, graph).run(max_length=6) == generated
+
+
+class TestSection4BStackEvaluations:
+    """The four stack-join evaluations the paper lists for Figure 1.
+
+    The paper writes out the branch evaluations:
+        {eps} >< [i,a,_] >< [_,a,j] >< {(j,a,i)}
+        {eps} >< [i,a,_] >< [_,a,k]
+        {eps} >< [i,a,_] >< [_,b,_] ... >< [_,a,j] >< {(j,a,i)}
+        {eps} >< [i,a,_] >< [_,b,_] ... >< [_,a,k]
+    Their union must be the full generated set.
+    """
+
+    def test_union_of_branch_evaluations_equals_generation(self):
+        graph = figure1_graph()
+        eps = PathSet.epsilon()
+        entry = graph.edges(tail="i", label=ALPHA)
+        beta = graph.edges(label=BETA)
+        into_j = graph.edges(label=ALPHA, head="j")
+        into_k = graph.edges(label=ALPHA, head="k")
+        literal = PathSet([("j", ALPHA, "i")])
+
+        def bounded(path_set, limit=6):
+            return PathSet(p for p in path_set.paths if len(p) <= limit)
+
+        union = PathSet.empty()
+        # Zero-beta branches.
+        union = union | (eps @ entry @ into_j @ literal)
+        union = union | (eps @ entry @ into_k)
+        # One-or-more beta branches, bounded so total length <= 6.
+        betas = eps
+        for _ in range(4):
+            betas = betas @ beta
+            union = union | bounded(entry @ betas @ into_j @ literal)
+            union = union | bounded(entry @ betas @ into_k)
+
+        generated = generate_paths(graph, figure1_expression(), max_length=6)
+        assert union == generated

@@ -1,0 +1,245 @@
+"""Unit tests for Path: the free monoid E*, projections, jointness."""
+
+import pytest
+
+from repro.core.edge import Edge
+from repro.core.path import (
+    EPSILON,
+    Path,
+    gamma_minus,
+    gamma_plus,
+    omega,
+    omega_prime,
+    sigma,
+)
+from repro.errors import (
+    DisjointConcatenationError,
+    EmptyPathProjectionError,
+    IndexOutOfRangeError,
+)
+
+
+class TestConstruction:
+    def test_empty_path_is_epsilon(self):
+        assert Path() == EPSILON
+        assert EPSILON.is_epsilon
+
+    def test_single_edge_path(self):
+        p = Path.single("i", "a", "j")
+        assert len(p) == 1
+        assert p[0] == Edge("i", "a", "j")
+
+    def test_of_builds_from_triples(self):
+        p = Path.of(("i", "a", "j"), ("j", "b", "k"))
+        assert len(p) == 2
+
+    def test_through_builds_joint_paths(self):
+        p = Path.through(["i", "j", "k"], ["a", "b"])
+        assert p == Path.of(("i", "a", "j"), ("j", "b", "k"))
+
+    def test_through_validates_label_count(self):
+        with pytest.raises(ValueError):
+            Path.through(["i", "j"], ["a", "b"])
+
+    def test_elements_are_edges(self):
+        p = Path.of(("i", "a", "j"))
+        assert isinstance(p[0], Edge)
+
+    def test_rejects_non_triples(self):
+        with pytest.raises(TypeError):
+            Path([("i", "j")])
+
+    def test_any_edge_is_a_length1_path(self):
+        """The paper: any edge in E is a path with path length 1."""
+        p = Path((Edge("i", "a", "j"),))
+        assert len(p) == 1
+
+
+class TestMonoidLaws:
+    def test_concatenation(self, abc_path):
+        c = Path.single("c", "g", "d")
+        combined = abc_path + c
+        assert len(combined) == 3
+        assert combined[-1] == Edge("c", "g", "d")
+
+    def test_epsilon_is_left_identity(self, abc_path):
+        assert EPSILON + abc_path == abc_path
+
+    def test_epsilon_is_right_identity(self, abc_path):
+        assert abc_path + EPSILON == abc_path
+
+    def test_associativity(self):
+        a = Path.single("1", "x", "2")
+        b = Path.single("2", "y", "3")
+        c = Path.single("3", "z", "4")
+        assert (a + b) + c == a + (b + c)
+
+    def test_concatenation_not_commutative(self):
+        a = Path.single("1", "x", "2")
+        b = Path.single("3", "y", "4")
+        assert a + b != b + a
+
+    def test_concat_allows_disjoint(self):
+        """Plain concatenation is the monoid operation — no join condition."""
+        a = Path.single("1", "x", "2")
+        b = Path.single("9", "y", "8")
+        assert len(a + b) == 2
+
+    def test_joint_concat_rejects_disjoint(self):
+        a = Path.single("1", "x", "2")
+        b = Path.single("9", "y", "8")
+        with pytest.raises(DisjointConcatenationError):
+            a.joint_concat(b)
+
+    def test_joint_concat_accepts_adjacent(self):
+        a = Path.single("1", "x", "2")
+        b = Path.single("2", "y", "3")
+        assert a.joint_concat(b) == a + b
+
+    def test_joint_concat_with_epsilon_always_succeeds(self):
+        a = Path.single("1", "x", "2")
+        assert a.joint_concat(EPSILON) == a
+        assert EPSILON.joint_concat(a) == a
+
+    def test_repetition(self):
+        loop = Path.single("v", "a", "v")
+        assert len(loop * 3) == 3
+        assert loop * 0 == EPSILON
+
+    def test_negative_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            Path.single("v", "a", "v") * -1
+
+
+class TestProjections:
+    def test_sigma_is_one_indexed(self, abc_path):
+        """The paper's example: sigma(a, 1) is the first edge."""
+        assert sigma(abc_path, 1) == Edge("a", "alpha", "b")
+        assert sigma(abc_path, 2) == Edge("b", "beta", "c")
+
+    def test_sigma_out_of_range(self, abc_path):
+        with pytest.raises(IndexOutOfRangeError):
+            sigma(abc_path, 3)
+        with pytest.raises(IndexOutOfRangeError):
+            sigma(abc_path, 0)
+
+    def test_gamma_minus_is_first_vertex(self, abc_path):
+        assert gamma_minus(abc_path) == "a"
+        assert abc_path.tail == "a"
+
+    def test_gamma_plus_is_last_vertex(self, abc_path):
+        assert gamma_plus(abc_path) == "c"
+        assert abc_path.head == "c"
+
+    def test_gamma_on_single_edge(self):
+        e = Edge("i", "a", "j")
+        assert gamma_minus(e) == "i"
+        assert gamma_plus(e) == "j"
+
+    def test_gamma_undefined_on_epsilon(self):
+        with pytest.raises(EmptyPathProjectionError):
+            _ = EPSILON.tail
+        with pytest.raises(EmptyPathProjectionError):
+            _ = EPSILON.head
+
+    def test_omega_on_edge(self):
+        assert omega(Edge("i", "a", "j")) == "a"
+
+    def test_omega_prime_is_the_path_label(self, abc_path):
+        """Definition 2: omega'(a) concatenates the edge labels."""
+        assert omega_prime(abc_path) == ("alpha", "beta")
+        assert abc_path.label_path == ("alpha", "beta")
+
+    def test_omega_prime_of_single_edge_is_its_label(self):
+        """The paper: omega'(e) = omega(e) for a single edge."""
+        p = Path.single("i", "a", "j")
+        assert omega_prime(p) == ("a",)
+
+    def test_omega_prime_of_epsilon_is_empty(self):
+        assert omega_prime(EPSILON) == ()
+
+
+class TestJointness:
+    def test_single_edge_is_joint(self):
+        """Definition 3: ||a|| = 1 implies joint."""
+        assert Path.single("i", "a", "j").is_joint
+
+    def test_adjacent_pair_is_joint(self, abc_path):
+        assert abc_path.is_joint
+
+    def test_disjoint_pair_detected(self):
+        p = Path.of(("i", "a", "j"), ("k", "b", "m"))
+        assert not p.is_joint
+
+    def test_epsilon_is_joint_by_convention(self):
+        assert EPSILON.is_joint
+
+    def test_long_joint_path(self):
+        p = Path.through("abcdef", ["x"] * 5)
+        assert p.is_joint
+
+    def test_disjointness_anywhere_breaks_it(self):
+        p = Path.of(("a", "x", "b"), ("b", "x", "c"), ("z", "x", "d"))
+        assert not p.is_joint
+
+
+class TestInspection:
+    def test_vertices_of_joint_path(self, abc_path):
+        assert abc_path.vertices() == ("a", "b", "c")
+
+    def test_vertices_of_disjoint_path_shows_gap(self):
+        p = Path.of(("a", "x", "b"), ("c", "y", "d"))
+        assert p.vertices() == ("a", "b", "c", "d")
+
+    def test_vertices_of_epsilon(self):
+        assert EPSILON.vertices() == ()
+
+    def test_visits(self, abc_path):
+        assert abc_path.visits("b")
+        assert not abc_path.visits("z")
+
+    def test_uses_label(self, abc_path):
+        assert abc_path.uses_label("alpha")
+        assert not abc_path.uses_label("gamma")
+
+    def test_simple_path(self, abc_path):
+        assert abc_path.is_simple()
+
+    def test_loop_is_not_simple(self):
+        assert not Path.single("v", "a", "v").is_simple()
+
+    def test_revisiting_is_not_simple(self):
+        p = Path.through("aba", ["x", "y"])
+        assert not p.is_simple()
+
+    def test_epsilon_is_simple(self):
+        assert EPSILON.is_simple()
+
+    def test_reversed_inverts_edges_and_order(self, abc_path):
+        r = abc_path.reversed()
+        assert r == Path.of(("c", "beta", "b"), ("b", "alpha", "a"))
+
+    def test_reversal_is_anti_automorphism(self):
+        a = Path.single("1", "x", "2")
+        b = Path.single("2", "y", "3")
+        assert (a + b).reversed() == b.reversed() + a.reversed()
+
+    def test_prefix_suffix(self, abc_path):
+        assert abc_path.prefix(1) == Path.single("a", "alpha", "b")
+        assert abc_path.suffix(1) == Path.single("b", "beta", "c")
+        assert abc_path.prefix(0) == EPSILON
+        assert abc_path.suffix(0) == EPSILON
+
+    def test_slicing_returns_path(self, abc_path):
+        assert isinstance(abc_path[0:1], Path)
+        assert abc_path[0:1] == Path.single("a", "alpha", "b")
+
+    def test_str_renders_like_the_paper(self, abc_path):
+        """The paper prints (i, alpha, j, j, beta, k)."""
+        assert str(abc_path) == "(a, alpha, b, b, beta, c)"
+
+    def test_str_of_epsilon(self):
+        assert str(EPSILON) == "epsilon"
+
+    def test_hashable_and_set_usable(self, abc_path):
+        assert len({abc_path, Path(abc_path)}) == 1

@@ -1,0 +1,282 @@
+"""Unit tests for PathSet: union, concatenative join, concatenative product."""
+
+import pytest
+
+from repro.core.edge import Edge
+from repro.core.path import EPSILON, Path
+from repro.core.pathset import EMPTY, EPSILON_SET, PathSet
+
+
+class TestConstruction:
+    def test_from_triples(self):
+        s = PathSet([("i", "a", "j"), ("j", "b", "k")])
+        assert len(s) == 2
+
+    def test_from_edges(self):
+        s = PathSet.from_edges([Edge("i", "a", "j")])
+        assert Path.single("i", "a", "j") in s
+
+    def test_from_paths(self):
+        p = Path.of(("i", "a", "j"), ("j", "b", "k"))
+        s = PathSet([p])
+        assert p in s
+
+    def test_deduplication(self):
+        s = PathSet([("i", "a", "j"), ("i", "a", "j")])
+        assert len(s) == 1
+
+    def test_of_varargs(self):
+        assert len(PathSet.of(("i", "a", "j"), ("j", "a", "k"))) == 2
+
+    def test_empty_and_epsilon_constants(self):
+        assert len(EMPTY) == 0
+        assert len(EPSILON_SET) == 1
+        assert EPSILON in EPSILON_SET
+
+    def test_iteration_is_deterministic(self):
+        s = PathSet([("b", "x", "c"), ("a", "x", "b"), ("c", "x", "d")])
+        assert list(s) == list(s)
+
+    def test_contains_accepts_triples(self):
+        s = PathSet([("i", "a", "j")])
+        assert ("i", "a", "j") in s
+
+    def test_equality_with_plain_set(self):
+        s = PathSet([("i", "a", "j")])
+        assert s == {Path.single("i", "a", "j")}
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = PathSet([("i", "a", "j")])
+        b = PathSet([("j", "b", "k")])
+        assert len(a | b) == 2
+
+    def test_union_identity(self):
+        a = PathSet([("i", "a", "j")])
+        assert a | EMPTY == a
+
+    def test_intersection(self):
+        a = PathSet([("i", "a", "j"), ("j", "b", "k")])
+        b = PathSet([("j", "b", "k"), ("x", "y", "z")])
+        assert a & b == PathSet([("j", "b", "k")])
+
+    def test_difference(self):
+        a = PathSet([("i", "a", "j"), ("j", "b", "k")])
+        b = PathSet([("j", "b", "k")])
+        assert a - b == PathSet([("i", "a", "j")])
+
+    def test_subset(self):
+        a = PathSet([("i", "a", "j")])
+        b = PathSet([("i", "a", "j"), ("j", "b", "k")])
+        assert a <= b
+        assert a < b
+        assert b >= a
+        assert a.issubset(b)
+
+
+class TestConcatenativeJoin:
+    def test_joins_only_adjacent_pairs(self):
+        a = PathSet([("i", "a", "j")])
+        b = PathSet([("j", "b", "k"), ("x", "b", "y")])
+        joined = a @ b
+        assert joined == PathSet([Path.of(("i", "a", "j"), ("j", "b", "k"))])
+
+    def test_empty_operand_annihilates(self):
+        a = PathSet([("i", "a", "j")])
+        assert a @ EMPTY == EMPTY
+        assert EMPTY @ a == EMPTY
+
+    def test_epsilon_set_is_join_identity(self):
+        """The paper's definition: a = eps or b = eps always joins."""
+        a = PathSet([("i", "a", "j"), ("x", "b", "y")])
+        assert EPSILON_SET @ a == a
+        assert a @ EPSILON_SET == a
+
+    def test_epsilon_member_passes_through(self):
+        a = PathSet([("i", "a", "j")])
+        b = PathSet([EPSILON, Path.single("j", "b", "k")])
+        joined = a @ b
+        # (i,a,j) o eps = (i,a,j) and (i,a,j) o (j,b,k).
+        assert Path.single("i", "a", "j") in joined
+        assert Path.of(("i", "a", "j"), ("j", "b", "k")) in joined
+        assert len(joined) == 2
+
+    def test_join_is_associative(self):
+        a = PathSet([("1", "x", "2")])
+        b = PathSet([("2", "y", "3"), ("2", "y", "4")])
+        c = PathSet([("3", "z", "5"), ("4", "z", "5")])
+        assert (a @ b) @ c == a @ (b @ c)
+
+    def test_join_not_commutative(self):
+        a = PathSet([("1", "x", "2")])
+        b = PathSet([("2", "y", "3")])
+        assert a @ b != b @ a
+
+    def test_join_matches_naive_scan(self):
+        a = PathSet([("i", "a", "j"), ("j", "a", "k"), ("k", "a", "i")])
+        b = PathSet([("j", "b", "j"), ("k", "b", "i"), ("i", "b", "k")])
+        assert a.join(b) == a.join_naive(b)
+
+    def test_join_of_multi_edge_paths(self):
+        a = PathSet([Path.of(("1", "x", "2"), ("2", "y", "3"))])
+        b = PathSet([Path.of(("3", "z", "4"), ("4", "w", "5"))])
+        joined = a @ b
+        assert len(joined) == 1
+        only = next(iter(joined))
+        assert len(only) == 4
+        assert only.tail == "1"
+        assert only.head == "5"
+
+    def test_join_power_zero_is_epsilon_set(self):
+        a = PathSet([("i", "a", "j")])
+        assert a ** 0 == EPSILON_SET
+
+    def test_join_power_one_is_self(self):
+        a = PathSet([("i", "a", "j")])
+        assert a ** 1 == a
+
+    def test_join_power_counts_walks(self, triangle_cycle):
+        """On a directed 3-cycle there are exactly 3 walks of each length."""
+        e = triangle_cycle.all_paths()
+        for n in (1, 2, 3, 4):
+            assert len(e ** n) == 3
+
+    def test_join_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PathSet([("i", "a", "j")]) ** -1
+
+
+class TestConcatenativeProduct:
+    def test_product_keeps_disjoint_pairs(self):
+        a = PathSet([("i", "a", "j")])
+        b = PathSet([("x", "b", "y")])
+        product = a * b
+        assert len(product) == 1
+        only = next(iter(product))
+        assert not only.is_joint
+
+    def test_product_cardinality_is_pairwise(self):
+        a = PathSet([("i", "a", "j"), ("j", "a", "k")])
+        b = PathSet([("x", "b", "y"), ("j", "b", "m"), ("k", "b", "n")])
+        assert len(a * b) == 6
+
+    def test_join_subset_of_product(self):
+        """Footnote 7: R join Q is a subset of R product Q."""
+        a = PathSet([("i", "a", "j"), ("j", "a", "k")])
+        b = PathSet([("j", "b", "m"), ("x", "b", "y")])
+        assert (a @ b) <= (a * b)
+
+    def test_product_with_epsilon_set(self):
+        a = PathSet([("i", "a", "j")])
+        assert a * EPSILON_SET == a
+        assert EPSILON_SET * a == a
+
+    def test_product_with_int_is_an_error(self):
+        with pytest.raises(TypeError):
+            PathSet([("i", "a", "j")]) * 3
+
+
+class TestClosure:
+    def test_closure_includes_epsilon(self):
+        a = PathSet([("i", "a", "j")])
+        assert EPSILON in a.closure(3)
+
+    def test_closure_on_acyclic_edge(self):
+        a = PathSet([("i", "a", "j")])
+        closed = a.closure(5)
+        assert closed == PathSet([EPSILON, Path.single("i", "a", "j")])
+
+    def test_closure_on_loop_is_length_bounded(self):
+        loop = PathSet([("v", "a", "v")])
+        closed = loop.closure(3)
+        assert len(closed) == 4  # eps + lengths 1..3
+
+    def test_closure_on_cycle(self, triangle_cycle):
+        e = triangle_cycle.all_paths()
+        closed = e.closure(4)
+        # eps + 3 walks per length 1..4.
+        assert len(closed) == 1 + 3 * 4
+
+    def test_closure_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PathSet([("i", "a", "j")]).closure(-1)
+
+
+class TestRestrictions:
+    def test_starting_in(self):
+        s = PathSet([("i", "a", "j"), ("k", "a", "j")])
+        assert s.starting_in({"i"}) == PathSet([("i", "a", "j")])
+
+    def test_ending_in(self):
+        s = PathSet([("i", "a", "j"), ("i", "a", "k")])
+        assert s.ending_in({"k"}) == PathSet([("i", "a", "k")])
+
+    def test_with_labels_everywhere(self):
+        s = PathSet([
+            Path.of(("1", "a", "2"), ("2", "a", "3")),
+            Path.of(("1", "a", "2"), ("2", "b", "3")),
+        ])
+        assert len(s.with_labels({"a"})) == 1
+
+    def test_with_labels_at_position(self):
+        s = PathSet([
+            Path.of(("1", "a", "2"), ("2", "b", "3")),
+            Path.of(("1", "b", "2"), ("2", "b", "3")),
+        ])
+        assert len(s.with_labels({"a"}, position=1)) == 1
+        assert len(s.with_labels({"b"}, position=2)) == 2
+
+    def test_filter(self):
+        s = PathSet([("i", "a", "j"), ("i", "a", "i")])
+        loops = s.filter(lambda p: p.tail == p.head)
+        assert loops == PathSet([("i", "a", "i")])
+
+    def test_joint_filter(self):
+        s = PathSet([
+            Path.of(("1", "a", "2"), ("2", "a", "3")),
+            Path.of(("1", "a", "2"), ("9", "a", "3")),
+        ])
+        assert len(s.joint()) == 1
+
+    def test_of_length(self):
+        s = PathSet([
+            Path.single("i", "a", "j"),
+            Path.of(("i", "a", "j"), ("j", "a", "k")),
+        ])
+        assert len(s.of_length(1)) == 1
+        assert len(s.of_length(2)) == 1
+        assert len(s.of_length(3)) == 0
+
+    def test_map(self):
+        s = PathSet([("i", "a", "j")])
+        reversed_set = s.map(lambda p: p.reversed())
+        assert Path.single("j", "a", "i") in reversed_set
+
+
+class TestProjectionHelpers:
+    def test_tails_heads(self):
+        s = PathSet([("i", "a", "j"), ("k", "a", "m")])
+        assert s.tails() == frozenset({"i", "k"})
+        assert s.heads() == frozenset({"j", "m"})
+
+    def test_endpoint_pairs(self):
+        s = PathSet([Path.of(("i", "a", "j"), ("j", "b", "k"))])
+        assert s.endpoint_pairs() == frozenset({("i", "k")})
+
+    def test_label_paths(self):
+        s = PathSet([
+            Path.of(("i", "a", "j"), ("j", "b", "k")),
+            Path.single("i", "c", "j"),
+        ])
+        assert s.label_paths() == frozenset({("a", "b"), ("c",)})
+
+    def test_epsilon_excluded_from_endpoints(self):
+        s = PathSet([EPSILON, Path.single("i", "a", "j")])
+        assert s.tails() == frozenset({"i"})
+        assert s.endpoint_pairs() == frozenset({("i", "j")})
+
+    def test_max_length(self):
+        s = PathSet([EPSILON, Path.of(("i", "a", "j"), ("j", "a", "k"))])
+        assert s.max_length() == 2
+        assert EMPTY.max_length() == 0

@@ -1,0 +1,151 @@
+"""Tests for section IV-C projections (methods M1/M2/M3)."""
+
+import pytest
+
+from repro.core.pathset import PathSet
+from repro.core.path import Path
+from repro.core.projection import (
+    extract_relation,
+    ignore_labels,
+    project_label_sequence,
+    project_paths,
+    project_regular,
+)
+from repro.errors import LabelNotFoundError
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import atom, join, star
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "alpha", "b"),
+        ("b", "beta", "c"),
+        ("a", "alpha", "x"),
+        ("x", "beta", "c"),
+        ("a", "gamma", "c"),
+        ("c", "alpha", "d"),
+    ])
+
+
+class TestIgnoreLabels:
+    def test_collapses_everything(self, graph):
+        projection = ignore_labels(graph)
+        assert ("a", "b") in projection
+        assert ("a", "c") in projection
+        assert len(projection) == 6
+
+    def test_merges_parallel_relations(self):
+        g = MultiRelationalGraph([("a", "r1", "b"), ("a", "r2", "b")])
+        assert len(ignore_labels(g)) == 1
+
+    def test_method_tag(self, graph):
+        assert ignore_labels(graph).method == "ignore-labels"
+
+
+class TestExtractRelation:
+    def test_single_relation(self, graph):
+        projection = extract_relation(graph, "alpha")
+        assert projection.pairs == {("a", "b"), ("a", "x"), ("c", "d")}
+
+    def test_missing_label_raises(self, graph):
+        with pytest.raises(LabelNotFoundError):
+            extract_relation(graph, "nope")
+
+
+class TestProjectPaths:
+    def test_endpoint_projection(self):
+        paths = PathSet([
+            Path.of(("a", "r", "b"), ("b", "s", "c")),
+            Path.of(("a", "r", "x"), ("x", "s", "c")),
+        ])
+        projection = project_paths(paths)
+        assert projection.pairs == {("a", "c")}
+
+    def test_weights_count_witness_paths(self):
+        paths = PathSet([
+            Path.of(("a", "r", "b"), ("b", "s", "c")),
+            Path.of(("a", "r", "x"), ("x", "s", "c")),
+            Path.single("a", "r", "d"),
+        ])
+        projection = project_paths(paths)
+        assert projection.weights[("a", "c")] == 2
+        assert projection.weights[("a", "d")] == 1
+
+    def test_epsilon_ignored(self):
+        from repro.core.path import EPSILON
+        projection = project_paths(PathSet([EPSILON]))
+        assert len(projection) == 0
+
+    def test_vertices(self):
+        projection = project_paths(PathSet([("a", "r", "b")]))
+        assert projection.vertices() == {"a", "b"}
+
+
+class TestProjectLabelSequence:
+    def test_paper_e_alpha_beta(self, graph):
+        """E_ab = endpoints of A join B with A = alpha edges, B = beta edges."""
+        projection = project_label_sequence(graph, ["alpha", "beta"])
+        assert projection.pairs == {("a", "c")}
+        assert projection.weights[("a", "c")] == 2  # via b and via x
+
+    def test_single_label_sequence_equals_extraction(self, graph):
+        via_sequence = project_label_sequence(graph, ["alpha"])
+        via_extract = extract_relation(graph, "alpha")
+        assert via_sequence.pairs == via_extract.pairs
+
+    def test_empty_sequence_rejected(self, graph):
+        with pytest.raises(ValueError):
+            project_label_sequence(graph, [])
+
+    def test_impossible_sequence_is_empty(self, graph):
+        assert len(project_label_sequence(graph, ["beta", "beta"])) == 0
+
+
+class TestProjectRegular:
+    def test_regular_projection(self, graph):
+        expr = join(atom(label="alpha"), star(atom(label="beta")))
+        projection = project_regular(graph, expr, max_length=4)
+        # alpha alone: (a,b), (a,x), (c,d); alpha.beta: (a,c).
+        assert projection.pairs == {("a", "b"), ("a", "x"), ("c", "d"), ("a", "c")}
+
+    def test_to_digraph_carries_weights(self, graph):
+        projection = project_label_sequence(graph, ["alpha", "beta"])
+        digraph = projection.to_digraph()
+        assert digraph.weight("a", "c") == 2.0
+
+    def test_to_networkx(self, graph):
+        projection = project_label_sequence(graph, ["alpha", "beta"])
+        nxg = projection.to_networkx()
+        assert nxg["a"]["c"]["weight"] == 2.0
+
+
+class TestDownstreamAlgorithms:
+    def test_pagerank_over_projection(self, scholarly):
+        """The full section IV-C pipeline: project, then rank."""
+        from repro.algorithms import pagerank
+        coauthor = _coauthorship(scholarly)
+        ranks = pagerank(coauthor.to_digraph())
+        assert ranks
+        assert abs(sum(ranks.values()) - 1.0) < 1e-6
+
+    def test_three_methods_differ(self, scholarly):
+        """M1, M2 and M3 genuinely produce different graphs."""
+        m1 = ignore_labels(scholarly)
+        m2 = extract_relation(scholarly, "cites")
+        m3 = _coauthorship(scholarly)
+        assert m1.pairs != m2.pairs
+        assert m2.pairs != m3.pairs
+        # M3 relates authors to authors, which no raw relation does.
+        author_pairs = [pair for pair in m3.pairs
+                        if str(pair[0]).startswith("author")
+                        and str(pair[1]).startswith("author")]
+        assert author_pairs
+
+
+def _coauthorship(graph):
+    """authored join authored-reversed: author -> co-author."""
+    authored = graph.edges(label="authored")
+    reversed_authored = authored.map(lambda p: p.reversed())
+    return project_paths(authored @ reversed_authored,
+                         description="co-authorship")

@@ -1,0 +1,182 @@
+"""Tests for the NFA recognizer (section IV-A), including join/product boundaries."""
+
+import pytest
+
+from repro.automata import Recognizer, build_nfa, recognizes
+from repro.core.path import EPSILON as EPSILON_PATH
+from repro.core.path import Path
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    atom,
+    join,
+    literal,
+    optional,
+    plus,
+    power,
+    product,
+    star,
+    union,
+)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "x", "b"),
+        ("b", "y", "c"),
+        ("c", "x", "d"),
+        ("p", "y", "q"),
+        ("b", "y", "b"),
+    ])
+
+
+class TestBasics:
+    def test_empty_language_accepts_nothing(self, graph):
+        r = Recognizer(EMPTY, graph)
+        assert not r.accepts(EPSILON_PATH)
+        assert not r.accepts(Path.single("a", "x", "b"))
+
+    def test_epsilon_language(self, graph):
+        r = Recognizer(EPSILON, graph)
+        assert r.accepts(EPSILON_PATH)
+        assert not r.accepts(Path.single("a", "x", "b"))
+
+    def test_atom_membership(self, graph):
+        r = Recognizer(atom(label="x"), graph)
+        assert r.accepts(Path.single("a", "x", "b"))
+        assert not r.accepts(Path.single("b", "y", "c"))
+
+    def test_atom_requires_graph_membership(self, graph):
+        """Pattern atoms denote subsets of E: a non-edge never matches."""
+        r = Recognizer(atom(label="x"), graph)
+        assert not r.accepts(Path.single("zz", "x", "ww"))
+
+    def test_literal_is_graph_independent(self, graph):
+        r = Recognizer(literal(("zz", "x", "ww")), graph)
+        assert r.accepts(Path.single("zz", "x", "ww"))
+
+    def test_wrong_length_rejected(self, graph):
+        r = Recognizer(atom(label="x"), graph)
+        assert not r.accepts(EPSILON_PATH)
+        assert not r.accepts(Path.of(("a", "x", "b"), ("b", "y", "c")))
+
+    def test_one_shot_helper(self, graph):
+        assert recognizes(atom(label="x"), Path.single("a", "x", "b"), graph)
+
+
+class TestJoinBoundaries:
+    def test_join_accepts_adjacent(self, graph):
+        expr = join(atom(label="x"), atom(label="y"))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("b", "y", "c")), graph)
+
+    def test_join_rejects_disjoint(self, graph):
+        expr = join(atom(label="x"), atom(label="y"))
+        assert not recognizes(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+    def test_product_accepts_disjoint(self, graph):
+        expr = product(atom(label="x"), atom(label="y"))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+    def test_product_also_accepts_adjacent(self, graph):
+        """Footnote 7: the join language is inside the product language."""
+        expr = product(atom(label="x"), atom(label="y"))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("b", "y", "c")), graph)
+
+    def test_mixed_product_then_join(self, graph):
+        # (x & y) . x : first boundary free, second must be adjacent.
+        expr = join(product(atom(label="x"), atom(label="y")), atom(label="x"))
+        good = Path.of(("a", "x", "b"), ("b", "y", "c"), ("c", "x", "d"))
+        disjoint_first = Path.of(("c", "x", "d"), ("p", "y", "q"), ("q", "x", "r"))
+        assert recognizes(expr, good, graph)
+        # q -x-> r is not an edge of the graph, so build a valid one:
+        assert not recognizes(
+            expr, Path.of(("a", "x", "b"), ("p", "y", "q"), ("c", "x", "d")), graph)
+
+    def test_mixed_join_then_product(self, graph):
+        # (x . y) & x : first boundary adjacent, second free.
+        expr = product(join(atom(label="x"), atom(label="y")), atom(label="x"))
+        assert recognizes(
+            expr, Path.of(("a", "x", "b"), ("b", "y", "c"), ("a", "x", "b")), graph)
+        assert not recognizes(
+            expr, Path.of(("a", "x", "b"), ("p", "y", "q"), ("a", "x", "b")), graph)
+
+    def test_epsilon_operand_relaxes_nothing_extra(self, graph):
+        # x . eps . y == x . y : adjacency still required across.
+        expr = join(atom(label="x"), EPSILON, atom(label="y"))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("b", "y", "c")), graph)
+        assert not recognizes(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+    def test_nullable_left_join_inherits_outer_product(self, graph):
+        # x & (y? . y): when the optional y is skipped, the x-to-y boundary
+        # is the product's (free); adjacency must not be imposed.
+        expr = product(atom(label="x"),
+                       join(optional(atom(label="y")), atom(label="y")))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("p", "y", "q")), graph)
+
+
+class TestClosures:
+    def test_star_accepts_epsilon(self, graph):
+        assert recognizes(star(atom(label="y")), EPSILON_PATH, graph)
+
+    def test_star_accepts_repetitions(self, graph):
+        expr = star(atom(label="y"))
+        loop = Path.of(("b", "y", "b"), ("b", "y", "b"), ("b", "y", "c"))
+        assert recognizes(expr, loop, graph)
+
+    def test_star_requires_adjacency_between_repetitions(self, graph):
+        expr = star(atom(label="y"))
+        assert not recognizes(
+            expr, Path.of(("b", "y", "c"), ("p", "y", "q")), graph)
+
+    def test_plus_rejects_epsilon(self, graph):
+        assert not recognizes(plus(atom(label="y")), EPSILON_PATH, graph)
+
+    def test_power_counts(self, graph):
+        expr = power(atom(label="y"), 2)
+        assert recognizes(expr, Path.of(("b", "y", "b"), ("b", "y", "c")), graph)
+        assert not recognizes(expr, Path.single("b", "y", "c"), graph)
+
+
+class TestUnionAndLiterals:
+    def test_union_branches(self, graph):
+        expr = union(atom(label="x"), atom(label="y"))
+        assert recognizes(expr, Path.single("a", "x", "b"), graph)
+        assert recognizes(expr, Path.single("b", "y", "c"), graph)
+        assert not recognizes(expr, Path.single("a", "z", "b"), graph)
+
+    def test_multi_edge_literal_recognized_exactly(self, graph):
+        lit = literal(Path.of(("u", "r", "v"), ("w", "r", "z")))  # disjoint!
+        assert recognizes(lit, Path.of(("u", "r", "v"), ("w", "r", "z")), graph)
+        assert not recognizes(lit, Path.of(("u", "r", "v"), ("v", "r", "z")), graph)
+
+    def test_literal_after_join_requires_adjacency(self, graph):
+        expr = join(atom(label="x"), literal(("b", "q", "z")))
+        assert recognizes(expr, Path.of(("a", "x", "b"), ("b", "q", "z")), graph)
+        expr2 = join(atom(label="x"), literal(("c", "q", "z")))
+        assert not recognizes(expr2, Path.of(("a", "x", "b"), ("c", "q", "z")), graph)
+
+    def test_reusable_recognizer(self, graph):
+        r = Recognizer(atom(label="x"), graph)
+        accepted = r.accepting_subset([
+            Path.single("a", "x", "b"),
+            Path.single("b", "y", "c"),
+            Path.single("c", "x", "d"),
+        ])
+        assert len(accepted) == 2
+        assert r.rejects(Path.single("b", "y", "c"))
+
+
+class TestNFAStructure:
+    def test_thompson_is_linear(self):
+        expr = join(atom(), star(atom()), union(atom(), atom()))
+        nfa = build_nfa(expr)
+        assert nfa.num_states <= 10 * expr.size()
+
+    def test_alive_states_excludes_empty_branches(self):
+        nfa = build_nfa(union(atom(label="x"), EMPTY))
+        alive = nfa.alive_states()
+        assert nfa.start in alive
+        assert nfa.accept in alive
+        assert len(alive) < nfa.num_states

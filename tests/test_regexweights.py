@@ -1,0 +1,124 @@
+"""Tests for semiring evaluation of full regex expressions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import EPSILON, atom, evaluate, join, literal, product, star, union
+from repro.semiring import BOOLEAN, COUNTING, TROPICAL
+from repro.semiring.regexweights import weighted_query
+
+
+@pytest.fixture
+def graph():
+    g = MultiRelationalGraph()
+    g.add_edge("a", "r", "b", cost=2.0)
+    g.add_edge("a", "r", "c", cost=5.0)
+    g.add_edge("b", "s", "d", cost=1.0)
+    g.add_edge("c", "s", "d", cost=1.0)
+    g.add_edge("d", "r", "e", cost=3.0)
+    return g
+
+
+def cost(e, g):
+    return g.edge_properties(e.tail, e.label, e.head)["cost"]
+
+
+def path_count_by_endpoints(path_set):
+    counts = Counter()
+    for p in path_set:
+        if p:
+            counts[(p.tail, p.head)] += 1
+    return dict(counts)
+
+
+class TestCountingAgreesOnUnambiguousExpressions:
+    """Unambiguous expressions: derivation counts == distinct path counts."""
+
+    @pytest.mark.parametrize("expr_builder", [
+        lambda: atom(label="r"),
+        lambda: join(atom(label="r"), atom(label="s")),
+        lambda: join(atom(label="r"), atom(label="s"), atom(label="r")),
+        lambda: union(atom(label="r"), atom(label="s")),
+        lambda: join(atom(tail="a"), atom(label="s")),
+        lambda: join(atom(label="r"), union(atom(label="s"), literal(("b", "x", "y")))),
+    ])
+    def test_counting_matches_set_semantics(self, graph, expr_builder):
+        expr = expr_builder()
+        answer = weighted_query(graph, expr, COUNTING)
+        expected = path_count_by_endpoints(evaluate(expr, graph, 6))
+        assert answer.relation.entries() == expected
+
+    def test_star_of_atom_counts_walks(self):
+        g = MultiRelationalGraph([(0, "r", 1), (1, "r", 2), (2, "r", 0)])
+        expr = star(atom(label="r"))
+        answer = weighted_query(g, expr, COUNTING, star_steps=4)
+        # Walks of length 1..4 between specific endpoints on a 3-cycle are
+        # unique per (pair, length): 0->1 via length 1 and length 4.
+        assert answer.weight(0, 1) == 2
+        assert answer.weight(0, 0) == 1  # only the length-3 walk
+        assert answer.epsilon == 1       # the empty repetition
+
+    def test_ambiguity_counts_derivations_not_paths(self, graph):
+        """(r | r) has two derivations per r-edge — documented semantics."""
+        expr = union(atom(label="r"), atom(label="r"))
+        # The AST deduplicates nothing here; union sums.
+        answer = weighted_query(graph, expr, COUNTING)
+        assert answer.weight("a", "b") == 2
+        # The set semantics sees one path.
+        assert path_count_by_endpoints(evaluate(expr, graph, 2))[("a", "b")] == 1
+
+
+class TestEpsilonHandling:
+    def test_epsilon_weight_reported_separately(self, graph):
+        answer = weighted_query(graph, EPSILON, COUNTING)
+        assert answer.epsilon == 1
+        assert len(answer.relation) == 0
+
+    def test_nullable_join_passes_through(self, graph):
+        expr = join(atom(label="r").optional(), atom(label="s"))
+        answer = weighted_query(graph, expr, COUNTING)
+        # Direct s-edges (optional skipped) plus r.s chains.
+        assert answer.weight("b", "d") == 1
+        assert answer.weight("a", "d") == 2  # via b and via c
+
+    def test_empty_language(self, graph):
+        from repro.regex import EMPTY
+        answer = weighted_query(graph, EMPTY, COUNTING)
+        assert answer.epsilon == 0
+        assert len(answer.relation) == 0
+
+
+class TestOtherSemirings:
+    def test_boolean_matches_reachability(self, graph):
+        expr = join(atom(label="r"), atom(label="s"))
+        answer = weighted_query(graph, expr, BOOLEAN)
+        expected = evaluate(expr, graph, 4).endpoint_pairs()
+        assert answer.relation.support() == expected
+
+    def test_tropical_cheapest_matching_path(self, graph):
+        expr = join(atom(label="r"), atom(label="s"))
+        answer = weighted_query(graph, expr, TROPICAL, weight=cost)
+        # a-r->b (2) -s-> d (1) = 3 beats a-r->c (5) -s-> d (1) = 6.
+        assert answer.weight("a", "d") == 3.0
+
+    def test_tropical_with_star(self, graph):
+        expr = join(atom(label="r"), star(join(atom(label="s"), atom(label="r"))))
+        answer = weighted_query(graph, expr, TROPICAL, weight=cost)
+        # a->b (2) then zero reps, or a->b (2), b-s->d (1), d-r->e (3) = 6.
+        assert answer.weight("a", "b") == 2.0
+        assert answer.weight("a", "e") == 6.0
+
+    def test_product_forgets_middles(self, graph):
+        expr = product(atom(tail="a", label="r"), atom(label="s"))
+        answer = weighted_query(graph, expr, COUNTING)
+        # Any of 2 a-r-edges followed disjointly by any of 2 s-edges: the
+        # endpoint pair (a, d) accumulates all 4 combinations.
+        assert answer.weight("a", "d") == 4
+
+    def test_product_counting_matches_set_semantics_when_unambiguous(self, graph):
+        expr = product(atom(tail="a", label="r"), atom(label="s"))
+        expected = path_count_by_endpoints(evaluate(expr, graph, 4))
+        answer = weighted_query(graph, expr, COUNTING)
+        assert answer.relation.entries() == expected

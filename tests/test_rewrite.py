@@ -1,0 +1,202 @@
+"""Tests for the algebraic rewrite rules (language preservation + shape)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path import Path
+from repro.engine.rewrite import (
+    distribute_joins,
+    factor_unions,
+    fold_literals,
+    normalize,
+)
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    Join,
+    Literal,
+    Union,
+    atom,
+    evaluate,
+    join,
+    literal,
+    product,
+    star,
+    union,
+)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("u", "a", "v"), ("v", "b", "w"), ("v", "c", "w"),
+        ("w", "a", "u"), ("u", "b", "w"),
+    ])
+
+
+class TestFoldLiterals:
+    def test_join_of_literals_folds(self):
+        expr = join(literal(("x", "p", "y")), literal(("y", "q", "z")))
+        folded = fold_literals(expr)
+        assert isinstance(folded, Literal)
+        assert Path.of(("x", "p", "y"), ("y", "q", "z")) in folded.path_set
+
+    def test_disjoint_literal_join_folds_to_empty(self):
+        expr = join(literal(("x", "p", "y")), literal(("a", "q", "b")))
+        assert fold_literals(expr) == EMPTY
+
+    def test_product_of_literals_folds_keeping_disjoint(self):
+        expr = product(literal(("x", "p", "y")), literal(("a", "q", "b")))
+        folded = fold_literals(expr)
+        assert isinstance(folded, Literal)
+        assert len(folded.path_set) == 1
+
+    def test_union_of_literals_folds(self):
+        expr = union(literal(("x", "p", "y")), literal(("a", "q", "b")))
+        folded = fold_literals(expr)
+        assert isinstance(folded, Literal)
+        assert len(folded.path_set) == 2
+
+    def test_epsilon_folds_as_constant(self):
+        expr = join(literal(("x", "p", "y")), EPSILON)
+        folded = fold_literals(expr)
+        assert isinstance(folded, Literal)
+
+    def test_atoms_are_not_folded(self, graph):
+        expr = join(atom(label="a"), atom(label="b"))
+        assert fold_literals(expr) == expr
+
+    def test_only_adjacent_constants_fold(self, graph):
+        # literal . atom . literal: nothing adjacent, nothing folds.
+        expr = join(literal(("x", "p", "u")), atom(label="a"),
+                    literal(("v", "q", "z")))
+        folded = fold_literals(expr)
+        assert isinstance(folded, Join)
+        assert len(folded.parts) == 3
+
+    def test_fold_preserves_language(self, graph):
+        expr = join(literal(("u", "a", "v")), literal(("v", "b", "w")),
+                    atom(label="a"))
+        assert evaluate(expr, graph, 4) == evaluate(fold_literals(expr), graph, 4)
+
+
+class TestDistribute:
+    def test_left_distribution(self, graph):
+        expr = join(union(atom(label="a"), atom(label="b")), atom(label="c"))
+        distributed = distribute_joins(expr)
+        assert isinstance(distributed, Union)
+        assert evaluate(expr, graph, 4) == evaluate(distributed, graph, 4)
+
+    def test_right_distribution(self, graph):
+        expr = join(atom(label="a"), union(atom(label="b"), atom(label="c")))
+        distributed = distribute_joins(expr)
+        assert isinstance(distributed, Union)
+        assert evaluate(expr, graph, 4) == evaluate(distributed, graph, 4)
+
+    def test_products_distribute_too(self, graph):
+        expr = product(union(atom(label="a"), atom(label="b")), atom(label="c"))
+        distributed = distribute_joins(expr)
+        assert isinstance(distributed, Union)
+        assert evaluate(expr, graph, 4) == evaluate(distributed, graph, 4)
+
+    def test_no_union_no_change(self, graph):
+        expr = join(atom(label="a"), atom(label="b"))
+        assert distribute_joins(expr) == expr
+
+
+class TestFactor:
+    def test_common_prefix_factored(self, graph):
+        expr = union(join(atom(label="a"), atom(label="b")),
+                     join(atom(label="a"), atom(label="c")))
+        factored = factor_unions(expr)
+        assert isinstance(factored, Join)
+        assert factored.parts[0] == atom(label="a")
+        assert evaluate(expr, graph, 4) == evaluate(factored, graph, 4)
+
+    def test_common_suffix_factored(self, graph):
+        expr = union(join(atom(label="b"), atom(label="a")),
+                     join(atom(label="c"), atom(label="a")))
+        factored = factor_unions(expr)
+        assert isinstance(factored, Join)
+        assert factored.parts[-1] == atom(label="a")
+        assert evaluate(expr, graph, 4) == evaluate(factored, graph, 4)
+
+    def test_nothing_shared_no_change(self, graph):
+        expr = union(join(atom(label="a"), atom(label="b")),
+                     join(atom(label="c"), atom(label="a")))
+        assert factor_unions(expr) == expr
+
+    def test_identical_branches_collapse(self, graph):
+        branch = join(atom(label="a"), atom(label="b"))
+        expr = Union((branch, branch))
+        # simplified() dedupes identical union branches first.
+        assert factor_unions(expr) == branch
+
+    def test_factoring_never_leaves_empty_branch(self, graph):
+        # Branches equal to the shared prefix itself must not be factored
+        # into an empty remainder.
+        expr = union(atom(label="a"), join(atom(label="a"), atom(label="b")))
+        factored = factor_unions(expr)
+        assert evaluate(expr, graph, 4) == evaluate(factored, graph, 4)
+
+
+class TestNormalize:
+    def test_reaches_fixpoint(self, graph):
+        expr = union(
+            join(literal(("u", "a", "v")), literal(("v", "b", "w"))),
+            join(literal(("u", "a", "v")), literal(("v", "c", "w"))),
+        )
+        normalized = normalize(expr)
+        assert normalize(normalized) == normalized
+
+    def test_preserves_language(self, graph):
+        expr = union(
+            join(atom(label="a"), union(atom(label="b"), atom(label="c"))),
+            join(atom(label="a"), atom(label="b")),
+            EMPTY,
+        )
+        assert evaluate(expr, graph, 4) == evaluate(normalize(expr), graph, 4)
+
+
+# Property test: rewrites preserve the language on random expressions.
+
+VERTICES = ["u", "v", "w"]
+LABELS = ["a", "b"]
+
+
+def _expressions(depth=2):
+    base = st.one_of(
+        st.builds(lambda lab: atom(label=lab), st.sampled_from(LABELS)),
+        st.builds(lambda t, l, h: literal((t, l, h)),
+                  st.sampled_from(VERTICES), st.sampled_from(LABELS),
+                  st.sampled_from(VERTICES)),
+        st.just(EPSILON),
+    )
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda x, y: join(x, y), sub, sub),
+        st.builds(lambda x, y: union(x, y), sub, sub),
+        st.builds(lambda x, y: product(x, y), sub, sub),
+        st.builds(star, base),
+    )
+
+
+_graphs = st.lists(
+    st.tuples(st.sampled_from(VERTICES), st.sampled_from(LABELS),
+              st.sampled_from(VERTICES)),
+    min_size=1, max_size=8,
+).map(MultiRelationalGraph)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_graphs, _expressions())
+def test_all_rewrites_preserve_language(graph, expr):
+    bound = 3
+    reference = evaluate(expr, graph, bound)
+    for rewrite in (fold_literals, distribute_joins, factor_unions, normalize):
+        assert evaluate(rewrite(expr), graph, bound) == reference, rewrite.__name__

@@ -1,0 +1,160 @@
+"""Tests for the label-level RPQ baseline (Mendelzon & Wood [8])."""
+
+import pytest
+
+from repro.automata import generate_paths
+from repro.core.path import EPSILON, Path
+from repro.graph.graph import MultiRelationalGraph
+from repro.rpq import (
+    accepts_label_word,
+    build_label_nfa,
+    compile_rpq,
+    determinize,
+    lconcat,
+    lift_to_edge_expression,
+    loptional,
+    lplus,
+    lstar,
+    lunion,
+    regular_simple_paths,
+    rpq_pairs,
+    rpq_paths,
+    sym,
+)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "x", "b"),
+        ("b", "y", "c"),
+        ("c", "y", "d"),
+        ("b", "y", "b"),   # loop: star languages are infinite
+        ("a", "z", "d"),
+        ("d", "x", "a"),
+    ])
+
+
+class TestLabelRegex:
+    def test_symbol_word(self):
+        assert accepts_label_word(sym("x"), ["x"])
+        assert not accepts_label_word(sym("x"), ["y"])
+        assert not accepts_label_word(sym("x"), [])
+
+    def test_concat_and_union(self):
+        expr = lconcat(sym("x"), lunion(sym("y"), sym("z")))
+        assert accepts_label_word(expr, ["x", "y"])
+        assert accepts_label_word(expr, ["x", "z"])
+        assert not accepts_label_word(expr, ["x", "x"])
+
+    def test_star_plus_optional(self):
+        assert accepts_label_word(lstar(sym("y")), [])
+        assert accepts_label_word(lstar(sym("y")), ["y", "y", "y"])
+        assert not accepts_label_word(lplus(sym("y")), [])
+        assert accepts_label_word(loptional(sym("y")), [])
+        assert not accepts_label_word(loptional(sym("y")), ["y", "y"])
+
+    def test_symbols_enumeration(self):
+        expr = lconcat(sym("x"), lstar(lunion(sym("y"), sym("z"))))
+        assert expr.symbols() == {"x", "y", "z"}
+
+
+class TestDeterminization:
+    def test_dfa_agrees_with_nfa(self):
+        expr = lconcat(sym("x"), lstar(sym("y")), sym("z"))
+        nfa = build_label_nfa(expr)
+        dfa = determinize(nfa, ["x", "y", "z"])
+        words = [
+            [], ["x"], ["x", "z"], ["x", "y", "z"], ["x", "y", "y", "z"],
+            ["y", "z"], ["x", "y"], ["z"],
+        ]
+        for word in words:
+            assert dfa.accepts(word) == accepts_label_word(expr, word), word
+
+    def test_dfa_is_deterministic(self):
+        expr = lunion(lconcat(sym("x"), sym("y")), lconcat(sym("x"), sym("z")))
+        dfa = determinize(build_label_nfa(expr), ["x", "y", "z"])
+        for row in dfa.transitions:
+            assert len(row) == len(set(row))  # one target per label
+
+    def test_dead_input_rejected_fast(self):
+        dfa = determinize(build_label_nfa(sym("x")), ["x", "y"])
+        assert not dfa.accepts(["y", "x", "x"])
+
+
+class TestRpqEvaluation:
+    def test_rpq_pairs_simple_chain(self, graph):
+        pairs = rpq_pairs(graph, lconcat(sym("x"), sym("y")))
+        assert ("a", "c") in pairs
+        assert ("a", "b") in pairs  # via the (b,y,b) loop: x then y to b
+
+    def test_rpq_pairs_with_star(self, graph):
+        pairs = rpq_pairs(graph, lconcat(sym("x"), lstar(sym("y"))))
+        assert ("a", "b") in pairs   # zero y's
+        assert ("a", "c") in pairs
+        assert ("a", "d") in pairs   # x y y
+
+    def test_rpq_pairs_epsilon_includes_self(self, graph):
+        pairs = rpq_pairs(graph, lstar(sym("x")))
+        assert ("a", "a") in pairs
+
+    def test_rpq_pairs_restricted_sources(self, graph):
+        pairs = rpq_pairs(graph, sym("y"), sources=frozenset({"b"}))
+        assert all(tail == "b" for tail, _ in pairs)
+
+    def test_rpq_paths_bounded(self, graph):
+        paths = rpq_paths(graph, lconcat(sym("x"), lstar(sym("y"))), 3)
+        assert all(len(p) <= 3 for p in paths)
+        assert Path.of(("a", "x", "b"), ("b", "y", "c")) in paths
+
+    def test_rpq_paths_all_labels_in_language(self, graph):
+        expr = lconcat(sym("x"), lstar(sym("y")))
+        for p in rpq_paths(graph, expr, 4):
+            if p is EPSILON:
+                continue
+            assert accepts_label_word(expr, list(p.label_path))
+
+
+class TestRegularSimplePaths:
+    def test_simple_paths_exclude_loops(self, graph):
+        expr = lconcat(sym("x"), lstar(sym("y")))
+        paths = regular_simple_paths(graph, expr, "a", "d")
+        assert paths  # a -x-> b -y-> c -y-> d
+        for p in paths:
+            assert p.is_simple()
+            assert p.tail == "a" and p.head == "d"
+
+    def test_loop_witnesses_are_rejected(self, graph):
+        # Only way to reach b with >= 2 y's involves the (b,y,b) loop — not simple.
+        expr = lconcat(sym("x"), sym("y"), sym("y"))
+        paths = regular_simple_paths(graph, expr, "a", "b")
+        assert len(paths) == 0
+
+    def test_missing_vertices_give_empty(self, graph):
+        assert len(regular_simple_paths(graph, sym("x"), "a", "nope")) == 0
+
+    def test_source_equals_target_with_nullable_expr(self, graph):
+        paths = regular_simple_paths(graph, lstar(sym("q")), "a", "a")
+        assert EPSILON in paths
+
+
+class TestLiftToEdgeExpression:
+    def test_lift_agrees_with_edge_generation(self, graph):
+        """[8]'s label formulation embeds into the paper's edge formulation."""
+        label_expr = lconcat(sym("x"), lstar(sym("y")))
+        edge_expr = lift_to_edge_expression(label_expr)
+        via_rpq = rpq_paths(graph, label_expr, 4)
+        via_algebra = generate_paths(graph, edge_expr, 4)
+        assert via_rpq == via_algebra
+
+    def test_lift_union_and_epsilon(self, graph):
+        from repro.rpq.labelregex import LabelEpsilon
+        label_expr = lunion(sym("z"), LabelEpsilon())
+        edge_expr = lift_to_edge_expression(label_expr)
+        via_rpq = rpq_paths(graph, label_expr, 2)
+        via_algebra = generate_paths(graph, edge_expr, 2)
+        assert via_rpq == via_algebra
+
+    def test_compile_rpq_handles_foreign_symbols(self, graph):
+        dfa = compile_rpq(sym("not-a-graph-label"), graph)
+        assert dfa.num_states >= 1

@@ -1,0 +1,178 @@
+"""Tests for the semiring-weighted path algebra."""
+
+import pytest
+
+from repro.algorithms import DiGraph, dijkstra
+from repro.core.projection import project_label_sequence
+from repro.graph.graph import MultiRelationalGraph
+from repro.semiring import (
+    BOOLEAN,
+    BOTTLENECK,
+    COUNTING,
+    TROPICAL,
+    VITERBI,
+    WeightedRelation,
+    label_sequence_weights,
+    relation_of_label,
+)
+
+
+@pytest.fixture
+def graph():
+    g = MultiRelationalGraph()
+    g.add_edge("a", "r", "b", cost=2.0)
+    g.add_edge("a", "r", "c", cost=5.0)
+    g.add_edge("b", "s", "d", cost=1.0)
+    g.add_edge("c", "s", "d", cost=1.0)
+    g.add_edge("b", "s", "e", cost=4.0)
+    return g
+
+
+def cost(e, g):
+    return g.edge_properties(e.tail, e.label, e.head)["cost"]
+
+
+class TestSemiringLaws:
+    @pytest.mark.parametrize("semiring,samples", [
+        (BOOLEAN, [False, True]),
+        (COUNTING, [0, 1, 2, 5]),
+        (TROPICAL, [float("inf"), 0.0, 1.5, 7.0]),
+        (BOTTLENECK, [0.0, 1.0, 3.5, float("inf")]),
+        (VITERBI, [0.0, 0.25, 0.5, 1.0]),
+    ])
+    def test_builtins_satisfy_laws(self, semiring, samples):
+        semiring.check_laws(samples)
+
+    def test_counting_is_not_idempotent(self):
+        assert not COUNTING.idempotent_add
+
+    def test_fold_helpers(self):
+        assert TROPICAL.sum([3.0, 1.0, 2.0]) == 1.0
+        assert TROPICAL.product([3.0, 1.0]) == 4.0
+        assert COUNTING.sum([]) == 0
+        assert COUNTING.product([]) == 1
+
+
+class TestWeightedRelation:
+    def test_zero_entries_normalized_away(self):
+        r = WeightedRelation(COUNTING, {("a", "b"): 0, ("a", "c"): 2})
+        assert ("a", "b") not in r
+        assert len(r) == 1
+
+    def test_union_adds_weights(self):
+        r1 = WeightedRelation(COUNTING, {("a", "b"): 1})
+        r2 = WeightedRelation(COUNTING, {("a", "b"): 2, ("x", "y"): 1})
+        merged = r1 | r2
+        assert merged.weight("a", "b") == 3
+        assert merged.weight("x", "y") == 1
+
+    def test_compose_sums_over_middles(self):
+        r1 = WeightedRelation(COUNTING, {("a", "b"): 1, ("a", "c"): 1})
+        r2 = WeightedRelation(COUNTING, {("b", "d"): 1, ("c", "d"): 1})
+        composed = r1 @ r2
+        assert composed.weight("a", "d") == 2  # two witness routes
+
+    def test_compose_tropical_takes_min(self):
+        r1 = WeightedRelation(TROPICAL, {("a", "b"): 2.0, ("a", "c"): 5.0})
+        r2 = WeightedRelation(TROPICAL, {("b", "d"): 1.0, ("c", "d"): 1.0})
+        composed = r1 @ r2
+        assert composed.weight("a", "d") == 3.0
+
+    def test_semiring_mismatch_rejected(self):
+        r1 = WeightedRelation(COUNTING, {("a", "b"): 1})
+        r2 = WeightedRelation(TROPICAL, {("a", "b"): 1.0})
+        with pytest.raises(ValueError):
+            r1 @ r2
+
+    def test_identity_is_compose_neutral(self):
+        r = WeightedRelation(COUNTING, {("a", "b"): 3})
+        identity = WeightedRelation.identity(COUNTING, {"a", "b"})
+        assert (identity @ r) == r
+        assert (r @ identity) == r
+
+    def test_power(self):
+        chain = WeightedRelation(BOOLEAN, {("a", "b"): True, ("b", "c"): True})
+        assert chain.power(2).support() == {("a", "c")}
+        assert chain.power(0).weight("a", "a") is True
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedRelation(BOOLEAN, {}).power(-1)
+
+    def test_boolean_star_is_transitive_reflexive_closure(self):
+        chain = WeightedRelation(BOOLEAN, {
+            ("a", "b"): True, ("b", "c"): True, ("c", "a"): True})
+        closure = chain.star()
+        vertices = ["a", "b", "c"]
+        for tail in vertices:
+            for head in vertices:
+                assert closure.weight(tail, head) is True
+
+    def test_tropical_star_is_all_pairs_shortest(self):
+        edges = WeightedRelation(TROPICAL, {
+            ("a", "b"): 1.0, ("b", "c"): 2.0, ("a", "c"): 9.0, ("c", "a"): 1.0})
+        closure = edges.star()
+        assert closure.weight("a", "c") == 3.0  # a-b-c beats direct 9
+        assert closure.weight("a", "a") == 0.0  # the semiring one
+        # Cross-check against Dijkstra on the same digraph.
+        d = DiGraph()
+        d.add_edge("a", "b", weight=1.0)
+        d.add_edge("b", "c", weight=2.0)
+        d.add_edge("a", "c", weight=9.0)
+        d.add_edge("c", "a", weight=1.0)
+        for target, distance in dijkstra(d, "a").items():
+            assert closure.weight("a", target) == pytest.approx(distance)
+
+    def test_counting_star_bounded_on_cycles(self):
+        loop = WeightedRelation(COUNTING, {("a", "a"): 1})
+        bounded = loop.star(max_steps=5)
+        # walks of length 0..5 from a to a: 6 of them, one per length.
+        assert bounded.weight("a", "a") == 6
+
+    def test_transpose(self):
+        r = WeightedRelation(COUNTING, {("a", "b"): 2})
+        assert r.transpose().weight("b", "a") == 2
+
+    def test_restrict(self):
+        r = WeightedRelation(COUNTING, {("a", "b"): 1, ("c", "b"): 1})
+        assert r.restrict(tails={"a"}).support() == {("a", "b")}
+        assert r.restrict(heads=set()).support() == frozenset()
+
+    def test_map_weights(self):
+        r = WeightedRelation(COUNTING, {("a", "b"): 3})
+        doubled = r.map_weights(lambda w: w * 2)
+        assert doubled.weight("a", "b") == 6
+
+
+class TestGraphLifts:
+    def test_relation_of_label_boolean(self, graph):
+        r = relation_of_label(graph, "r", BOOLEAN)
+        assert r.support() == graph.relation("r")
+
+    def test_relation_of_label_with_weights(self, graph):
+        r = relation_of_label(graph, "r", TROPICAL, weight=cost)
+        assert r.weight("a", "b") == 2.0
+
+    def test_counting_sequence_matches_projection_weights(self, graph):
+        """The semiring lift reproduces section IV-C witness counts exactly."""
+        counted = label_sequence_weights(graph, ["r", "s"], COUNTING)
+        projection = project_label_sequence(graph, ["r", "s"])
+        assert counted.support() == projection.pairs
+        for pair, count in projection.weights.items():
+            assert counted.weight(*pair) == count
+
+    def test_tropical_sequence_is_cheapest_route(self, graph):
+        cheapest = label_sequence_weights(graph, ["r", "s"], TROPICAL, weight=cost)
+        # a-r->b (2) -s-> d (1) = 3 beats a-r->c (5) -s-> d (1) = 6.
+        assert cheapest.weight("a", "d") == 3.0
+
+    def test_bottleneck_sequence_is_widest_route(self, graph):
+        widest = label_sequence_weights(graph, ["r", "s"], BOTTLENECK, weight=cost)
+        # via b: min(2, 1) = 1; via c: min(5, 1) = 1 -> max is 1.
+        assert widest.weight("a", "d") == 1.0
+        # to e only via b: min(2, 4) = 2.
+        assert widest.weight("a", "e") == 2.0
+
+    def test_empty_sequence_rejected(self, graph):
+        with pytest.raises(ValueError):
+            label_sequence_weights(graph, [], COUNTING)

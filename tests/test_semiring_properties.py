@@ -1,0 +1,105 @@
+"""Property tests for the weighted-relation algebra (semiring lift laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import (
+    BOOLEAN,
+    BOTTLENECK,
+    COUNTING,
+    TROPICAL,
+    WeightedRelation,
+)
+
+VERTICES = ["u", "v", "w"]
+
+_pairs = st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES))
+
+
+def relation_strategy(semiring, weights):
+    return st.dictionaries(_pairs, weights, max_size=6).map(
+        lambda entries: WeightedRelation(semiring, entries))
+
+
+boolean_relations = relation_strategy(BOOLEAN, st.booleans())
+counting_relations = relation_strategy(COUNTING, st.integers(0, 5))
+tropical_relations = relation_strategy(
+    TROPICAL, st.sampled_from([float("inf"), 0.0, 1.0, 2.5, 7.0]))
+bottleneck_relations = relation_strategy(
+    BOTTLENECK, st.sampled_from([0.0, 1.0, 3.0, float("inf")]))
+
+
+def make_laws(relations, label):
+    @settings(max_examples=50)
+    @given(relations, relations, relations)
+    def compose_is_associative(a, b, c):
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @settings(max_examples=50)
+    @given(relations, relations, relations)
+    def compose_distributes_over_union(a, b, c):
+        assert a @ (b | c) == (a @ b) | (a @ c)
+        assert (b | c) @ a == (b @ a) | (c @ a)
+
+    @settings(max_examples=50)
+    @given(relations, relations)
+    def union_is_commutative(a, b):
+        assert a | b == b | a
+
+    @settings(max_examples=50)
+    @given(relations)
+    def identity_is_neutral(a):
+        identity = WeightedRelation.identity(a.semiring, VERTICES)
+        assert identity @ a == a
+        assert a @ identity == a
+
+    @settings(max_examples=50)
+    @given(relations)
+    def transpose_is_involution(a):
+        assert a.transpose().transpose() == a
+
+    @settings(max_examples=30)
+    @given(relations, relations)
+    def transpose_antidistributes_over_compose(a, b):
+        assert (a @ b).transpose() == b.transpose() @ a.transpose()
+
+    compose_is_associative.__name__ += "_" + label
+    return [compose_is_associative, compose_distributes_over_union,
+            union_is_commutative, identity_is_neutral,
+            transpose_is_involution, transpose_antidistributes_over_compose]
+
+
+# Materialize the law checks per semiring as module-level test functions.
+for _label, _relations in [("boolean", boolean_relations),
+                           ("counting", counting_relations),
+                           ("tropical", tropical_relations),
+                           ("bottleneck", bottleneck_relations)]:
+    for _position, _law in enumerate(make_laws(_relations, _label)):
+        globals()["test_{}_{}_{}".format(_label, _position, _law.__name__)] = _law
+del _label, _relations, _position, _law
+
+
+@settings(max_examples=40)
+@given(boolean_relations)
+def test_boolean_star_is_transitive_and_reflexive(a):
+    closure = a.star()
+    vertices = closure.vertices() | a.vertices()
+    for v in vertices:
+        assert closure.weight(v, v) is True
+    # Transitivity: support closed under composition with itself.
+    assert (closure @ closure).support() <= closure.support()
+
+
+@settings(max_examples=40)
+@given(tropical_relations)
+def test_tropical_star_satisfies_triangle_inequality(a):
+    closure = a.star()
+    vertices = sorted(closure.vertices(), key=repr)
+    for x in vertices:
+        for y in vertices:
+            for z in vertices:
+                xy = closure.weight(x, y)
+                yz = closure.weight(y, z)
+                xz = closure.weight(x, z)
+                if xy != TROPICAL.zero and yz != TROPICAL.zero:
+                    assert xz <= xy + yz + 1e-9

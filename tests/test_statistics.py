@@ -1,0 +1,84 @@
+"""Graph statistics tests."""
+
+import pytest
+
+from repro.graph import statistics
+from repro.graph.generators import star_graph
+from repro.graph.graph import MultiRelationalGraph
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph([
+        ("a", "r", "b"),
+        ("b", "r", "a"),
+        ("a", "s", "b"),
+        ("b", "s", "c"),
+        ("c", "s", "c"),
+    ])
+
+
+class TestDistributions:
+    def test_degree_distribution_out(self, graph):
+        dist = statistics.degree_distribution(graph, "out")
+        assert dist == {2: 2, 1: 1}  # a and b emit 2 edges, c emits 1
+
+    def test_degree_distribution_in(self, graph):
+        dist = statistics.degree_distribution(graph, "in")
+        assert dist == {1: 1, 2: 2}
+
+    def test_degree_distribution_total(self, graph):
+        dist = statistics.degree_distribution(graph, "total")
+        assert sum(k * v for k, v in dist.items()) == 2 * graph.size()
+
+    def test_invalid_direction(self, graph):
+        with pytest.raises(ValueError):
+            statistics.degree_distribution(graph, "sideways")
+
+    def test_label_distribution_sums_to_one(self, graph):
+        dist = statistics.label_distribution(graph)
+        assert abs(sum(dist.values()) - 1.0) < 1e-12
+        assert dist["s"] == 0.6
+
+    def test_label_distribution_empty_graph(self):
+        assert statistics.label_distribution(MultiRelationalGraph()) == {}
+
+
+class TestScalars:
+    def test_mean_out_degree(self, graph):
+        assert statistics.mean_out_degree(graph) == pytest.approx(5 / 3)
+
+    def test_mean_out_degree_by_label(self, graph):
+        per_label = statistics.mean_out_degree_by_label(graph)
+        assert per_label["r"] == pytest.approx(2 / 3)
+        assert per_label["s"] == pytest.approx(1.0)
+
+    def test_fan_out_ignores_vertices_without_label(self):
+        g = star_graph(4, label="r")
+        g.add_vertex("isolated")
+        assert statistics.fan_out(g, "r") == 4.0
+
+    def test_fan_out_missing_label(self, graph):
+        assert statistics.fan_out(graph, "nope") == 0.0
+
+    def test_reciprocity(self, graph):
+        # (a,r,b)/(b,r,a) reciprocate; (c,s,c) is its own reverse.
+        assert statistics.reciprocity(graph) == pytest.approx(3 / 5)
+
+    def test_loop_count(self, graph):
+        assert statistics.loop_count(graph) == 1
+
+    def test_multiplicity_distribution(self, graph):
+        dist = statistics.multiplicity_distribution(graph)
+        # (a,b) has 2 labels; (b,a), (b,c), (c,c) have 1 each.
+        assert dist == {1: 3, 2: 1}
+
+
+class TestSummary:
+    def test_summarize_keys(self, graph):
+        summary = statistics.summarize(graph)
+        for key in ("vertices", "edges", "labels", "density",
+                    "mean_out_degree", "label_histogram", "reciprocity", "loops"):
+            assert key in summary
+        assert summary["vertices"] == 3
+        assert summary["edges"] == 5

@@ -1,0 +1,179 @@
+"""Tests for incremental join views and grammar-constrained analytics."""
+
+import random
+
+import pytest
+
+from repro.analytics import grammar_pagerank, product_graph
+from repro.core.projection import project_label_sequence
+from repro.engine.views import JoinView
+from repro.errors import AlgorithmError
+from repro.graph.generators import uniform_random
+from repro.graph.graph import MultiRelationalGraph
+from repro.regex import any_edge, atom, join, star
+
+
+def view_matches_recompute(view, graph):
+    """The maintained view must equal a from-scratch projection."""
+    fresh = project_label_sequence(graph, [view.first_label, view.second_label])
+    assert view.pairs() == fresh.pairs
+    for pair, count in (fresh.weights or {}).items():
+        assert view.weight(*pair) == count
+    return True
+
+
+class TestJoinViewBasics:
+    def test_initial_state_matches_recompute(self):
+        g = MultiRelationalGraph([
+            ("u", "a", "v"), ("v", "b", "w"), ("v", "b", "x")])
+        view = JoinView(g, "a", "b")
+        assert view.pairs() == {("u", "w"), ("u", "x")}
+        assert view_matches_recompute(view, g)
+
+    def test_insert_first_label_edge(self):
+        g = MultiRelationalGraph([("v", "b", "w")])
+        view = JoinView(g, "a", "b")
+        assert len(view) == 0
+        g.add_edge("u", "a", "v")
+        assert view.pairs() == {("u", "w")}
+        assert view_matches_recompute(view, g)
+
+    def test_insert_second_label_edge(self):
+        g = MultiRelationalGraph([("u", "a", "v")])
+        view = JoinView(g, "a", "b")
+        g.add_edge("v", "b", "w")
+        assert view.pairs() == {("u", "w")}
+
+    def test_delete_decrements_witnesses(self):
+        g = MultiRelationalGraph([
+            ("u", "a", "v"), ("u", "a", "t"),
+            ("v", "b", "w"), ("t", "b", "w")])
+        view = JoinView(g, "a", "b")
+        assert view.weight("u", "w") == 2
+        g.remove_edge("u", "a", "v")
+        assert view.weight("u", "w") == 1
+        g.remove_edge("t", "b", "w")
+        assert view.weight("u", "w") == 0
+        assert len(view) == 0
+
+    def test_same_label_chains(self):
+        g = MultiRelationalGraph([("u", "a", "v"), ("v", "a", "w")])
+        view = JoinView(g, "a", "a")
+        assert view.pairs() == {("u", "w")}
+        assert view_matches_recompute(view, g)
+
+    def test_self_loop_same_label(self):
+        g = MultiRelationalGraph()
+        view = JoinView(g, "a", "a")
+        g.add_edge("v", "a", "v")
+        assert view.weight("v", "v") == 1
+        assert view_matches_recompute(view, g)
+        g.remove_edge("v", "a", "v")
+        assert len(view) == 0
+
+    def test_closed_view_freezes(self):
+        g = MultiRelationalGraph([("u", "a", "v"), ("v", "b", "w")])
+        view = JoinView(g, "a", "b")
+        view.close()
+        g.add_edge("u", "a", "x")
+        g.add_edge("x", "b", "y")
+        assert view.pairs() == {("u", "w")}
+
+    def test_context_manager_detaches(self):
+        g = MultiRelationalGraph([("u", "a", "v"), ("v", "b", "w")])
+        with JoinView(g, "a", "b") as view:
+            assert len(view) == 1
+        g.add_edge("u", "a", "q")
+        g.add_edge("q", "b", "r")
+        assert len(view) == 1
+
+    def test_as_projection(self):
+        g = MultiRelationalGraph([("u", "a", "v"), ("v", "b", "w")])
+        projection = JoinView(g, "a", "b").as_projection()
+        assert projection.pairs == {("u", "w")}
+        assert projection.method == "incremental-view"
+
+
+class TestJoinViewRandomized:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_mutation_storm(self, seed):
+        """200 random inserts/deletes; the view must track exactly."""
+        rng = random.Random(seed)
+        g = uniform_random(12, 40, labels=("a", "b", "c"), seed=seed)
+        view = JoinView(g, "a", "b")
+        vertices = list(g.vertices())
+        for _ in range(200):
+            if rng.random() < 0.6 or g.size() == 0:
+                tail, head = rng.choice(vertices), rng.choice(vertices)
+                g.add_edge(tail, rng.choice(["a", "b", "c"]), head)
+            else:
+                victim = rng.choice(sorted(g.edge_set(), key=repr))
+                g.remove_edge(victim.tail, victim.label, victim.head)
+        assert view_matches_recompute(view, g)
+
+    def test_same_label_mutation_storm(self):
+        rng = random.Random(9)
+        g = MultiRelationalGraph()
+        for v in range(8):
+            g.add_vertex(v)
+        view = JoinView(g, "a", "a")
+        for _ in range(150):
+            if rng.random() < 0.65 or g.size() == 0:
+                g.add_edge(rng.randrange(8), "a", rng.randrange(8))
+            else:
+                victim = rng.choice(sorted(g.edge_set(), key=repr))
+                g.remove_edge(victim.tail, victim.label, victim.head)
+        assert view_matches_recompute(view, g)
+
+
+class TestProductGraph:
+    def test_product_respects_grammar(self):
+        g = MultiRelationalGraph([("x", "a", "y"), ("y", "b", "z")])
+        product = product_graph(g, join(atom(label="a"), atom(label="b")))
+        # Some configuration of x steps to a configuration of y, and on to z.
+        xs = [c for c in product.vertices() if c[0] == "x"]
+        assert any(product.successors(c) for c in xs)
+
+    def test_inadmissible_moves_absent(self):
+        g = MultiRelationalGraph([("x", "a", "y"), ("y", "b", "z")])
+        product = product_graph(g, star(atom(label="a")))
+        # No config of y may step to z: the only y->z edge is labeled b.
+        for config in product.vertices():
+            if config[0] == "y":
+                assert all(succ[0] != "z" for succ in product.successors(config))
+
+
+class TestGrammarPagerank:
+    def test_mass_sums_to_one(self):
+        g = uniform_random(15, 50, labels=("a", "b"), seed=3)
+        ranks = grammar_pagerank(g, star(any_edge()))
+        assert sum(ranks.values()) == pytest.approx(1.0)
+        assert set(ranks) == g.vertices()
+
+    def test_trivial_grammar_tracks_plain_pagerank_order(self):
+        """any* grammar: top-ranked vertex agrees with collapsed PageRank."""
+        import networkx as nx
+        g = uniform_random(12, 45, labels=("a",), seed=5)
+        grammar_ranks = grammar_pagerank(g, star(any_edge()))
+        plain = nx.pagerank(nx.DiGraph(list(g.collapsed())), tol=1e-12)
+        top_grammar = max(grammar_ranks, key=grammar_ranks.get)
+        top_plain = max(plain, key=plain.get)
+        assert top_grammar == top_plain
+
+    def test_restrictive_grammar_shifts_mass(self):
+        # a-cycle between x and y; b-edges into z. An a-only surfer visits
+        # x/y constantly and z only via teleport.
+        g = MultiRelationalGraph([
+            ("x", "a", "y"), ("y", "a", "x"),
+            ("x", "b", "z"), ("y", "b", "z"),
+        ])
+        a_only = grammar_pagerank(g, star(atom(label="a")))
+        assert a_only["x"] > a_only["z"]
+        assert a_only["y"] > a_only["z"]
+        b_grammar = grammar_pagerank(g, join(star(atom(label="a")),
+                                             atom(label="b")))
+        assert b_grammar["z"] > a_only["z"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            grammar_pagerank(MultiRelationalGraph(), star(any_edge()))

@@ -1,0 +1,142 @@
+"""Tests for DOT rendering and the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.automata import build_nfa
+from repro.cli import build_parser, load_graph, main
+from repro.datasets.paper import figure1_expression
+from repro.graph import io as graph_io
+from repro.graph.graph import MultiRelationalGraph
+from repro.viz import graph_to_dot, nfa_to_dot
+
+
+@pytest.fixture
+def graph():
+    g = MultiRelationalGraph(name="demo")
+    g.add_vertex("a", kind="person")
+    g.add_vertex("b", kind="software")
+    g.add_edge("a", "created", "b")
+    g.add_edge("a", "knows", "a")
+    return g
+
+
+class TestGraphDot:
+    def test_digraph_structure(self, graph):
+        dot = graph_to_dot(graph)
+        assert dot.startswith('digraph "demo" {')
+        assert dot.endswith("}")
+        assert '"a" -> "b"' in dot
+        assert 'label="created"' in dot
+
+    def test_kinds_get_shapes(self, graph):
+        dot = graph_to_dot(graph)
+        assert "shape=" in dot
+
+    def test_labels_get_distinct_colors(self, graph):
+        dot = graph_to_dot(graph)
+        colors = {line.split("color=")[1].split(",")[0]
+                  for line in dot.splitlines() if "color=" in line}
+        assert len(colors) == 2  # created and knows
+
+    def test_quoting_of_awkward_names(self):
+        g = MultiRelationalGraph([('he said "hi"', "r", "b")])
+        dot = graph_to_dot(g)
+        assert '\\"hi\\"' in dot
+
+    def test_color_labels_off(self, graph):
+        dot = graph_to_dot(graph, color_labels=False)
+        assert "color=" not in dot
+
+
+class TestNfaDot:
+    def test_figure1_nfa_renders(self):
+        nfa = build_nfa(figure1_expression())
+        dot = nfa_to_dot(nfa)
+        assert "doublecircle" in dot
+        assert "[i, alpha, _]" in dot
+        assert "style=dashed" in dot
+
+    def test_product_boundaries_are_dotted(self):
+        from repro.regex import atom, product
+        nfa = build_nfa(product(atom(label="x"), atom(label="y")))
+        dot = nfa_to_dot(nfa)
+        assert "eps(x)" in dot
+        assert "style=dotted" in dot
+
+
+class TestCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path, graph):
+        target = str(tmp_path / "g.json")
+        graph_io.write_json(graph, target)
+        return target
+
+    def run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_query_text_output(self, graph_file):
+        code, output = self.run("query", graph_file, "[a, created, _]")
+        assert code == 0
+        assert "1 paths" in output
+        assert "(a, created, b)" in output
+
+    def test_query_json_output(self, graph_file):
+        code, output = self.run("query", graph_file, "[a, _, _]", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["count"] == 2
+        assert ["a", "created", "b"] in [p[0] for p in payload["paths"]]
+
+    def test_query_strategy_flag(self, graph_file):
+        code, output = self.run("query", graph_file, "[a, _, _]",
+                                "--strategy", "streaming")
+        assert code == 0
+
+    def test_explain(self, graph_file):
+        code, output = self.run("explain", graph_file,
+                                "[a, created, _] . [_, knows, _]")
+        assert code == 0
+        assert "AtomScan" in output
+
+    def test_stats(self, graph_file):
+        code, output = self.run("stats", graph_file)
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["edges"] == 2
+
+    def test_dot(self, graph_file):
+        code, output = self.run("dot", graph_file)
+        assert code == 0
+        assert output.startswith("digraph")
+
+    def test_demo(self):
+        code, output = self.run("demo")
+        assert code == 0
+        assert "paths via" in output
+
+    def test_bad_query_reports_error(self, graph_file):
+        code, output = self.run("query", graph_file, "[a, ")
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file_reports_error(self):
+        code, output = self.run("stats", "/nonexistent/file.json")
+        assert code == 1
+        assert "error:" in output
+
+    def test_load_graph_dispatch(self, tmp_path, graph):
+        csv_path = str(tmp_path / "g.csv")
+        graph_io.write_triples(graph, csv_path)
+        assert load_graph(csv_path).size() == 2
+        xml_path = str(tmp_path / "g.graphml")
+        graph_io.write_graphml(graph, xml_path)
+        assert load_graph(xml_path).size() == 2
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
