@@ -1,0 +1,182 @@
+"""E13 — compact integer-indexed adjacency backend vs the seed hash indices.
+
+Measures, on generated graphs of >= 10k edges across several label
+distributions, the four hot paths the compact backend rewrote:
+
+* multi-source ``rpq_pairs``: frontier-set BFS over the (vertex, dfa-state)
+  product on per-label CSR arrays vs the per-source product BFS over
+  ``graph.match`` frozensets (``rpq_pairs_basic``),
+* ``DiGraph.bfs_distances``: vectorized level-synchronous BFS vs dict BFS,
+* ``weakly_connected_components``: compact flood fill vs union-find,
+* ``pagerank``: vectorized power iteration vs the dict loop.
+
+Every comparison first asserts the two implementations return **identical
+answers** (same pair sets, same distance maps, same components, same ranks
+to 1e-9) — the speedup is measured on verified-equivalent results, not
+asserted blind.
+
+Run standalone (not under pytest-benchmark, so CI can smoke it cheaply)::
+
+    PYTHONPATH=src python benchmarks/bench_e13_compact_backend.py          # full
+    PYTHONPATH=src python benchmarks/bench_e13_compact_backend.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import random
+import time
+
+from repro.algorithms.components import (
+    _weakly_connected_components_unionfind,
+    weakly_connected_components,
+)
+from repro.algorithms.digraph import DiGraph
+from repro.algorithms.pagerank import pagerank
+from repro.graph.compact import HAVE_NUMPY, adjacency_snapshot
+from repro.graph.generators import preferential_attachment, uniform_random
+from repro.rpq import lconcat, lstar, lunion, rpq_pairs, rpq_pairs_basic, sym
+
+
+def timed(function, repeat=1):
+    """Best-of-N wall time; cheap workloads get extra runs to beat noise."""
+    best = None
+    result = None
+    runs = 0
+    while True:
+        # Flush any pending cyclic-GC pass so no timed region absorbs a
+        # collection scheduled by earlier allocations.
+        gc.collect()
+        started = time.perf_counter()
+        result = function()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+        runs += 1
+        if runs >= repeat and (best > 0.25 or runs >= max(repeat, 3)):
+            return result, best
+
+
+def report(rows):
+    width = max(len(name) for name, _, _ in rows)
+    print()
+    print("{:<{w}}  {:>10}  {:>10}  {:>8}".format(
+        "hot path", "seed (s)", "compact(s)", "speedup", w=width))
+    for name, seed_s, compact_s in rows:
+        print("{:<{w}}  {:>10.4f}  {:>10.4f}  {:>7.1f}x".format(
+            name, seed_s, compact_s, seed_s / compact_s, w=width))
+    print()
+
+
+def random_digraph(num_vertices, num_edges, seed):
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    while graph.size() < num_edges:
+        graph.add_edge(rng.randrange(num_vertices), rng.randrange(num_vertices),
+                       rng.choice((0.5, 1.0, 2.0)))
+    return graph
+
+
+def bench_rpq(graph, label, rows, quick):
+    expressions = {
+        "chain a.b": lconcat(sym("a"), sym("b")),
+        "star a.b*": lconcat(sym("a"), lstar(sym("b"))),
+        "union (a.b)|c*": lunion(lconcat(sym("a"), sym("b")), lstar(sym("c"))),
+    }
+    adjacency_snapshot(graph)  # build outside the timed region (cached after)
+    warmup_sources = frozenset(list(graph.vertices())[:8])
+    for name, expression in expressions.items():
+        # Warm both code paths (bytecode + caches) on a tiny source set so
+        # the timed region measures the traversal, not first-call overhead.
+        rpq_pairs(graph, expression, sources=warmup_sources)
+        rpq_pairs_basic(graph, expression, sources=warmup_sources)
+        compact_answer, compact_s = timed(lambda: rpq_pairs(graph, expression))
+        seed_answer, seed_s = timed(lambda: rpq_pairs_basic(graph, expression))
+        assert compact_answer == seed_answer, \
+            "rpq answer sets diverge on {} / {}".format(label, name)
+        rows.append(("rpq_pairs[{}] {} ({} pairs)".format(
+            label, name, len(compact_answer)), seed_s, compact_s))
+        if quick:
+            break
+
+
+def bench_digraph(num_vertices, num_edges, rows, quick):
+    graph = random_digraph(num_vertices, num_edges, seed=13)
+    sources = list(range(0, num_vertices, max(1, num_vertices // (16 if quick else 64))))
+    # Warm up outside the timed region: snapshot build + numpy one-time
+    # machinery (np.unique's first call imports its hash-table backend).
+    graph.bfs_distances(sources[0])
+    weakly_connected_components(graph)
+
+    def run_fast():
+        return [graph.bfs_distances(s) for s in sources]
+
+    def run_seed():
+        return [graph._bfs_distances_dict(s) for s in sources]
+
+    fast, compact_s = timed(run_fast)
+    seed, seed_s = timed(run_seed)
+    assert fast == seed, "bfs_distances diverge"
+    rows.append(("bfs_distances x{} sources".format(len(sources)),
+                 seed_s, compact_s))
+
+    fast, compact_s = timed(lambda: weakly_connected_components(graph),
+                            repeat=2 if quick else 3)
+    seed, seed_s = timed(lambda: _weakly_connected_components_unionfind(graph),
+                         repeat=2 if quick else 3)
+    assert fast == seed, "components diverge"
+    rows.append(("weakly_connected_components", seed_s, compact_s))
+
+    fast, compact_s = timed(lambda: pagerank(graph))
+    # Force the dict fallback by dropping below the compact threshold.
+    original = DiGraph._COMPACT_MIN_ORDER
+    DiGraph._COMPACT_MIN_ORDER = num_vertices + 1
+    try:
+        seed, seed_s = timed(lambda: pagerank(graph))
+    finally:
+        DiGraph._COMPACT_MIN_ORDER = original
+    assert set(fast) == set(seed)
+    assert max(abs(fast[v] - seed[v]) for v in fast) < 1.0e-9, \
+        "pagerank ranks diverge"
+    rows.append(("pagerank (power iteration)", seed_s, compact_s))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes + one expression per family (CI smoke)")
+    args = parser.parse_args()
+
+    if args.quick:
+        workloads = [
+            ("uniform", uniform_random(400, 2500, labels=("a", "b", "c"), seed=5)),
+        ]
+        digraph_size = (800, 5000)
+    else:
+        workloads = [
+            # >= 10k edges each, three very different label distributions.
+            ("uniform", uniform_random(1200, 12000, labels=("a", "b", "c"), seed=5)),
+            ("skewed", uniform_random(1200, 12000,
+                                      labels=("a",) * 6 + ("b", "c"), seed=7)),
+            ("hub", preferential_attachment(2500, edges_per_vertex=4,
+                                            labels=("a", "b", "c"), seed=11)),
+        ]
+        digraph_size = (1500, 15000)
+
+    rows = []
+    for label, graph in workloads:
+        print("graph[{}]: {!r}".format(label, graph))
+        bench_rpq(graph, label, rows, args.quick)
+    if HAVE_NUMPY:
+        bench_digraph(digraph_size[0], digraph_size[1], rows, args.quick)
+    else:
+        print("numpy unavailable: DiGraph kernels fall back to the seed "
+              "implementations, skipping their comparison")
+    report(rows)
+    print("all compact/seed answer sets identical")
+
+
+if __name__ == "__main__":
+    main()

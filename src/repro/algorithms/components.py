@@ -22,7 +22,31 @@ __all__ = [
 
 
 def weakly_connected_components(graph: DiGraph) -> List[FrozenSet[Hashable]]:
-    """Components of the underlying undirected graph (union-find)."""
+    """Components of the underlying undirected graph.
+
+    Large graphs flood-fill the compact undirected CSR arrays
+    (:class:`repro.graph.compact.CompactDiGraph`); union-find remains the
+    small-graph path and no-numpy fallback.  Output order is identical:
+    sorted by descending size, ties broken by member repr.
+    """
+    if graph.order() >= DiGraph._COMPACT_MIN_ORDER:
+        from repro.graph.compact import digraph_snapshot
+        snapshot = digraph_snapshot(graph)
+        if snapshot is not None:
+            labels = snapshot.weak_component_labels().tolist()
+            groups_by_id: Dict[int, Set[Hashable]] = {}
+            for vertex_id, component_id in enumerate(labels):
+                groups_by_id.setdefault(component_id, set()).add(
+                    snapshot.vertex_of[vertex_id])
+            return sorted(
+                (frozenset(group) for group in groups_by_id.values()),
+                key=lambda group: (-len(group), repr(sorted(group, key=repr))))
+    return _weakly_connected_components_unionfind(graph)
+
+
+def _weakly_connected_components_unionfind(
+        graph: DiGraph) -> List[FrozenSet[Hashable]]:
+    """Reference union-find implementation (always available)."""
     parent: Dict[Hashable, Hashable] = {v: v for v in graph.vertices()}
 
     def find(v: Hashable) -> Hashable:

@@ -28,6 +28,7 @@ class DiGraph:
     def __init__(self, edges: Iterable[Tuple[Hashable, Hashable]] = ()):
         self._succ: Dict[Hashable, Dict[Hashable, float]] = {}
         self._pred: Dict[Hashable, Dict[Hashable, float]] = {}
+        self._version = 0
         for tail, head in edges:
             self.add_edge(tail, head)
 
@@ -37,8 +38,10 @@ class DiGraph:
 
     def add_vertex(self, vertex: Hashable) -> None:
         """Ensure ``vertex`` exists (idempotent)."""
-        self._succ.setdefault(vertex, {})
-        self._pred.setdefault(vertex, {})
+        if vertex not in self._succ:
+            self._succ[vertex] = {}
+            self._pred[vertex] = {}
+            self._version += 1
 
     def add_edge(self, tail: Hashable, head: Hashable, weight: float = 1.0) -> None:
         """Add (or re-weight) the edge ``tail -> head``."""
@@ -46,11 +49,21 @@ class DiGraph:
         self.add_vertex(head)
         self._succ[tail][head] = float(weight)
         self._pred[head][tail] = float(weight)
+        self._version += 1
 
     def remove_edge(self, tail: Hashable, head: Hashable) -> None:
         """Remove one edge (KeyError if absent)."""
         del self._succ[tail][head]
         del self._pred[head][tail]
+        self._version += 1
+
+    def version(self) -> int:
+        """A counter bumped by every mutation (cache-invalidation token).
+
+        :mod:`repro.graph.compact` keys its :class:`CompactDiGraph`
+        snapshots on this, mirroring ``MultiRelationalGraph.version()``.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Inspection
@@ -141,9 +154,27 @@ class DiGraph:
     # Elementary traversals shared by the algorithm modules
     # ------------------------------------------------------------------
 
+    #: Below this order the dict BFS wins; above it the vectorized kernel
+    #: (when numpy is importable) is several times faster.
+    _COMPACT_MIN_ORDER = 128
+
     def bfs_distances(self, source: Hashable) -> Dict[Hashable, int]:
-        """Unweighted shortest-path distances from ``source`` (hops)."""
+        """Unweighted shortest-path distances from ``source`` (hops).
+
+        Large graphs route through the compact-array frontier BFS
+        (:class:`repro.graph.compact.CompactDiGraph`); the dict-based BFS
+        below remains both the small-graph path and the no-numpy fallback.
+        """
         self._require(source)
+        if len(self._succ) >= self._COMPACT_MIN_ORDER:
+            from repro.graph.compact import digraph_snapshot
+            snapshot = digraph_snapshot(self)
+            if snapshot is not None:
+                return snapshot.bfs_distances(source)
+        return self._bfs_distances_dict(source)
+
+    def _bfs_distances_dict(self, source: Hashable) -> Dict[Hashable, int]:
+        """Reference dict-based BFS (always available; used by benchmarks)."""
         distances: Dict[Hashable, int] = {source: 0}
         queue: deque = deque([source])
         while queue:

@@ -4,6 +4,26 @@
 paths out, with strategy selection, cost-based planning, EXPLAIN output and
 section IV-C projection as a first-class operation.
 
+The pairs fast path
+-------------------
+Beyond the four path-materializing strategies, :meth:`Engine.pairs` answers
+the *reachability* question — which ``(source, target)`` pairs are connected
+by a matching path — without materializing any path.  When the compiled
+expression is **label-only** (every atom is ``[_, a, _]``, combined by
+union/join/star/bounded repeat — detected by
+:func:`repro.rpq.lower_to_label_expression`), it is lowered to the label
+formulation and evaluated by the compact frontier-BFS kernel of
+:mod:`repro.graph.compact`: a DFA is compiled once, the graph's
+integer-indexed CSR snapshot is fetched from the version-keyed cache
+(rebuilt lazily only after a mutation), and one stamped product BFS sweeps
+all sources.  That path is *unbounded* (true Kleene-star reachability) and
+allocation-free per lookup; passing an explicit ``max_length`` opts out of
+it, since a bound changes the semantics.  Expressions that bind endpoint
+vertices, use literals or products fall back to the bounded ``automaton``
+strategy and project endpoints from the witness paths.
+``EXPLAIN`` output reports which of the two applies (the trailing
+``pairs fast path`` line).
+
 Example
 -------
 >>> from repro.datasets import figure1_graph
@@ -142,8 +162,58 @@ class Engine:
 
     def explain(self, query: Union[str, RegexExpr],
                 max_length: Optional[int] = None) -> str:
-        """EXPLAIN: the annotated plan tree as text."""
-        return self.plan(query, max_length).explain()
+        """EXPLAIN: the annotated plan tree, plus pairs-fast-path eligibility.
+
+        The trailing line reports whether :meth:`pairs` would route this
+        query through the compact frontier-BFS kernel (label-only
+        expressions) or fall back to bounded path materialization.
+        """
+        from repro.rpq.evaluation import lower_to_label_expression
+        expression = self.compile(query)
+        text = self.plan(expression, max_length).explain()
+        if lower_to_label_expression(expression) is not None:
+            note = ("pairs fast path: eligible — label-only expression; "
+                    "Engine.pairs() runs the compact frontier-BFS kernel "
+                    "(unbounded, no path materialization)")
+        else:
+            note = ("pairs fast path: not eligible — expression is not "
+                    "label-only; Engine.pairs() falls back to bounded "
+                    "automaton evaluation")
+        return text + "\n" + note
+
+    def pairs(self, query: Union[str, RegexExpr],
+              sources: Optional[frozenset] = None,
+              max_length: Optional[int] = None) -> frozenset:
+        """All ``(source, target)`` pairs connected by a matching path.
+
+        Label-only expressions (see module docstring) run the compact
+        frontier-BFS kernel: exact, *unbounded* reachability semantics with
+        the DFA and adjacency snapshot shared across all sources.  The fast
+        path therefore only applies when no ``max_length`` is given — an
+        explicit bound is honored by routing through the bounded
+        ``automaton`` strategy instead, like every expression that needs
+        the edge-set algebra (vertex-bound atoms, literals, products),
+        projecting endpoint pairs from the length-limited witness paths.
+
+        ``sources=None`` means all vertices; otherwise only pairs whose
+        source is in ``sources`` are returned.
+        """
+        from repro.rpq.evaluation import lower_to_label_expression, rpq_pairs
+        expression = self.compile(query)
+        if max_length is None:
+            label_expression = lower_to_label_expression(expression)
+            if label_expression is not None:
+                return rpq_pairs(self.graph, label_expression, sources=sources)
+        result = self.query(expression, strategy="automaton",
+                            max_length=max_length)
+        wanted = None if sources is None else set(sources)
+        answers = {(p.tail, p.head) for p in result.paths
+                   if p and (wanted is None or p.tail in wanted)}
+        if expression.nullable:
+            reflexive = self.graph.vertices() if wanted is None \
+                else (v for v in wanted if self.graph.has_vertex(v))
+            answers.update((v, v) for v in reflexive)
+        return frozenset(answers)
 
     def query(self, query: Union[str, RegexExpr], strategy: str = "materialized",
               max_length: Optional[int] = None,

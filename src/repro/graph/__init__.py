@@ -1,8 +1,20 @@
 """The multi-relational graph substrate (store, generators, io, interop)."""
 
 from repro.graph.graph import MultiRelationalGraph
+from repro.graph.compact import (
+    CompactAdjacency,
+    CompactDiGraph,
+    adjacency_snapshot,
+    digraph_snapshot,
+    rpq_pairs_compact,
+)
 from repro.graph import generators
 from repro.graph import io
 from repro.graph import statistics
 
-__all__ = ["MultiRelationalGraph", "generators", "io", "statistics"]
+__all__ = [
+    "MultiRelationalGraph",
+    "CompactAdjacency", "CompactDiGraph",
+    "adjacency_snapshot", "digraph_snapshot", "rpq_pairs_compact",
+    "generators", "io", "statistics",
+]

@@ -1,0 +1,443 @@
+"""Compact integer-indexed adjacency snapshots and frontier traversal kernels.
+
+The algebra's every operation — set-builder atoms ``[i, a, _]``,
+concatenative joins, RPQ product traversals, the section IV-C projections —
+bottoms out in label-restricted adjacency lookups.  The hash-indexed
+:class:`~repro.graph.graph.MultiRelationalGraph` answers those lookups
+correctly but expensively: each call walks dict buckets of :class:`Edge`
+objects and hands back freshly allocated frozensets.  This module provides
+the compact numeric backend the hot paths share instead:
+
+* :class:`CompactAdjacency` — a read-only **snapshot** of a
+  ``MultiRelationalGraph``.  Vertices and labels are interned to dense
+  integer ids; per-label adjacency is stored CSR-style (a flat ``indptr``
+  offset array plus a flat ``indices`` neighbor array), forward and
+  reverse.  Neighbor expansion is then two list slices — no Edge objects,
+  no set allocation, no hashing.
+* :class:`CompactDiGraph` — the analogous snapshot of the single-relational
+  :class:`~repro.algorithms.digraph.DiGraph`, with numpy edge/CSR arrays
+  feeding the vectorized kernels used by ``bfs_distances``,
+  ``weakly_connected_components`` and ``pagerank`` fast paths.
+* :func:`rpq_pairs_compact` — the frontier-set BFS over the
+  (vertex, dfa-state) product that powers :func:`repro.rpq.rpq_pairs` and
+  the engine's ``pairs`` fast path.
+
+Snapshot lifecycle
+------------------
+Snapshots are built **lazily** on first use and cached on the graph
+instance, keyed on the graph's ``version()`` mutation counter:
+
+* :func:`adjacency_snapshot` / :func:`digraph_snapshot` return the cached
+  snapshot when ``snapshot.version == graph.version()`` and rebuild (one
+  O(V + E) pass) otherwise — so a mutation-free query workload pays the
+  build cost once, while any mutation transparently invalidates.
+* Snapshots are immutable by convention: kernels only read them, and the
+  owning graph never mutates one in place.  A stale snapshot is simply
+  dropped, never patched.
+
+numpy is optional.  The :class:`CompactAdjacency` kernels use plain Python
+lists (scalar indexing of lists beats numpy scalars inside interpreter
+loops); the :class:`CompactDiGraph` kernels are vectorized and require
+numpy — when it is unavailable ``digraph_snapshot`` returns ``None`` and
+callers keep their pure-Python implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+try:  # numpy accelerates the DiGraph kernels; everything else works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+__all__ = [
+    "CompactAdjacency",
+    "CompactDiGraph",
+    "adjacency_snapshot",
+    "digraph_snapshot",
+    "rpq_pairs_compact",
+    "HAVE_NUMPY",
+]
+
+#: True when the vectorized DiGraph kernels are available.
+HAVE_NUMPY = _np is not None
+
+#: Attribute name under which snapshots are cached on graph instances.
+_CACHE_ATTR = "_compact_snapshot_cache"
+
+
+def _build_csr(num_vertices: int, pairs: Iterable[Tuple[int, int]],
+               count: int) -> Tuple[List[int], List[int]]:
+    """Counting-sort ``(source, target)`` id pairs into ``(indptr, indices)``.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` lists the targets of ``v``.
+    """
+    degree = [0] * num_vertices
+    buffered = list(pairs)
+    for source, _ in buffered:
+        degree[source] += 1
+    indptr = [0] * (num_vertices + 1)
+    for v in range(num_vertices):
+        indptr[v + 1] = indptr[v] + degree[v]
+    cursor = list(indptr[:num_vertices])
+    indices = [0] * count
+    for source, target in buffered:
+        indices[cursor[source]] = target
+        cursor[source] += 1
+    return indptr, indices
+
+
+class CompactAdjacency:
+    """A dense-integer snapshot of one :class:`MultiRelationalGraph` version.
+
+    Attributes
+    ----------
+    version:
+        The ``graph.version()`` this snapshot reflects.
+    vertex_ids / vertex_of:
+        Interning maps ``vertex -> id`` and ``id -> vertex`` (ids are dense,
+        covering isolated vertices too).
+    label_ids / label_of:
+        The same for labels that carry at least one edge.
+    forward / reverse:
+        Per-label CSR pairs ``(indptr, indices)``; ``forward[l]`` lists
+        out-neighbors along label ``l``, ``reverse[l]`` in-neighbors.
+    """
+
+    __slots__ = ("version", "vertex_ids", "vertex_of", "label_ids",
+                 "label_of", "forward", "reverse", "num_edges")
+
+    def __init__(self, version: int, vertex_ids: Dict[Hashable, int],
+                 vertex_of: List[Hashable], label_ids: Dict[Hashable, int],
+                 label_of: List[Hashable],
+                 forward: List[Tuple[List[int], List[int]]],
+                 reverse: List[Tuple[List[int], List[int]]],
+                 num_edges: int):
+        self.version = version
+        self.vertex_ids = vertex_ids
+        self.vertex_of = vertex_of
+        self.label_ids = label_ids
+        self.label_of = label_of
+        self.forward = forward
+        self.reverse = reverse
+        self.num_edges = num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_of)
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.label_of)
+
+    @classmethod
+    def build(cls, graph) -> "CompactAdjacency":
+        """One O(V + E) pass over the graph's internal edge dict."""
+        vertex_of = list(graph._vertices)
+        vertex_ids = {v: i for i, v in enumerate(vertex_of)}
+        label_of = list(graph._rel)
+        label_ids = {l: i for i, l in enumerate(label_of)}
+        n = len(vertex_of)
+        per_label: List[List[Tuple[int, int]]] = [[] for _ in label_of]
+        for e in graph._edges:
+            per_label[label_ids[e.label]].append(
+                (vertex_ids[e.tail], vertex_ids[e.head]))
+        forward = []
+        reverse = []
+        for pairs in per_label:
+            forward.append(_build_csr(n, pairs, len(pairs)))
+            reverse.append(_build_csr(n, ((h, t) for t, h in pairs), len(pairs)))
+        return cls(graph.version(), vertex_ids, vertex_of, label_ids,
+                   label_of, forward, reverse, len(graph._edges))
+
+    def out_neighbors(self, vertex_id: int, label_id: int) -> List[int]:
+        """Out-neighbor ids of ``vertex_id`` along ``label_id`` (a slice)."""
+        indptr, indices = self.forward[label_id]
+        return indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+
+    def in_neighbors(self, vertex_id: int, label_id: int) -> List[int]:
+        """In-neighbor ids of ``vertex_id`` along ``label_id`` (a slice)."""
+        indptr, indices = self.reverse[label_id]
+        return indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+
+    def __repr__(self) -> str:
+        return "CompactAdjacency<|V|={}, |E|={}, |Omega|={}, version={}>".format(
+            self.num_vertices, self.num_edges, self.num_labels, self.version)
+
+
+def adjacency_snapshot(graph) -> CompactAdjacency:
+    """The cached :class:`CompactAdjacency` for ``graph``, rebuilt when stale.
+
+    The snapshot is stored on the graph instance and keyed on
+    ``graph.version()``; every mutation bumps the version, so a cached
+    snapshot is valid exactly while the graph is untouched.
+    """
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is not None and cached.version == graph.version():
+        return cached
+    snapshot = CompactAdjacency.build(graph)
+    setattr(graph, _CACHE_ATTR, snapshot)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# RPQ frontier kernel (vertex x dfa-state product BFS over CSR slices)
+# ----------------------------------------------------------------------
+
+def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
+                      ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """All ``(x, y)`` pairs connected by a path whose label word is in the DFA.
+
+    Frontier-set BFS over the (vertex, dfa-state) product using integer ids:
+    one shared :class:`CompactAdjacency` snapshot, one per-(state, label)
+    transition table resolving each DFA move directly to a CSR block, and a
+    stamped ``visited`` array reused across all sources — so the multi-source
+    sweep allocates O(V x states) once instead of per source.
+
+    Semantically identical to the per-source product BFS
+    (:func:`repro.rpq.evaluation.rpq_pairs_basic`); the equivalence tests
+    enforce it on random graphs.
+    """
+    snapshot = adjacency_snapshot(graph)
+    num_states = dfa.num_states
+    n = snapshot.num_vertices
+    vertex_ids = snapshot.vertex_ids
+    vertex_of = snapshot.vertex_of
+
+    if sources is None:
+        source_ids: Iterable[int] = range(n)
+    else:
+        source_ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
+
+    # moves[state] -> [(indptr, indices, next_state), ...]: each DFA
+    # transition that can actually fire in this graph, pre-resolved to the
+    # CSR block of its label.
+    moves: List[List[Tuple[List[int], List[int], int]]] = []
+    for state in range(num_states):
+        row = []
+        for label, next_state in dfa.transitions[state].items():
+            label_id = snapshot.label_ids.get(label)
+            if label_id is not None:
+                indptr, indices = snapshot.forward[label_id]
+                row.append((indptr, indices, next_state))
+        moves.append(row)
+    accepting = [False] * num_states
+    for state in dfa.accepting:
+        accepting[state] = True
+    start_state = dfa.start
+    start_accepts = accepting[start_state]
+
+    # visited/answered are stamped with the per-source sweep index, so the
+    # O(V x states) product table is allocated once, not once per source.
+    visited = [-1] * (n * num_states)
+    answered = [-1] * n
+    answers: List[Tuple[Hashable, Hashable]] = []
+
+    # Frontier entries are packed ``vertex_id * num_states + state`` ints:
+    # unlike tuples they are not cyclic-GC tracked, so the multi-million
+    # entry sweeps do not trigger collector pauses.
+    for stamp, source_id in enumerate(source_ids):
+        source_vertex = vertex_of[source_id]
+        visited[source_id * num_states + start_state] = stamp
+        if start_accepts:
+            answered[source_id] = stamp
+            answers.append((source_vertex, source_vertex))
+        frontier: List[int] = [source_id * num_states + start_state]
+        while frontier:
+            next_frontier: List[int] = []
+            for packed in frontier:
+                vertex_id, state = divmod(packed, num_states)
+                for indptr, indices, next_state in moves[state]:
+                    for neighbor in indices[indptr[vertex_id]:indptr[vertex_id + 1]]:
+                        code = neighbor * num_states + next_state
+                        if visited[code] != stamp:
+                            visited[code] = stamp
+                            if accepting[next_state] and answered[neighbor] != stamp:
+                                answered[neighbor] = stamp
+                                answers.append((source_vertex, vertex_of[neighbor]))
+                            next_frontier.append(code)
+            frontier = next_frontier
+    return frozenset(answers)
+
+
+# ----------------------------------------------------------------------
+# Single-relational (DiGraph) snapshot + vectorized kernels
+# ----------------------------------------------------------------------
+
+class CompactDiGraph:
+    """A numpy snapshot of one :class:`~repro.algorithms.digraph.DiGraph`.
+
+    Holds interning maps plus flat edge arrays (``tails``, ``heads``,
+    ``weights``) and forward/reverse/undirected CSR index arrays — the
+    inputs the vectorized BFS, component flood-fill and pagerank kernels
+    consume.  Only constructed when numpy is importable.
+    """
+
+    __slots__ = ("version", "vertex_ids", "vertex_of", "tails", "heads",
+                 "weights", "fwd_indptr", "fwd_indices", "und_indptr",
+                 "und_indices", "out_weight")
+
+    def __init__(self, digraph):
+        self.version = digraph.version()
+        self.vertex_of = list(digraph._succ)
+        self.vertex_ids = {v: i for i, v in enumerate(self.vertex_of)}
+        n = len(self.vertex_of)
+        tails: List[int] = []
+        heads: List[int] = []
+        weights: List[float] = []
+        ids = self.vertex_ids
+        for tail, successors in digraph._succ.items():
+            tail_id = ids[tail]
+            for head, weight in successors.items():
+                tails.append(tail_id)
+                heads.append(ids[head])
+                weights.append(weight)
+        self.tails = _np.asarray(tails, dtype=_np.int64)
+        self.heads = _np.asarray(heads, dtype=_np.int64)
+        self.weights = _np.asarray(weights, dtype=_np.float64)
+        self.fwd_indptr, self.fwd_indices = self._csr(self.tails, self.heads, n)
+        both_tails = _np.concatenate([self.tails, self.heads])
+        both_heads = _np.concatenate([self.heads, self.tails])
+        self.und_indptr, self.und_indices = self._csr(both_tails, both_heads, n)
+        self.out_weight = _np.bincount(self.tails, weights=self.weights,
+                                       minlength=n)
+
+    @staticmethod
+    def _csr(sources, targets, n):
+        order = _np.argsort(sources, kind="stable")
+        indices = targets[order]
+        counts = _np.bincount(sources, minlength=n)
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=indptr[1:])
+        return indptr, indices
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_of)
+
+    # -- kernels ----------------------------------------------------------
+
+    def _frontier_expand(self, indptr, indices, frontier):
+        """All CSR targets of the frontier ids, as one flat gather."""
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return None
+        offsets = _np.repeat(_np.cumsum(counts) - counts, counts)
+        flat = _np.arange(total, dtype=_np.int64) - offsets
+        return indices[_np.repeat(starts, counts) + flat]
+
+    def bfs_levels(self, source_id: int):
+        """Vectorized level-synchronous BFS: the distance array (-1 = unreached).
+
+        Wide frontiers (more than ~1/8 of the vertices) switch from CSR
+        slice-gathering to one masked scan of the flat edge arrays — the
+        direction-optimizing trick's cheap cousin: when most vertices are
+        active anyway, a single O(E) C pass beats assembling gather indices.
+        """
+        n = self.num_vertices
+        distance = _np.full(n, -1, dtype=_np.int64)
+        distance[source_id] = 0
+        frontier = _np.asarray([source_id], dtype=_np.int64)
+        wide = max(n >> 3, 32)
+        tails, heads = self.tails, self.heads
+        level = 0
+        while frontier.size:
+            level += 1
+            if frontier.size >= wide:
+                neighbors = heads[distance[tails] == level - 1]
+            else:
+                neighbors = self._frontier_expand(
+                    self.fwd_indptr, self.fwd_indices, frontier)
+                if neighbors is None:
+                    break
+            fresh = neighbors[distance[neighbors] < 0]
+            if fresh.size == 0:
+                break
+            # Scatter the level, then recover the deduplicated frontier with
+            # a linear scan — cheaper than sorting via np.unique.
+            distance[fresh] = level
+            frontier = _np.flatnonzero(distance == level)
+        return distance
+
+    def bfs_distances(self, source: Hashable) -> Dict[Hashable, int]:
+        """Hop distances from ``source`` — same contract as the dict BFS."""
+        distance = self.bfs_levels(self.vertex_ids[source])
+        reached = _np.flatnonzero(distance >= 0)
+        vertex_of = self.vertex_of
+        if reached.size == len(vertex_of):
+            return dict(zip(vertex_of, distance.tolist()))
+        return {vertex_of[i]: d
+                for i, d in zip(reached.tolist(), distance[reached].tolist())}
+
+    def weak_component_labels(self):
+        """Component id per vertex via flood fill on the undirected CSR."""
+        n = self.num_vertices
+        component = _np.full(n, -1, dtype=_np.int64)
+        next_id = 0
+        for seed in range(n):
+            if component[seed] >= 0:
+                continue
+            component[seed] = next_id
+            frontier = _np.asarray([seed], dtype=_np.int64)
+            while frontier.size:
+                neighbors = self._frontier_expand(
+                    self.und_indptr, self.und_indices, frontier)
+                if neighbors is None:
+                    break
+                fresh = neighbors[component[neighbors] < 0]
+                if fresh.size == 0:
+                    break
+                frontier = _np.unique(fresh)
+                component[frontier] = next_id
+            next_id += 1
+        return component
+
+    def pagerank(self, damping: float, teleport, max_iterations: int,
+                 tolerance: float) -> Optional[Dict[Hashable, float]]:
+        """Vectorized power iteration (same update rule as the dict version).
+
+        ``teleport`` maps vertex -> normalized teleport mass.  Returns None
+        when the iteration cap is hit so the caller can raise its usual
+        :class:`ConvergenceError`.
+        """
+        n = self.num_vertices
+        teleport_vec = _np.asarray(
+            [teleport[v] for v in self.vertex_of], dtype=_np.float64)
+        out_weight = self.out_weight
+        has_out = out_weight > 0.0
+        safe_out = _np.where(has_out, out_weight, 1.0)
+        tails, heads, weights = self.tails, self.heads, self.weights
+        ranks = teleport_vec.copy()
+        for _ in range(max_iterations):
+            previous = ranks
+            coefficient = _np.where(has_out, damping * previous / safe_out, 0.0)
+            ranks = _np.bincount(heads, weights=coefficient[tails] * weights,
+                                 minlength=n)
+            dangling_mass = float(previous[~has_out].sum())
+            ranks += (damping * dangling_mass + (1.0 - damping)) * teleport_vec
+            if float(_np.abs(ranks - previous).sum()) < n * tolerance:
+                return dict(zip(self.vertex_of, ranks.tolist()))
+        return None
+
+    def __repr__(self) -> str:
+        return "CompactDiGraph<|V|={}, |E|={}, version={}>".format(
+            self.num_vertices, len(self.tails), self.version)
+
+
+def digraph_snapshot(digraph) -> Optional[CompactDiGraph]:
+    """The cached :class:`CompactDiGraph`, or None when numpy is missing.
+
+    Same lifecycle as :func:`adjacency_snapshot`: cached on the instance,
+    keyed on ``digraph.version()``, rebuilt lazily after any mutation.
+    """
+    if _np is None:
+        return None
+    cached = getattr(digraph, _CACHE_ATTR, None)
+    if cached is not None and cached.version == digraph.version():
+        return cached
+    snapshot = CompactDiGraph(digraph)
+    setattr(digraph, _CACHE_ATTR, snapshot)
+    return snapshot

@@ -78,6 +78,10 @@ class MultiRelationalGraph:
         self._out_by_label: Dict[Tuple[Hashable, Hashable], Set[Edge]] = defaultdict(set)
         self._in_by_label: Dict[Tuple[Hashable, Hashable], Set[Edge]] = defaultdict(set)
         self._listeners: List = []
+        # Pattern -> frozenset cache for match(); valid for one version only,
+        # so repeated atom resolution stops allocating fresh frozensets.
+        self._match_cache: Dict[Tuple, FrozenSet[Edge]] = {}
+        self._match_cache_version = -1
         for item in edges:
             e = item if isinstance(item, Edge) else Edge(*item)
             self.add_edge(e.tail, e.label, e.head)
@@ -148,13 +152,18 @@ class MultiRelationalGraph:
         if e not in self._edges:
             raise EdgeNotFoundError(e)
         del self._edges[e]
-        self._out[tail].discard(e)
-        self._in[head].discard(e)
-        self._rel[label].discard(e)
-        if not self._rel[label]:
-            del self._rel[label]
-        self._out_by_label[(tail, label)].discard(e)
-        self._in_by_label[(label, head)].discard(e)
+        # Prune every index symmetrically: an empty bucket left behind is an
+        # unbounded memory leak under add/remove churn (and would make the
+        # index key counts diverge from the live structure forever).
+        for index, key in ((self._out, tail), (self._in, head),
+                           (self._rel, label),
+                           (self._out_by_label, (tail, label)),
+                           (self._in_by_label, (label, head))):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(e)
+                if not bucket:
+                    del index[key]
         self._version += 1
         for listener in self._listeners:
             listener("remove_edge", e)
@@ -318,7 +327,26 @@ class MultiRelationalGraph:
 
         Uses the most selective available index; only the fully-wild pattern
         touches the whole edge set.
+
+        Results are cached per pattern and invalidated by :meth:`version`,
+        so repeated atom resolution against an unchanged graph returns the
+        same frozenset instead of allocating a fresh copy of the bucket on
+        every call.
         """
+        if self._match_cache_version != self._version:
+            self._match_cache.clear()
+            self._match_cache_version = self._version
+        key = (tail, label, head)
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._match_uncached(tail, label, head)
+        self._match_cache[key] = result
+        return result
+
+    def _match_uncached(self, tail: Optional[Hashable], label: Optional[Hashable],
+                        head: Optional[Hashable]) -> FrozenSet[Edge]:
+        """Resolve one pattern through the indices (no caching)."""
         if tail is not None and label is not None:
             candidates = self._out_by_label.get((tail, label), set())
             if head is not None:
@@ -349,17 +377,13 @@ class MultiRelationalGraph:
         """Edges leaving ``vertex`` (optionally restricted to one label)."""
         if vertex not in self._vertices:
             raise VertexNotFoundError(vertex)
-        if label is None:
-            return frozenset(self._out.get(vertex, set()))
-        return frozenset(self._out_by_label.get((vertex, label), set()))
+        return self.match(tail=vertex, label=label)
 
     def in_edges(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Edge]:
         """Edges entering ``vertex`` (optionally restricted to one label)."""
         if vertex not in self._vertices:
             raise VertexNotFoundError(vertex)
-        if label is None:
-            return frozenset(self._in.get(vertex, set()))
-        return frozenset(e for e in self._in.get(vertex, set()) if e.label == label)
+        return self.match(label=label, head=vertex)
 
     def successors(self, vertex: Hashable, label: Optional[Hashable] = None) -> FrozenSet[Hashable]:
         """Vertices reachable from ``vertex`` by one edge."""

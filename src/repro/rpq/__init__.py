@@ -31,8 +31,10 @@ from repro.rpq.labelregex import (
 from repro.rpq.evaluation import (
     compile_rpq,
     lift_to_edge_expression,
+    lower_to_label_expression,
     regular_simple_paths,
     rpq_pairs,
+    rpq_pairs_basic,
     rpq_paths,
 )
 from repro.rpq.minimize import equivalent, expressions_equivalent, minimize
@@ -42,7 +44,8 @@ __all__ = [
     "LabelConcat", "LabelStar", "sym", "lunion", "lconcat", "lstar",
     "loptional", "lplus", "LabelNFA", "LabelDFA", "build_label_nfa",
     "determinize", "accepts_label_word",
-    "compile_rpq", "rpq_pairs", "rpq_paths", "regular_simple_paths",
-    "lift_to_edge_expression",
+    "compile_rpq", "rpq_pairs", "rpq_pairs_basic", "rpq_paths",
+    "regular_simple_paths",
+    "lift_to_edge_expression", "lower_to_label_expression",
     "minimize", "equivalent", "expressions_equivalent",
 ]

@@ -26,6 +26,7 @@ from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.core.path import EPSILON, Path
 from repro.core.pathset import PathSet
+from repro.graph.compact import rpq_pairs_compact
 from repro.graph.graph import MultiRelationalGraph
 from repro.rpq.labelregex import (
     LabelConcat,
@@ -43,9 +44,11 @@ from repro.rpq.labelregex import (
 __all__ = [
     "compile_rpq",
     "rpq_pairs",
+    "rpq_pairs_basic",
     "rpq_paths",
     "regular_simple_paths",
     "lift_to_edge_expression",
+    "lower_to_label_expression",
 ]
 
 
@@ -66,6 +69,25 @@ def rpq_pairs(graph: MultiRelationalGraph, expression: LabelExpr,
 
     BFS over the (vertex, dfa-state) product graph — polynomial, the
     classical RPQ algorithm.  ``sources=None`` means all vertices.
+
+    The traversal runs on the compact integer-indexed adjacency snapshot
+    (:mod:`repro.graph.compact`): the DFA is compiled once and every source
+    shares the same snapshot, per-(state, label) CSR transition table and
+    stamped visited array.  :func:`rpq_pairs_basic` keeps the direct
+    per-source product BFS as the reference implementation.
+    """
+    dfa = compile_rpq(expression, graph)
+    return rpq_pairs_compact(graph, dfa, sources)
+
+
+def rpq_pairs_basic(graph: MultiRelationalGraph, expression: LabelExpr,
+                    sources: Optional[FrozenSet[Hashable]] = None
+                    ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """Reference implementation of :func:`rpq_pairs` (per-source product BFS).
+
+    Kept verbatim for the equivalence tests and the E13 benchmark: it
+    resolves adjacency through the hash indices (one frozenset per
+    ``match`` pattern) instead of the compact snapshot.
     """
     dfa = compile_rpq(expression, graph)
     start_vertices = graph.vertices() if sources is None else sources
@@ -100,18 +122,25 @@ def rpq_paths(graph: MultiRelationalGraph, expression: LabelExpr,
 
     Product BFS like :func:`rpq_pairs` but materializing paths; bounded by
     ``max_length`` because stars over cycles are infinite.
+
+    No dedup set is kept: every queued configuration ``(vertex, state, path)``
+    is uniquely determined by its path (the vertex is the path's head, and
+    the DFA being deterministic fixes the state as the run over the path's
+    label word), and each path is generated exactly once — its parent
+    configuration is unique and dequeued once, and source vertices are
+    deduplicated up front.  The seed implementation stored the full
+    :class:`Path` inside every entry of a ``seen`` set "guarding" against
+    revisits that cannot happen, which made memory O(paths x length) twice
+    over; the regression test pins the fixed behaviour.
     """
     dfa = compile_rpq(expression, graph)
-    start_vertices = graph.vertices() if sources is None else sources
+    start_vertices = frozenset(graph.vertices() if sources is None else sources)
     out: Set[Path] = set()
     queue: deque = deque()
-    seen: Set[Tuple[Hashable, int, Path]] = set()
     for source in start_vertices:
         if not graph.has_vertex(source):
             continue
-        config = (source, dfa.start, EPSILON)
-        seen.add(config)
-        queue.append(config)
+        queue.append((source, dfa.start, EPSILON))
         if dfa.start in dfa.accepting:
             out.add(EPSILON)
     while queue:
@@ -123,13 +152,9 @@ def rpq_paths(graph: MultiRelationalGraph, expression: LabelExpr,
             if next_state is None:
                 continue
             grown = path.concat(Path((e,)))
-            config = (e.head, next_state, grown)
-            if config in seen:
-                continue
-            seen.add(config)
             if next_state in dfa.accepting:
                 out.add(grown)
-            queue.append(config)
+            queue.append((e.head, next_state, grown))
     return PathSet(out)
 
 
@@ -196,3 +221,76 @@ def lift_to_edge_expression(expression: LabelExpr):
     if isinstance(expr, LabelStar):
         return star(lift_to_edge_expression(expr.inner))
     raise TypeError("unknown label expression {!r}".format(expr))
+
+
+#: Bounded-repeat expansion limit for :func:`lower_to_label_expression` —
+#: beyond this the expanded concatenation stops being cheaper than the
+#: generic evaluator.
+_MAX_REPEAT_EXPANSION = 16
+
+
+def lower_to_label_expression(expression) -> Optional[LabelExpr]:
+    """The partial inverse of :func:`lift_to_edge_expression`.
+
+    Translate an edge-set expression into the label formulation when — and
+    only when — it is *label-only*: every atom is of the shape ``[_, a, _]``,
+    combined by union, join, star or bounded repeat.  Such expressions
+    constrain nothing but the label word, so their endpoint-pair semantics
+    coincide with the label RPQ and :func:`rpq_pairs` can answer them with
+    the compact frontier kernel (the engine's ``pairs`` fast path).
+
+    Returns ``None`` for anything that genuinely needs the edge-set algebra:
+    atoms binding a tail or head vertex, literal path sets, concatenative
+    products (they admit disjoint, non-path concatenations), and oversized
+    repeats.
+    """
+    from repro.regex.ast import (
+        Atom,
+        Empty,
+        Epsilon,
+        Join,
+        Repeat,
+        Star,
+        Union,
+    )
+
+    expr = expression
+    if isinstance(expr, Empty):
+        return LabelEmpty()
+    if isinstance(expr, Epsilon):
+        return LabelEpsilon()
+    if isinstance(expr, Atom):
+        if expr.tail is None and expr.head is None and expr.label is not None:
+            return LabelSymbol(expr.label)
+        return None
+    if isinstance(expr, Union):
+        parts = [lower_to_label_expression(p) for p in expr.parts]
+        if any(p is None for p in parts):
+            return None
+        return LabelUnion(parts)
+    if isinstance(expr, Join):
+        parts = [lower_to_label_expression(p) for p in expr.parts]
+        if any(p is None for p in parts):
+            return None
+        return LabelConcat(parts)
+    if isinstance(expr, Star):
+        inner = lower_to_label_expression(expr.inner)
+        return None if inner is None else LabelStar(inner)
+    if isinstance(expr, Repeat):
+        inner = lower_to_label_expression(expr.inner)
+        if inner is None or expr.minimum > _MAX_REPEAT_EXPANSION:
+            return None
+        required = [inner] * expr.minimum
+        if expr.maximum is None:
+            return LabelConcat(required + [LabelStar(inner)]) if required \
+                else LabelStar(inner)
+        if expr.maximum > _MAX_REPEAT_EXPANSION:
+            return None
+        optional = [LabelUnion((inner, LabelEpsilon()))] * (expr.maximum - expr.minimum)
+        parts = required + optional
+        if not parts:
+            return LabelEpsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return LabelConcat(parts)
+    return None

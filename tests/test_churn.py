@@ -1,0 +1,139 @@
+"""Index-churn regression tests.
+
+``remove_edge`` / ``remove_vertex`` used to prune only ``_rel``, leaving
+empty buckets (and stale ``(vertex, label)`` keys) in the other four index
+dicts forever — an unbounded memory leak under add/remove churn.  These
+tests hammer the mutation API and assert the internal index dicts return
+exactly to their initial key counts while query answers stay correct.
+"""
+
+import pytest
+
+from repro.core.edge import Edge
+from repro.graph.graph import MultiRelationalGraph
+
+BASE_TRIPLES = [
+    ("marko", "knows", "josh"),
+    ("marko", "knows", "peter"),
+    ("marko", "created", "gremlin"),
+    ("josh", "created", "gremlin"),
+    ("josh", "created", "frames"),
+    ("gremlin", "depends_on", "blueprints"),
+]
+
+CHURN_TRIPLES = [
+    ("a", "r", "b"),
+    ("b", "r", "c"),
+    ("c", "s", "a"),
+    ("a", "s", "c"),
+    ("c", "r", "a"),
+]
+
+
+def index_key_counts(graph):
+    return {
+        "_out": len(graph._out),
+        "_in": len(graph._in),
+        "_rel": len(graph._rel),
+        "_out_by_label": len(graph._out_by_label),
+        "_in_by_label": len(graph._in_by_label),
+    }
+
+
+def assert_no_empty_buckets(graph):
+    for name in ("_out", "_in", "_rel", "_out_by_label", "_in_by_label"):
+        index = getattr(graph, name)
+        empty = [key for key, bucket in index.items() if not bucket]
+        assert not empty, "{} retains empty buckets: {!r}".format(name, empty)
+
+
+@pytest.fixture
+def graph():
+    return MultiRelationalGraph(BASE_TRIPLES)
+
+
+class TestEdgeChurn:
+    def test_thousands_of_add_remove_cycles_leave_indices_unchanged(self, graph):
+        baseline = index_key_counts(graph)
+        for _ in range(2000):
+            for tail, label, head in CHURN_TRIPLES:
+                graph.add_edge(tail, label, head)
+            for tail, label, head in CHURN_TRIPLES:
+                graph.remove_edge(tail, label, head)
+            for tail, _, head in CHURN_TRIPLES:
+                for vertex in (tail, head):
+                    if graph.has_vertex(vertex):
+                        graph.remove_vertex(vertex)
+        assert index_key_counts(graph) == baseline
+        assert_no_empty_buckets(graph)
+
+    def test_remove_edge_prunes_every_index(self):
+        g = MultiRelationalGraph()
+        g.add_edge("x", "r", "y")
+        g.remove_edge("x", "r", "y")
+        assert len(g._out) == 0
+        assert len(g._in) == 0
+        assert len(g._rel) == 0
+        assert len(g._out_by_label) == 0
+        assert len(g._in_by_label) == 0
+        # The endpoints survive as (isolated) vertices.
+        assert g.has_vertex("x") and g.has_vertex("y")
+
+    def test_remove_edge_keeps_shared_buckets(self, graph):
+        graph.remove_edge("marko", "knows", "josh")
+        # marko still has out-edges, so its _out bucket must survive...
+        assert Edge("marko", "knows", "peter") in graph._out["marko"]
+        # ...and the (marko, knows) by-label bucket too.
+        assert Edge("marko", "knows", "peter") in graph._out_by_label[("marko", "knows")]
+
+    def test_remove_vertex_leaves_no_stale_label_keys(self, graph):
+        graph.remove_vertex("marko")
+        stale_out = [key for key in graph._out_by_label if key[0] == "marko"]
+        stale_in = [key for key in graph._in_by_label if key[1] == "marko"]
+        assert stale_out == [] and stale_in == []
+        assert_no_empty_buckets(graph)
+
+    def test_answers_stay_correct_under_churn(self, graph):
+        expected_edges = graph.edge_set()
+        expected_labels = graph.labels()
+        for cycle in range(500):
+            graph.add_edge("tmp", "temp_label", "tmp2")
+            graph.add_edge("tmp2", "knows", "marko")
+            graph.remove_vertex("tmp")
+            graph.remove_edge("tmp2", "knows", "marko")
+            graph.remove_vertex("tmp2")
+        assert graph.edge_set() == expected_edges
+        assert graph.labels() == expected_labels
+        assert graph.match(label="temp_label") == frozenset()
+        assert graph.match(tail="marko", label="knows") == frozenset(
+            {Edge("marko", "knows", "josh"), Edge("marko", "knows", "peter")})
+        assert len(graph.edges(tail="marko")) == 3
+
+    def test_label_vanishes_when_last_edge_removed(self, graph):
+        graph.remove_edge("gremlin", "depends_on", "blueprints")
+        assert not graph.has_label("depends_on")
+        assert "depends_on" not in graph._rel
+
+
+class TestMatchCache:
+    def test_repeated_match_returns_cached_frozenset(self, graph):
+        first = graph.match(tail="marko", label="knows")
+        second = graph.match(tail="marko", label="knows")
+        assert first is second  # no fresh allocation per call
+
+    def test_mutation_invalidates_match_cache(self, graph):
+        before = graph.match(tail="marko", label="knows")
+        graph.add_edge("marko", "knows", "vadas")
+        after = graph.match(tail="marko", label="knows")
+        assert before is not after
+        assert Edge("marko", "knows", "vadas") in after
+        assert Edge("marko", "knows", "vadas") not in before
+
+    def test_cache_cleared_not_grown_across_versions(self, graph):
+        for _ in range(50):
+            graph.match(tail="marko")
+            graph.match(label="knows")
+            graph.add_edge("x", "r", "y")
+            graph.remove_edge("x", "r", "y")
+        # The cache only ever holds patterns asked since the last mutation.
+        assert len(graph._match_cache) <= 2
