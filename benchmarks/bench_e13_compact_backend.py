@@ -1,14 +1,19 @@
 """E13 — compact integer-indexed adjacency backend vs the seed hash indices.
 
 Measures, on generated graphs of >= 10k edges across several label
-distributions, the four hot paths the compact backend rewrote:
+distributions, the hot paths the compact backend rewrote:
 
 * multi-source ``rpq_pairs``: frontier-set BFS over the (vertex, dfa-state)
   product on per-label CSR arrays vs the per-source product BFS over
   ``graph.match`` frozensets (``rpq_pairs_basic``),
 * ``DiGraph.bfs_distances``: vectorized level-synchronous BFS vs dict BFS,
 * ``weakly_connected_components``: compact flood fill vs union-find,
-* ``pagerank``: vectorized power iteration vs the dict loop.
+* ``pagerank``: vectorized power iteration vs the dict loop,
+* **mutation churn**: interleaved single-edge mutate-then-query loops with
+  the incremental delta-overlay snapshots vs one full snapshot rebuild per
+  mutation (the pre-incremental lifecycle, simulated by dropping the cache
+  before each query).  The incremental mode is asserted faster — this is
+  the regression gate for the snapshot/delta/compaction machinery.
 
 Every comparison first asserts the two implementations return **identical
 answers** (same pair sets, same distance maps, same components, same ranks
@@ -34,7 +39,7 @@ from repro.algorithms.components import (
 )
 from repro.algorithms.digraph import DiGraph
 from repro.algorithms.pagerank import pagerank
-from repro.graph.compact import HAVE_NUMPY, adjacency_snapshot
+from repro.graph.compact import _CACHE_ATTR, HAVE_NUMPY, adjacency_snapshot
 from repro.graph.generators import preferential_attachment, uniform_random
 from repro.rpq import lconcat, lstar, lunion, rpq_pairs, rpq_pairs_basic, sym
 
@@ -143,6 +148,94 @@ def bench_digraph(num_vertices, num_edges, rows, quick):
     rows.append(("pagerank (power iteration)", seed_s, compact_s))
 
 
+def _drop_snapshot_cache(graph):
+    """Simulate the pre-incremental lifecycle: mutation == full invalidation."""
+    if hasattr(graph, _CACHE_ATTR):
+        delattr(graph, _CACHE_ATTR)
+
+
+def bench_rpq_churn(rows, quick):
+    """Interleaved single-edge mutations and rpq queries on the MRG.
+
+    Same deterministic mutation walk in both modes; the only difference is
+    whether the snapshot is patched from the journal (incremental) or
+    rebuilt from scratch before every query (rebuild).  Answers are
+    asserted identical, and incremental is asserted faster — at full size
+    the graph carries >= 10k edges, the acceptance bar for the delta
+    machinery.
+    """
+    num_vertices, num_edges = (600, 2500) if quick else (1200, 12000)
+    steps = 12 if quick else 40
+    expression = lconcat(sym("a"), lstar(sym("b")))
+
+    def run(mode):
+        graph = uniform_random(num_vertices, num_edges,
+                               labels=("a", "b", "c"), seed=17)
+        vertices = sorted(graph.vertices(), key=repr)
+        sources = frozenset(random.Random(23).sample(vertices, 16))
+        rpq_pairs(graph, expression, sources=sources)  # warm base snapshot
+        answers = []
+        gc.collect()
+        started = time.perf_counter()
+        for step in range(steps):
+            tail = vertices[(step * 37) % len(vertices)]
+            head = vertices[(step * 61 + 13) % len(vertices)]
+            if graph.has_edge(tail, "a", head):
+                graph.remove_edge(tail, "a", head)
+            else:
+                graph.add_edge(tail, "a", head)
+            if mode == "rebuild":
+                _drop_snapshot_cache(graph)
+            answers.append(rpq_pairs(graph, expression, sources=sources))
+        return answers, time.perf_counter() - started
+
+    incremental_answers, incremental_s = run("incremental")
+    rebuild_answers, rebuild_s = run("rebuild")
+    assert incremental_answers == rebuild_answers, \
+        "rpq churn answers diverge between incremental and rebuild modes"
+    assert incremental_s < rebuild_s, \
+        "incremental snapshots ({:.4f}s) must beat {} full rebuilds " \
+        "({:.4f}s) on a {}-edge graph".format(
+            incremental_s, steps, rebuild_s, num_edges)
+    rows.append(("rpq churn x{} mutate+query ({} edges)".format(
+        steps, num_edges), rebuild_s, incremental_s))
+
+
+def bench_digraph_churn(rows, quick):
+    """Interleaved single-edge mutations and BFS queries on the DiGraph."""
+    num_vertices, num_edges = (800, 5000) if quick else (1500, 15000)
+    steps = 12 if quick else 40
+
+    def run(mode):
+        graph = random_digraph(num_vertices, num_edges, seed=29)
+        rng = random.Random(31)
+        graph.bfs_distances(0)  # warm base snapshot
+        answers = []
+        gc.collect()
+        started = time.perf_counter()
+        for step in range(steps):
+            tail = rng.randrange(num_vertices)
+            head = rng.randrange(num_vertices)
+            if graph.has_edge(tail, head):
+                graph.remove_edge(tail, head)
+            else:
+                graph.add_edge(tail, head)
+            if mode == "rebuild":
+                _drop_snapshot_cache(graph)
+            answers.append(graph.bfs_distances(step % num_vertices))
+        return answers, time.perf_counter() - started
+
+    incremental_answers, incremental_s = run("incremental")
+    rebuild_answers, rebuild_s = run("rebuild")
+    assert incremental_answers == rebuild_answers, \
+        "digraph churn answers diverge between incremental and rebuild modes"
+    assert incremental_s < rebuild_s, \
+        "incremental digraph snapshots ({:.4f}s) must beat {} full " \
+        "rebuilds ({:.4f}s)".format(incremental_s, steps, rebuild_s)
+    rows.append(("digraph churn x{} mutate+bfs ({} edges)".format(
+        steps, num_edges), rebuild_s, incremental_s))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -174,8 +267,12 @@ def main():
     else:
         print("numpy unavailable: DiGraph kernels fall back to the seed "
               "implementations, skipping their comparison")
+    bench_rpq_churn(rows, args.quick)
+    if HAVE_NUMPY:
+        bench_digraph_churn(rows, args.quick)
     report(rows)
-    print("all compact/seed answer sets identical")
+    print("all compact/seed answer sets identical; "
+          "incremental churn beats full rebuilds")
 
 
 if __name__ == "__main__":

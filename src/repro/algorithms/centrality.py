@@ -65,7 +65,21 @@ def closeness_centrality(graph: DiGraph) -> Dict[Hashable, float]:
     paths (who can reach v), ``closeness = ((r - 1) / total_distance) *
     ((r - 1) / (n - 1))`` where r is v's reachable-set size.  Vertices
     reached by nobody score 0.
+
+    Large graphs run reverse-CSR BFS sweeps on the compact snapshot
+    (:meth:`repro.graph.compact.CompactDiGraph.closeness_centrality_scores`,
+    same arithmetic, no transpose-graph materialization); the dict version
+    below remains the small-graph path and no-numpy fallback.
     """
+    from repro.graph.compact import digraph_snapshot_if_large
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        return snapshot.closeness_centrality_scores()
+    return _closeness_centrality_dict(graph)
+
+
+def _closeness_centrality_dict(graph: DiGraph) -> Dict[Hashable, float]:
+    """Reference dict implementation (always available)."""
     n = graph.order()
     reverse = graph.reversed()
     out: Dict[Hashable, float] = {}
@@ -86,7 +100,23 @@ def betweenness_centrality(graph: DiGraph, normalized: bool = True) -> Dict[Hash
     """Brandes' algorithm for shortest-path betweenness (unweighted).
 
     Directed normalization divides by ``(n - 1)(n - 2)``.
+
+    Large graphs run the integer-indexed Brandes over the compact forward
+    CSR (flat sigma/delta arrays, no per-source dict churn); the dict
+    version below remains the small-graph path and no-numpy fallback.
+    Scores agree up to float associativity (successor visitation order
+    differs), which the differential tests bound at 1e-9.
     """
+    from repro.graph.compact import digraph_snapshot_if_large
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        return snapshot.betweenness_centrality_scores(normalized)
+    return _betweenness_centrality_dict(graph, normalized)
+
+
+def _betweenness_centrality_dict(graph: DiGraph,
+                                 normalized: bool = True) -> Dict[Hashable, float]:
+    """Reference dict implementation (always available)."""
     betweenness: Dict[Hashable, float] = {v: 0.0 for v in graph.vertices()}
     for source in graph.vertices():
         # Single-source shortest paths with path counting.

@@ -29,18 +29,17 @@ def weakly_connected_components(graph: DiGraph) -> List[FrozenSet[Hashable]]:
     small-graph path and no-numpy fallback.  Output order is identical:
     sorted by descending size, ties broken by member repr.
     """
-    if graph.order() >= DiGraph._COMPACT_MIN_ORDER:
-        from repro.graph.compact import digraph_snapshot
-        snapshot = digraph_snapshot(graph)
-        if snapshot is not None:
-            labels = snapshot.weak_component_labels().tolist()
-            groups_by_id: Dict[int, Set[Hashable]] = {}
-            for vertex_id, component_id in enumerate(labels):
-                groups_by_id.setdefault(component_id, set()).add(
-                    snapshot.vertex_of[vertex_id])
-            return sorted(
-                (frozenset(group) for group in groups_by_id.values()),
-                key=lambda group: (-len(group), repr(sorted(group, key=repr))))
+    from repro.graph.compact import digraph_snapshot_if_large
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        labels = snapshot.weak_component_labels().tolist()
+        groups_by_id: Dict[int, Set[Hashable]] = {}
+        for vertex_id, component_id in enumerate(labels):
+            groups_by_id.setdefault(component_id, set()).add(
+                snapshot.vertex_of[vertex_id])
+        return sorted(
+            (frozenset(group) for group in groups_by_id.values()),
+            key=lambda group: (-len(group), repr(sorted(group, key=repr))))
     return _weakly_connected_components_unionfind(graph)
 
 
@@ -67,7 +66,31 @@ def _weakly_connected_components_unionfind(
 
 
 def strongly_connected_components(graph: DiGraph) -> List[FrozenSet[Hashable]]:
-    """Tarjan's SCC algorithm, iterative formulation."""
+    """Tarjan's SCC algorithm, iterative formulation.
+
+    Large graphs run the integer-indexed Tarjan over the compact forward
+    CSR (:class:`repro.graph.compact.CompactDiGraph`); the dict version
+    below remains the small-graph path and no-numpy fallback.  The SCC
+    partition is unique, so both produce identical output after the shared
+    canonical sort (descending size, ties by member repr).
+    """
+    from repro.graph.compact import digraph_snapshot_if_large
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        labels = snapshot.strongly_connected_component_labels()
+        groups_by_id: Dict[int, Set[Hashable]] = {}
+        for vertex_id, component_id in enumerate(labels):
+            groups_by_id.setdefault(component_id, set()).add(
+                snapshot.vertex_of[vertex_id])
+        return sorted(
+            (frozenset(group) for group in groups_by_id.values()),
+            key=lambda group: (-len(group), repr(sorted(group, key=repr))))
+    return _strongly_connected_components_dict(graph)
+
+
+def _strongly_connected_components_dict(
+        graph: DiGraph) -> List[FrozenSet[Hashable]]:
+    """Reference dict-based iterative Tarjan (always available)."""
     index_counter = [0]
     index: Dict[Hashable, int] = {}
     lowlink: Dict[Hashable, int] = {}

@@ -15,7 +15,17 @@ paths per pair as the weight (see :class:`repro.core.projection.BinaryProjection
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import VertexNotFoundError
 
@@ -29,6 +39,11 @@ class DiGraph:
         self._succ: Dict[Hashable, Dict[Hashable, float]] = {}
         self._pred: Dict[Hashable, Dict[Hashable, float]] = {}
         self._version = 0
+        # Structural mutation journal mirroring MultiRelationalGraph's: the
+        # compact snapshot layer replays it to patch edge arrays in place of
+        # a full O(V + E) rebuild.  Covers versions (_journal_floor, _version].
+        self._journal: List[Tuple] = []
+        self._journal_floor = 0
         for tail, head in edges:
             self.add_edge(tail, head)
 
@@ -42,6 +57,7 @@ class DiGraph:
             self._succ[vertex] = {}
             self._pred[vertex] = {}
             self._version += 1
+            self._journal_append(("+v", vertex))
 
     def add_edge(self, tail: Hashable, head: Hashable, weight: float = 1.0) -> None:
         """Add (or re-weight) the edge ``tail -> head``."""
@@ -50,12 +66,14 @@ class DiGraph:
         self._succ[tail][head] = float(weight)
         self._pred[head][tail] = float(weight)
         self._version += 1
+        self._journal_append(("+e", tail, head, float(weight)))
 
     def remove_edge(self, tail: Hashable, head: Hashable) -> None:
         """Remove one edge (KeyError if absent)."""
         del self._succ[tail][head]
         del self._pred[head][tail]
         self._version += 1
+        self._journal_append(("-e", tail, head))
 
     def version(self) -> int:
         """A counter bumped by every mutation (cache-invalidation token).
@@ -64,6 +82,49 @@ class DiGraph:
         snapshots on this, mirroring ``MultiRelationalGraph.version()``.
         """
         return self._version
+
+    # ------------------------------------------------------------------
+    # Structural mutation journal (compact-snapshot delta source)
+    # ------------------------------------------------------------------
+
+    #: Same cap semantics as MultiRelationalGraph: past it the journal is
+    #: dropped and snapshot consumers rebuild from scratch.
+    _JOURNAL_CAP = 65536
+
+    #: Kept in sync with ``repro.graph.compact._CACHE_ATTR``.
+    _SNAPSHOT_CACHE_ATTR = "_compact_snapshot_cache"
+
+    def _journal_append(self, entry: Tuple) -> None:
+        """Record one structural op, tagged with the version it produced."""
+        if not self._journal and \
+                getattr(self, self._SNAPSHOT_CACHE_ATTR, None) is None:
+            # Journaling starts lazily with the first snapshot build; until
+            # then the pinned floor tells consumers the gap is uncovered.
+            self._journal_floor = self._version
+            return
+        self._journal.append((self._version,) + entry)
+        if len(self._journal) > self._JOURNAL_CAP:
+            del self._journal[:]
+            self._journal_floor = self._version
+
+    def journal_since(self, version: int) -> Optional[List[Tuple]]:
+        """Structural ops after ``version`` (``(version_after, op, *args)``),
+        or ``None`` when the journal no longer reaches back that far.
+
+        ``op`` is ``"+v"``, ``"+e"`` (payload includes the weight — re-adding
+        an existing edge re-weights it) or ``"-e"``.
+        """
+        if version < self._journal_floor:
+            return None
+        return [entry for entry in self._journal if entry[0] > version]
+
+    def prune_journal(self, version: int) -> None:
+        """Drop journal entries at or before ``version`` (already consumed)."""
+        if self._journal and self._journal[0][0] <= version:
+            self._journal = [entry for entry in self._journal
+                             if entry[0] > version]
+        if version > self._journal_floor:
+            self._journal_floor = version
 
     # ------------------------------------------------------------------
     # Inspection
@@ -166,11 +227,10 @@ class DiGraph:
         below remains both the small-graph path and the no-numpy fallback.
         """
         self._require(source)
-        if len(self._succ) >= self._COMPACT_MIN_ORDER:
-            from repro.graph.compact import digraph_snapshot
-            snapshot = digraph_snapshot(self)
-            if snapshot is not None:
-                return snapshot.bfs_distances(source)
+        from repro.graph.compact import digraph_snapshot_if_large
+        snapshot = digraph_snapshot_if_large(self)
+        if snapshot is not None:
+            return snapshot.bfs_distances(source)
         return self._bfs_distances_dict(source)
 
     def _bfs_distances_dict(self, source: Hashable) -> Dict[Hashable, int]:

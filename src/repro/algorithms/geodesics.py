@@ -2,6 +2,16 @@
 
 The "geodesics" family of section IV-C's algorithm inventory.  Unweighted
 shortest paths use BFS; weighted use Dijkstra (non-negative weights).
+
+Single-source queries route through :meth:`DiGraph.bfs_distances` (and so
+inherit its compact-array fast path); the all-pairs sweeps —
+:func:`all_pairs_shortest_lengths`, :func:`diameter`,
+:func:`average_path_length` — additionally share one compact snapshot
+across all sources and, for the scalar summaries, reduce each BFS level
+array on the fly instead of materializing per-source dicts
+(:meth:`repro.graph.compact.CompactDiGraph.geodesic_summary`).  Dict
+implementations are kept as the small-graph path, the no-numpy fallback
+and the differential-test reference.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.algorithms.digraph import DiGraph
 from repro.errors import AlgorithmError
+from repro.graph.compact import digraph_snapshot_if_large
 
 __all__ = [
     "shortest_path_lengths",
@@ -53,7 +64,15 @@ def shortest_path(graph: DiGraph, source: Hashable,
 
 
 def all_pairs_shortest_lengths(graph: DiGraph) -> Dict[Hashable, Dict[Hashable, int]]:
-    """BFS from every vertex: ``source -> {target -> hops}``."""
+    """BFS from every vertex: ``source -> {target -> hops}``.
+
+    Large graphs fetch the compact snapshot once and sweep every source
+    over its CSR arrays, skipping the per-source threshold check and
+    snapshot lookup ``graph.bfs_distances`` would repeat.
+    """
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        return {v: snapshot.bfs_distances(v) for v in graph.vertices()}
     return {v: graph.bfs_distances(v) for v in graph.vertices()}
 
 
@@ -89,6 +108,9 @@ def dijkstra(graph: DiGraph, source: Hashable) -> Dict[Hashable, float]:
 def eccentricity(graph: DiGraph, vertex: Hashable) -> int:
     """Max hop distance from ``vertex`` over its reachable set.
 
+    Rides :meth:`DiGraph.bfs_distances` and therefore the compact CSR BFS
+    on large graphs.
+
     Raises
     ------
     AlgorithmError
@@ -105,20 +127,49 @@ def diameter(graph: DiGraph) -> int:
     """Max eccentricity over vertices that can reach something.
 
     Computed over reachable pairs only (the graph need not be strongly
-    connected); raises if no vertex reaches any other.
+    connected); raises if no vertex reaches any other.  Large graphs run
+    the compact geodesic sweep (one CSR BFS per source, reduced on the
+    fly); the dict sweep below is the fallback and reference.
     """
-    best = -1
-    for v in graph.vertices():
-        distances = graph.bfs_distances(v)
-        if len(distances) > 1:
-            best = max(best, max(distances.values()))
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        best = snapshot.geodesic_summary()[0]
+    else:
+        best = _diameter_dict(graph)
     if best < 0:
         raise AlgorithmError("diameter undefined on an edgeless graph")
     return best
 
 
+def _diameter_dict(graph: DiGraph) -> int:
+    """Reference dict sweep: max distance over reachable pairs, -1 if none."""
+    best = -1
+    for v in graph.vertices():
+        distances = graph.bfs_distances(v)
+        if len(distances) > 1:
+            best = max(best, max(distances.values()))
+    return best
+
+
 def average_path_length(graph: DiGraph) -> float:
-    """Mean hop distance over all reachable ordered pairs (excluding self)."""
+    """Mean hop distance over all reachable ordered pairs (excluding self).
+
+    Shares the compact geodesic sweep with :func:`diameter` on large
+    graphs; the dict sweep below is the fallback and reference.
+    """
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        _, total, count = snapshot.geodesic_summary()
+    else:
+        total, count = _average_path_length_sums_dict(graph)
+    if count == 0:
+        raise AlgorithmError("average path length undefined: no reachable pairs")
+    return total / float(count)
+
+
+def _average_path_length_sums_dict(graph: DiGraph) -> Tuple[int, int]:
+    """Reference dict sweep: (distance total, pair count) over reachable
+    ordered pairs excluding self."""
     total = 0
     count = 0
     for v in graph.vertices():
@@ -126,6 +177,4 @@ def average_path_length(graph: DiGraph) -> float:
             if target != v:
                 total += distance
                 count += 1
-    if count == 0:
-        raise AlgorithmError("average path length undefined: no reachable pairs")
-    return total / float(count)
+    return total, count

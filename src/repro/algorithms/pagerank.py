@@ -60,15 +60,14 @@ def pagerank(graph: DiGraph, damping: float = 0.85,
     # Large graphs run the same power iteration over compact edge arrays
     # (vectorized gather + bincount scatter); the dict loop below remains
     # the small-graph path and no-numpy fallback.
-    if n >= DiGraph._COMPACT_MIN_ORDER:
-        from repro.graph.compact import digraph_snapshot
-        snapshot = digraph_snapshot(graph)
-        if snapshot is not None:
-            ranks = snapshot.pagerank(damping, teleport, max_iterations,
-                                      tolerance)
-            if ranks is None:
-                raise ConvergenceError("pagerank", max_iterations, tolerance)
-            return ranks
+    from repro.graph.compact import digraph_snapshot_if_large
+    snapshot = digraph_snapshot_if_large(graph)
+    if snapshot is not None:
+        ranks = snapshot.pagerank(damping, teleport, max_iterations,
+                                  tolerance)
+        if ranks is None:
+            raise ConvergenceError("pagerank", max_iterations, tolerance)
+        return ranks
 
     out_weight = {v: graph.out_degree(v, weighted=True) for v in vertices}
     dangling = [v for v in vertices if out_weight[v] == 0.0]

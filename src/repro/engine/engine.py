@@ -164,10 +164,14 @@ class Engine:
                 max_length: Optional[int] = None) -> str:
         """EXPLAIN: the annotated plan tree, plus pairs-fast-path eligibility.
 
-        The trailing line reports whether :meth:`pairs` would route this
+        The trailing lines report whether :meth:`pairs` would route this
         query through the compact frontier-BFS kernel (label-only
-        expressions) or fall back to bounded path materialization.
+        expressions) or fall back to bounded path materialization, and the
+        state of the graph's compact snapshot cache (cold, base CSR, or
+        delta overlay awaiting compaction) so staleness is visible next to
+        the plan.
         """
+        from repro.graph.compact import snapshot_state
         from repro.rpq.evaluation import lower_to_label_expression
         expression = self.compile(query)
         text = self.plan(expression, max_length).explain()
@@ -179,7 +183,8 @@ class Engine:
             note = ("pairs fast path: not eligible — expression is not "
                     "label-only; Engine.pairs() falls back to bounded "
                     "automaton evaluation")
-        return text + "\n" + note
+        snapshot_note = "compact snapshot: " + snapshot_state(self.graph)
+        return text + "\n" + note + "\n" + snapshot_note
 
     def pairs(self, query: Union[str, RegexExpr],
               sources: Optional[frozenset] = None,

@@ -4,9 +4,11 @@ from repro.graph.graph import MultiRelationalGraph
 from repro.graph.compact import (
     CompactAdjacency,
     CompactDiGraph,
+    DeltaAdjacency,
     adjacency_snapshot,
     digraph_snapshot,
     rpq_pairs_compact,
+    snapshot_state,
 )
 from repro.graph import generators
 from repro.graph import io
@@ -14,7 +16,8 @@ from repro.graph import statistics
 
 __all__ = [
     "MultiRelationalGraph",
-    "CompactAdjacency", "CompactDiGraph",
+    "CompactAdjacency", "CompactDiGraph", "DeltaAdjacency",
     "adjacency_snapshot", "digraph_snapshot", "rpq_pairs_compact",
+    "snapshot_state",
     "generators", "io", "statistics",
 ]

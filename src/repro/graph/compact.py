@@ -8,43 +8,60 @@ correctly but expensively: each call walks dict buckets of :class:`Edge`
 objects and hands back freshly allocated frozensets.  This module provides
 the compact numeric backend the hot paths share instead:
 
-* :class:`CompactAdjacency` — a read-only **snapshot** of a
+* :class:`CompactAdjacency` — a read-only base **snapshot** of a
   ``MultiRelationalGraph``.  Vertices and labels are interned to dense
   integer ids; per-label adjacency is stored CSR-style (a flat ``indptr``
   offset array plus a flat ``indices`` neighbor array), forward and
   reverse.  Neighbor expansion is then two list slices — no Edge objects,
   no set allocation, no hashing.
+* :class:`DeltaAdjacency` — a **delta overlay** over a base snapshot:
+  per-label add/remove buffers replayed from the graph's mutation journal,
+  so point mutations cost O(delta) instead of an O(V + E) rebuild.  Kernels
+  consult ``base CSR + delta`` through the shared block interface.
 * :class:`CompactDiGraph` — the analogous snapshot of the single-relational
   :class:`~repro.algorithms.digraph.DiGraph`, with numpy edge/CSR arrays
-  feeding the vectorized kernels used by ``bfs_distances``,
-  ``weakly_connected_components`` and ``pagerank`` fast paths.
+  feeding the vectorized BFS / component / pagerank kernels plus the
+  integer-indexed Tarjan SCC, geodesic-sweep and centrality kernels.
 * :func:`rpq_pairs_compact` — the frontier-set BFS over the
   (vertex, dfa-state) product that powers :func:`repro.rpq.rpq_pairs` and
   the engine's ``pairs`` fast path.
 
-Snapshot lifecycle
-------------------
+Snapshot lifecycle (incremental)
+--------------------------------
 Snapshots are built **lazily** on first use and cached on the graph
 instance, keyed on the graph's ``version()`` mutation counter:
 
-* :func:`adjacency_snapshot` / :func:`digraph_snapshot` return the cached
-  snapshot when ``snapshot.version == graph.version()`` and rebuild (one
-  O(V + E) pass) otherwise — so a mutation-free query workload pays the
-  build cost once, while any mutation transparently invalidates.
-* Snapshots are immutable by convention: kernels only read them, and the
-  owning graph never mutates one in place.  A stale snapshot is simply
-  dropped, never patched.
+* A mutation-free workload pays the O(V + E) base build once and reuses it.
+* After mutations, :func:`adjacency_snapshot` replays the graph's
+  structural **mutation journal** (``graph.journal_since``) into a
+  :class:`DeltaAdjacency` overlay — O(delta) work, no rebuild.  The overlay
+  is itself cached and extended in place by subsequent mutation batches.
+* Once the accumulated delta exceeds a fraction of the base edge count
+  (:data:`COMPACTION_FRACTION`, floored at :data:`COMPACTION_MIN_OPS`), the
+  overlay is **compacted**: folded back into a fresh base CSR, restoring
+  slice-only adjacency lookups.
+* When the journal cannot cover the gap (capped, or the graph was never
+  journaled that far back), the cache transparently falls back to a full
+  rebuild — incrementality is a fast path, never a correctness dependency.
 
-numpy is optional.  The :class:`CompactAdjacency` kernels use plain Python
-lists (scalar indexing of lists beats numpy scalars inside interpreter
-loops); the :class:`CompactDiGraph` kernels are vectorized and require
-numpy — when it is unavailable ``digraph_snapshot`` returns ``None`` and
-callers keep their pure-Python implementations.
+:class:`CompactDiGraph` follows the same protocol with vectorized array
+surgery: removed base edges are masked with one ``np.isin`` over packed
+edge keys, added edges are appended, and the CSR index arrays are
+re-derived by C-speed sorts — orders of magnitude cheaper than re-walking
+the successor dicts in the interpreter.  Handed-out ``CompactDiGraph``
+instances stay immutable; ``DeltaAdjacency`` overlays are live views that
+track their graph (documented, deliberate — kernels fetch them per call).
+
+numpy is optional.  The :class:`CompactAdjacency`/:class:`DeltaAdjacency`
+kernels use plain Python lists (scalar indexing of lists beats numpy
+scalars inside interpreter loops); the :class:`CompactDiGraph` kernels are
+vectorized and require numpy — when it is unavailable ``digraph_snapshot``
+returns ``None`` and callers keep their pure-Python implementations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 try:  # numpy accelerates the DiGraph kernels; everything else works without it.
     import numpy as _np
@@ -53,10 +70,16 @@ except ImportError:  # pragma: no cover - the CI image ships numpy
 
 __all__ = [
     "CompactAdjacency",
+    "DeltaAdjacency",
     "CompactDiGraph",
     "adjacency_snapshot",
     "digraph_snapshot",
+    "digraph_snapshot_if_large",
     "rpq_pairs_compact",
+    "snapshot_state",
+    "compaction_due",
+    "COMPACTION_MIN_OPS",
+    "COMPACTION_FRACTION",
     "HAVE_NUMPY",
 ]
 
@@ -65,6 +88,28 @@ HAVE_NUMPY = _np is not None
 
 #: Attribute name under which snapshots are cached on graph instances.
 _CACHE_ATTR = "_compact_snapshot_cache"
+
+#: Delta overlays are folded back into a fresh base CSR once their op count
+#: exceeds ``max(COMPACTION_MIN_OPS, COMPACTION_FRACTION * |E_base|)``.
+COMPACTION_MIN_OPS = 64
+COMPACTION_FRACTION = 0.25
+
+#: Bit width of the head id inside a packed ``(tail << SHIFT) | head`` edge
+#: key — collision-free for any graph this process can hold.
+_KEY_SHIFT = 32
+
+# Shared immutable placeholders for clean (delta-free) adjacency blocks.
+_NO_DELTA: Dict[int, list] = {}
+_EMPTY_INDPTR = (0,)
+_EMPTY_INDICES: Tuple[int, ...] = ()
+_EMPTY_ROW: Tuple[int, ...] = ()
+
+
+def compaction_due(delta_ops: int, base_edges: int) -> bool:
+    """True when an overlay of ``delta_ops`` ops over ``base_edges`` base
+    edges has outgrown its usefulness and should fold into a fresh CSR."""
+    return delta_ops > max(COMPACTION_MIN_OPS,
+                           int(COMPACTION_FRACTION * base_edges))
 
 
 def _build_csr(num_vertices: int, pairs: Iterable[Tuple[int, int]],
@@ -131,6 +176,11 @@ class CompactAdjacency:
     def num_labels(self) -> int:
         return len(self.label_of)
 
+    @property
+    def num_slots(self) -> int:
+        """Vertex-id address space (== ``num_vertices``: no tombstones)."""
+        return len(self.vertex_of)
+
     @classmethod
     def build(cls, graph) -> "CompactAdjacency":
         """One O(V + E) pass over the graph's internal edge dict."""
@@ -151,6 +201,25 @@ class CompactAdjacency:
         return cls(graph.version(), vertex_ids, vertex_of, label_ids,
                    label_of, forward, reverse, len(graph._edges))
 
+    def live_vertex_ids(self):
+        """All vertex ids (every slot is live in a base snapshot)."""
+        return range(len(self.vertex_of))
+
+    def out_block(self, label_id: int):
+        """``(indptr, indices, added, removed, base_n)`` for one label.
+
+        The shared kernel block interface: base CSR arrays plus the per-label
+        delta dicts (empty here — a base snapshot carries no delta) and the
+        vertex count the CSR covers.
+        """
+        indptr, indices = self.forward[label_id]
+        return indptr, indices, _NO_DELTA, _NO_DELTA, len(self.vertex_of)
+
+    def in_block(self, label_id: int):
+        """Reverse-direction counterpart of :meth:`out_block`."""
+        indptr, indices = self.reverse[label_id]
+        return indptr, indices, _NO_DELTA, _NO_DELTA, len(self.vertex_of)
+
     def out_neighbors(self, vertex_id: int, label_id: int) -> List[int]:
         """Out-neighbor ids of ``vertex_id`` along ``label_id`` (a slice)."""
         indptr, indices = self.forward[label_id]
@@ -166,23 +235,256 @@ class CompactAdjacency:
             self.num_vertices, self.num_edges, self.num_labels, self.version)
 
 
-def adjacency_snapshot(graph) -> CompactAdjacency:
-    """The cached :class:`CompactAdjacency` for ``graph``, rebuilt when stale.
+class DeltaAdjacency:
+    """A delta overlay over a base :class:`CompactAdjacency`.
 
-    The snapshot is stored on the graph instance and keyed on
-    ``graph.version()``; every mutation bumps the version, so a cached
-    snapshot is valid exactly while the graph is untouched.
+    Holds per-label add/remove buffers (dicts keyed by vertex id) replayed
+    from the graph's mutation journal, plus extended interning maps for
+    vertices and labels born after the base build.  Removed vertices leave
+    **tombstone** slots: their id stays allocated (dead) and a re-added
+    vertex gets a fresh id, so base CSR ids never ambiguate.  Kernels read
+    through :meth:`out_block`/:meth:`in_block` exactly as they do on a base
+    snapshot; clean labels still resolve to raw CSR slices.
+
+    Unlike a base snapshot, an overlay is a **live view**: it is extended in
+    place as further mutation batches are replayed into it.  Fetch it per
+    query (as every kernel does) rather than holding one across mutations.
+    """
+
+    __slots__ = ("base", "version", "vertex_ids", "vertex_of", "label_ids",
+                 "label_of", "added_out", "added_in", "removed_out",
+                 "removed_in", "dead_vertices", "num_edges", "delta_ops")
+
+    def __init__(self, base: CompactAdjacency):
+        self.base = base
+        self.version = base.version
+        self.vertex_ids = dict(base.vertex_ids)
+        self.vertex_of = list(base.vertex_of)
+        self.label_ids = dict(base.label_ids)
+        self.label_of = list(base.label_of)
+        # label_id -> {vertex_id: [neighbor_id, ...]} (insertion-ordered).
+        self.added_out: Dict[int, Dict[int, List[int]]] = {}
+        self.added_in: Dict[int, Dict[int, List[int]]] = {}
+        # label_id -> {vertex_id: {neighbor_id, ...}} masking base edges.
+        self.removed_out: Dict[int, Dict[int, Set[int]]] = {}
+        self.removed_in: Dict[int, Dict[int, Set[int]]] = {}
+        self.dead_vertices: Set[int] = set()
+        self.num_edges = base.num_edges
+        self.delta_ops = 0
+
+    @property
+    def num_vertices(self) -> int:
+        """Live vertex count (tombstoned slots excluded)."""
+        return len(self.vertex_ids)
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.label_of)
+
+    @property
+    def num_slots(self) -> int:
+        """Vertex-id address space, dead slots included (array sizing)."""
+        return len(self.vertex_of)
+
+    # -- journal replay ----------------------------------------------------
+
+    def apply(self, entries: List[Tuple]) -> None:
+        """Replay journal entries (``(version, op, *args)``) into the delta."""
+        for entry in entries:
+            op = entry[1]
+            if op == "+e":
+                self._add_edge(entry[2], entry[3], entry[4])
+            elif op == "-e":
+                self._remove_edge(entry[2], entry[3], entry[4])
+            elif op == "+v":
+                self._add_vertex(entry[2])
+            elif op == "-v":
+                self._remove_vertex(entry[2])
+        self.delta_ops += len(entries)
+
+    def _add_vertex(self, vertex: Hashable) -> None:
+        if vertex in self.vertex_ids:
+            return
+        self.vertex_ids[vertex] = len(self.vertex_of)
+        self.vertex_of.append(vertex)
+
+    def _remove_vertex(self, vertex: Hashable) -> None:
+        # Incident edges were already journaled as "-e" ops; only the slot
+        # dies.  The tombstoned id is unreachable from here on.
+        self.dead_vertices.add(self.vertex_ids.pop(vertex))
+
+    def _add_edge(self, tail: Hashable, label: Hashable, head: Hashable) -> None:
+        label_id = self.label_ids.get(label)
+        if label_id is None:
+            label_id = len(self.label_of)
+            self.label_ids[label] = label_id
+            self.label_of.append(label)
+        tail_id = self.vertex_ids[tail]
+        head_id = self.vertex_ids[head]
+        removed = self.removed_out.get(label_id)
+        mask = removed.get(tail_id) if removed else None
+        if mask and head_id in mask:
+            # Re-adding a base edge deleted earlier in this delta: unmask it.
+            mask.discard(head_id)
+            if not mask:
+                del removed[tail_id]
+            reverse_mask = self.removed_in[label_id][head_id]
+            reverse_mask.discard(tail_id)
+            if not reverse_mask:
+                del self.removed_in[label_id][head_id]
+        else:
+            self.added_out.setdefault(label_id, {}) \
+                .setdefault(tail_id, []).append(head_id)
+            self.added_in.setdefault(label_id, {}) \
+                .setdefault(head_id, []).append(tail_id)
+        self.num_edges += 1
+
+    def _remove_edge(self, tail: Hashable, label: Hashable, head: Hashable) -> None:
+        label_id = self.label_ids[label]
+        tail_id = self.vertex_ids[tail]
+        head_id = self.vertex_ids[head]
+        added = self.added_out.get(label_id)
+        grown = added.get(tail_id) if added else None
+        if grown is not None and head_id in grown:
+            # The edge only ever lived in the delta: retract it.
+            grown.remove(head_id)
+            if not grown:
+                del added[tail_id]
+            reverse_grown = self.added_in[label_id][head_id]
+            reverse_grown.remove(tail_id)
+            if not reverse_grown:
+                del self.added_in[label_id][head_id]
+        else:
+            self.removed_out.setdefault(label_id, {}) \
+                .setdefault(tail_id, set()).add(head_id)
+            self.removed_in.setdefault(label_id, {}) \
+                .setdefault(head_id, set()).add(tail_id)
+        self.num_edges -= 1
+
+    # -- reads -------------------------------------------------------------
+
+    def live_vertex_ids(self):
+        """Ids of live vertices (tombstoned slots skipped)."""
+        dead = self.dead_vertices
+        if not dead:
+            return range(len(self.vertex_of))
+        return [i for i in range(len(self.vertex_of)) if i not in dead]
+
+    def out_block(self, label_id: int):
+        """``(indptr, indices, added, removed, base_n)`` for one label."""
+        base = self.base
+        if label_id < len(base.forward):
+            indptr, indices = base.forward[label_id]
+            base_n = base.num_vertices
+        else:  # label born after the base build: delta-only.
+            indptr, indices, base_n = _EMPTY_INDPTR, _EMPTY_INDICES, 0
+        return (indptr, indices,
+                self.added_out.get(label_id, _NO_DELTA),
+                self.removed_out.get(label_id, _NO_DELTA),
+                base_n)
+
+    def in_block(self, label_id: int):
+        """Reverse-direction counterpart of :meth:`out_block`."""
+        base = self.base
+        if label_id < len(base.reverse):
+            indptr, indices = base.reverse[label_id]
+            base_n = base.num_vertices
+        else:
+            indptr, indices, base_n = _EMPTY_INDPTR, _EMPTY_INDICES, 0
+        return (indptr, indices,
+                self.added_in.get(label_id, _NO_DELTA),
+                self.removed_in.get(label_id, _NO_DELTA),
+                base_n)
+
+    @staticmethod
+    def _merge(block, vertex_id: int) -> List[int]:
+        indptr, indices, added, removed, base_n = block
+        if vertex_id < base_n:
+            neighbors = indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+        else:
+            neighbors = _EMPTY_ROW
+        mask = removed.get(vertex_id) if removed else None
+        if mask:
+            neighbors = [x for x in neighbors if x not in mask]
+        grown = added.get(vertex_id) if added else None
+        if grown:
+            return list(neighbors) + grown
+        return list(neighbors)
+
+    def out_neighbors(self, vertex_id: int, label_id: int) -> List[int]:
+        """Out-neighbor ids: base slice minus removals plus additions."""
+        return self._merge(self.out_block(label_id), vertex_id)
+
+    def in_neighbors(self, vertex_id: int, label_id: int) -> List[int]:
+        """In-neighbor ids: base slice minus removals plus additions."""
+        return self._merge(self.in_block(label_id), vertex_id)
+
+    def __repr__(self) -> str:
+        return ("DeltaAdjacency<|V|={}, |E|={}, |Omega|={}, version={}, "
+                "delta_ops={} over base v{}>").format(
+            self.num_vertices, self.num_edges, self.num_labels,
+            self.version, self.delta_ops, self.base.version)
+
+
+def adjacency_snapshot(graph, incremental: bool = True):
+    """The cached compact adjacency for ``graph``, patched or rebuilt when stale.
+
+    Returns a :class:`CompactAdjacency` (clean cache or fresh build) or a
+    :class:`DeltaAdjacency` (journal-replayed overlay) — both expose the
+    same read interface.  The incremental path costs O(delta) per mutation
+    batch; it degrades to a full O(V + E) rebuild when the journal cannot
+    cover the gap, when ``incremental=False``, or when the accumulated
+    delta crosses the compaction threshold (:func:`compaction_due`).
     """
     cached = getattr(graph, _CACHE_ATTR, None)
-    if cached is not None and cached.version == graph.version():
+    version = graph.version()
+    if cached is not None and cached.version == version:
         return cached
+    if incremental and cached is not None:
+        entries = graph.journal_since(cached.version)
+        if entries is not None:
+            if not entries:
+                # Property-only version bumps: structure unchanged, retag
+                # the cached snapshot instead of forming a useless overlay.
+                cached.version = version
+                graph.prune_journal(version)
+                return cached
+            overlay = cached if isinstance(cached, DeltaAdjacency) \
+                else DeltaAdjacency(cached)
+            overlay.apply(entries)
+            overlay.version = version
+            if not compaction_due(overlay.delta_ops, overlay.base.num_edges):
+                setattr(graph, _CACHE_ATTR, overlay)
+                graph.prune_journal(version)
+                return overlay
+            # Threshold crossed: fall through and fold into a fresh base.
     snapshot = CompactAdjacency.build(graph)
     setattr(graph, _CACHE_ATTR, snapshot)
+    graph.prune_journal(version)
     return snapshot
 
 
+def snapshot_state(graph) -> str:
+    """A one-line description of the graph's compact-snapshot cache state.
+
+    Surfaced by ``Engine.explain`` so snapshot staleness and overlay growth
+    are visible next to the plan.
+    """
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is None:
+        return "cold (first compact query builds the base CSR)"
+    if isinstance(cached, _DiGraphDelta):
+        cached = cached.snapshot
+    pending = graph.version() - cached.version
+    suffix = ", {} mutation(s) pending replay".format(pending) if pending else ""
+    if isinstance(cached, DeltaAdjacency):
+        return "delta overlay ({} op(s) over base v{}){}".format(
+            cached.delta_ops, cached.base.version, suffix)
+    return "base CSR (v{}){}".format(cached.version, suffix)
+
+
 # ----------------------------------------------------------------------
-# RPQ frontier kernel (vertex x dfa-state product BFS over CSR slices)
+# RPQ frontier kernel (vertex x dfa-state product BFS over CSR + delta)
 # ----------------------------------------------------------------------
 
 def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
@@ -190,37 +492,42 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
     """All ``(x, y)`` pairs connected by a path whose label word is in the DFA.
 
     Frontier-set BFS over the (vertex, dfa-state) product using integer ids:
-    one shared :class:`CompactAdjacency` snapshot, one per-(state, label)
-    transition table resolving each DFA move directly to a CSR block, and a
-    stamped ``visited`` array reused across all sources — so the multi-source
-    sweep allocates O(V x states) once instead of per source.
+    one shared compact snapshot (base CSR, or base + delta overlay after
+    mutations), one per-(state, label) transition table resolving each DFA
+    move directly to an adjacency block, and a stamped ``visited`` array
+    reused across all sources — so the multi-source sweep allocates
+    O(V x states) once instead of per source.  Clean labels expand by raw
+    CSR slice; labels carrying delta edges merge the slice with the
+    overlay's per-vertex add/remove buffers.
 
     Semantically identical to the per-source product BFS
-    (:func:`repro.rpq.evaluation.rpq_pairs_basic`); the equivalence tests
-    enforce it on random graphs.
+    (:func:`repro.rpq.evaluation.rpq_pairs_basic`); the equivalence and
+    differential tests enforce it on random mutating graphs.
     """
     snapshot = adjacency_snapshot(graph)
     num_states = dfa.num_states
-    n = snapshot.num_vertices
+    slots = snapshot.num_slots
     vertex_ids = snapshot.vertex_ids
     vertex_of = snapshot.vertex_of
 
     if sources is None:
-        source_ids: Iterable[int] = range(n)
+        source_ids: Iterable[int] = snapshot.live_vertex_ids()
     else:
         source_ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
 
-    # moves[state] -> [(indptr, indices, next_state), ...]: each DFA
-    # transition that can actually fire in this graph, pre-resolved to the
-    # CSR block of its label.
-    moves: List[List[Tuple[List[int], List[int], int]]] = []
+    # moves[state] -> [(indptr, indices, added, removed, base_n, next_state)]:
+    # each DFA transition that can actually fire in this graph, pre-resolved
+    # to the adjacency block of its label.
+    moves: List[List[Tuple]] = []
     for state in range(num_states):
         row = []
         for label, next_state in dfa.transitions[state].items():
             label_id = snapshot.label_ids.get(label)
             if label_id is not None:
-                indptr, indices = snapshot.forward[label_id]
-                row.append((indptr, indices, next_state))
+                indptr, indices, added, removed, base_n = \
+                    snapshot.out_block(label_id)
+                row.append((indptr, indices, added, removed, base_n,
+                            next_state))
         moves.append(row)
     accepting = [False] * num_states
     for state in dfa.accepting:
@@ -230,8 +537,8 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
 
     # visited/answered are stamped with the per-source sweep index, so the
     # O(V x states) product table is allocated once, not once per source.
-    visited = [-1] * (n * num_states)
-    answered = [-1] * n
+    visited = [-1] * (slots * num_states)
+    answered = [-1] * slots
     answers: List[Tuple[Hashable, Hashable]] = []
 
     # Frontier entries are packed ``vertex_id * num_states + state`` ints:
@@ -248,8 +555,22 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
             next_frontier: List[int] = []
             for packed in frontier:
                 vertex_id, state = divmod(packed, num_states)
-                for indptr, indices, next_state in moves[state]:
-                    for neighbor in indices[indptr[vertex_id]:indptr[vertex_id + 1]]:
+                for indptr, indices, added, removed, base_n, next_state \
+                        in moves[state]:
+                    if vertex_id < base_n:
+                        neighbors = \
+                            indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+                    else:
+                        neighbors = _EMPTY_ROW
+                    if removed or added:
+                        mask = removed.get(vertex_id)
+                        if mask and neighbors:
+                            neighbors = [x for x in neighbors if x not in mask]
+                        grown = added.get(vertex_id)
+                        if grown:
+                            neighbors = grown if not neighbors \
+                                else list(neighbors) + grown
+                    for neighbor in neighbors:
                         code = neighbor * num_states + next_state
                         if visited[code] != stamp:
                             visited[code] = stamp
@@ -271,37 +592,61 @@ class CompactDiGraph:
     Holds interning maps plus flat edge arrays (``tails``, ``heads``,
     ``weights``) and forward/reverse/undirected CSR index arrays — the
     inputs the vectorized BFS, component flood-fill and pagerank kernels
-    consume.  Only constructed when numpy is importable.
+    consume, and (as lazily cached plain lists) the integer-indexed Tarjan
+    SCC / Brandes betweenness kernels.  Immutable once built; the
+    incremental layer produces successors via :meth:`from_arrays`.  Only
+    constructed when numpy is importable.
     """
 
     __slots__ = ("version", "vertex_ids", "vertex_of", "tails", "heads",
-                 "weights", "fwd_indptr", "fwd_indices", "und_indptr",
-                 "und_indices", "out_weight")
+                 "weights", "fwd_indptr", "fwd_indices", "rev_indptr",
+                 "rev_indices", "und_indptr", "und_indices", "out_weight",
+                 "edge_keys", "_scalar_fwd")
 
     def __init__(self, digraph):
-        self.version = digraph.version()
-        self.vertex_of = list(digraph._succ)
-        self.vertex_ids = {v: i for i, v in enumerate(self.vertex_of)}
-        n = len(self.vertex_of)
+        vertex_of = list(digraph._succ)
+        vertex_ids = {v: i for i, v in enumerate(vertex_of)}
         tails: List[int] = []
         heads: List[int] = []
         weights: List[float] = []
-        ids = self.vertex_ids
         for tail, successors in digraph._succ.items():
-            tail_id = ids[tail]
+            tail_id = vertex_ids[tail]
             for head, weight in successors.items():
                 tails.append(tail_id)
-                heads.append(ids[head])
+                heads.append(vertex_ids[head])
                 weights.append(weight)
-        self.tails = _np.asarray(tails, dtype=_np.int64)
-        self.heads = _np.asarray(heads, dtype=_np.int64)
-        self.weights = _np.asarray(weights, dtype=_np.float64)
-        self.fwd_indptr, self.fwd_indices = self._csr(self.tails, self.heads, n)
-        both_tails = _np.concatenate([self.tails, self.heads])
-        both_heads = _np.concatenate([self.heads, self.tails])
+        self._finish(digraph.version(), vertex_of, vertex_ids,
+                     _np.asarray(tails, dtype=_np.int64),
+                     _np.asarray(heads, dtype=_np.int64),
+                     _np.asarray(weights, dtype=_np.float64))
+
+    @classmethod
+    def from_arrays(cls, version: int, vertex_of: List[Hashable],
+                    vertex_ids: Dict[Hashable, int], tails, heads,
+                    weights) -> "CompactDiGraph":
+        """Build a snapshot directly from edge arrays (the delta path)."""
+        self = cls.__new__(cls)
+        self._finish(version, vertex_of, vertex_ids, tails, heads, weights)
+        return self
+
+    def _finish(self, version, vertex_of, vertex_ids, tails, heads, weights):
+        self.version = version
+        self.vertex_of = vertex_of
+        self.vertex_ids = vertex_ids
+        self.tails = tails
+        self.heads = heads
+        self.weights = weights
+        n = len(vertex_of)
+        self.fwd_indptr, self.fwd_indices = self._csr(tails, heads, n)
+        self.rev_indptr, self.rev_indices = self._csr(heads, tails, n)
+        both_tails = _np.concatenate([tails, heads])
+        both_heads = _np.concatenate([heads, tails])
         self.und_indptr, self.und_indices = self._csr(both_tails, both_heads, n)
-        self.out_weight = _np.bincount(self.tails, weights=self.weights,
-                                       minlength=n)
+        self.out_weight = _np.bincount(tails, weights=weights, minlength=n)
+        # Packed (tail << 32 | head) identity keys: the delta overlay masks
+        # removed base edges with one vectorized isin over these.
+        self.edge_keys = (tails << _KEY_SHIFT) | heads
+        self._scalar_fwd = None
 
     @staticmethod
     def _csr(sources, targets, n):
@@ -316,6 +661,15 @@ class CompactDiGraph:
     def num_vertices(self) -> int:
         return len(self.vertex_of)
 
+    def _scalar_forward(self):
+        """Forward CSR as plain lists (lazily cached): scalar-loop kernels
+        (Tarjan, Brandes) index lists several times faster than numpy
+        scalars inside the interpreter."""
+        if self._scalar_fwd is None:
+            self._scalar_fwd = (self.fwd_indptr.tolist(),
+                                self.fwd_indices.tolist())
+        return self._scalar_fwd
+
     # -- kernels ----------------------------------------------------------
 
     def _frontier_expand(self, indptr, indices, frontier):
@@ -329,28 +683,34 @@ class CompactDiGraph:
         flat = _np.arange(total, dtype=_np.int64) - offsets
         return indices[_np.repeat(starts, counts) + flat]
 
-    def bfs_levels(self, source_id: int):
+    def bfs_levels(self, source_id: int, reverse: bool = False):
         """Vectorized level-synchronous BFS: the distance array (-1 = unreached).
 
-        Wide frontiers (more than ~1/8 of the vertices) switch from CSR
-        slice-gathering to one masked scan of the flat edge arrays — the
-        direction-optimizing trick's cheap cousin: when most vertices are
-        active anyway, a single O(E) C pass beats assembling gather indices.
+        ``reverse=True`` walks edges against their direction (who reaches
+        the source) — the closeness kernel's view.  Wide frontiers (more
+        than ~1/8 of the vertices) switch from CSR slice-gathering to one
+        masked scan of the flat edge arrays — the direction-optimizing
+        trick's cheap cousin: when most vertices are active anyway, a
+        single O(E) C pass beats assembling gather indices.
         """
+        if reverse:
+            indptr, indices = self.rev_indptr, self.rev_indices
+            scan_from, scan_to = self.heads, self.tails
+        else:
+            indptr, indices = self.fwd_indptr, self.fwd_indices
+            scan_from, scan_to = self.tails, self.heads
         n = self.num_vertices
         distance = _np.full(n, -1, dtype=_np.int64)
         distance[source_id] = 0
         frontier = _np.asarray([source_id], dtype=_np.int64)
         wide = max(n >> 3, 32)
-        tails, heads = self.tails, self.heads
         level = 0
         while frontier.size:
             level += 1
             if frontier.size >= wide:
-                neighbors = heads[distance[tails] == level - 1]
+                neighbors = scan_to[distance[scan_from] == level - 1]
             else:
-                neighbors = self._frontier_expand(
-                    self.fwd_indptr, self.fwd_indices, frontier)
+                neighbors = self._frontier_expand(indptr, indices, frontier)
                 if neighbors is None:
                     break
             fresh = neighbors[distance[neighbors] < 0]
@@ -395,6 +755,161 @@ class CompactDiGraph:
             next_id += 1
         return component
 
+    def strongly_connected_component_labels(self) -> List[int]:
+        """Tarjan's SCC over the forward CSR: component id per vertex id.
+
+        Iterative, integer-indexed: index/lowlink/on-stack state lives in
+        flat lists and successor expansion is a CSR slice walk — no dict
+        hashing, no Edge objects, no per-vertex neighbor sorting (the SCC
+        partition is traversal-order independent, so determinism comes free
+        from the final canonical sort in
+        :func:`repro.algorithms.components.strongly_connected_components`).
+        """
+        indptr, indices = self._scalar_forward()
+        n = self.num_vertices
+        index = [-1] * n
+        lowlink = [0] * n
+        on_stack = bytearray(n)
+        component = [-1] * n
+        stack: List[int] = []
+        work: List[Tuple[int, int]] = []
+        counter = 0
+        next_component = 0
+        for root in range(n):
+            if index[root] != -1:
+                continue
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack[root] = 1
+            work.append((root, indptr[root]))
+            while work:
+                vertex, cursor = work[-1]
+                end = indptr[vertex + 1]
+                advanced = False
+                while cursor < end:
+                    successor = indices[cursor]
+                    cursor += 1
+                    if index[successor] == -1:
+                        work[-1] = (vertex, cursor)
+                        index[successor] = lowlink[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack[successor] = 1
+                        work.append((successor, indptr[successor]))
+                        advanced = True
+                        break
+                    if on_stack[successor] and index[successor] < lowlink[vertex]:
+                        lowlink[vertex] = index[successor]
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if lowlink[vertex] < lowlink[parent]:
+                        lowlink[parent] = lowlink[vertex]
+                if lowlink[vertex] == index[vertex]:
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = 0
+                        component[member] = next_component
+                        if member == vertex:
+                            break
+                    next_component += 1
+        return component
+
+    def geodesic_summary(self) -> Tuple[int, int, int]:
+        """One BFS per source, reduced on the fly: ``(diameter, total, pairs)``.
+
+        ``diameter`` is the max hop distance over reachable ordered pairs
+        (-1 when no vertex reaches another); ``total`` and ``pairs`` are the
+        sum and count of distances over reachable ordered pairs excluding
+        self — exactly the quantities the dict sweeps in
+        :mod:`repro.algorithms.geodesics` accumulate, without materializing
+        any per-source distance dict.
+        """
+        best = -1
+        total = 0
+        pairs = 0
+        for source_id in range(self.num_vertices):
+            distance = self.bfs_levels(source_id)
+            reached = distance > 0
+            count = int(reached.sum())
+            if count == 0:
+                continue
+            reached_distances = distance[reached]
+            furthest = int(reached_distances.max())
+            if furthest > best:
+                best = furthest
+            total += int(reached_distances.sum())
+            pairs += count
+        return best, total, pairs
+
+    def closeness_centrality_scores(self) -> Dict[Hashable, float]:
+        """Wasserman–Faust closeness via reverse-CSR BFS per vertex.
+
+        Mirrors the dict implementation's arithmetic exactly (same operation
+        order) so the two agree to the last bit on identical graphs.
+        """
+        n = self.num_vertices
+        out: Dict[Hashable, float] = {}
+        for vertex_id in range(n):
+            distance = self.bfs_levels(vertex_id, reverse=True)
+            mask = distance >= 0
+            total = int(distance[mask].sum())
+            if total > 0 and n > 1:
+                reachable = int(mask.sum())
+                closeness = (reachable - 1) / total
+                closeness *= (reachable - 1) / (n - 1)
+            else:
+                closeness = 0.0
+            out[self.vertex_of[vertex_id]] = closeness
+        return out
+
+    def betweenness_centrality_scores(self, normalized: bool = True
+                                      ) -> Dict[Hashable, float]:
+        """Brandes' betweenness over the forward CSR (unweighted).
+
+        Same algorithm and accumulation formula as the dict implementation;
+        only the successor visitation order differs (CSR order instead of
+        frozenset order), so scores agree up to float associativity.
+        """
+        indptr, indices = self._scalar_forward()
+        n = self.num_vertices
+        betweenness = [0.0] * n
+        for source in range(n):
+            order: List[int] = []
+            predecessors: List[List[int]] = [[] for _ in range(n)]
+            sigma = [0.0] * n
+            sigma[source] = 1.0
+            distance = [-1] * n
+            distance[source] = 0
+            queue = [source]
+            head = 0
+            while head < len(queue):
+                vertex = queue[head]
+                head += 1
+                order.append(vertex)
+                next_level = distance[vertex] + 1
+                for cursor in range(indptr[vertex], indptr[vertex + 1]):
+                    successor = indices[cursor]
+                    if distance[successor] == -1:
+                        distance[successor] = next_level
+                        queue.append(successor)
+                    if distance[successor] == next_level:
+                        sigma[successor] += sigma[vertex]
+                        predecessors[successor].append(vertex)
+            delta = [0.0] * n
+            for w in reversed(order):
+                for v in predecessors[w]:
+                    delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+                if w != source:
+                    betweenness[w] += delta[w]
+        if normalized and n > 2:
+            scale = 1.0 / ((n - 1) * (n - 2))
+            betweenness = [value * scale for value in betweenness]
+        return dict(zip(self.vertex_of, betweenness))
+
     def pagerank(self, damping: float, teleport, max_iterations: int,
                  tolerance: float) -> Optional[Dict[Hashable, float]]:
         """Vectorized power iteration (same update rule as the dict version).
@@ -427,17 +942,133 @@ class CompactDiGraph:
             self.num_vertices, len(self.tails), self.version)
 
 
-def digraph_snapshot(digraph) -> Optional[CompactDiGraph]:
+class _DiGraphDelta:
+    """Cache entry pairing a base :class:`CompactDiGraph` with pending deltas.
+
+    Journal replay accumulates removed-edge keys and an added-edge table;
+    :meth:`materialize` then produces an up-to-date immutable snapshot with
+    vectorized array surgery (one ``isin`` mask + one concatenate + C-speed
+    CSR sorts) instead of re-walking the successor dicts in the
+    interpreter.  Past the compaction threshold the materialized snapshot
+    is promoted to be the new base and the delta tables reset.
+    """
+
+    __slots__ = ("base", "snapshot", "vertex_ids", "vertex_of",
+                 "removed_keys", "extra", "delta_ops")
+
+    def __init__(self, base: CompactDiGraph):
+        self.base = base
+        self.snapshot = base
+        self.vertex_ids = dict(base.vertex_ids)
+        self.vertex_of = list(base.vertex_of)
+        self.removed_keys: Set[int] = set()
+        self.extra: Dict[Tuple[int, int], float] = {}
+        self.delta_ops = 0
+
+    def apply(self, entries: List[Tuple]) -> None:
+        """Replay journal entries into the delta tables."""
+        vertex_ids = self.vertex_ids
+        for entry in entries:
+            op = entry[1]
+            if op == "+e":
+                tail_id = vertex_ids[entry[2]]
+                head_id = vertex_ids[entry[3]]
+                # Uniform move (add, re-add, or re-weight): mask any base
+                # occurrence and carry the live weight in the extra table.
+                self.removed_keys.add((tail_id << _KEY_SHIFT) | head_id)
+                self.extra[(tail_id, head_id)] = entry[4]
+            elif op == "-e":
+                tail_id = vertex_ids[entry[2]]
+                head_id = vertex_ids[entry[3]]
+                self.removed_keys.add((tail_id << _KEY_SHIFT) | head_id)
+                self.extra.pop((tail_id, head_id), None)
+            elif op == "+v":
+                vertex = entry[2]
+                if vertex not in vertex_ids:
+                    vertex_ids[vertex] = len(self.vertex_of)
+                    self.vertex_of.append(vertex)
+        self.delta_ops += len(entries)
+
+    def materialize(self, version: int) -> CompactDiGraph:
+        """An immutable snapshot of base ⊖ removed ⊕ extra at ``version``."""
+        base = self.base
+        tails, heads, weights = base.tails, base.heads, base.weights
+        if self.removed_keys:
+            removed = _np.fromiter(self.removed_keys, dtype=_np.int64,
+                                   count=len(self.removed_keys))
+            keep = _np.isin(base.edge_keys, removed, invert=True)
+            tails = tails[keep]
+            heads = heads[keep]
+            weights = weights[keep]
+        if self.extra:
+            count = len(self.extra)
+            extra_tails = _np.fromiter((t for t, _ in self.extra),
+                                       dtype=_np.int64, count=count)
+            extra_heads = _np.fromiter((h for _, h in self.extra),
+                                       dtype=_np.int64, count=count)
+            extra_weights = _np.fromiter(self.extra.values(),
+                                         dtype=_np.float64, count=count)
+            tails = _np.concatenate([tails, extra_tails])
+            heads = _np.concatenate([heads, extra_heads])
+            weights = _np.concatenate([weights, extra_weights])
+        self.snapshot = CompactDiGraph.from_arrays(
+            version, list(self.vertex_of), dict(self.vertex_ids),
+            tails, heads, weights)
+        return self.snapshot
+
+    def compact(self) -> None:
+        """Fold the delta: the materialized snapshot becomes the new base."""
+        self.base = self.snapshot
+        self.removed_keys.clear()
+        self.extra.clear()
+        self.delta_ops = 0
+
+
+def digraph_snapshot(digraph, incremental: bool = True
+                     ) -> Optional[CompactDiGraph]:
     """The cached :class:`CompactDiGraph`, or None when numpy is missing.
 
     Same lifecycle as :func:`adjacency_snapshot`: cached on the instance,
-    keyed on ``digraph.version()``, rebuilt lazily after any mutation.
+    keyed on ``digraph.version()``; after mutations the journal is replayed
+    into array-surgery deltas and a fresh immutable snapshot is materialized
+    in vectorized time, falling back to a full dict-walk rebuild only when
+    the journal cannot cover the gap (or ``incremental=False``).  Deltas
+    fold into a new base past the compaction threshold.
     """
     if _np is None:
         return None
-    cached = getattr(digraph, _CACHE_ATTR, None)
-    if cached is not None and cached.version == digraph.version():
-        return cached
-    snapshot = CompactDiGraph(digraph)
-    setattr(digraph, _CACHE_ATTR, snapshot)
-    return snapshot
+    cache = getattr(digraph, _CACHE_ATTR, None)
+    version = digraph.version()
+    if isinstance(cache, _DiGraphDelta):
+        if cache.snapshot.version == version:
+            return cache.snapshot
+        if incremental:
+            entries = digraph.journal_since(cache.snapshot.version)
+            if entries is not None:
+                if not entries:
+                    # Property-only version bumps: retag, skip the surgery.
+                    cache.snapshot.version = version
+                    digraph.prune_journal(version)
+                    return cache.snapshot
+                cache.apply(entries)
+                snapshot = cache.materialize(version)
+                if compaction_due(cache.delta_ops, len(cache.base.tails)):
+                    cache.compact()
+                digraph.prune_journal(version)
+                return snapshot
+    base = CompactDiGraph(digraph)
+    setattr(digraph, _CACHE_ATTR, _DiGraphDelta(base))
+    digraph.prune_journal(version)
+    return base
+
+
+def digraph_snapshot_if_large(digraph) -> Optional[CompactDiGraph]:
+    """:func:`digraph_snapshot`, gated on the DiGraph fast-path threshold.
+
+    The shared guard for every algorithm-module fast path: below
+    ``_COMPACT_MIN_ORDER`` vertices (or without numpy) it returns ``None``
+    and callers keep their dict implementations, which win at that scale.
+    """
+    if digraph.order() >= digraph._COMPACT_MIN_ORDER:
+        return digraph_snapshot(digraph)
+    return None

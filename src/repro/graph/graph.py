@@ -82,6 +82,12 @@ class MultiRelationalGraph:
         # so repeated atom resolution stops allocating fresh frozensets.
         self._match_cache: Dict[Tuple, FrozenSet[Edge]] = {}
         self._match_cache_version = -1
+        # Structural mutation journal: ``(version_after, op, *args)`` entries
+        # covering versions in ``(_journal_floor, _version]``.  The compact
+        # snapshot layer replays it to patch CSR overlays instead of paying
+        # an O(V + E) rebuild per mutation; see :mod:`repro.graph.compact`.
+        self._journal: List[Tuple] = []
+        self._journal_floor = 0
         for item in edges:
             e = item if isinstance(item, Edge) else Edge(*item)
             self.add_edge(e.tail, e.label, e.head)
@@ -105,6 +111,7 @@ class MultiRelationalGraph:
         else:
             self._vertices[vertex] = dict(properties)
             self._version += 1
+            self._journal_append(("+v", vertex))
         return vertex
 
     def add_edge(self, tail: Hashable, label: Hashable, head: Hashable,
@@ -129,6 +136,7 @@ class MultiRelationalGraph:
         self._out_by_label[(tail, label)].add(e)
         self._in_by_label[(label, head)].add(e)
         self._version += 1
+        self._journal_append(("+e", tail, label, head))
         for listener in self._listeners:
             listener("add_edge", e)
         return e
@@ -165,6 +173,7 @@ class MultiRelationalGraph:
                 if not bucket:
                     del index[key]
         self._version += 1
+        self._journal_append(("-e", tail, label, head))
         for listener in self._listeners:
             listener("remove_edge", e)
 
@@ -185,6 +194,7 @@ class MultiRelationalGraph:
         self._in.pop(vertex, None)
         del self._vertices[vertex]
         self._version += 1
+        self._journal_append(("-v", vertex))
 
     # ------------------------------------------------------------------
     # Basic inspection
@@ -230,6 +240,55 @@ class MultiRelationalGraph:
     def version(self) -> int:
         """A counter bumped by every mutation (cache-invalidation token)."""
         return self._version
+
+    # ------------------------------------------------------------------
+    # Structural mutation journal (compact-snapshot delta source)
+    # ------------------------------------------------------------------
+
+    #: Journal entries are dropped wholesale past this length; consumers then
+    #: fall back to a full snapshot rebuild, so the cap only bounds memory.
+    _JOURNAL_CAP = 65536
+
+    #: Where the compact layer caches snapshots; kept in sync with
+    #: ``repro.graph.compact._CACHE_ATTR`` (the differential tests fail
+    #: loudly on a mismatch: no overlay would ever form).
+    _SNAPSHOT_CACHE_ATTR = "_compact_snapshot_cache"
+
+    def _journal_append(self, entry: Tuple) -> None:
+        """Record one structural op, tagged with the version it produced."""
+        if not self._journal and \
+                getattr(self, self._SNAPSHOT_CACHE_ATTR, None) is None:
+            # No snapshot consumer exists yet: journaling would only retain
+            # memory.  Keep the floor pinned so a later consumer knows the
+            # gap is uncovered and rebuilds.
+            self._journal_floor = self._version
+            return
+        self._journal.append((self._version,) + entry)
+        if len(self._journal) > self._JOURNAL_CAP:
+            del self._journal[:]
+            self._journal_floor = self._version
+
+    def journal_since(self, version: int) -> Optional[List[Tuple]]:
+        """Structural ops applied after ``version``, oldest first.
+
+        Each entry is ``(version_after, op, *args)`` with ``op`` one of
+        ``"+v"``, ``"-v"``, ``"+e"``, ``"-e"``.  Property-only mutations bump
+        :meth:`version` without a journal entry — they never change
+        structure.  Returns ``None`` when the journal no longer reaches back
+        to ``version`` (capped or pruned), meaning a delta cannot be formed
+        and the consumer must rebuild from scratch.
+        """
+        if version < self._journal_floor:
+            return None
+        return [entry for entry in self._journal if entry[0] > version]
+
+    def prune_journal(self, version: int) -> None:
+        """Drop journal entries at or before ``version`` (already consumed)."""
+        if self._journal and self._journal[0][0] <= version:
+            self._journal = [entry for entry in self._journal
+                             if entry[0] > version]
+        if version > self._journal_floor:
+            self._journal_floor = version
 
     def subscribe(self, listener) -> None:
         """Register ``listener(event, edge)`` for edge mutations.

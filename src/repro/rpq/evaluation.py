@@ -73,8 +73,12 @@ def rpq_pairs(graph: MultiRelationalGraph, expression: LabelExpr,
     The traversal runs on the compact integer-indexed adjacency snapshot
     (:mod:`repro.graph.compact`): the DFA is compiled once and every source
     shares the same snapshot, per-(state, label) CSR transition table and
-    stamped visited array.  :func:`rpq_pairs_basic` keeps the direct
-    per-source product BFS as the reference implementation.
+    stamped visited array.  Under mutation the snapshot is maintained
+    incrementally — the graph's journal is replayed into a delta overlay
+    the kernel consults alongside the base CSR, so point updates between
+    queries cost O(delta), not an O(V + E) rebuild.
+    :func:`rpq_pairs_basic` keeps the direct per-source product BFS as the
+    reference implementation.
     """
     dfa = compile_rpq(expression, graph)
     return rpq_pairs_compact(graph, dfa, sources)

@@ -1,0 +1,201 @@
+"""Property-based delta-overlay invariants (hypothesis).
+
+The incremental snapshot contract: after **any** mutation sequence, with
+snapshots touched at arbitrary points along the way (so deltas accumulate
+over whatever base happened to be cached), ``base CSR + delta`` must answer
+exactly like a from-scratch rebuild.  Compaction-threshold crossing and the
+journal-cap rebuild fallback are exercised explicitly with deterministic
+sequences, since they are boundary behaviors a random walk may miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.digraph import DiGraph
+from repro.graph import compact
+from repro.graph.compact import (
+    HAVE_NUMPY,
+    CompactAdjacency,
+    CompactDiGraph,
+    DeltaAdjacency,
+    adjacency_snapshot,
+    digraph_snapshot,
+)
+from repro.graph.graph import MultiRelationalGraph
+
+VERTICES = list(range(8)) + ["x", "y"]
+LABELS = ["a", "b"]
+
+vertex = st.sampled_from(VERTICES)
+label = st.sampled_from(LABELS)
+
+mrg_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("+e"), vertex, label, vertex),
+        st.tuples(st.just("-e"), vertex, label, vertex),
+        st.tuples(st.just("+v"), vertex),
+        st.tuples(st.just("-v"), vertex),
+    ),
+    min_size=1, max_size=40,
+)
+
+digraph_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("+e"), vertex, vertex,
+                  st.sampled_from([0.5, 1.0, 2.0])),
+        st.tuples(st.just("-e"), vertex, vertex),
+        st.tuples(st.just("+v"), vertex),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def apply_mrg_op(graph, op):
+    kind = op[0]
+    if kind == "+e":
+        graph.add_edge(op[1], op[2], op[3])
+    elif kind == "-e":
+        if graph.has_edge(op[1], op[2], op[3]):
+            graph.remove_edge(op[1], op[2], op[3])
+    elif kind == "+v":
+        graph.add_vertex(op[1])
+    elif kind == "-v":
+        if graph.has_vertex(op[1]):
+            graph.remove_vertex(op[1])
+
+
+def apply_digraph_op(graph, op):
+    kind = op[0]
+    if kind == "+e":
+        graph.add_edge(op[1], op[2], op[3])
+    elif kind == "-e":
+        if graph.has_edge(op[1], op[2]):
+            graph.remove_edge(op[1], op[2])
+    elif kind == "+v":
+        graph.add_vertex(op[1])
+
+
+def assert_matches_rebuild(graph):
+    """The cached (possibly overlaid) snapshot == a from-scratch rebuild."""
+    snapshot = adjacency_snapshot(graph)
+    rebuilt = CompactAdjacency.build(graph)
+    assert snapshot.num_edges == rebuilt.num_edges == graph.size()
+    assert set(snapshot.vertex_ids) == set(graph.vertices())
+    assert set(snapshot.label_ids) >= set(graph.labels())
+    live = {snapshot.vertex_of[i] for i in snapshot.live_vertex_ids()}
+    assert live == set(graph.vertices())
+    for v in graph.vertices():
+        vid = snapshot.vertex_ids[v]
+        for l in graph.labels():
+            lid = snapshot.label_ids[l]
+            out = {snapshot.vertex_of[i] for i in snapshot.out_neighbors(vid, lid)}
+            assert out == set(graph.successors(v, l))
+            into = {snapshot.vertex_of[i] for i in snapshot.in_neighbors(vid, lid)}
+            assert into == set(graph.predecessors(v, l))
+
+
+class TestAdjacencyDeltaInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=mrg_ops, stride=st.integers(min_value=1, max_value=4))
+    def test_overlay_equals_rebuild_after_any_mutation_sequence(self, ops, stride):
+        graph = MultiRelationalGraph([(0, "a", 1), (1, "b", 2), (2, "a", 0)])
+        adjacency_snapshot(graph)  # pin a base so deltas accumulate over it
+        for position, op in enumerate(ops):
+            apply_mrg_op(graph, op)
+            if position % stride == 0:
+                adjacency_snapshot(graph)  # interleaved touches extend the overlay
+        assert_matches_rebuild(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=mrg_ops)
+    def test_untouched_journal_replays_in_one_batch(self, ops):
+        graph = MultiRelationalGraph([(0, "a", 1), (1, "b", 2)])
+        adjacency_snapshot(graph)
+        for op in ops:  # no snapshot touches: one big replay at the end
+            apply_mrg_op(graph, op)
+        assert_matches_rebuild(graph)
+
+
+class TestCompactionThreshold:
+    def test_crossing_folds_overlay_into_fresh_base(self, monkeypatch):
+        monkeypatch.setattr(compact, "COMPACTION_MIN_OPS", 4)
+        monkeypatch.setattr(compact, "COMPACTION_FRACTION", 0.0)
+        graph = MultiRelationalGraph([(0, "a", 1), (1, "a", 2)])
+        assert isinstance(adjacency_snapshot(graph), CompactAdjacency)
+        seen = []
+        for i in range(12):
+            graph.add_edge(("n", i), "a", ("n", i + 1))
+            snapshot = adjacency_snapshot(graph)
+            seen.append(type(snapshot).__name__)
+            assert_matches_rebuild(graph)
+        # Both sides of the threshold were traversed, repeatedly.
+        assert "DeltaAdjacency" in seen
+        assert seen.count("CompactAdjacency") >= 2
+        # Compaction consumed the journal up to the current version.
+        assert graph.journal_since(graph.version()) == []
+
+    def test_default_threshold_scales_with_base_edges(self):
+        assert not compact.compaction_due(64, 0)
+        assert compact.compaction_due(65, 0)
+        # A 10k-edge base tolerates a quarter of its size in deltas.
+        assert not compact.compaction_due(2500, 10000)
+        assert compact.compaction_due(2501, 10000)
+
+    def test_journal_cap_falls_back_to_full_rebuild(self, monkeypatch):
+        monkeypatch.setattr(MultiRelationalGraph, "_JOURNAL_CAP", 8)
+        graph = MultiRelationalGraph([(0, "a", 1)])
+        base = adjacency_snapshot(graph)
+        for i in range(20):  # blows past the cap: journal is dropped wholesale
+            graph.add_edge(i, "b", i + 1)
+        assert graph.journal_since(base.version) is None
+        snapshot = adjacency_snapshot(graph)
+        assert isinstance(snapshot, CompactAdjacency)  # rebuilt, not patched
+        assert_matches_rebuild(graph)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="compact DiGraph kernels need numpy")
+class TestDiGraphDeltaInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=digraph_ops, stride=st.integers(min_value=1, max_value=4))
+    def test_patched_arrays_equal_rebuild(self, ops, stride):
+        graph = DiGraph([(0, 1), (1, 2), (2, 0)])
+        digraph_snapshot(graph)
+        for position, op in enumerate(ops):
+            apply_digraph_op(graph, op)
+            if position % stride == 0:
+                digraph_snapshot(graph)
+        snapshot = digraph_snapshot(graph)
+        rebuilt = CompactDiGraph(graph)
+        assert snapshot.version == graph.version()
+        got = {(snapshot.vertex_of[t], snapshot.vertex_of[h]): w
+               for t, h, w in zip(snapshot.tails.tolist(),
+                                  snapshot.heads.tolist(),
+                                  snapshot.weights.tolist())}
+        want = {(t, h): w for t, h, w in graph.edges()}
+        assert got == want
+        assert len(rebuilt.tails) == len(snapshot.tails)
+        for source in graph.vertices():
+            assert snapshot.bfs_distances(source) == \
+                graph._bfs_distances_dict(source)
+
+    def test_compaction_promotes_materialized_base(self, monkeypatch):
+        monkeypatch.setattr(compact, "COMPACTION_MIN_OPS", 3)
+        monkeypatch.setattr(compact, "COMPACTION_FRACTION", 0.0)
+        graph = DiGraph([(0, 1), (1, 2)])
+        first = digraph_snapshot(graph)
+        cache = getattr(graph, compact._CACHE_ATTR)
+        assert cache.base is first
+        base_ids = {id(cache.base)}
+        for i in range(10):
+            graph.add_edge(i, i + 10)
+            snapshot = digraph_snapshot(graph)
+            assert snapshot.version == graph.version()
+            base_ids.add(id(cache.base))
+            want = {(t, h) for t, h, _ in graph.edges()}
+            got = {(snapshot.vertex_of[t], snapshot.vertex_of[h])
+                   for t, h in zip(snapshot.tails.tolist(),
+                                   snapshot.heads.tolist())}
+            assert got == want
+        assert len(base_ids) > 1  # at least one promotion happened
+        assert cache.delta_ops <= 3  # deltas were reset by compaction

@@ -1,0 +1,153 @@
+"""Geodesic edge-case semantics: disconnected graphs, self-loops, singletons.
+
+These pin the dict implementations' behavior — diameter and average path
+length range over *reachable ordered pairs only*, self-loops never
+contribute distance, and graphs where nothing reaches anything raise
+:class:`AlgorithmError` — and then assert the compact CSR sweep reproduces
+every case bit for bit, so the port can never silently redefine the
+semantics on the boundaries.
+"""
+
+import pytest
+
+from repro.algorithms.components import is_weakly_connected
+from repro.algorithms.digraph import DiGraph
+from repro.algorithms.geodesics import (
+    all_pairs_shortest_lengths,
+    average_path_length,
+    diameter,
+    eccentricity,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.errors import AlgorithmError
+from repro.graph.compact import HAVE_NUMPY
+
+
+@pytest.fixture
+def force_compact(monkeypatch):
+    monkeypatch.setattr(DiGraph, "_COMPACT_MIN_ORDER", 0)
+
+
+class TestSingleVertex:
+    @pytest.fixture
+    def graph(self):
+        g = DiGraph()
+        g.add_vertex("only")
+        return g
+
+    def test_bfs_reaches_only_itself(self, graph):
+        assert shortest_path_lengths(graph, "only") == {"only": 0}
+
+    def test_eccentricity_undefined(self, graph):
+        with pytest.raises(AlgorithmError):
+            eccentricity(graph, "only")
+
+    def test_diameter_undefined(self, graph):
+        with pytest.raises(AlgorithmError):
+            diameter(graph)
+
+    def test_average_path_length_undefined(self, graph):
+        with pytest.raises(AlgorithmError):
+            average_path_length(graph)
+
+
+class TestEdgelessGraph:
+    @pytest.fixture
+    def graph(self):
+        g = DiGraph()
+        for v in ("a", "b", "c"):
+            g.add_vertex(v)
+        return g
+
+    def test_all_pairs_is_reflexive_only(self, graph):
+        assert all_pairs_shortest_lengths(graph) == {
+            "a": {"a": 0}, "b": {"b": 0}, "c": {"c": 0}}
+
+    def test_diameter_and_average_undefined(self, graph):
+        with pytest.raises(AlgorithmError):
+            diameter(graph)
+        with pytest.raises(AlgorithmError):
+            average_path_length(graph)
+
+
+class TestSelfLoops:
+    def test_pure_self_loop_reaches_no_other_vertex(self):
+        g = DiGraph([("v", "v")])
+        assert shortest_path_lengths(g, "v") == {"v": 0}
+        with pytest.raises(AlgorithmError):
+            eccentricity(g, "v")
+        # The loop edge exists but connects no *pair*: still undefined.
+        with pytest.raises(AlgorithmError):
+            diameter(g)
+        with pytest.raises(AlgorithmError):
+            average_path_length(g)
+
+    def test_self_loop_never_inflates_distances(self):
+        g = DiGraph([("a", "a"), ("a", "b"), ("b", "c")])
+        assert shortest_path_lengths(g, "a") == {"a": 0, "b": 1, "c": 2}
+        assert eccentricity(g, "a") == 2
+        assert diameter(g) == 2
+        # Reachable pairs: a->b (1), a->c (2), b->c (1).
+        assert average_path_length(g) == pytest.approx(4.0 / 3.0)
+
+
+class TestDisconnectedGraphs:
+    @pytest.fixture
+    def graph(self):
+        # Two islands: a 3-chain and a 2-chain.
+        return DiGraph([("a1", "a2"), ("a2", "a3"), ("b1", "b2")])
+
+    def test_not_weakly_connected(self, graph):
+        assert not is_weakly_connected(graph)
+
+    def test_diameter_ranges_over_reachable_pairs_only(self, graph):
+        assert diameter(graph) == 2
+
+    def test_average_over_reachable_pairs_only(self, graph):
+        # Pairs: a1->a2 (1), a1->a3 (2), a2->a3 (1), b1->b2 (1).
+        assert average_path_length(graph) == pytest.approx(5.0 / 4.0)
+
+    def test_cross_island_paths_do_not_exist(self, graph):
+        assert shortest_path(graph, "a1", "b2") is None
+        assert "b2" not in shortest_path_lengths(graph, "a1")
+
+    def test_sink_vertex_has_undefined_eccentricity(self, graph):
+        with pytest.raises(AlgorithmError):
+            eccentricity(graph, "a3")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="compact geodesic sweep needs numpy")
+class TestCompactParityOnEdgeCases:
+    """The CSR sweep must agree with the dict semantics on every boundary."""
+
+    CASES = [
+        lambda: DiGraph([("v", "v")]),
+        lambda: DiGraph([("a", "a"), ("a", "b"), ("b", "c")]),
+        lambda: DiGraph([("a1", "a2"), ("a2", "a3"), ("b1", "b2")]),
+    ]
+
+    @pytest.mark.parametrize("build", CASES)
+    def test_compact_matches_dict_semantics(self, build, force_compact,
+                                            monkeypatch):
+        compact_graph = build()
+        reference_graph = build()
+        monkeypatch.setattr(DiGraph, "_COMPACT_MIN_ORDER", 0)
+        results = {}
+        for name, graph, threshold in (("compact", compact_graph, 0),
+                                       ("dict", reference_graph, 10 ** 9)):
+            monkeypatch.setattr(DiGraph, "_COMPACT_MIN_ORDER", threshold)
+            try:
+                result = (diameter(graph), average_path_length(graph))
+            except AlgorithmError:
+                result = "undefined"
+            results[name] = result
+        assert results["compact"] == results["dict"]
+
+    def test_single_vertex_compact_path_raises_too(self, force_compact):
+        g = DiGraph()
+        g.add_vertex("only")
+        with pytest.raises(AlgorithmError):
+            diameter(g)
+        with pytest.raises(AlgorithmError):
+            average_path_length(g)
