@@ -6,6 +6,11 @@ distributions, the hot paths the compact backend rewrote:
 * multi-source ``rpq_pairs``: frontier-set BFS over the (vertex, dfa-state)
   product on per-label CSR arrays vs the per-source product BFS over
   ``graph.match`` frozensets (``rpq_pairs_basic``),
+* **selective RPQ scenarios** (point-to-point, vertex-bound prefix through
+  the engine's constrained lowering, target-bound suffix): bidirectional /
+  backward / constrained evaluation vs the all-sources forward sweep, each
+  gated at >= 3x on a 12k-edge graph — sizes do not shrink under
+  ``--quick``,
 * ``DiGraph.bfs_distances``: vectorized level-synchronous BFS vs dict BFS,
 * ``weakly_connected_components``: compact flood fill vs union-find,
 * ``pagerank``: vectorized power iteration vs the dict loop,
@@ -41,7 +46,16 @@ from repro.algorithms.digraph import DiGraph
 from repro.algorithms.pagerank import pagerank
 from repro.graph.compact import _CACHE_ATTR, HAVE_NUMPY, adjacency_snapshot
 from repro.graph.generators import preferential_attachment, uniform_random
-from repro.rpq import lconcat, lstar, lunion, rpq_pairs, rpq_pairs_basic, sym
+from repro.rpq import (
+    lconcat,
+    lstar,
+    lunion,
+    rpq_pairs,
+    rpq_pairs_basic,
+    rpq_pairs_between,
+    rpq_pairs_to_targets,
+    sym,
+)
 
 
 def timed(function, repeat=1):
@@ -146,6 +160,80 @@ def bench_digraph(num_vertices, num_edges, rows, quick):
     assert max(abs(fast[v] - seed[v]) for v in fast) < 1.0e-9, \
         "pagerank ranks diverge"
     rows.append(("pagerank (power iteration)", seed_s, compact_s))
+
+
+#: Selective RPQ scenarios must beat the all-sources forward sweep by at
+#: least this factor — the acceptance gate for the directional kernels.
+SELECTIVE_SPEEDUP_FLOOR = 3.0
+
+
+def bench_rpq_selective(rows, quick):
+    """Point-to-point and vertex-bound RPQ scenarios at >= 10k edges.
+
+    The regression gate for the direction-selecting evaluation path: on a
+    12k-edge graph, a batch of bidirectional point-to-point probes, an
+    engine-lowered vertex-bound prefix query (``[i, a, _] · R``), and a
+    backward target-bound sweep must each beat the all-sources forward
+    product BFS — what these queries cost before vertex-bound lowering and
+    direction selection — by >= ``SELECTIVE_SPEEDUP_FLOOR``x, with every
+    answer set first verified pair-for-pair against the full sweep.
+    Sizes do **not** shrink under ``--quick``: the gate is only meaningful
+    at 10k+ edges.
+    """
+    from repro.engine import Engine
+
+    num_vertices, num_edges = 1500, 12000
+    graph = uniform_random(num_vertices, num_edges, labels=("a", "b", "c"),
+                           seed=43)
+    expression = lconcat(sym("a"), lstar(sym("b")))
+    adjacency_snapshot(graph)  # build outside every timed region
+    vertices = sorted(graph.vertices())
+    rng = random.Random(47)
+    probes = [(rng.choice(vertices), rng.choice(vertices))
+              for _ in range(4 if quick else 8)]
+
+    full = rpq_pairs(graph, expression)  # warm + ground truth
+    _, sweep_s = timed(lambda: rpq_pairs(graph, expression))
+
+    def gate(name, selective_s):
+        assert sweep_s / selective_s >= SELECTIVE_SPEEDUP_FLOOR, \
+            "{} ({:.4f}s) must beat the all-sources forward sweep " \
+            "({:.4f}s) by >= {}x on a {}-edge graph".format(
+                name, selective_s, sweep_s, SELECTIVE_SPEEDUP_FLOOR,
+                num_edges)
+        rows.append((name, sweep_s, selective_s))
+
+    # Meet-in-the-middle point-to-point: the whole probe batch together
+    # must still clear the floor against one sweep.
+    def run_bidirectional():
+        return [rpq_pairs_between(graph, expression, {s}, {t})
+                for s, t in probes]
+
+    answers, bidirectional_s = timed(run_bidirectional)
+    for (s, t), answer in zip(probes, answers):
+        assert answer == frozenset(p for p in full if p == (s, t)), \
+            "bidirectional answer diverges on probe ({!r}, {!r})".format(s, t)
+    gate("rpq point-to-point x{} (bidirectional)".format(len(probes)),
+         bidirectional_s)
+
+    # Vertex-bound prefix through the engine: constrained lowering + DFA
+    # cache + direction model, not just the raw kernel.
+    engine = Engine(graph)
+    source = probes[0][0]
+    query = "[{}, a, _] . [_, b, _]*".format(source)
+    engine.pairs(query)  # warm parse/stats/DFA caches
+    answer, engine_s = timed(lambda: engine.pairs(query))
+    assert answer == frozenset(p for p in full if p[0] == source), \
+        "engine vertex-bound answer diverges from the full sweep"
+    gate("rpq vertex-bound prefix (engine lowering)", engine_s)
+
+    # Target-bound suffix: backward product BFS over the reverse CSR.
+    target = probes[1][1]
+    answer, backward_s = timed(
+        lambda: rpq_pairs_to_targets(graph, expression, targets={target}))
+    assert answer == frozenset(p for p in full if p[1] == target), \
+        "backward answer diverges from the full sweep"
+    gate("rpq target-bound suffix (backward)", backward_s)
 
 
 def _drop_snapshot_cache(graph):
@@ -262,6 +350,7 @@ def main():
     for label, graph in workloads:
         print("graph[{}]: {!r}".format(label, graph))
         bench_rpq(graph, label, rows, args.quick)
+    bench_rpq_selective(rows, args.quick)
     if HAVE_NUMPY:
         bench_digraph(digraph_size[0], digraph_size[1], rows, args.quick)
     else:
@@ -272,7 +361,9 @@ def main():
         bench_digraph_churn(rows, args.quick)
     report(rows)
     print("all compact/seed answer sets identical; "
-          "incremental churn beats full rebuilds")
+          "incremental churn beats full rebuilds; "
+          "selective rpq scenarios beat the all-sources sweep >= {}x".format(
+              SELECTIVE_SPEEDUP_FLOOR))
 
 
 if __name__ == "__main__":

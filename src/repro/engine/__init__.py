@@ -10,6 +10,7 @@
 from repro.engine.engine import Engine, QueryResult
 from repro.engine.executor import (
     STRATEGIES,
+    endpoint_pairs,
     execute_plan,
     run_strategy,
     stream_paths,
@@ -25,8 +26,8 @@ from repro.engine.plan import (
     StarPlan,
     UnionPlan,
 )
-from repro.engine.planner import Planner
-from repro.engine.stats import GraphStatistics
+from repro.engine.planner import DirectionChoice, Planner
+from repro.engine.stats import GraphStatistics, LabelDegreeProfile
 from repro.engine.cache import QueryCache
 from repro.engine.views import JoinView
 from repro.engine.rewrite import (
@@ -39,6 +40,7 @@ from repro.engine.rewrite import (
 __all__ = [
     "Engine", "QueryResult",
     "STRATEGIES", "execute_plan", "stream_paths", "run_strategy",
+    "endpoint_pairs", "DirectionChoice", "LabelDegreeProfile",
     "PlanNode", "AtomScan", "LiteralScan", "EpsilonScan", "EmptyScan",
     "JoinPlan", "ProductPlan", "UnionPlan", "StarPlan",
     "Planner", "GraphStatistics", "QueryCache", "JoinView",

@@ -9,20 +9,33 @@ The pairs fast path
 Beyond the four path-materializing strategies, :meth:`Engine.pairs` answers
 the *reachability* question — which ``(source, target)`` pairs are connected
 by a matching path — without materializing any path.  When the compiled
-expression is **label-only** (every atom is ``[_, a, _]``, combined by
-union/join/star/bounded repeat — detected by
-:func:`repro.rpq.lower_to_label_expression`), it is lowered to the label
-formulation and evaluated by the compact frontier-BFS kernel of
-:mod:`repro.graph.compact`: a DFA is compiled once, the graph's
-integer-indexed CSR snapshot is fetched from the version-keyed cache
-(rebuilt lazily only after a mutation), and one stamped product BFS sweeps
-all sources.  That path is *unbounded* (true Kleene-star reachability) and
-allocation-free per lookup; passing an explicit ``max_length`` opts out of
-it, since a bound changes the semantics.  Expressions that bind endpoint
-vertices, use literals or products fall back to the bounded ``automaton``
-strategy and project endpoints from the witness paths.
-``EXPLAIN`` output reports which of the two applies (the trailing
-``pairs fast path`` line).
+expression lowers to a :class:`~repro.rpq.ConstrainedQuery` (every atom is
+``[_, a, _]``, except that the *first* may bind its tail and the *last* its
+head — detected by :func:`repro.rpq.lower_to_constrained_query`), it is
+evaluated by the compact product-BFS kernels of :mod:`repro.graph.compact`:
+the DFA comes from a per-engine compilation cache keyed on ``(expression,
+label alphabet)``, the graph's integer-indexed CSR snapshot from the
+version-keyed snapshot cache (patched incrementally after mutations), and
+a **direction cost model** (:meth:`Planner.choose_rpq_direction`, driven
+by the statistics' per-label degree profiles) picks among three kernels:
+
+* **forward** — stamped product BFS from the sources over the forward CSR,
+* **backward** — stamped product BFS from the targets over the reverse CSR
+  with the DFA's transitions reversed,
+* **bidirectional** — meet-in-the-middle between explicit source and
+  target sets, expanding whichever frontier is smaller and joining on
+  (vertex, state) meets — the point-to-point fast path.
+
+This covers vertex-bound prefix/suffix queries (``[i, a, _] · R``,
+``R · [_, a, j]``) that previously materialized bounded witness paths.
+The fast path is *unbounded* (true Kleene-star reachability); passing an
+explicit ``max_length`` opts out of it, since a bound changes the
+semantics.  Expressions binding interior vertices, literals and products
+fall back to the bounded ``automaton`` strategy and project endpoints from
+the witness paths (:func:`repro.engine.executor.endpoint_pairs` keeps the
+two paths' filter/reflexive semantics identical).  ``EXPLAIN`` reports
+which applies and the chosen direction (the trailing ``pairs fast path`` /
+``pairs direction`` lines).
 
 Example
 -------
@@ -40,8 +53,9 @@ True
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.automata.recognizer import Recognizer
 from repro.core.path import Path
@@ -120,6 +134,10 @@ class Engine:
         optimizer's benefit — experiment E9 does exactly that).
     """
 
+    #: Compiled-DFA cache capacity (LRU) — bounds memory on engines serving
+    #: many distinct query shapes.
+    _DFA_CACHE_CAP = 128
+
     def __init__(self, graph: MultiRelationalGraph,
                  default_max_length: int = 8, optimize: bool = True,
                  cache: Optional["QueryCache"] = None):
@@ -129,16 +147,55 @@ class Engine:
         self.cache = cache
         self._statistics: Optional[GraphStatistics] = None
         self._statistics_version: Optional[int] = None
+        # (label expression, label alphabet) -> compiled DFA, LRU-bounded.
+        self._dfa_cache: "OrderedDict" = OrderedDict()
+        self._dfa_cache_hits = 0
+        self._dfa_cache_misses = 0
 
     # ------------------------------------------------------------------
 
     def statistics(self) -> GraphStatistics:
-        """Current graph statistics (recomputed when the edge count changes)."""
-        version = self.graph.size()
+        """Current graph statistics, refreshed on ``graph.version()``.
+
+        Keyed on the mutation counter rather than the edge count: a
+        remove+add cycle leaves ``size()`` unchanged while shifting label
+        histograms and degree profiles, and version-keying also means one
+        rebuild per mutation batch instead of comparing structure on every
+        access.
+        """
+        version = self.graph.version()
         if self._statistics is None or self._statistics_version != version:
             self._statistics = GraphStatistics(self.graph)
             self._statistics_version = version
         return self._statistics
+
+    def compiled_dfa(self, label_expression):
+        """The DFA for a label expression, via the engine's LRU cache.
+
+        Keyed by ``(expression, label alphabet)`` — the alphabet frozenset
+        is the "alphabet version": mutations that do not add or retire a
+        label keep every cached DFA valid, so steady-state repeated queries
+        never re-determinize (``compile_rpq`` from scratch subset-constructs
+        on every call).
+        """
+        from repro.rpq.evaluation import compile_rpq
+        key = (label_expression, self.graph.labels())
+        dfa = self._dfa_cache.get(key)
+        if dfa is None:
+            self._dfa_cache_misses += 1
+            dfa = compile_rpq(label_expression, self.graph)
+            self._dfa_cache[key] = dfa
+            if len(self._dfa_cache) > self._DFA_CACHE_CAP:
+                self._dfa_cache.popitem(last=False)
+        else:
+            self._dfa_cache_hits += 1
+            self._dfa_cache.move_to_end(key)
+        return dfa
+
+    def dfa_cache_info(self) -> Tuple[int, int, int]:
+        """``(hits, misses, current size)`` of the compiled-DFA cache."""
+        return self._dfa_cache_hits, self._dfa_cache_misses, \
+            len(self._dfa_cache)
 
     def compile(self, query: Union[str, RegexExpr]) -> RegexExpr:
         """PathQL text -> AST (ASTs pass through), algebraically normalized.
@@ -161,64 +218,133 @@ class Engine:
         return planner.plan(expression)
 
     def explain(self, query: Union[str, RegexExpr],
-                max_length: Optional[int] = None) -> str:
-        """EXPLAIN: the annotated plan tree, plus pairs-fast-path eligibility.
+                max_length: Optional[int] = None,
+                sources: Optional[frozenset] = None,
+                targets: Optional[frozenset] = None) -> str:
+        """EXPLAIN: the annotated plan tree, plus pairs-fast-path routing.
 
         The trailing lines report whether :meth:`pairs` would route this
-        query through the compact frontier-BFS kernel (label-only
-        expressions) or fall back to bounded path materialization, and the
+        query through the compact product-BFS kernels (label-only or
+        vertex-bound-end expressions) or fall back to bounded path
+        materialization, the direction the cost model would pick for the
+        given endpoint filters (with its frontier-work estimates), and the
         state of the graph's compact snapshot cache (cold, base CSR, or
         delta overlay awaiting compaction) so staleness is visible next to
         the plan.
         """
         from repro.graph.compact import snapshot_state
-        from repro.rpq.evaluation import lower_to_label_expression
+        from repro.rpq.evaluation import lower_to_constrained_query
         expression = self.compile(query)
         text = self.plan(expression, max_length).explain()
-        if lower_to_label_expression(expression) is not None:
-            note = ("pairs fast path: eligible — label-only expression; "
-                    "Engine.pairs() runs the compact frontier-BFS kernel "
-                    "(unbounded, no path materialization)")
+        constrained = lower_to_constrained_query(expression)
+        if constrained is not None:
+            note = ("pairs fast path: eligible — {}; Engine.pairs() runs "
+                    "the compact product-BFS kernels (unbounded, no path "
+                    "materialization)").format(constrained.describe())
+            merged = self._constrained_filters(constrained, sources, targets)
+            if merged is None:
+                direction_note = ("pairs direction: n/a — endpoint filters "
+                                  "exclude the bound vertex (empty result)")
+            else:
+                choice = self._direction_choice(constrained, *merged)
+                direction_note = "pairs direction: " + choice.describe()
+            note = note + "\n" + direction_note
         else:
-            note = ("pairs fast path: not eligible — expression is not "
-                    "label-only; Engine.pairs() falls back to bounded "
-                    "automaton evaluation")
+            note = ("pairs fast path: not eligible — expression binds "
+                    "interior vertices or needs the edge-set algebra; "
+                    "Engine.pairs() falls back to bounded automaton "
+                    "evaluation")
         snapshot_note = "compact snapshot: " + snapshot_state(self.graph)
         return text + "\n" + note + "\n" + snapshot_note
 
+    # -- pairs fast-path plumbing --------------------------------------
+
+    @staticmethod
+    def _constrained_filters(constrained, sources, targets):
+        """Merge caller endpoint filters with the lowering's bound vertices.
+
+        Returns ``(sources, targets)`` as Optional[frozenset]s, or ``None``
+        when a bound vertex is excluded by the corresponding filter (the
+        result is provably empty).
+        """
+        if constrained.source is not None:
+            if sources is not None and constrained.source not in frozenset(sources):
+                return None
+            sources = frozenset((constrained.source,))
+        elif sources is not None:
+            sources = frozenset(sources)
+        if constrained.target is not None:
+            if targets is not None and constrained.target not in frozenset(targets):
+                return None
+            targets = frozenset((constrained.target,))
+        elif targets is not None:
+            targets = frozenset(targets)
+        return sources, targets
+
+    def _direction_choice(self, constrained, sources, targets):
+        """The cost model's pick for one constrained query + filters."""
+        planner = Planner(self.statistics(),
+                          max_length=self.default_max_length,
+                          optimize_joins=self.optimize)
+        return planner.choose_rpq_direction(
+            constrained.label_expression,
+            None if sources is None else len(sources),
+            None if targets is None else len(targets))
+
     def pairs(self, query: Union[str, RegexExpr],
               sources: Optional[frozenset] = None,
+              targets: Optional[frozenset] = None,
               max_length: Optional[int] = None) -> frozenset:
         """All ``(source, target)`` pairs connected by a matching path.
 
-        Label-only expressions (see module docstring) run the compact
-        frontier-BFS kernel: exact, *unbounded* reachability semantics with
-        the DFA and adjacency snapshot shared across all sources.  The fast
-        path therefore only applies when no ``max_length`` is given — an
-        explicit bound is honored by routing through the bounded
-        ``automaton`` strategy instead, like every expression that needs
-        the edge-set algebra (vertex-bound atoms, literals, products),
-        projecting endpoint pairs from the length-limited witness paths.
+        Expressions lowering to a constrained label RPQ (label-only, or
+        vertex-bound only at the ends — see module docstring) run the
+        compact product-BFS kernels: exact, *unbounded* reachability
+        semantics, with the compiled DFA served from the engine's cache
+        and the traversal direction (forward / backward / bidirectional)
+        chosen by the statistics-driven cost model.  The fast path only
+        applies when no ``max_length`` is given — an explicit bound is
+        honored by routing through the bounded ``automaton`` strategy
+        instead, like every expression that needs the edge-set algebra
+        (interior-bound atoms, literals, products), projecting endpoint
+        pairs from the length-limited witness paths with identical
+        filter/reflexive semantics (:func:`~repro.engine.executor.endpoint_pairs`).
 
-        ``sources=None`` means all vertices; otherwise only pairs whose
-        source is in ``sources`` are returned.
+        ``sources``/``targets`` of ``None`` mean all vertices; otherwise
+        only pairs whose endpoints are in the given sets are returned.
         """
-        from repro.rpq.evaluation import lower_to_label_expression, rpq_pairs
+        from repro.engine.executor import endpoint_pairs
+        from repro.graph.compact import (
+            rpq_pairs_backward,
+            rpq_pairs_bidirectional,
+            rpq_pairs_compact,
+        )
+        from repro.rpq.evaluation import lower_to_constrained_query
         expression = self.compile(query)
         if max_length is None:
-            label_expression = lower_to_label_expression(expression)
-            if label_expression is not None:
-                return rpq_pairs(self.graph, label_expression, sources=sources)
+            constrained = lower_to_constrained_query(expression)
+            if constrained is not None:
+                merged = self._constrained_filters(constrained, sources,
+                                                  targets)
+                if merged is None:
+                    return frozenset()
+                merged_sources, merged_targets = merged
+                dfa = self.compiled_dfa(constrained.label_expression)
+                choice = self._direction_choice(constrained, merged_sources,
+                                                merged_targets)
+                if choice.direction == "bidirectional":
+                    return rpq_pairs_bidirectional(
+                        self.graph, dfa, merged_sources, merged_targets)
+                if choice.direction == "backward":
+                    return rpq_pairs_backward(
+                        self.graph, dfa, merged_targets,
+                        sources=merged_sources)
+                return rpq_pairs_compact(self.graph, dfa, merged_sources,
+                                         targets=merged_targets)
         result = self.query(expression, strategy="automaton",
                             max_length=max_length)
-        wanted = None if sources is None else set(sources)
-        answers = {(p.tail, p.head) for p in result.paths
-                   if p and (wanted is None or p.tail in wanted)}
-        if expression.nullable:
-            reflexive = self.graph.vertices() if wanted is None \
-                else (v for v in wanted if self.graph.has_vertex(v))
-            answers.update((v, v) for v in reflexive)
-        return frozenset(answers)
+        return endpoint_pairs(result.paths, expression, self.graph,
+                              sources=sources, targets=targets)
 
     def query(self, query: Union[str, RegexExpr], strategy: str = "materialized",
               max_length: Optional[int] = None,

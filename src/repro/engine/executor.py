@@ -42,6 +42,7 @@ __all__ = [
     "execute_plan",
     "stream_paths",
     "run_strategy",
+    "endpoint_pairs",
 ]
 
 #: The strategy names accepted by the engine.
@@ -141,6 +142,48 @@ def stream_paths(graph: MultiRelationalGraph, expression: RegexExpr,
                     yield accepting
                     if limit is not None and len(emitted) >= limit:
                         return
+
+
+def endpoint_pairs(paths: PathSet, expression: RegexExpr,
+                   graph: MultiRelationalGraph,
+                   sources: Optional[Set] = None,
+                   targets: Optional[Set] = None
+                   ) -> frozenset:
+    """Project witness paths to filtered ``(source, target)`` endpoint pairs.
+
+    The single definition of the ``Engine.pairs`` fallback semantics, kept
+    in lock-step with the compact reachability kernels:
+
+    * non-empty paths contribute ``(tail, head)`` when the tail passes the
+      ``sources`` filter and the head the ``targets`` filter;
+    * a nullable expression additionally matches the empty path *at every
+      vertex*, contributing the reflexive pair ``(v, v)`` for each live
+      vertex that passes **both** filters — the same rule the kernels
+      apply via the DFA's accepting start state.
+
+    Keeping one implementation prevents the fast and fallback paths from
+    drifting (the historical bug: filters applied to witness paths but not
+    to the reflexive completion, or vice versa).
+    """
+    source_ok = None if sources is None else frozenset(sources)
+    target_ok = None if targets is None else frozenset(targets)
+    answers = set()
+    for path in paths:
+        if not path:
+            continue  # epsilon: folded into the reflexive completion below
+        if source_ok is not None and path.tail not in source_ok:
+            continue
+        if target_ok is not None and path.head not in target_ok:
+            continue
+        answers.add((path.tail, path.head))
+    if expression.nullable:
+        candidates = graph.vertices() if source_ok is None else source_ok
+        for vertex in candidates:
+            if target_ok is not None and vertex not in target_ok:
+                continue
+            if graph.has_vertex(vertex):
+                answers.add((vertex, vertex))
+    return frozenset(answers)
 
 
 def run_strategy(strategy: str, graph: MultiRelationalGraph,

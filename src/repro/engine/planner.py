@@ -20,7 +20,8 @@ asserts plan-result invariance — only resource use does (experiment E9).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.engine.plan import (
     AtomScan,
@@ -48,7 +49,43 @@ from repro.regex.ast import (
     Union,
 )
 
-__all__ = ["Planner"]
+__all__ = ["Planner", "DirectionChoice"]
+
+#: Bidirectional evaluation keeps one bitmask per (vertex, state) per side;
+#: past this many vertices on either side the masks outgrow machine words
+#: and the one-directional stamped sweeps win anyway.
+_BIDI_MAX_SIDE = 64
+
+#: A non-forward direction must beat forward by this factor.  The growth
+#: estimates are sampling-noisy on near-symmetric graphs, and forward is
+#: the best-tuned kernel — flip direction only on a clear win.
+_DIRECTION_MARGIN = 0.9
+
+
+@dataclass(frozen=True)
+class DirectionChoice:
+    """Outcome of the RPQ direction cost model (see
+    :meth:`Planner.choose_rpq_direction`).
+
+    ``direction`` is ``"forward"``, ``"backward"`` or ``"bidirectional"``;
+    the ``*_cost`` fields are the estimated product-configuration
+    expansions of each feasible strategy (``None`` = infeasible for this
+    query shape).  Surfaced verbatim by ``Engine.explain``.
+    """
+
+    direction: str
+    forward_cost: float
+    backward_cost: Optional[float] = None
+    bidirectional_cost: Optional[float] = None
+
+    def describe(self) -> str:
+        """One-line summary for EXPLAIN output."""
+        def fmt(cost):
+            return "n/a" if cost is None else "{:.3g}".format(cost)
+        return ("direction={} (est. frontier work: forward~{}, "
+                "backward~{}, bidirectional~{})").format(
+            self.direction, fmt(self.forward_cost),
+            fmt(self.backward_cost), fmt(self.bidirectional_cost))
 
 
 class Planner:
@@ -94,6 +131,81 @@ class Planner:
         if isinstance(expr, Repeat):
             return self.plan(expr.expand())
         raise PlanningError("cannot plan unknown node {!r}".format(expr))
+
+    # ------------------------------------------------------------------
+    # RPQ direction selection (the pairs fast path's one decision)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cone_cost(seeds: float, growth: float, horizon: int,
+                   cap: float) -> float:
+        """Configurations touched by a BFS cone: ``seeds`` initial frontier
+        entries growing by ``growth`` per level for ``horizon`` levels, each
+        level capped at ``cap`` (the frontier cannot exceed the vertex
+        set)."""
+        frontier = float(seeds)
+        total = frontier
+        for _ in range(horizon):
+            frontier *= growth
+            if frontier > cap:
+                frontier = cap
+            total += frontier
+            if frontier == 0.0:
+                break
+        return total
+
+    def choose_rpq_direction(self, label_expression,
+                             num_sources: Optional[int] = None,
+                             num_targets: Optional[int] = None
+                             ) -> DirectionChoice:
+        """Pick forward / backward / bidirectional for one pairs query.
+
+        ``num_sources``/``num_targets`` are the bound endpoint-set sizes
+        (``None`` = unconstrained, i.e. every vertex).  The model compares
+        estimated frontier work: the one-directional kernels run one
+        stamped sweep per seed vertex, each sweep a cone growing by the
+        statistics' per-label mean fanout (out-fanout forward, in-fanout
+        backward — asymmetric exactly on skewed graphs); the bidirectional
+        kernel runs a single meet-in-the-middle pass whose two cones each
+        stop at half the horizon.  Bidirectional is only offered when both
+        endpoint sets are explicit and small (mask width); forward wins
+        ties, preserving the pre-cost-model behavior on symmetric graphs.
+        """
+        statistics = self.statistics
+        vertex_count = max(statistics.vertex_count, 1)
+        labels = label_expression.symbols()
+        forward_growth = statistics.forward_growth(labels)
+        backward_growth = statistics.backward_growth(labels)
+        horizon = max(self.max_length, 1)
+        seeds_forward = vertex_count if num_sources is None else num_sources
+        seeds_backward = vertex_count if num_targets is None else num_targets
+
+        forward_cost = seeds_forward * self._cone_cost(
+            1.0, forward_growth, horizon, vertex_count)
+        backward_cost = seeds_backward * self._cone_cost(
+            1.0, backward_growth, horizon, vertex_count)
+        bidirectional_cost = None
+        if num_sources is not None and num_targets is not None \
+                and 0 < num_sources <= _BIDI_MAX_SIDE \
+                and 0 < num_targets <= _BIDI_MAX_SIDE:
+            half = (horizon + 1) // 2
+            bidirectional_cost = (
+                self._cone_cost(num_sources, forward_growth, half,
+                                vertex_count)
+                + self._cone_cost(num_targets, backward_growth, half,
+                                  vertex_count))
+
+        best = "forward"
+        best_cost = forward_cost
+        if backward_cost < best_cost * _DIRECTION_MARGIN:
+            best = "backward"
+            best_cost = backward_cost
+        if bidirectional_cost is not None \
+                and bidirectional_cost < best_cost * _DIRECTION_MARGIN:
+            best = "bidirectional"
+        return DirectionChoice(direction=best, forward_cost=forward_cost,
+                               backward_cost=backward_cost,
+                               bidirectional_cost=bidirectional_cost)
 
     # ------------------------------------------------------------------
 

@@ -11,7 +11,8 @@ measures the planner against.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from collections import Counter
+from typing import Dict, Hashable, Iterable, NamedTuple, Optional
 
 from repro.graph.graph import MultiRelationalGraph
 from repro.regex.ast import (
@@ -27,7 +28,32 @@ from repro.regex.ast import (
     Union,
 )
 
-__all__ = ["GraphStatistics"]
+__all__ = ["GraphStatistics", "LabelDegreeProfile"]
+
+
+class LabelDegreeProfile(NamedTuple):
+    """Per-label degree summary feeding the RPQ direction cost model.
+
+    ``out_histogram``/``in_histogram`` map degree -> vertex count over the
+    vertices that carry at least one edge of the label in that direction;
+    ``avg_out``/``avg_in`` are the corresponding mean fanouts (edges per
+    *participating* vertex, not per graph vertex — the frontier of a
+    product BFS consists of participants, so this is the growth factor a
+    label contributes per expansion step).
+    """
+
+    edges: int
+    distinct_tails: int
+    distinct_heads: int
+    avg_out: float
+    avg_in: float
+    max_out: int
+    max_in: int
+    out_histogram: Dict[int, int]
+    in_histogram: Dict[int, int]
+
+
+_EMPTY_PROFILE = LabelDegreeProfile(0, 0, 0, 0.0, 0.0, 0, 0, {}, {})
 
 
 class GraphStatistics:
@@ -42,8 +68,64 @@ class GraphStatistics:
         self.vertex_count = graph.order()
         self.edge_count = graph.size()
         self.label_histogram: Dict[Hashable, int] = graph.label_histogram()
+        # Per-label degree profiles are O(E_label) to derive, so they are
+        # computed lazily on first request and cached for this instance's
+        # lifetime (the engine refreshes the instance per graph version).
+        self._degree_profiles: Dict[Hashable, LabelDegreeProfile] = {}
 
     # ------------------------------------------------------------------
+
+    def degree_profile(self, label: Hashable) -> LabelDegreeProfile:
+        """Degree summary of one label's edge set (cached per instance)."""
+        profile = self._degree_profiles.get(label)
+        if profile is None:
+            edges = self.graph.match(label=label)
+            if not edges:
+                profile = _EMPTY_PROFILE
+            else:
+                out_degree = Counter(e.tail for e in edges)
+                in_degree = Counter(e.head for e in edges)
+                count = len(edges)
+                profile = LabelDegreeProfile(
+                    edges=count,
+                    distinct_tails=len(out_degree),
+                    distinct_heads=len(in_degree),
+                    avg_out=count / len(out_degree),
+                    avg_in=count / len(in_degree),
+                    max_out=max(out_degree.values()),
+                    max_in=max(in_degree.values()),
+                    out_histogram=dict(Counter(out_degree.values())),
+                    in_histogram=dict(Counter(in_degree.values())))
+            self._degree_profiles[label] = profile
+        return profile
+
+    def _growth(self, labels: Iterable[Hashable], forward: bool) -> float:
+        """Edge-weighted mean fanout across ``labels`` in one direction.
+
+        The per-step frontier growth factor of a product BFS that may
+        follow any of the expression's labels: the average out-fanout of
+        edge-carrying tails (forward) or in-fanout of edge-carrying heads
+        (backward).  The two diverge exactly on skewed graphs — hubs
+        concentrate one side's edges onto few vertices — which is what
+        makes the direction choice non-trivial.
+        """
+        total_edges = 0
+        weighted = 0.0
+        for label in labels:
+            profile = self.degree_profile(label)
+            if profile.edges:
+                total_edges += profile.edges
+                weighted += profile.edges * (
+                    profile.avg_out if forward else profile.avg_in)
+        return weighted / total_edges if total_edges else 0.0
+
+    def forward_growth(self, labels: Iterable[Hashable]) -> float:
+        """Estimated forward frontier growth per step over ``labels``."""
+        return self._growth(labels, forward=True)
+
+    def backward_growth(self, labels: Iterable[Hashable]) -> float:
+        """Estimated backward frontier growth per step over ``labels``."""
+        return self._growth(labels, forward=False)
 
     def atom_cardinality(self, atom: Atom) -> int:
         """Exact edge count matched by a set-builder pattern.

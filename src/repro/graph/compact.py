@@ -76,6 +76,8 @@ __all__ = [
     "digraph_snapshot",
     "digraph_snapshot_if_large",
     "rpq_pairs_compact",
+    "rpq_pairs_backward",
+    "rpq_pairs_bidirectional",
     "snapshot_state",
     "compaction_due",
     "COMPACTION_MIN_OPS",
@@ -484,10 +486,76 @@ def snapshot_state(graph) -> str:
 
 
 # ----------------------------------------------------------------------
-# RPQ frontier kernel (vertex x dfa-state product BFS over CSR + delta)
+# RPQ frontier kernels (vertex x dfa-state product BFS over CSR + delta)
 # ----------------------------------------------------------------------
 
-def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
+def _forward_moves(snapshot, dfa) -> List[List[Tuple]]:
+    """``moves[state] -> [(out_block fields..., next_state)]``.
+
+    Each DFA transition that can actually fire in this graph, pre-resolved
+    to the *forward* adjacency block of its label.
+
+    Consumers deliberately inline the block's slice-merge (base CSR slice
+    minus removed plus added) in their hot loops rather than calling a
+    shared helper — a per-neighbor-expansion function call costs more than
+    the merge itself at interpreter speed.  The four inlined copies (the
+    forward, backward, and both bidirectional expansions) must stay
+    semantically identical; the differential suite pins each one to the
+    dict reference under churn.
+    """
+    moves: List[List[Tuple]] = []
+    for state in range(dfa.num_states):
+        row = []
+        for label, next_state in dfa.transitions[state].items():
+            label_id = snapshot.label_ids.get(label)
+            if label_id is not None:
+                indptr, indices, added, removed, base_n = \
+                    snapshot.out_block(label_id)
+                row.append((indptr, indices, added, removed, base_n,
+                            next_state))
+        moves.append(row)
+    return moves
+
+
+def _backward_moves(snapshot, dfa) -> List[List[Tuple]]:
+    """``moves[state] -> [(in_block fields..., previous_state)]``.
+
+    The DFA's transition relation reversed: for every ``p --a--> q`` the
+    row of ``q`` holds label ``a``'s *reverse* adjacency block and ``p``,
+    so a backward product step walks in-neighbors while undoing the DFA
+    move — exactly the product automaton of the reversed graph with the
+    reversed NFA, restricted to the states the forward DFA already built.
+    """
+    moves: List[List[Tuple]] = [[] for _ in range(dfa.num_states)]
+    for state in range(dfa.num_states):
+        for label, next_state in dfa.transitions[state].items():
+            label_id = snapshot.label_ids.get(label)
+            if label_id is not None:
+                indptr, indices, added, removed, base_n = \
+                    snapshot.in_block(label_id)
+                moves[next_state].append((indptr, indices, added, removed,
+                                          base_n, state))
+    return moves
+
+
+def _vertex_flag_array(slots: int, vertex_ids, vertices
+                       ) -> Tuple[Optional[bytearray], int]:
+    """``(flags, live_count)``: a per-slot membership byte array for a
+    vertex filter, or ``(None, 0)`` when the filter is absent."""
+    if vertices is None:
+        return None, 0
+    flags = bytearray(slots)
+    count = 0
+    for vertex in vertices:
+        vertex_id = vertex_ids.get(vertex)
+        if vertex_id is not None and not flags[vertex_id]:
+            flags[vertex_id] = 1
+            count += 1
+    return flags, count
+
+
+def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None,
+                      targets: Optional[Iterable[Hashable]] = None
                       ) -> FrozenSet[Tuple[Hashable, Hashable]]:
     """All ``(x, y)`` pairs connected by a path whose label word is in the DFA.
 
@@ -499,6 +567,10 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
     O(V x states) once instead of per source.  Clean labels expand by raw
     CSR slice; labels carrying delta edges merge the slice with the
     overlay's per-vertex add/remove buffers.
+
+    ``targets`` restricts the emitted pairs to those whose target is in the
+    set; once a source has answered every live target its sweep stops at
+    the next level boundary instead of exhausting the reachable cone.
 
     Semantically identical to the per-source product BFS
     (:func:`repro.rpq.evaluation.rpq_pairs_basic`); the equivalence and
@@ -514,21 +586,11 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
         source_ids: Iterable[int] = snapshot.live_vertex_ids()
     else:
         source_ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
+    target_ok, num_targets = _vertex_flag_array(slots, vertex_ids, targets)
+    if target_ok is not None and num_targets == 0:
+        return frozenset()
 
-    # moves[state] -> [(indptr, indices, added, removed, base_n, next_state)]:
-    # each DFA transition that can actually fire in this graph, pre-resolved
-    # to the adjacency block of its label.
-    moves: List[List[Tuple]] = []
-    for state in range(num_states):
-        row = []
-        for label, next_state in dfa.transitions[state].items():
-            label_id = snapshot.label_ids.get(label)
-            if label_id is not None:
-                indptr, indices, added, removed, base_n = \
-                    snapshot.out_block(label_id)
-                row.append((indptr, indices, added, removed, base_n,
-                            next_state))
-        moves.append(row)
+    moves = _forward_moves(snapshot, dfa)
     accepting = [False] * num_states
     for state in dfa.accepting:
         accepting[state] = True
@@ -546,12 +608,16 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
     # entry sweeps do not trigger collector pauses.
     for stamp, source_id in enumerate(source_ids):
         source_vertex = vertex_of[source_id]
+        remaining = num_targets
         visited[source_id * num_states + start_state] = stamp
-        if start_accepts:
+        if start_accepts and (target_ok is None or target_ok[source_id]):
             answered[source_id] = stamp
             answers.append((source_vertex, source_vertex))
+            remaining -= 1
         frontier: List[int] = [source_id * num_states + start_state]
         while frontier:
+            if target_ok is not None and remaining == 0:
+                break  # every wanted target answered for this source
             next_frontier: List[int] = []
             for packed in frontier:
                 vertex_id, state = divmod(packed, num_states)
@@ -574,11 +640,272 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None
                         code = neighbor * num_states + next_state
                         if visited[code] != stamp:
                             visited[code] = stamp
-                            if accepting[next_state] and answered[neighbor] != stamp:
+                            if accepting[next_state] \
+                                    and answered[neighbor] != stamp \
+                                    and (target_ok is None
+                                         or target_ok[neighbor]):
                                 answered[neighbor] = stamp
-                                answers.append((source_vertex, vertex_of[neighbor]))
+                                answers.append((source_vertex,
+                                                vertex_of[neighbor]))
+                                remaining -= 1
                             next_frontier.append(code)
             frontier = next_frontier
+    return frozenset(answers)
+
+
+def rpq_pairs_backward(graph, dfa,
+                       targets: Optional[Iterable[Hashable]] = None,
+                       sources: Optional[Iterable[Hashable]] = None
+                       ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """:func:`rpq_pairs_compact` evaluated *backward* from the targets.
+
+    One stamped product BFS per target over the **reverse** CSR with the
+    DFA's transition relation reversed (:func:`_backward_moves`): a sweep
+    seeded at ``(target, q)`` for every accepting ``q`` reaches ``(v,
+    start)`` exactly when some v -> target path spells a word the DFA
+    accepts, so each settled start-state configuration emits one pair.
+    Cost is bounded by the targets' *in*-cones — the profitable direction
+    when targets are few or in-fanout is smaller than out-fanout (the
+    planner's direction model decides).  ``sources`` restricts emissions,
+    and a sweep stops early once every wanted source has answered.
+    """
+    snapshot = adjacency_snapshot(graph)
+    num_states = dfa.num_states
+    slots = snapshot.num_slots
+    vertex_ids = snapshot.vertex_ids
+    vertex_of = snapshot.vertex_of
+
+    if targets is None:
+        target_ids: Iterable[int] = snapshot.live_vertex_ids()
+    else:
+        target_ids = sorted({vertex_ids[v] for v in targets if v in vertex_ids})
+    source_ok, num_sources = _vertex_flag_array(slots, vertex_ids, sources)
+    if source_ok is not None and num_sources == 0:
+        return frozenset()
+
+    moves = _backward_moves(snapshot, dfa)
+    start_state = dfa.start
+    accepting_states = sorted(dfa.accepting)
+
+    visited = [-1] * (slots * num_states)
+    answers: List[Tuple[Hashable, Hashable]] = []
+
+    for stamp, target_id in enumerate(target_ids):
+        target_vertex = vertex_of[target_id]
+        remaining = num_sources
+        frontier: List[int] = []
+        for state in accepting_states:
+            code = target_id * num_states + state
+            if visited[code] != stamp:
+                visited[code] = stamp
+                frontier.append(code)
+                # The DFA is deterministic, so (v, start) settles at most
+                # once per sweep — emission needs no dedup array.
+                if state == start_state and \
+                        (source_ok is None or source_ok[target_id]):
+                    answers.append((target_vertex, target_vertex))
+                    remaining -= 1
+        while frontier:
+            if source_ok is not None and remaining == 0:
+                break  # every wanted source answered for this target
+            next_frontier: List[int] = []
+            for packed in frontier:
+                vertex_id, state = divmod(packed, num_states)
+                for indptr, indices, added, removed, base_n, prev_state \
+                        in moves[state]:
+                    if vertex_id < base_n:
+                        neighbors = \
+                            indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+                    else:
+                        neighbors = _EMPTY_ROW
+                    if removed or added:
+                        mask = removed.get(vertex_id)
+                        if mask and neighbors:
+                            neighbors = [x for x in neighbors if x not in mask]
+                        grown = added.get(vertex_id)
+                        if grown:
+                            neighbors = grown if not neighbors \
+                                else list(neighbors) + grown
+                    for neighbor in neighbors:
+                        code = neighbor * num_states + prev_state
+                        if visited[code] != stamp:
+                            visited[code] = stamp
+                            if prev_state == start_state and \
+                                    (source_ok is None or source_ok[neighbor]):
+                                answers.append((vertex_of[neighbor],
+                                                target_vertex))
+                                remaining -= 1
+                            next_frontier.append(code)
+            frontier = next_frontier
+    return frozenset(answers)
+
+
+def _mask_bits(mask: int) -> List[int]:
+    """Indices of the set bits of a (bignum) bitmask, ascending."""
+    out: List[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def rpq_pairs_bidirectional(graph, dfa, sources: Iterable[Hashable],
+                            targets: Iterable[Hashable]
+                            ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """Meet-in-the-middle product BFS between explicit source/target sets.
+
+    Two label-propagating frontiers share the (vertex, dfa-state) product:
+    the forward one carries, per configuration, the bitmask of *sources*
+    that reach it over the forward CSR; the backward one the bitmask of
+    *targets* reachable from it over the reverse CSR with reversed DFA
+    moves.  Each round expands whichever frontier is currently smaller.
+    A configuration labeled by both sides is a **meet**: the mask product
+    is emitted immediately, so a selective point-to-point query terminates
+    as soon as the two half-depth cones touch — neither side ever explores
+    the full depth the one-directional kernels would.
+
+    Exactness does not depend on meets alone: masks only grow, so the
+    moment either frontier drains that side's labeling is a complete
+    closure and the full answer set is read off it directly (forward
+    labels at ``(target, accepting)``, backward labels at ``(source,
+    start)``).  Total work is therefore bounded by ~2x the *smaller* of
+    the two cones — the bidirectional win on queries where one end is
+    selective, and the reason the planner gates this kernel on bounded
+    source *and* target sets.
+    """
+    snapshot = adjacency_snapshot(graph)
+    num_states = dfa.num_states
+    vertex_ids = snapshot.vertex_ids
+    vertex_of = snapshot.vertex_of
+
+    source_ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
+    target_ids = sorted({vertex_ids[v] for v in targets if v in vertex_ids})
+    if not source_ids or not target_ids:
+        return frozenset()
+
+    fwd_moves = _forward_moves(snapshot, dfa)
+    bwd_moves = _backward_moves(snapshot, dfa)
+    start_state = dfa.start
+    accepting_states = sorted(dfa.accepting)
+
+    fwd_mask = [0] * (snapshot.num_slots * num_states)
+    bwd_mask = [0] * (snapshot.num_slots * num_states)
+    # Per-round enqueue stamps: a config whose mask grows under several
+    # predecessors in one round still expands once next round (it reads
+    # its accumulated mask at expansion time).
+    fwd_queued = [-1] * (snapshot.num_slots * num_states)
+    bwd_queued = [-1] * (snapshot.num_slots * num_states)
+    answers: Set[Tuple[Hashable, Hashable]] = set()
+    total = len(source_ids) * len(target_ids)
+    round_number = 0
+
+    def emit(source_mask: int, target_mask: int) -> None:
+        for i in _mask_bits(source_mask):
+            source_vertex = vertex_of[source_ids[i]]
+            for j in _mask_bits(target_mask):
+                answers.add((source_vertex, vertex_of[target_ids[j]]))
+
+    fwd_frontier: List[int] = []
+    for i, source_id in enumerate(source_ids):
+        code = source_id * num_states + start_state
+        fwd_mask[code] |= 1 << i
+        fwd_frontier.append(code)
+    bwd_frontier: List[int] = []
+    for j, target_id in enumerate(target_ids):
+        for state in accepting_states:
+            code = target_id * num_states + state
+            if not bwd_mask[code]:
+                bwd_frontier.append(code)
+            bwd_mask[code] |= 1 << j
+    for code in fwd_frontier:  # seed-on-seed meets (epsilon answers)
+        if bwd_mask[code]:
+            emit(fwd_mask[code], bwd_mask[code])
+
+    while fwd_frontier and bwd_frontier and len(answers) < total:
+        round_number += 1
+        if len(fwd_frontier) <= len(bwd_frontier):
+            next_frontier = []
+            for packed in fwd_frontier:
+                carried = fwd_mask[packed]
+                vertex_id, state = divmod(packed, num_states)
+                for indptr, indices, added, removed, base_n, next_state \
+                        in fwd_moves[state]:
+                    if vertex_id < base_n:
+                        neighbors = \
+                            indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+                    else:
+                        neighbors = _EMPTY_ROW
+                    if removed or added:
+                        mask = removed.get(vertex_id)
+                        if mask and neighbors:
+                            neighbors = [x for x in neighbors if x not in mask]
+                        grown = added.get(vertex_id)
+                        if grown:
+                            neighbors = grown if not neighbors \
+                                else list(neighbors) + grown
+                    for neighbor in neighbors:
+                        code = neighbor * num_states + next_state
+                        known = fwd_mask[code]
+                        if carried | known != known:
+                            fwd_mask[code] = carried | known
+                            meet = bwd_mask[code]
+                            if meet:
+                                emit(carried & ~known, meet)
+                            if fwd_queued[code] != round_number:
+                                fwd_queued[code] = round_number
+                                next_frontier.append(code)
+            fwd_frontier = next_frontier
+        else:
+            next_frontier = []
+            for packed in bwd_frontier:
+                carried = bwd_mask[packed]
+                vertex_id, state = divmod(packed, num_states)
+                for indptr, indices, added, removed, base_n, prev_state \
+                        in bwd_moves[state]:
+                    if vertex_id < base_n:
+                        neighbors = \
+                            indices[indptr[vertex_id]:indptr[vertex_id + 1]]
+                    else:
+                        neighbors = _EMPTY_ROW
+                    if removed or added:
+                        mask = removed.get(vertex_id)
+                        if mask and neighbors:
+                            neighbors = [x for x in neighbors if x not in mask]
+                        grown = added.get(vertex_id)
+                        if grown:
+                            neighbors = grown if not neighbors \
+                                else list(neighbors) + grown
+                    for neighbor in neighbors:
+                        code = neighbor * num_states + prev_state
+                        known = bwd_mask[code]
+                        if carried | known != known:
+                            bwd_mask[code] = carried | known
+                            meet = fwd_mask[code]
+                            if meet:
+                                emit(meet, carried & ~known)
+                            if bwd_queued[code] != round_number:
+                                bwd_queued[code] = round_number
+                                next_frontier.append(code)
+            bwd_frontier = next_frontier
+
+    if len(answers) < total:
+        if not fwd_frontier:
+            # Forward closure complete: pairs = sources labeled onto any
+            # (target, accepting) configuration.
+            for j, target_id in enumerate(target_ids):
+                base = target_id * num_states
+                combined = 0
+                for state in accepting_states:
+                    combined |= fwd_mask[base + state]
+                if combined:
+                    emit(combined, 1 << j)
+        else:
+            # Backward closure complete: pairs read off (source, start).
+            for i, source_id in enumerate(source_ids):
+                combined = bwd_mask[source_id * num_states + start_state]
+                if combined:
+                    emit(1 << i, combined)
     return frozenset(answers)
 
 

@@ -29,12 +29,16 @@ from repro.rpq.labelregex import (
     sym,
 )
 from repro.rpq.evaluation import (
+    ConstrainedQuery,
     compile_rpq,
     lift_to_edge_expression,
+    lower_to_constrained_query,
     lower_to_label_expression,
     regular_simple_paths,
     rpq_pairs,
     rpq_pairs_basic,
+    rpq_pairs_between,
+    rpq_pairs_to_targets,
     rpq_paths,
 )
 from repro.rpq.minimize import equivalent, expressions_equivalent, minimize
@@ -44,8 +48,10 @@ __all__ = [
     "LabelConcat", "LabelStar", "sym", "lunion", "lconcat", "lstar",
     "loptional", "lplus", "LabelNFA", "LabelDFA", "build_label_nfa",
     "determinize", "accepts_label_word",
-    "compile_rpq", "rpq_pairs", "rpq_pairs_basic", "rpq_paths",
+    "compile_rpq", "rpq_pairs", "rpq_pairs_basic", "rpq_pairs_to_targets",
+    "rpq_pairs_between", "rpq_paths",
     "regular_simple_paths",
     "lift_to_edge_expression", "lower_to_label_expression",
+    "ConstrainedQuery", "lower_to_constrained_query",
     "minimize", "equivalent", "expressions_equivalent",
 ]

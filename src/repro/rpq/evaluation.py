@@ -22,11 +22,16 @@ agree on path labels — which is exactly the paper's remark that its regex is
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.core.path import EPSILON, Path
 from repro.core.pathset import PathSet
-from repro.graph.compact import rpq_pairs_compact
+from repro.graph.compact import (
+    rpq_pairs_backward,
+    rpq_pairs_bidirectional,
+    rpq_pairs_compact,
+)
 from repro.graph.graph import MultiRelationalGraph
 from repro.rpq.labelregex import (
     LabelConcat,
@@ -45,10 +50,14 @@ __all__ = [
     "compile_rpq",
     "rpq_pairs",
     "rpq_pairs_basic",
+    "rpq_pairs_to_targets",
+    "rpq_pairs_between",
     "rpq_paths",
     "regular_simple_paths",
     "lift_to_edge_expression",
     "lower_to_label_expression",
+    "ConstrainedQuery",
+    "lower_to_constrained_query",
 ]
 
 
@@ -63,12 +72,14 @@ def compile_rpq(expression: LabelExpr, graph: MultiRelationalGraph) -> LabelDFA:
 
 
 def rpq_pairs(graph: MultiRelationalGraph, expression: LabelExpr,
-              sources: Optional[FrozenSet[Hashable]] = None
+              sources: Optional[FrozenSet[Hashable]] = None,
+              targets: Optional[FrozenSet[Hashable]] = None
               ) -> FrozenSet[Tuple[Hashable, Hashable]]:
     """All ``(x, y)`` with some x->y path whose label word is in L(R).
 
     BFS over the (vertex, dfa-state) product graph — polynomial, the
-    classical RPQ algorithm.  ``sources=None`` means all vertices.
+    classical RPQ algorithm.  ``sources=None`` means all vertices;
+    ``targets`` restricts the emitted pairs by target vertex.
 
     The traversal runs on the compact integer-indexed adjacency snapshot
     (:mod:`repro.graph.compact`): the DFA is compiled once and every source
@@ -78,10 +89,44 @@ def rpq_pairs(graph: MultiRelationalGraph, expression: LabelExpr,
     the kernel consults alongside the base CSR, so point updates between
     queries cost O(delta), not an O(V + E) rebuild.
     :func:`rpq_pairs_basic` keeps the direct per-source product BFS as the
-    reference implementation.
+    reference implementation; :func:`rpq_pairs_to_targets` and
+    :func:`rpq_pairs_between` are the backward and bidirectional variants
+    (identical answers, different cost shapes — the engine's direction
+    model picks among the three).
     """
     dfa = compile_rpq(expression, graph)
-    return rpq_pairs_compact(graph, dfa, sources)
+    return rpq_pairs_compact(graph, dfa, sources, targets=targets)
+
+
+def rpq_pairs_to_targets(graph: MultiRelationalGraph, expression: LabelExpr,
+                         targets: Optional[FrozenSet[Hashable]] = None,
+                         sources: Optional[FrozenSet[Hashable]] = None
+                         ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """:func:`rpq_pairs`, evaluated backward from the target side.
+
+    Per-target product BFS over the reverse CSR with the DFA reversed —
+    cost bounded by the targets' in-cones instead of the sources'
+    out-cones, so it wins when targets are the selective end (``R ·
+    [_, a, j]``-style suffix-bound queries).  Answers are identical to the
+    forward kernel's by construction; the differential suite enforces it.
+    """
+    dfa = compile_rpq(expression, graph)
+    return rpq_pairs_backward(graph, dfa, targets, sources=sources)
+
+
+def rpq_pairs_between(graph: MultiRelationalGraph, expression: LabelExpr,
+                      sources: FrozenSet[Hashable],
+                      targets: FrozenSet[Hashable]
+                      ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """:func:`rpq_pairs` between explicit endpoint sets, meet-in-the-middle.
+
+    Runs the forward and backward product searches simultaneously,
+    expanding whichever frontier is smaller and joining on (vertex, state)
+    meets — the point-to-point fast path
+    (:func:`repro.graph.compact.rpq_pairs_bidirectional`).
+    """
+    dfa = compile_rpq(expression, graph)
+    return rpq_pairs_bidirectional(graph, dfa, sources, targets)
 
 
 def rpq_pairs_basic(graph: MultiRelationalGraph, expression: LabelExpr,
@@ -298,3 +343,93 @@ def lower_to_label_expression(expression) -> Optional[LabelExpr]:
             return parts[0]
         return LabelConcat(parts)
     return None
+
+
+@dataclass(frozen=True)
+class ConstrainedQuery:
+    """A label RPQ plus optional bound endpoint vertices.
+
+    The lowered form of an edge expression whose only vertex bindings sit
+    at the path's ends: ``label_expression`` constrains the label word,
+    ``source``/``target`` (``None`` = unbound) pin the path's first/last
+    vertex.  Evaluable by the compact kernels as a source/target-
+    constrained reachability query — no witness-path materialization.
+    """
+
+    label_expression: LabelExpr
+    source: Optional[Hashable] = None
+    target: Optional[Hashable] = None
+
+    @property
+    def label_only(self) -> bool:
+        """True when no endpoint is bound (plain label RPQ)."""
+        return self.source is None and self.target is None
+
+    def describe(self) -> str:
+        """One-phrase summary for EXPLAIN output."""
+        if self.label_only:
+            return "label-only expression"
+        bounds = []
+        if self.source is not None:
+            bounds.append("source={!r}".format(self.source))
+        if self.target is not None:
+            bounds.append("target={!r}".format(self.target))
+        return "vertex-bound lowering ({})".format(", ".join(bounds))
+
+
+def lower_to_constrained_query(expression) -> Optional[ConstrainedQuery]:
+    """Lower an edge expression to a :class:`ConstrainedQuery` when possible.
+
+    Extends :func:`lower_to_label_expression` to vertex-bound *ends*: a
+    join whose first atom binds its tail (``[i, a, _] · R``), whose last
+    atom binds its head (``R · [_, a, j]``), or both, lowers to the label
+    concatenation with the bound vertices recorded as source/target
+    constraints — the paper's joint-path semantics make the prefix atom's
+    tail the path's first vertex and the suffix atom's head its last, so
+    endpoint-pair answers coincide with the constrained label RPQ.  A lone
+    atom may bind either or both of its endpoints (``[i, a, j]`` is the
+    single-edge point query).
+
+    Returns ``None`` when the expression binds an *interior* vertex
+    (including ``[i, a, j]`` used as a join prefix — its head pins the
+    second vertex), omits the label on a bound atom, or otherwise needs
+    the full edge-set algebra (literals, products, unions over bound
+    atoms): those still route through the bounded ``automaton`` strategy.
+    """
+    from repro.regex.ast import Atom, Join
+
+    label_only = lower_to_label_expression(expression)
+    if label_only is not None:
+        return ConstrainedQuery(label_only)
+    expr = expression
+    if isinstance(expr, Atom):
+        if expr.label is None:
+            return None
+        # tail/head are not both None here, or the label-only lowering
+        # above would have taken the expression.
+        return ConstrainedQuery(LabelSymbol(expr.label), expr.tail, expr.head)
+    if not isinstance(expr, Join):
+        return None
+    parts = expr.parts
+    last = len(parts) - 1
+    source: Optional[Hashable] = None
+    target: Optional[Hashable] = None
+    lowered: List[LabelExpr] = []
+    for index, part in enumerate(parts):
+        lowered_part = lower_to_label_expression(part)
+        if lowered_part is not None:
+            lowered.append(lowered_part)
+            continue
+        if isinstance(part, Atom) and part.label is not None:
+            if index == 0 and part.tail is not None and part.head is None:
+                source = part.tail
+                lowered.append(LabelSymbol(part.label))
+                continue
+            if index == last and part.head is not None and part.tail is None:
+                target = part.head
+                lowered.append(LabelSymbol(part.label))
+                continue
+        return None
+    if source is None and target is None:  # pragma: no cover - label-only
+        return None                        # joins already lowered above
+    return ConstrainedQuery(LabelConcat(lowered), source, target)

@@ -309,7 +309,12 @@ class TestEnginePairsFastPath:
     def test_explain_reports_eligibility(self, engine):
         eligible = engine.explain("[_, alpha, _] . [_, beta, _]")
         assert "pairs fast path: eligible" in eligible
-        ineligible = engine.explain("[3, alpha, _]")
+        assert "pairs direction:" in eligible
+        bound = engine.explain("[3, alpha, _]")
+        assert "pairs fast path: eligible" in bound
+        assert "vertex-bound lowering (source=3)" in bound
+        # An interior-bound vertex still needs the edge-set algebra.
+        ineligible = engine.explain("[_, alpha, 3] . [_, beta, _]")
         assert "pairs fast path: not eligible" in ineligible
 
 

@@ -50,7 +50,16 @@ from repro.graph.compact import (
     adjacency_snapshot,
 )
 from repro.graph.generators import uniform_random
-from repro.rpq import lconcat, lstar, lunion, rpq_pairs, rpq_pairs_basic, sym
+from repro.rpq import (
+    lconcat,
+    lstar,
+    lunion,
+    rpq_pairs,
+    rpq_pairs_basic,
+    rpq_pairs_between,
+    rpq_pairs_to_targets,
+    sym,
+)
 
 LABELS = ("a", "b", "c")
 
@@ -117,6 +126,51 @@ class TestRpqDifferential:
         # The walk must have queried through a live delta overlay AND through
         # a post-compaction base CSR, or the harness proved nothing.
         assert cache_states == {"CompactAdjacency", "DeltaAdjacency"}
+
+
+class TestDirectionalRpqDifferential:
+    """Forward == backward == bidirectional == per-source reference, under
+    churn, with and without endpoint filters.
+
+    The three compact kernels traverse different arrays (forward CSR,
+    reverse CSR, both) with different DFA orientations; this harness pins
+    them to the dict-based reference on the same randomized
+    mutation/query interleavings as the main RPQ differential, so a
+    regression in the reverse blocks, the reversed move table, or the
+    bitmask meet-join fails against ground truth, not just against a
+    sibling kernel.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 23])
+    def test_all_directions_match_reference_under_churn(self, seed):
+        rng = random.Random(seed)
+        graph = uniform_random(30, 150, labels=LABELS, seed=seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        for step in range(120):
+            _mutate_mrg(graph, rng, vertices, step)
+            if step % 3:
+                continue
+            expression = EXPRESSIONS[step % len(EXPRESSIONS)]
+            live = sorted(graph.vertices(), key=repr)
+            sources = frozenset(rng.sample(live, min(6, len(live))))
+            targets = frozenset(rng.sample(live, min(6, len(live))))
+            reference = rpq_pairs_basic(graph, expression)
+            tag = "step {}".format(step)
+            assert rpq_pairs_to_targets(graph, expression) == reference, tag
+            restricted = frozenset(
+                pair for pair in reference
+                if pair[0] in sources and pair[1] in targets)
+            assert rpq_pairs(graph, expression, sources=sources,
+                             targets=targets) == restricted, tag
+            assert rpq_pairs_to_targets(graph, expression, targets=targets,
+                                        sources=sources) == restricted, tag
+            assert rpq_pairs_between(graph, expression, sources,
+                                     targets) == restricted, tag
+            source, target = rng.choice(live), rng.choice(live)
+            expected = frozenset(pair for pair in reference
+                                 if pair == (source, target))
+            assert rpq_pairs_between(graph, expression, {source},
+                                     {target}) == expected, tag
 
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="compact DiGraph kernels need numpy")
