@@ -18,7 +18,11 @@ distributions, the hot paths the compact backend rewrote:
   the incremental delta-overlay snapshots vs one full snapshot rebuild per
   mutation (the pre-incremental lifecycle, simulated by dropping the cache
   before each query).  The incremental mode is asserted faster — this is
-  the regression gate for the snapshot/delta/compaction machinery.
+  the regression gate for the snapshot/delta/compaction machinery,
+* **persistence**: reopening a durable store (mmap'd CSR snapshot + WAL
+  replay, :mod:`repro.storage`) vs rebuilding the same 12k-edge graph
+  from its triple CSV, gated at >= 5x with identical query answers —
+  the regression gate for the snapshot-store reopen path.
 
 Every comparison first asserts the two implementations return **identical
 answers** (same pair sets, same distance maps, same components, same ranks
@@ -165,6 +169,75 @@ def bench_digraph(num_vertices, num_edges, rows, quick):
 #: Selective RPQ scenarios must beat the all-sources forward sweep by at
 #: least this factor — the acceptance gate for the directional kernels.
 SELECTIVE_SPEEDUP_FLOOR = 3.0
+
+#: Reopening a persistent store (mmap'd CSR snapshot + WAL replay) must
+#: beat rebuilding the same graph from its triple CSV — parse, dict
+#: indices, CSR build — by at least this factor, answering identically.
+PERSISTENCE_SPEEDUP_FLOOR = 5.0
+
+
+def bench_persistence(rows, quick):
+    """Durable-store reopen vs rebuild-from-triples at >= 10k edges.
+
+    One string-keyed 12k-edge graph is (a) written as triple CSV and (b)
+    checkpointed into a persistent store.  The contest: answer a fixed
+    selective RPQ batch starting from cold, either by re-parsing the CSV
+    (dict store + CSR snapshot rebuilt from scratch) or by
+    ``PersistentGraph.open`` (header read + ``np.memmap`` of the CSR
+    arrays + empty-WAL replay).  Answers are asserted identical; the
+    reopen must win by >= ``PERSISTENCE_SPEEDUP_FLOOR``x.  Sizes do not
+    shrink under ``--quick`` — the gate is only meaningful at 10k+ edges.
+    """
+    import shutil
+    import tempfile
+
+    from repro.graph.graph import MultiRelationalGraph
+    from repro.graph.io import read_triples, write_triples
+    from repro.storage import PersistentGraph
+
+    num_vertices, num_edges = 1500, 12000
+    rng = random.Random(53)
+    graph = MultiRelationalGraph(name="persist")
+    for v in range(num_vertices):
+        graph.add_vertex("v{}".format(v))
+    while graph.size() < num_edges:
+        graph.add_edge("v{}".format(rng.randrange(num_vertices)),
+                       rng.choice("abc"),
+                       "v{}".format(rng.randrange(num_vertices)))
+    # A selective probe (few sources, bounded chain) keeps query time tiny
+    # on both sides, so the timed contest measures cold-start cost — parse
+    # + index + CSR build vs header read + mmap — not traversal time.
+    expression = lconcat(sym("a"), sym("b"))
+    sources = frozenset("v{}".format(rng.randrange(num_vertices))
+                        for _ in range(4))
+
+    workdir = tempfile.mkdtemp(prefix="bench-e13-persistence-")
+    try:
+        csv_path = workdir + "/graph.csv"
+        write_triples(graph, csv_path)
+        store_dir = workdir + "/store"
+        PersistentGraph.create(store_dir, graph=graph).close()
+
+        def run_rebuild():
+            rebuilt = read_triples(csv_path)
+            return rpq_pairs(rebuilt, expression, sources=sources)
+
+        def run_reopen():
+            with PersistentGraph.open(store_dir) as store:
+                return store.pairs(expression, sources=sources)
+
+        rebuild_answer, rebuild_s = timed(run_rebuild)
+        reopen_answer, reopen_s = timed(run_reopen)
+        assert reopen_answer == rebuild_answer, \
+            "mmap reopen answers diverge from the rebuilt graph's"
+        assert rebuild_s / reopen_s >= PERSISTENCE_SPEEDUP_FLOOR, \
+            "mmap reopen ({:.4f}s) must beat rebuild-from-triples " \
+            "({:.4f}s) by >= {}x on a {}-edge graph".format(
+                reopen_s, rebuild_s, PERSISTENCE_SPEEDUP_FLOOR, num_edges)
+        rows.append(("persistent reopen vs csv rebuild ({} edges)".format(
+            num_edges), rebuild_s, reopen_s))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 def bench_rpq_selective(rows, quick):
@@ -359,11 +432,13 @@ def main():
     bench_rpq_churn(rows, args.quick)
     if HAVE_NUMPY:
         bench_digraph_churn(rows, args.quick)
+    bench_persistence(rows, args.quick)
     report(rows)
     print("all compact/seed answer sets identical; "
           "incremental churn beats full rebuilds; "
-          "selective rpq scenarios beat the all-sources sweep >= {}x".format(
-              SELECTIVE_SPEEDUP_FLOOR))
+          "selective rpq scenarios beat the all-sources sweep >= {}x; "
+          "persistent reopen beats csv rebuild >= {}x".format(
+              SELECTIVE_SPEEDUP_FLOOR, PERSISTENCE_SPEEDUP_FLOOR))
 
 
 if __name__ == "__main__":

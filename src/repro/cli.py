@@ -7,16 +7,26 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli stats GRAPH_FILE
     python -m repro.cli dot GRAPH_FILE
     python -m repro.cli demo
+    python -m repro.cli db init DIR [--graph GRAPH_FILE] [--name NAME]
+    python -m repro.cli db open DIR ['PATHQL' ...query options]
+    python -m repro.cli db checkpoint DIR
+    python -m repro.cli db info DIR [--verify]
 
 ``GRAPH_FILE`` may be triple CSV (``.csv``/``.txt``), JSON (``.json``) or
 GraphML (``.graphml``/``.xml``); the loader dispatches on extension.
-``demo`` runs the Figure 1 query on the built-in Figure 1 graph.
+``demo`` runs the Figure 1 query on the built-in Figure 1 graph.  The
+``db`` family manages durable graph stores (write-ahead log + mmap'd CSR
+snapshots, see ``docs/persistence.md``): ``init`` seeds a store from a
+graph file, ``open`` recovers one (optionally running a query against it),
+``checkpoint`` folds the log into a fresh snapshot generation, ``info``
+reports manifest/WAL/recovery state as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional
 
@@ -73,6 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("graph")
 
     commands.add_parser("demo", help="run the paper's Figure 1 query")
+
+    db = commands.add_parser(
+        "db", help="durable graph stores (write-ahead log + snapshots)")
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    db_init = db_commands.add_parser(
+        "init", help="create a store, optionally seeded from a graph file")
+    db_init.add_argument("directory", help="store directory to create")
+    db_init.add_argument("--graph", default=None,
+                         help="graph file (csv/json/graphml) to seed from")
+    db_init.add_argument("--name", default="", help="graph name")
+
+    db_open = db_commands.add_parser(
+        "open", help="open a store (recover the WAL), optionally query it")
+    db_open.add_argument("directory", help="store directory")
+    db_open.add_argument("pathql", nargs="?", default=None,
+                         help="optional PathQL query to run after opening")
+    db_open.add_argument("--strategy", default="materialized",
+                         choices=["materialized", "streaming", "automaton",
+                                  "stack"])
+    db_open.add_argument("--max-length", type=int, default=8)
+    db_open.add_argument("--limit", type=int, default=None)
+    db_open.add_argument("--json", action="store_true",
+                         help="emit results as JSON instead of text")
+
+    db_checkpoint = db_commands.add_parser(
+        "checkpoint", help="fold the WAL into a fresh snapshot generation")
+    db_checkpoint.add_argument("directory", help="store directory")
+
+    db_info = db_commands.add_parser(
+        "info", help="report manifest / WAL / recovery state as JSON")
+    db_info.add_argument("directory", help="store directory")
+    db_info.add_argument("--verify", action="store_true",
+                         help="also checksum the snapshot data region")
     return parser
 
 
@@ -100,6 +144,39 @@ def _run_query(graph: MultiRelationalGraph, pathql: str, strategy: str,
         out.write("  {}\n".format(p))
 
 
+def _run_db(args, out) -> None:
+    """The ``db`` subcommand family over :class:`repro.storage.PersistentGraph`."""
+    from repro.storage import PersistentGraph
+
+    if args.db_command == "init":
+        graph = load_graph(args.graph) if args.graph else None
+        with PersistentGraph.create(args.directory, graph=graph,
+                                    name=args.name) as store:
+            out.write(json.dumps(store.info(), indent=2, default=str) + "\n")
+    elif args.db_command == "open":
+        with PersistentGraph.open(args.directory,
+                                  materialize=args.pathql is not None) as store:
+            if args.pathql is None:
+                out.write(json.dumps(store.info(), indent=2, default=str) + "\n")
+            else:
+                _run_query(store.graph(), args.pathql, args.strategy,
+                           args.max_length, args.limit, args.json, out)
+    elif args.db_command == "checkpoint":
+        with PersistentGraph.open(args.directory) as store:
+            out.write(json.dumps(store.checkpoint(), indent=2,
+                                 default=str) + "\n")
+    elif args.db_command == "info":
+        with PersistentGraph.open(args.directory) as store:
+            info = store.info()
+            if args.verify:
+                from repro.storage import open_adjacency_snapshot
+                open_adjacency_snapshot(
+                    os.path.join(args.directory, info["snapshot"]),
+                    mmap=False, verify=True)
+                info["snapshot_checksum"] = "ok"
+            out.write(json.dumps(info, indent=2, default=str) + "\n")
+
+
 def main(argv: Optional[list] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -117,6 +194,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
             out.write(json.dumps(summary, indent=2, default=str) + "\n")
         elif args.command == "dot":
             out.write(graph_to_dot(load_graph(args.graph)) + "\n")
+        elif args.command == "db":
+            _run_db(args, out)
         elif args.command == "demo":
             out.write("Figure 1 query over the built-in Figure 1 graph:\n")
             out.write("  {}\n\n".format(FIGURE1_QUERY))

@@ -23,7 +23,14 @@ __all__ = ["QueryCache"]
 
 
 class QueryCache:
-    """A bounded LRU cache of ``(expression, bound, graph version) -> PathSet``."""
+    """A bounded LRU of ``(expression, bound, graph identity+version) -> PathSet``.
+
+    The key embeds a **per-graph token** besides the mutation version: one
+    cache instance may be shared by engines over different graphs, and two
+    graphs easily agree on ``version()`` (every fresh graph starts at the
+    same counter) while holding different edges — without the token they
+    would serve each other's results.
+    """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
@@ -34,16 +41,19 @@ class QueryCache:
         self.misses = 0
 
     def _key(self, expression: RegexExpr, max_length: int,
-             graph_version: int, strategy: str) -> Tuple:
+             graph_version: int, strategy: str, graph_token) -> Tuple:
         # Strategy is part of the key only to keep benchmark comparisons
         # honest; all strategies return equal sets, so sharing across them
-        # would also be sound.
-        return (expression, max_length, graph_version, strategy)
+        # would also be sound.  The token is NOT optional soundness-wise —
+        # see the class docstring.
+        return (expression, max_length, graph_version, strategy, graph_token)
 
     def get(self, expression: RegexExpr, max_length: int,
-            graph_version: int, strategy: str) -> Optional[PathSet]:
+            graph_version: int, strategy: str,
+            graph_token=None) -> Optional[PathSet]:
         """The cached result, or None; a hit refreshes LRU recency."""
-        key = self._key(expression, max_length, graph_version, strategy)
+        key = self._key(expression, max_length, graph_version, strategy,
+                        graph_token)
         result = self._entries.get(key)
         if result is None:
             self.misses += 1
@@ -53,9 +63,11 @@ class QueryCache:
         return result
 
     def put(self, expression: RegexExpr, max_length: int,
-            graph_version: int, strategy: str, result: PathSet) -> None:
+            graph_version: int, strategy: str, result: PathSet,
+            graph_token=None) -> None:
         """Insert a result, evicting the least recently used beyond capacity."""
-        key = self._key(expression, max_length, graph_version, strategy)
+        key = self._key(expression, max_length, graph_version, strategy,
+                        graph_token)
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

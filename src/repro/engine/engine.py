@@ -52,6 +52,7 @@ True
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -71,6 +72,12 @@ from repro.lang.parser import parse
 from repro.regex.ast import RegexExpr
 
 __all__ = ["Engine", "QueryResult"]
+
+#: Fallback identity mint for duck-typed graphs without ``graph_token()``.
+#: Never ``id(graph)``: CPython recycles addresses, so a collected graph's
+#: id can be reissued to a new one with a matching fresh ``version()`` —
+#: exactly the shared-cache collision the token exists to prevent.
+_ANONYMOUS_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -145,6 +152,11 @@ class Engine:
         self.default_max_length = default_max_length
         self.optimize = optimize
         self.cache = cache
+        # Graph identity for shared result caches: version() alone cannot
+        # distinguish two graphs, so cache keys carry this token too.
+        token = getattr(graph, "graph_token", None)
+        self._graph_token = token() if callable(token) \
+            else ("anon", next(_ANONYMOUS_TOKENS))
         self._statistics: Optional[GraphStatistics] = None
         self._statistics_version: Optional[int] = None
         # (label expression, label alphabet) -> compiled DFA, LRU-bounded.
@@ -153,6 +165,27 @@ class Engine:
         self._dfa_cache_misses = 0
 
     # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str, default_max_length: int = 8,
+             optimize: bool = True, cache=None) -> "Engine":
+        """An engine over a durable graph store (see :mod:`repro.storage`).
+
+        Opens the store at ``directory`` — mapping its latest CSR snapshot
+        and replaying the write-ahead-log suffix — materializes the dict
+        indices the path-materializing strategies need (the mapped snapshot
+        is adopted as the compact cache, so the ``pairs`` fast path still
+        serves from mmap), and binds the engine to the result.  Mutations
+        through ``engine.graph`` keep appending to the store's WAL; the
+        store handle is exposed as ``engine.store`` for ``checkpoint()`` /
+        ``close()``.
+        """
+        from repro.storage import PersistentGraph
+        store = PersistentGraph.open(directory, materialize=True)
+        engine = cls(store.graph(), default_max_length=default_max_length,
+                     optimize=optimize, cache=cache)
+        engine.store = store
+        return engine
 
     def statistics(self) -> GraphStatistics:
         """Current graph statistics, refreshed on ``graph.version()``.
@@ -365,7 +398,7 @@ class Engine:
         cacheable = self.cache is not None and limit is None
         if cacheable:
             cached = self.cache.get(expression, bound, self.graph.version(),
-                                    strategy)
+                                    strategy, graph_token=self._graph_token)
             if cached is not None:
                 return QueryResult(paths=cached, expression=expression,
                                    strategy=strategy, max_length=bound,
@@ -380,7 +413,7 @@ class Engine:
         elapsed = time.perf_counter() - started
         if cacheable:
             self.cache.put(expression, bound, self.graph.version(),
-                           strategy, paths)
+                           strategy, paths, graph_token=self._graph_token)
         return QueryResult(paths=paths, expression=expression,
                            strategy=strategy, max_length=bound,
                            elapsed=elapsed, plan=plan)

@@ -28,6 +28,7 @@ __all__ = [
     "PlanningError",
     "ExecutionError",
     "SerializationError",
+    "StorageError",
     "AlgorithmError",
     "ConvergenceError",
 ]
@@ -152,6 +153,15 @@ class ExecutionError(EngineError):
 
 class SerializationError(GraphError):
     """A graph could not be read from or written to an external format."""
+
+
+class StorageError(GraphError):
+    """The durable storage layer (WAL / snapshot store) hit invalid state.
+
+    Raised for unreadable manifests, snapshot files with a bad magic or
+    checksum, and values the JSON-framed log cannot represent faithfully.
+    A *truncated* WAL tail is not an error — recovery silently keeps the
+    durable prefix (that is the crash-consistency contract)."""
 
 
 class AlgorithmError(PathAlgebraError):

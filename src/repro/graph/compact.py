@@ -184,6 +184,27 @@ class CompactAdjacency:
         return len(self.vertex_of)
 
     @classmethod
+    def from_arrays(cls, version: int, vertex_of: List[Hashable],
+                    label_of: List[Hashable],
+                    forward: List[Tuple], reverse: List[Tuple],
+                    num_edges: int) -> "CompactAdjacency":
+        """Zero-copy construction from prebuilt CSR arrays.
+
+        The per-label ``(indptr, indices)`` pairs are adopted as-is — plain
+        lists, ``array.array`` views or numpy ``memmap`` slices all work,
+        because every kernel only ever indexes and slices them.  This is the
+        snapshot store's reopen path (:mod:`repro.storage.snapshots`): a
+        graph mapped back from disk serves queries without re-walking any
+        edge dict and, under ``np.memmap``, without even faulting in CSR
+        pages the traversal never touches.  Only the O(V + Omega) interning
+        dicts are materialized here.
+        """
+        vertex_ids = {v: i for i, v in enumerate(vertex_of)}
+        label_ids = {l: i for i, l in enumerate(label_of)}
+        return cls(version, vertex_ids, vertex_of, label_ids, label_of,
+                   forward, reverse, num_edges)
+
+    @classmethod
     def build(cls, graph) -> "CompactAdjacency":
         """One O(V + E) pass over the graph's internal edge dict."""
         vertex_of = list(graph._vertices)
@@ -630,11 +651,14 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None,
                         neighbors = _EMPTY_ROW
                     if removed or added:
                         mask = removed.get(vertex_id)
-                        if mask and neighbors:
+                        if mask and len(neighbors):
                             neighbors = [x for x in neighbors if x not in mask]
                         grown = added.get(vertex_id)
                         if grown:
-                            neighbors = grown if not neighbors \
+                            # len(), not truthiness: the base slice may be a
+                            # numpy/memmap view (mmap-backed snapshots), and
+                            # ndarray truthiness raises.
+                            neighbors = grown if not len(neighbors) \
                                 else list(neighbors) + grown
                     for neighbor in neighbors:
                         code = neighbor * num_states + next_state
@@ -720,11 +744,14 @@ def rpq_pairs_backward(graph, dfa,
                         neighbors = _EMPTY_ROW
                     if removed or added:
                         mask = removed.get(vertex_id)
-                        if mask and neighbors:
+                        if mask and len(neighbors):
                             neighbors = [x for x in neighbors if x not in mask]
                         grown = added.get(vertex_id)
                         if grown:
-                            neighbors = grown if not neighbors \
+                            # len(), not truthiness: the base slice may be a
+                            # numpy/memmap view (mmap-backed snapshots), and
+                            # ndarray truthiness raises.
+                            neighbors = grown if not len(neighbors) \
                                 else list(neighbors) + grown
                     for neighbor in neighbors:
                         code = neighbor * num_states + prev_state
@@ -838,11 +865,14 @@ def rpq_pairs_bidirectional(graph, dfa, sources: Iterable[Hashable],
                         neighbors = _EMPTY_ROW
                     if removed or added:
                         mask = removed.get(vertex_id)
-                        if mask and neighbors:
+                        if mask and len(neighbors):
                             neighbors = [x for x in neighbors if x not in mask]
                         grown = added.get(vertex_id)
                         if grown:
-                            neighbors = grown if not neighbors \
+                            # len(), not truthiness: the base slice may be a
+                            # numpy/memmap view (mmap-backed snapshots), and
+                            # ndarray truthiness raises.
+                            neighbors = grown if not len(neighbors) \
                                 else list(neighbors) + grown
                     for neighbor in neighbors:
                         code = neighbor * num_states + next_state
@@ -870,11 +900,14 @@ def rpq_pairs_bidirectional(graph, dfa, sources: Iterable[Hashable],
                         neighbors = _EMPTY_ROW
                     if removed or added:
                         mask = removed.get(vertex_id)
-                        if mask and neighbors:
+                        if mask and len(neighbors):
                             neighbors = [x for x in neighbors if x not in mask]
                         grown = added.get(vertex_id)
                         if grown:
-                            neighbors = grown if not neighbors \
+                            # len(), not truthiness: the base slice may be a
+                            # numpy/memmap view (mmap-backed snapshots), and
+                            # ndarray truthiness raises.
+                            neighbors = grown if not len(neighbors) \
                                 else list(neighbors) + grown
                     for neighbor in neighbors:
                         code = neighbor * num_states + prev_state
@@ -970,10 +1003,45 @@ class CompactDiGraph:
         both_heads = _np.concatenate([heads, tails])
         self.und_indptr, self.und_indices = self._csr(both_tails, both_heads, n)
         self.out_weight = _np.bincount(tails, weights=weights, minlength=n)
-        # Packed (tail << 32 | head) identity keys: the delta overlay masks
-        # removed base edges with one vectorized isin over these.
-        self.edge_keys = (tails << _KEY_SHIFT) | heads
+        self.edge_keys = None
         self._scalar_fwd = None
+
+    @classmethod
+    def from_csr(cls, version: int, vertex_of: List[Hashable],
+                 vertex_ids: Dict[Hashable, int], tails, heads, weights,
+                 fwd_indptr, fwd_indices, rev_indptr, rev_indices,
+                 und_indptr, und_indices, out_weight) -> "CompactDiGraph":
+        """Adopt fully prebuilt arrays (CSR included) without any recompute.
+
+        The snapshot store's reopen path: unlike :meth:`from_arrays`, which
+        re-derives the three CSR index families with sorts (touching every
+        edge), this constructor trusts the arrays it is handed — under
+        ``np.memmap`` nothing is faulted in until a kernel slices it.
+        """
+        self = cls.__new__(cls)
+        self.version = version
+        self.vertex_of = vertex_of
+        self.vertex_ids = vertex_ids
+        self.tails = tails
+        self.heads = heads
+        self.weights = weights
+        self.fwd_indptr, self.fwd_indices = fwd_indptr, fwd_indices
+        self.rev_indptr, self.rev_indices = rev_indptr, rev_indices
+        self.und_indptr, self.und_indices = und_indptr, und_indices
+        self.out_weight = out_weight
+        self.edge_keys = None
+        self._scalar_fwd = None
+        return self
+
+    def _edge_key_array(self):
+        """Packed ``(tail << 32) | head`` identity keys, built on first use.
+
+        Only the delta-overlay machinery needs these (one vectorized
+        ``isin`` masks removed base edges), so query-only snapshots —
+        including mmap-backed reopens — never pay for them."""
+        if self.edge_keys is None:
+            self.edge_keys = (self.tails << _KEY_SHIFT) | self.heads
+        return self.edge_keys
 
     @staticmethod
     def _csr(sources, targets, n):
@@ -1323,7 +1391,7 @@ class _DiGraphDelta:
         if self.removed_keys:
             removed = _np.fromiter(self.removed_keys, dtype=_np.int64,
                                    count=len(self.removed_keys))
-            keep = _np.isin(base.edge_keys, removed, invert=True)
+            keep = _np.isin(base._edge_key_array(), removed, invert=True)
             tails = tails[keep]
             heads = heads[keep]
             weights = weights[keep]

@@ -22,6 +22,7 @@ indices through a returned value.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from typing import (
     Any,
@@ -49,6 +50,12 @@ from repro.errors import (
 
 __all__ = ["MultiRelationalGraph"]
 
+#: Process-wide mint for per-graph identity tokens.  Two graph instances
+#: never share a token, even when their structure and ``version()`` agree —
+#: the token is what keeps shared query caches from serving one graph's
+#: results for another.
+_GRAPH_TOKENS = itertools.count(1)
+
 
 class MultiRelationalGraph:
     """A directed multi-relational graph ``G = (V, E subseteq V x Omega x V)``.
@@ -69,6 +76,7 @@ class MultiRelationalGraph:
     def __init__(self, edges: Iterable = (), name: str = ""):
         """Create a graph, optionally bulk-loading ``(tail, label, head)`` triples."""
         self.name = name
+        self._graph_token = next(_GRAPH_TOKENS)
         self._version = 0
         self._vertices: Dict[Hashable, Dict[str, Any]] = {}
         self._edges: Dict[Edge, Dict[str, Any]] = {}
@@ -88,6 +96,9 @@ class MultiRelationalGraph:
         # an O(V + E) rebuild per mutation; see :mod:`repro.graph.compact`.
         self._journal: List[Tuple] = []
         self._journal_floor = 0
+        # Durable-log sinks (see :mod:`repro.storage`): each receives every
+        # structural *and* property mutation as ``(version_after, op, *args)``.
+        self._wal_sinks: List = []
         for item in edges:
             e = item if isinstance(item, Edge) else Edge(*item)
             self.add_edge(e.tail, e.label, e.head)
@@ -102,6 +113,10 @@ class MultiRelationalGraph:
         With ``strict=True`` re-adding an existing vertex raises
         :class:`DuplicateVertexError` instead of merging.
         """
+        if self._wal_sinks:
+            self._wal_precheck(("+v", vertex))
+            if properties:
+                self._wal_precheck(("pv", vertex, dict(properties)))
         if vertex in self._vertices:
             if strict:
                 raise DuplicateVertexError(
@@ -112,6 +127,8 @@ class MultiRelationalGraph:
             self._vertices[vertex] = dict(properties)
             self._version += 1
             self._journal_append(("+v", vertex))
+        if properties and self._wal_sinks:
+            self._wal_emit(("pv", vertex, dict(properties)))
         return vertex
 
     def add_edge(self, tail: Hashable, label: Hashable, head: Hashable,
@@ -123,9 +140,15 @@ class MultiRelationalGraph:
         of one triple).
         """
         e = Edge(tail, label, head)
+        if self._wal_sinks:
+            self._wal_precheck(("+e", tail, label, head))
+            if properties:
+                self._wal_precheck(("pe", tail, label, head, dict(properties)))
         if e in self._edges:
             self._edges[e].update(properties)
             self._version += 1
+            if properties and self._wal_sinks:
+                self._wal_emit(("pe", tail, label, head, dict(properties)))
             return e
         self.add_vertex(tail)
         self.add_vertex(head)
@@ -137,6 +160,8 @@ class MultiRelationalGraph:
         self._in_by_label[(label, head)].add(e)
         self._version += 1
         self._journal_append(("+e", tail, label, head))
+        if properties and self._wal_sinks:
+            self._wal_emit(("pe", tail, label, head, dict(properties)))
         for listener in self._listeners:
             listener("add_edge", e)
         return e
@@ -159,6 +184,8 @@ class MultiRelationalGraph:
         e = Edge(tail, label, head)
         if e not in self._edges:
             raise EdgeNotFoundError(e)
+        if self._wal_sinks:
+            self._wal_precheck(("-e", tail, label, head))
         del self._edges[e]
         # Prune every index symmetrically: an empty bucket left behind is an
         # unbounded memory leak under add/remove churn (and would make the
@@ -187,6 +214,8 @@ class MultiRelationalGraph:
         """
         if vertex not in self._vertices:
             raise VertexNotFoundError(vertex)
+        if self._wal_sinks:
+            self._wal_precheck(("-v", vertex))
         for e in list(self._out.get(vertex, ())) + list(self._in.get(vertex, ())):
             if e in self._edges:
                 self.remove_edge(e.tail, e.label, e.head)
@@ -241,6 +270,16 @@ class MultiRelationalGraph:
         """A counter bumped by every mutation (cache-invalidation token)."""
         return self._version
 
+    def graph_token(self) -> int:
+        """A process-unique identity token minted at graph construction.
+
+        ``version()`` only distinguishes *states of one graph*; two distinct
+        graphs can easily agree on it.  Cache keys that may be shared across
+        graphs (e.g. :class:`repro.engine.cache.QueryCache`) must embed this
+        token as well.
+        """
+        return self._graph_token
+
     # ------------------------------------------------------------------
     # Structural mutation journal (compact-snapshot delta source)
     # ------------------------------------------------------------------
@@ -256,6 +295,8 @@ class MultiRelationalGraph:
 
     def _journal_append(self, entry: Tuple) -> None:
         """Record one structural op, tagged with the version it produced."""
+        if self._wal_sinks:
+            self._wal_emit(entry)
         if not self._journal and \
                 getattr(self, self._SNAPSHOT_CACHE_ATTR, None) is None:
             # No snapshot consumer exists yet: journaling would only retain
@@ -289,6 +330,45 @@ class MultiRelationalGraph:
                              if entry[0] > version]
         if version > self._journal_floor:
             self._journal_floor = version
+
+    def _wal_emit(self, entry: Tuple) -> None:
+        """Forward one mutation (structural or property) to every WAL sink."""
+        record = (self._version,) + entry
+        for sink in self._wal_sinks:
+            sink(record)
+
+    def _wal_precheck(self, entry: Tuple) -> None:
+        """Let every sink veto a mutation BEFORE any state changes.
+
+        A sink that cannot represent the entry (e.g. a tuple vertex id in
+        the JSON-framed log) must get the chance to raise while the graph,
+        journal and durable log still agree — raising from the post-apply
+        emit would leave the in-memory store permanently ahead of all of
+        them.  Called only when sinks are attached; sinks without a
+        ``precheck`` attribute accept everything.
+        """
+        for sink in self._wal_sinks:
+            precheck = getattr(sink, "precheck", None)
+            if precheck is not None:
+                precheck(entry)
+
+    def attach_wal_sink(self, sink) -> None:
+        """Register ``sink((version_after, op, *args))`` for every mutation.
+
+        Unlike the bounded structural journal (which exists only to patch
+        compact snapshots and drops property ops entirely), sinks see the
+        **complete** durable event stream: ``+v``/``-v``/``+e``/``-e`` plus
+        ``("pv", vertex, {props})`` and ``("pe", tail, label, head,
+        {props})`` property merges.  Used by
+        :class:`repro.storage.PersistentGraph` to append the write-ahead
+        log.
+        """
+        self._wal_sinks.append(sink)
+
+    def detach_wal_sink(self, sink) -> None:
+        """Remove a previously attached WAL sink (no-op if absent)."""
+        if sink in self._wal_sinks:
+            self._wal_sinks.remove(sink)
 
     def subscribe(self, listener) -> None:
         """Register ``listener(event, edge)`` for edge mutations.
@@ -348,8 +428,12 @@ class MultiRelationalGraph:
         """Set one property on an existing vertex."""
         if vertex not in self._vertices:
             raise VertexNotFoundError(vertex)
+        if self._wal_sinks:
+            self._wal_precheck(("pv", vertex, {key: value}))
         self._vertices[vertex][key] = value
         self._version += 1
+        if self._wal_sinks:
+            self._wal_emit(("pv", vertex, {key: value}))
 
     def set_edge_property(self, tail: Hashable, label: Hashable, head: Hashable,
                           key: str, value: Any) -> None:
@@ -357,8 +441,12 @@ class MultiRelationalGraph:
         e = Edge(tail, label, head)
         if e not in self._edges:
             raise EdgeNotFoundError(e)
+        if self._wal_sinks:
+            self._wal_precheck(("pe", tail, label, head, {key: value}))
         self._edges[e][key] = value
         self._version += 1
+        if self._wal_sinks:
+            self._wal_emit(("pe", tail, label, head, {key: value}))
 
     # ------------------------------------------------------------------
     # The paper's set-builder notation (section IV-A)

@@ -3,7 +3,11 @@
 Three formats, chosen for interoperability rather than invention:
 
 * **triple CSV** — one ``tail,label,head`` line per edge; the lingua franca
-  of edge lists.  Lossy (no properties, no isolated vertices).
+  of edge lists.  Isolated vertices travel as ``#vertex,<id>`` rows (the
+  ``#vertex`` marker is reserved; endpoints of edges need no row).  Lossy
+  for properties, and **strings only**: ids that are not ``str`` would come
+  back as different values, so :func:`write_triples` refuses them — use
+  JSON for typed ids.
 * **JSON** — a complete dump: vertices with properties, edges with
   properties, graph name.  Round-trips everything.
 * **GraphML subset** — enough of GraphML to exchange labeled digraphs with
@@ -49,25 +53,60 @@ def _opened(file: Union[str, IO], mode: str):
 # Triple CSV
 # ----------------------------------------------------------------------
 
+#: Reserved first field marking an isolated-vertex row in triple CSV.
+_VERTEX_MARKER = "#vertex"
+
+
 def write_triples(graph: MultiRelationalGraph, file: Union[str, IO]) -> None:
-    """Write the edge set as ``tail,label,head`` CSV rows (sorted, stable)."""
+    """Write the graph as CSV: ``tail,label,head`` edge rows (sorted,
+    stable) plus a ``#vertex,<id>`` row per isolated vertex.
+
+    Without the vertex rows, ``read_triples(to_triple_text(g))`` silently
+    dropped every vertex with no incident edge — the round trip now
+    preserves the full vertex set.
+
+    Raises
+    ------
+    SerializationError
+        If any vertex id or label is not a ``str``.  CSV has no types:
+        an ``int``-vertex graph would round-trip to a *different* graph
+        (``1`` back as ``"1"``).  Use the JSON format for typed ids.
+    """
+    # Validate every id BEFORE opening/writing: raising mid-stream would
+    # leave a truncated partial file (possibly clobbering a good one).
+    for value in graph.vertices() | graph.labels():
+        if not isinstance(value, str):
+            raise SerializationError(
+                "triple CSV is a string-only format: {!r} would read back "
+                "as {!r}; use write_json for non-string vertex ids and "
+                "labels".format(value, str(value)))
     stream, should_close = _opened(file, "w")
     try:
         writer = csv.writer(stream)
         for e in sorted(graph.edge_set(), key=repr):
             writer.writerow([e.tail, e.label, e.head])
+        for v in sorted(graph.vertices(), key=repr):
+            if not graph.out_edges(v) and not graph.in_edges(v):
+                writer.writerow([_VERTEX_MARKER, v])
     finally:
         if should_close:
             stream.close()
 
 
 def read_triples(file: Union[str, IO], name: str = "") -> MultiRelationalGraph:
-    """Read a ``tail,label,head`` CSV into a graph (values kept as strings)."""
+    """Read a ``tail,label,head`` CSV into a graph (values kept as strings).
+
+    ``#vertex,<id>`` rows (written for isolated vertices) restore bare
+    vertices; everything else must be a 3-field edge row.
+    """
     stream, should_close = _opened(file, "r")
     try:
         graph = MultiRelationalGraph(name=name)
         for line_number, row in enumerate(csv.reader(stream), start=1):
             if not row:
+                continue
+            if row[0] == _VERTEX_MARKER and len(row) == 2:
+                graph.add_vertex(row[1])
                 continue
             if len(row) != 3:
                 raise SerializationError(

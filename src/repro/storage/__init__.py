@@ -1,0 +1,28 @@
+"""Durable graph storage: write-ahead log + mmap'd CSR snapshot store.
+
+See :mod:`repro.storage.persistent` for the lifecycle, ``docs/persistence.md``
+for the on-disk formats and crash-consistency guarantees.
+"""
+
+from repro.storage.persistent import PersistentGraph
+from repro.storage.snapshots import (
+    SnapshotMetadata,
+    fold_view,
+    open_adjacency_snapshot,
+    open_digraph_snapshot,
+    write_adjacency_snapshot,
+    write_digraph_snapshot,
+)
+from repro.storage.wal import WriteAheadLog, scan_wal
+
+__all__ = [
+    "PersistentGraph",
+    "WriteAheadLog",
+    "scan_wal",
+    "SnapshotMetadata",
+    "fold_view",
+    "write_adjacency_snapshot",
+    "open_adjacency_snapshot",
+    "write_digraph_snapshot",
+    "open_digraph_snapshot",
+]

@@ -1,0 +1,515 @@
+"""Durable graphs: WAL + snapshot store behind one open/checkpoint/close API.
+
+A persistent store is a directory::
+
+    mystore/
+      manifest.json          which generation is live (atomically replaced)
+      snapshot-000003.rcsr   CSR snapshot of generation 3 (mmap-reopened)
+      wal-000003.log         mutations since that snapshot (CRC-framed)
+
+Lifecycle
+---------
+* :meth:`PersistentGraph.create` seeds generation 1 from a (possibly empty)
+  in-memory graph and attaches itself as a WAL sink: from then on every
+  structural and property mutation of that graph is appended to the log.
+* :meth:`PersistentGraph.open` is the cheap path back: it **maps** the
+  manifest's snapshot (``np.memmap`` — CSR pages fault in lazily) and
+  replays the WAL suffix through the existing
+  :class:`~repro.graph.compact.DeltaAdjacency` overlay machinery.  The
+  reopened store serves RPQ/pairs queries immediately, without rebuilding
+  the dict store or loading the full CSR.
+* Mutating a lazily-opened store (or asking for :meth:`graph`)
+  **materializes** the dict-indexed
+  :class:`~repro.graph.graph.MultiRelationalGraph` once, installs the
+  already-mapped snapshot view as its compact-snapshot cache (so the first
+  compact query after materialization is still rebuild-free), and resumes
+  logging.
+* :meth:`checkpoint` folds base + overlay into a fresh dense snapshot
+  (generation ``g+1``), starts an empty generation-``g+1`` WAL, atomically
+  swaps the manifest, and only then deletes generation ``g`` — a crash at
+  any point leaves a manifest naming one consistent (snapshot, WAL) pair.
+* :meth:`close` flushes the log and detaches; reopening recovers exactly
+  the durable prefix (torn tail records are truncated, never replayed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.graph.compact import _CACHE_ATTR, DeltaAdjacency, adjacency_snapshot
+from repro.graph.graph import MultiRelationalGraph
+from repro.storage.snapshots import (
+    open_adjacency_snapshot,
+    write_adjacency_snapshot,
+)
+from repro.storage.wal import WriteAheadLog, check_loggable, scan_wal
+
+__all__ = ["PersistentGraph"]
+
+MANIFEST_NAME = "manifest.json"
+
+_PROPERTY_OPS = ("pv", "pe")
+
+
+def _write_manifest(directory: str, manifest: Dict[str, Any]) -> None:
+    """Write the manifest durably: tmp file + fsync + atomic rename + dirsync."""
+    tmp_path = os.path.join(directory, MANIFEST_NAME + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp_path, os.path.join(directory, MANIFEST_NAME))
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _read_manifest(directory: str) -> Dict[str, Any]:
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise StorageError(
+            "{} is not a graph store (no {})".format(directory, MANIFEST_NAME))
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            manifest = json.load(stream)
+    except ValueError as exc:
+        raise StorageError("{}: manifest is corrupt: {}".format(path, exc)) \
+            from exc
+    if manifest.get("format") != 1:
+        raise StorageError("{}: unsupported store format {!r}".format(
+            path, manifest.get("format")))
+    return manifest
+
+
+class _CompactGraphAdapter:
+    """The minimal graph surface the compact RPQ kernels read.
+
+    :func:`repro.graph.compact.adjacency_snapshot` wants a cached snapshot
+    attribute, a matching ``version()``, a journal, and ``labels()`` for
+    DFA compilation.  This shim pins one already-built view (mmap base or
+    WAL-replayed overlay) under that contract so the kernels run verbatim
+    on a store that never materialized its dict indices.
+    """
+
+    def __init__(self) -> None:
+        self._view = None
+
+    def pin(self, view) -> "_CompactGraphAdapter":
+        self._view = view
+        setattr(self, _CACHE_ATTR, view)
+        return self
+
+    def version(self) -> int:
+        return self._view.version
+
+    def labels(self) -> FrozenSet[Hashable]:
+        return frozenset(self._view.label_ids)
+
+    def journal_since(self, version: int):
+        return []
+
+    def prune_journal(self, version: int) -> None:
+        pass
+
+
+class _WalSink:
+    """The mutation sink attached to a store's graph.
+
+    ``precheck`` runs *before* the graph mutates (see
+    :meth:`MultiRelationalGraph._wal_precheck`): an entry the JSON framing
+    cannot represent is rejected while graph, journal and log still agree.
+    The call itself appends the already-applied mutation to the WAL.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "PersistentGraph"):
+        self.store = store
+
+    def __call__(self, record: Tuple) -> None:
+        self.store._wal.append(record)
+
+    def precheck(self, entry: Tuple) -> None:
+        check_loggable(entry)
+
+
+class PersistentGraph:
+    """One durable multi-relational graph: WAL + mmap'd snapshot + manifest."""
+
+    def __init__(self, directory: str, manifest: Dict[str, Any],
+                 wal: WriteAheadLog, sync: str, batch_size: int,
+                 mmap: bool):
+        self.directory = directory
+        self._manifest = manifest
+        self._wal = wal
+        self._sync = sync
+        self._batch_size = batch_size
+        self._mmap = mmap
+        self._graph: Optional[MultiRelationalGraph] = None
+        self._base = None
+        self._overlay: Optional[DeltaAdjacency] = None
+        self._vertex_props: Dict[Hashable, Dict[str, Any]] = {}
+        self._edge_props: Dict[Tuple, Dict[str, Any]] = {}
+        self._adapter = _CompactGraphAdapter()
+        self._wal_sink = _WalSink(self)
+        self._closed = False
+        self._recovery: Dict[str, Any] = {"wal_records": 0,
+                                          "tail_torn": False}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str,
+               graph: Optional[MultiRelationalGraph] = None,
+               name: str = "", sync: str = "batch",
+               batch_size: int = 64) -> "PersistentGraph":
+        """Initialize a store directory (generation 1) and attach to ``graph``.
+
+        ``graph`` defaults to a fresh empty graph; an existing graph is
+        snapshotted as the first generation, so bulk loads should happen
+        *before* ``create`` (no per-edge WAL record) and churn after.
+        """
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            raise StorageError(
+                "{} already contains a graph store".format(directory))
+        if graph is None:
+            graph = MultiRelationalGraph(name=name)
+        manifest = {
+            "format": 1,
+            "kind": "multirelational",
+            "name": name or graph.name,
+            "generation": 1,
+            "snapshot": "snapshot-000001.rcsr",
+            "wal": "wal-000001.log",
+            "snapshot_version": graph.version(),
+        }
+        view = adjacency_snapshot(graph)
+        write_adjacency_snapshot(
+            os.path.join(directory, manifest["snapshot"]), view,
+            name=manifest["name"], version=graph.version(),
+            vertex_properties={v: p for v, p in graph._vertices.items() if p},
+            edge_properties={(e.tail, e.label, e.head): p
+                             for e, p in graph._edges.items() if p})
+        wal = WriteAheadLog(os.path.join(directory, manifest["wal"]),
+                            sync=sync, batch_size=batch_size)
+        _write_manifest(directory, manifest)
+        store = cls(directory, manifest, wal, sync, batch_size, mmap=True)
+        store._graph = graph
+        graph.attach_wal_sink(store._wal_sink)
+        return store
+
+    @classmethod
+    def open(cls, directory: str, materialize: bool = False,
+             mmap: bool = True, sync: str = "batch",
+             batch_size: int = 64) -> "PersistentGraph":
+        """Map the latest snapshot and replay the WAL suffix.
+
+        The default is the lazy read path: CSR arrays stay on disk behind
+        ``np.memmap`` views, WAL mutations land in a
+        :class:`DeltaAdjacency` overlay, and queries run through the
+        compact kernels directly.  ``materialize=True`` additionally builds
+        the dict store up front (required before mutating; otherwise done
+        on the first write)."""
+        manifest = _read_manifest(directory)
+        snapshot_path = os.path.join(directory, manifest["snapshot"])
+        wal_path = os.path.join(directory, manifest["wal"])
+        base, metadata = open_adjacency_snapshot(snapshot_path, mmap=mmap)
+        entries, durable_end, tail_torn = scan_wal(wal_path)
+        wal = WriteAheadLog(wal_path, sync=sync, batch_size=batch_size,
+                            scanned=(durable_end, tail_torn))
+        store = cls(directory, manifest, wal, sync, batch_size, mmap)
+        store._base = base
+        store._vertex_props = dict(metadata.vertex_properties)
+        store._edge_props = dict(metadata.edge_properties)
+        store._recovery = {"wal_records": len(entries),
+                           "tail_torn": tail_torn}
+        store._replay(entries)
+        if materialize:
+            store.graph()
+        return store
+
+    def _replay(self, entries) -> None:
+        """Apply recovered WAL entries: structure to the overlay, property
+        merges to the sidecar maps (deletes drop the matching maps)."""
+        structural = []
+        for entry in entries:
+            op = entry[1]
+            if op == "pv":
+                self._vertex_props.setdefault(entry[2], {}).update(entry[3])
+            elif op == "pe":
+                self._edge_props.setdefault(
+                    (entry[2], entry[3], entry[4]), {}).update(entry[5])
+            else:
+                structural.append(entry)
+                if op == "-v":
+                    self._vertex_props.pop(entry[2], None)
+                elif op == "-e":
+                    self._edge_props.pop((entry[2], entry[3], entry[4]), None)
+        if structural:
+            overlay = DeltaAdjacency(self._base)
+            overlay.apply(structural)
+            overlay.version = structural[-1][0]
+            self._overlay = overlay
+
+    def close(self) -> None:
+        """Flush the log and detach; the store directory is then quiescent."""
+        if self._closed:
+            return
+        if self._graph is not None:
+            self._graph.detach_wal_sink(self._wal_sink)
+        self._wal.close()
+        self._base = None
+        self._overlay = None
+        self._closed = True
+
+    def flush(self) -> None:
+        """Force pending WAL records to disk (fsync per the sync policy)."""
+        self._wal.flush()
+
+    def __enter__(self) -> "PersistentGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Views and materialization
+    # ------------------------------------------------------------------
+
+    def view(self):
+        """The live compact adjacency: overlay if WAL entries were
+        replayed, the (mmap) base otherwise, or the attached graph's own
+        snapshot once materialized."""
+        self._check_open()
+        if self._graph is not None:
+            return adjacency_snapshot(self._graph)
+        return self._overlay if self._overlay is not None else self._base
+
+    @property
+    def materialized(self) -> bool:
+        """True once the dict-indexed graph exists in memory."""
+        return self._graph is not None
+
+    def graph(self) -> MultiRelationalGraph:
+        """The mutable dict-indexed graph, materialized on first use.
+
+        Materialization walks the mapped CSR once to rebuild the hash
+        indices, then installs the *same* mapped view as the graph's
+        compact-snapshot cache — so compact queries stay rebuild-free —
+        and attaches the WAL sink so further mutations are logged.
+        """
+        self._check_open()
+        if self._graph is None:
+            self._graph = self._materialize()
+        return self._graph
+
+    def _materialize(self) -> MultiRelationalGraph:
+        view = self._overlay if self._overlay is not None else self._base
+        graph = MultiRelationalGraph(name=self._manifest.get("name", ""))
+        vertex_of = view.vertex_of
+        live = list(view.live_vertex_ids())
+        for vertex_id in live:
+            graph.add_vertex(vertex_of[vertex_id])
+        for label_id, label in enumerate(view.label_of):
+            for vertex_id in live:
+                tail = vertex_of[vertex_id]
+                for neighbor in view.out_neighbors(vertex_id, label_id):
+                    graph.add_edge(tail, label, vertex_of[neighbor])
+        for vertex, props in self._vertex_props.items():
+            if props and graph.has_vertex(vertex):
+                graph.add_vertex(vertex, **props)
+        for (tail, label, head), props in self._edge_props.items():
+            if props and graph.has_edge(tail, label, head):
+                graph.add_edge(tail, label, head, **props)
+        # Adopt the mapped view as the graph's snapshot cache: the ids it
+        # interned stay valid, so the first compact query after
+        # materialization slices the same mmap pages instead of rebuilding.
+        view.version = graph.version()
+        setattr(graph, _CACHE_ATTR, view)
+        graph.prune_journal(graph.version())
+        graph.attach_wal_sink(self._wal_sink)
+        return graph
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "graph store {} is closed".format(self.directory))
+
+    # ------------------------------------------------------------------
+    # Reads (lazy-friendly)
+    # ------------------------------------------------------------------
+
+    def order(self) -> int:
+        """``|V|`` of the live state (overlay-aware, no materialization)."""
+        return self.view().num_vertices
+
+    def size(self) -> int:
+        """``|E|`` of the live state (overlay-aware, no materialization)."""
+        return self.view().num_edges
+
+    def vertices(self) -> FrozenSet[Hashable]:
+        view = self.view()
+        return frozenset(view.vertex_of[i] for i in view.live_vertex_ids())
+
+    def labels(self) -> FrozenSet[Hashable]:
+        return frozenset(self.view().label_ids)
+
+    def vertex_properties(self, vertex: Hashable) -> Dict[str, Any]:
+        if self._graph is not None:
+            return self._graph.vertex_properties(vertex)
+        return dict(self._vertex_props.get(vertex, {}))
+
+    def edge_properties(self, tail: Hashable, label: Hashable,
+                        head: Hashable) -> Dict[str, Any]:
+        if self._graph is not None:
+            return self._graph.edge_properties(tail, label, head)
+        return dict(self._edge_props.get((tail, label, head), {}))
+
+    def pairs(self, expression,
+              sources: Optional[Iterable[Hashable]] = None,
+              targets: Optional[Iterable[Hashable]] = None) -> FrozenSet:
+        """RPQ reachability over the durable state.
+
+        ``expression`` is a label expression (:func:`repro.rpq.sym` etc.);
+        evaluation runs the compact product-BFS kernel against the mapped
+        snapshot (plus overlay), whether or not the store is materialized.
+        """
+        from repro.rpq.evaluation import rpq_pairs
+        self._check_open()
+        if self._graph is not None:
+            return rpq_pairs(self._graph, expression, sources,
+                             targets=targets)
+        view = self._overlay if self._overlay is not None else self._base
+        return rpq_pairs(self._adapter.pin(view), expression, sources,
+                         targets=targets)
+
+    # ------------------------------------------------------------------
+    # Mutations (materialize-on-write)
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Hashable, **properties: Any) -> Hashable:
+        return self.graph().add_vertex(vertex, **properties)
+
+    def add_edge(self, tail: Hashable, label: Hashable, head: Hashable,
+                 **properties: Any):
+        return self.graph().add_edge(tail, label, head, **properties)
+
+    def remove_edge(self, tail: Hashable, label: Hashable,
+                    head: Hashable) -> None:
+        self.graph().remove_edge(tail, label, head)
+
+    def remove_vertex(self, vertex: Hashable) -> None:
+        self.graph().remove_vertex(vertex)
+
+    def set_vertex_property(self, vertex: Hashable, key: str,
+                            value: Any) -> None:
+        self.graph().set_vertex_property(vertex, key, value)
+
+    def set_edge_property(self, tail: Hashable, label: Hashable,
+                          head: Hashable, key: str, value: Any) -> None:
+        self.graph().set_edge_property(tail, label, head, key, value)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Fold live state into a fresh snapshot generation and prune the log.
+
+        Write order is the crash-safety argument: (1) the new snapshot and
+        a new empty WAL are written and fsynced under *new* generation
+        names, (2) the manifest is atomically replaced to point at them,
+        (3) only then is the old generation unlinked.  A crash before (2)
+        leaves the old generation live and intact; after (2), the new one.
+        Returns the refreshed :meth:`info` dict.
+        """
+        self._check_open()
+        self._wal.flush()
+        if self._graph is not None:
+            view = adjacency_snapshot(self._graph)
+            version = self._graph.version()
+            vertex_props = {v: dict(p) for v, p in
+                            self._graph._vertices.items() if p}
+            edge_props = {(e.tail, e.label, e.head): dict(p) for e, p in
+                          self._graph._edges.items() if p}
+        else:
+            view = self._overlay if self._overlay is not None else self._base
+            version = view.version
+            vertex_props = self._vertex_props
+            edge_props = self._edge_props
+        generation = self._manifest["generation"] + 1
+        snapshot_name = "snapshot-{:06d}.rcsr".format(generation)
+        wal_name = "wal-{:06d}.log".format(generation)
+        old_snapshot = self._manifest["snapshot"]
+        old_wal_path = self._wal.path
+        write_adjacency_snapshot(
+            os.path.join(self.directory, snapshot_name), view,
+            name=self._manifest.get("name", ""), version=version,
+            vertex_properties=vertex_props, edge_properties=edge_props)
+        new_wal = WriteAheadLog(os.path.join(self.directory, wal_name),
+                                sync=self._sync, batch_size=self._batch_size)
+        manifest = dict(self._manifest)
+        manifest.update(generation=generation, snapshot=snapshot_name,
+                        wal=wal_name, snapshot_version=version)
+        _write_manifest(self.directory, manifest)
+        # The new generation is durable and live: retire the old one.
+        self._wal.close()
+        self._wal = new_wal
+        self._manifest = manifest
+        for stale in (os.path.join(self.directory, old_snapshot),
+                      old_wal_path):
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+        if self._graph is None:
+            # Lazy stores re-map the folded snapshot: the overlay's work is
+            # now baked into dense base arrays.
+            base, metadata = open_adjacency_snapshot(
+                os.path.join(self.directory, snapshot_name), mmap=self._mmap)
+            self._base = base
+            self._overlay = None
+            self._vertex_props = dict(metadata.vertex_properties)
+            self._edge_props = dict(metadata.edge_properties)
+        return self.info()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        """A JSON-ready summary: manifest, sizes, WAL and recovery state."""
+        self._check_open()
+        view = self.view()
+        overlay_ops = view.delta_ops if isinstance(view, DeltaAdjacency) else 0
+        return {
+            "directory": self.directory,
+            "name": self._manifest.get("name", ""),
+            "generation": self._manifest["generation"],
+            "snapshot": self._manifest["snapshot"],
+            "snapshot_version": self._manifest["snapshot_version"],
+            "wal": self._manifest["wal"],
+            "wal_records_logged": self._wal.records_logged,
+            "wal_bytes": self._wal.tell(),
+            "recovered_wal_records": self._recovery["wal_records"],
+            "recovered_tail_torn": self._recovery["tail_torn"],
+            "materialized": self.materialized,
+            "order": view.num_vertices,
+            "size": view.num_edges,
+            "labels": view.num_labels,
+            "overlay_ops": overlay_ops,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "materialized" if self.materialized else "lazy")
+        return "PersistentGraph<{} gen {}, {}>".format(
+            self.directory, self._manifest["generation"], state)

@@ -1,0 +1,454 @@
+"""The snapshot store: CSR adjacency spilled to a versioned binary layout.
+
+A snapshot file holds one :class:`~repro.graph.compact.CompactAdjacency`
+(or :class:`~repro.graph.compact.CompactDiGraph`) frozen at a graph
+version, in a layout designed to be **mapped**, not parsed::
+
+    +--------------------+  offset 0
+    | magic   "RPCSR001" |  8 bytes
+    | header_len  u32 LE |  4 bytes
+    | header_crc  u32 LE |  4 bytes
+    +--------------------+  offset 16
+    | header JSON (utf-8,|  interning tables, per-label edge counts,
+    |  space-padded to a |  properties, name, version, data_crc32
+    |  16-byte boundary) |
+    +--------------------+  data_offset = 16 + header_len
+    | CSR array data     |  int64 LE arrays, back to back; float64
+    |                    |  section last (digraph weights only)
+    +--------------------+
+
+For the multi-relational kind the data region is, per label ``l``:
+``fwd_indptr`` (n+1), ``fwd_indices`` (m_l), ``rev_indptr`` (n+1),
+``rev_indices`` (m_l).  All array offsets are *computed* from the header's
+``label_counts`` — the layout is deterministic, so reopening maps the file
+once (``np.memmap``) and carves zero-copy views; a traversal then faults in
+only the CSR pages it actually touches.  Without numpy the arrays are
+loaded eagerly into ``array.array('q')`` (same indexing/slicing contract,
+no mapping) — mmap is a fast path, never a correctness dependency.
+
+``data_crc32`` covers the whole data region.  It is verified on
+``verify=True`` opens (and by ``repro db info``); the default mmap open
+skips it precisely because checksumming would fault in every page.
+
+Vertex and label identifiers must be JSON scalars (str/int/float/bool) —
+the same restriction (and for the same identity-preserving reason) as the
+write-ahead log's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import zlib
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+from repro.errors import StorageError
+from repro.graph.compact import CompactAdjacency, CompactDiGraph, _build_csr
+from repro.storage.wal import check_loggable
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SnapshotMetadata",
+    "fold_view",
+    "write_adjacency_snapshot",
+    "open_adjacency_snapshot",
+    "write_digraph_snapshot",
+    "open_digraph_snapshot",
+]
+
+SNAPSHOT_MAGIC = b"RPCSR001"
+
+_PRELUDE = struct.Struct("<II")  # header length, header crc32
+_PRELUDE_SIZE = len(SNAPSHOT_MAGIC) + _PRELUDE.size
+_ALIGN = 16
+_INT_DTYPE = "<i8"
+_FLOAT_DTYPE = "<f8"
+
+
+class SnapshotMetadata:
+    """Sidecar state a snapshot carries beyond the CSR arrays."""
+
+    __slots__ = ("kind", "name", "version", "vertex_properties",
+                 "edge_properties", "path")
+
+    def __init__(self, kind: str, name: str, version: int,
+                 vertex_properties: Dict[Hashable, Dict[str, Any]],
+                 edge_properties: Dict[Tuple, Dict[str, Any]], path: str):
+        self.kind = kind
+        self.name = name
+        self.version = version
+        self.vertex_properties = vertex_properties
+        self.edge_properties = edge_properties
+        self.path = path
+
+    def __repr__(self) -> str:
+        return "SnapshotMetadata<{} {!r} v{}>".format(
+            self.kind, self.name, self.version)
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+def _check_identifiers(values, what: str) -> None:
+    for value in values:
+        try:
+            check_loggable((value,))
+        except StorageError as exc:
+            raise StorageError("{}: {}".format(what, exc)) from exc
+
+
+def _int_cells(values) -> Any:
+    """An int64 buffer for ``values`` — numpy array, or array.array('q')."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.int64)
+    import array
+    return array.array("q", values)
+
+
+def _cell_bytes(cells) -> bytes:
+    if _np is not None and isinstance(cells, _np.ndarray):
+        return cells.astype(_INT_DTYPE, copy=False).tobytes()
+    raw = cells.tobytes()
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        swapped = cells.__copy__() if hasattr(cells, "__copy__") else cells[:]
+        swapped.byteswap()
+        raw = swapped.tobytes()
+    return raw
+
+
+def _write_file(path: str, header: Dict[str, Any],
+                sections: List[bytes]) -> None:
+    """Prelude + padded header + data, fsynced before returning."""
+    data = b"".join(sections)
+    header = dict(header)
+    header["data_crc32"] = zlib.crc32(data)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    pad = -(_PRELUDE_SIZE + len(raw)) % _ALIGN
+    raw += b" " * pad  # trailing whitespace is valid JSON
+    with open(path, "wb") as stream:
+        stream.write(SNAPSHOT_MAGIC)
+        stream.write(_PRELUDE.pack(len(raw), zlib.crc32(raw)))
+        stream.write(raw)
+        stream.write(data)
+        stream.flush()
+        os.fsync(stream.fileno())
+
+
+def _read_header(path: str) -> Tuple[Dict[str, Any], int]:
+    """``(header, data_offset)`` with magic and header CRC verified."""
+    with open(path, "rb") as stream:
+        magic = stream.read(len(SNAPSHOT_MAGIC))
+        if magic != SNAPSHOT_MAGIC:
+            raise StorageError(
+                "{}: not a snapshot file (bad magic {!r})".format(path, magic))
+        prelude = stream.read(_PRELUDE.size)
+        if len(prelude) < _PRELUDE.size:
+            raise StorageError("{}: truncated snapshot prelude".format(path))
+        header_len, header_crc = _PRELUDE.unpack(prelude)
+        raw = stream.read(header_len)
+        if len(raw) < header_len or zlib.crc32(raw) != header_crc:
+            raise StorageError("{}: snapshot header is corrupt".format(path))
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except ValueError as exc:
+        raise StorageError(
+            "{}: snapshot header is not valid JSON: {}".format(path, exc)
+        ) from exc
+    if header.get("format") != 1:
+        raise StorageError("{}: unsupported snapshot format {!r}".format(
+            path, header.get("format")))
+    return header, _PRELUDE_SIZE + header_len
+
+
+def _map_ints(path: str, data_offset: int, total: int, mmap: bool):
+    """The whole int64 data region: memmap view, ndarray, or array.array."""
+    if _np is not None:
+        if total == 0:
+            return _np.empty(0, dtype=_INT_DTYPE)
+        if mmap:
+            return _np.memmap(path, dtype=_INT_DTYPE, mode="r",
+                              offset=data_offset, shape=(total,))
+        return _np.fromfile(path, dtype=_INT_DTYPE, count=total,
+                            offset=data_offset)
+    import array
+    cells = array.array("q")
+    with open(path, "rb") as stream:
+        stream.seek(data_offset)
+        cells.fromfile(stream, total)
+    if sys.byteorder != "little":  # pragma: no cover
+        cells.byteswap()
+    return cells
+
+
+def _verify_data_crc(path: str, data_offset: int, expected: int) -> None:
+    crc = 0
+    with open(path, "rb") as stream:
+        stream.seek(data_offset)
+        while True:
+            chunk = stream.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    if crc != expected:
+        raise StorageError(
+            "{}: snapshot data checksum mismatch (file is corrupt)".format(
+                path))
+
+
+def _encode_properties(vertex_of: List[Hashable], label_of: List[Hashable],
+                       vertex_properties, edge_properties):
+    vertex_ids = {v: i for i, v in enumerate(vertex_of)}
+    label_ids = {l: i for i, l in enumerate(label_of)}
+    packed_vertices = {}
+    for vertex, props in (vertex_properties or {}).items():
+        if props and vertex in vertex_ids:
+            packed_vertices[str(vertex_ids[vertex])] = props
+    packed_edges = []
+    for (tail, label, head), props in (edge_properties or {}).items():
+        if props and tail in vertex_ids and head in vertex_ids \
+                and label in label_ids:
+            packed_edges.append([vertex_ids[tail], label_ids[label],
+                                 vertex_ids[head], props])
+    try:
+        json.dumps(packed_vertices), json.dumps(packed_edges)
+    except (TypeError, ValueError) as exc:
+        raise StorageError(
+            "graph properties are not JSON-serializable: {}".format(exc)
+        ) from exc
+    return packed_vertices, packed_edges
+
+
+def _decode_properties(header, vertex_of, label_of):
+    vertex_properties: Dict[Hashable, Dict[str, Any]] = {}
+    for index, props in (header.get("vertex_properties") or {}).items():
+        vertex_properties[vertex_of[int(index)]] = dict(props)
+    edge_properties: Dict[Tuple, Dict[str, Any]] = {}
+    for tail_id, label_id, head_id, props in header.get("edge_properties", ()):
+        edge_properties[(vertex_of[tail_id], label_of[label_id],
+                         vertex_of[head_id])] = dict(props)
+    return vertex_properties, edge_properties
+
+
+def _decode_ids(values) -> List[Hashable]:
+    """JSON round-trips scalars losslessly; just guard against lists."""
+    return list(values)
+
+
+# ----------------------------------------------------------------------
+# Folding (delta overlay -> dense arrays)
+# ----------------------------------------------------------------------
+
+def fold_view(view) -> Tuple[List[Hashable], List[Hashable],
+                             List[List[Tuple[int, int]]], int]:
+    """Flatten any snapshot view to ``(vertex_of, label_of, pairs, |E|)``.
+
+    Works on a clean :class:`CompactAdjacency` and on a
+    :class:`~repro.graph.compact.DeltaAdjacency` overlay alike (both expose
+    ``live_vertex_ids`` / ``out_neighbors``): tombstoned vertex slots are
+    dropped and ids re-densified, per-label edge pairs come out merged
+    (base minus removals plus additions) — the checkpoint's fold step.
+    """
+    live = list(view.live_vertex_ids())
+    slots = view.num_slots
+    remap: Optional[List[int]] = None
+    if len(live) != slots:
+        remap = [-1] * slots
+        for new_id, old_id in enumerate(live):
+            remap[old_id] = new_id
+    vertex_of = [view.vertex_of[i] for i in live]
+    label_of = list(view.label_of)
+    per_label: List[List[Tuple[int, int]]] = []
+    num_edges = 0
+    for label_id in range(len(label_of)):
+        pairs: List[Tuple[int, int]] = []
+        for new_id, old_id in enumerate(live):
+            for neighbor in view.out_neighbors(old_id, label_id):
+                pairs.append((new_id,
+                              remap[neighbor] if remap else int(neighbor)))
+        per_label.append(pairs)
+        num_edges += len(pairs)
+    return vertex_of, label_of, per_label, num_edges
+
+
+# ----------------------------------------------------------------------
+# Multi-relational snapshots
+# ----------------------------------------------------------------------
+
+def write_adjacency_snapshot(path: str, view, name: str = "",
+                             version: int = 0,
+                             vertex_properties=None,
+                             edge_properties=None) -> None:
+    """Spill one adjacency view (base or overlay) to ``path``.
+
+    ``view`` is anything :func:`fold_view` accepts; properties are carried
+    in the header sidecar (sparse — only non-empty maps are stored).
+    """
+    vertex_of, label_of, per_label, num_edges = fold_view(view)
+    _check_identifiers(vertex_of, "vertex ids")
+    _check_identifiers(label_of, "label ids")
+    n = len(vertex_of)
+    sections: List[bytes] = []
+    label_counts: List[int] = []
+    for pairs in per_label:
+        label_counts.append(len(pairs))
+        fwd_indptr, fwd_indices = _build_csr(n, pairs, len(pairs))
+        rev_indptr, rev_indices = _build_csr(
+            n, ((h, t) for t, h in pairs), len(pairs))
+        for cells in (fwd_indptr, fwd_indices, rev_indptr, rev_indices):
+            sections.append(_cell_bytes(_int_cells(cells)))
+    packed_vertices, packed_edges = _encode_properties(
+        vertex_of, label_of, vertex_properties, edge_properties)
+    header = {
+        "format": 1,
+        "kind": "multirelational",
+        "name": name,
+        "version": version,
+        "num_vertices": n,
+        "num_edges": num_edges,
+        "vertex_of": vertex_of,
+        "label_of": label_of,
+        "label_counts": label_counts,
+        "vertex_properties": packed_vertices,
+        "edge_properties": packed_edges,
+    }
+    try:
+        json.dumps(header["vertex_of"]), json.dumps(header["label_of"])
+    except (TypeError, ValueError) as exc:
+        raise StorageError(
+            "vertex/label ids are not JSON-serializable: {}".format(exc)
+        ) from exc
+    _write_file(path, header, sections)
+
+
+def open_adjacency_snapshot(path: str, mmap: bool = True,
+                            verify: bool = False
+                            ) -> Tuple[CompactAdjacency, SnapshotMetadata]:
+    """Reopen a multi-relational snapshot, mmap-backed when possible.
+
+    Returns ``(snapshot, metadata)``.  With numpy and ``mmap=True`` the CSR
+    arrays are zero-copy views into one ``np.memmap`` — nothing beyond the
+    header is read until a kernel slices a row.  ``verify=True`` checksums
+    the data region first (reads every page; use for integrity audits, not
+    the serving path).
+    """
+    header, data_offset = _read_header(path)
+    if header.get("kind") != "multirelational":
+        raise StorageError("{}: expected a multirelational snapshot, found "
+                           "kind {!r}".format(path, header.get("kind")))
+    vertex_of = _decode_ids(header["vertex_of"])
+    label_of = _decode_ids(header["label_of"])
+    n = header["num_vertices"]
+    label_counts = header["label_counts"]
+    if len(vertex_of) != n or len(label_counts) != len(label_of):
+        raise StorageError("{}: snapshot header is inconsistent".format(path))
+    if verify:
+        _verify_data_crc(path, data_offset, header["data_crc32"])
+    total = sum(2 * (n + 1) + 2 * count for count in label_counts)
+    flat = _map_ints(path, data_offset, total, mmap)
+    if len(flat) != total:
+        raise StorageError(
+            "{}: snapshot data region is truncated ({} of {} cells)".format(
+                path, len(flat), total))
+    forward: List[Tuple] = []
+    reverse: List[Tuple] = []
+    cursor = 0
+    for count in label_counts:
+        blocks = []
+        for length in (n + 1, count, n + 1, count):
+            blocks.append(flat[cursor:cursor + length])
+            cursor += length
+        forward.append((blocks[0], blocks[1]))
+        reverse.append((blocks[2], blocks[3]))
+    snapshot = CompactAdjacency.from_arrays(
+        header.get("version", 0), vertex_of, label_of, forward, reverse,
+        header["num_edges"])
+    vertex_properties, edge_properties = _decode_properties(
+        header, vertex_of, label_of)
+    metadata = SnapshotMetadata("multirelational", header.get("name", ""),
+                                header.get("version", 0), vertex_properties,
+                                edge_properties, path)
+    return snapshot, metadata
+
+
+# ----------------------------------------------------------------------
+# Single-relational (DiGraph) snapshots
+# ----------------------------------------------------------------------
+
+def write_digraph_snapshot(path: str, snapshot: CompactDiGraph,
+                           name: str = "") -> None:
+    """Spill one :class:`CompactDiGraph` (CSR arrays included) to ``path``."""
+    if _np is None:
+        raise StorageError("digraph snapshots require numpy")
+    vertex_of = list(snapshot.vertex_of)
+    _check_identifiers(vertex_of, "vertex ids")
+    n = snapshot.num_vertices
+    m = len(snapshot.tails)
+    int_arrays = (snapshot.tails, snapshot.heads,
+                  snapshot.fwd_indptr, snapshot.fwd_indices,
+                  snapshot.rev_indptr, snapshot.rev_indices,
+                  snapshot.und_indptr, snapshot.und_indices)
+    sections = [_np.ascontiguousarray(a, dtype=_INT_DTYPE).tobytes()
+                for a in int_arrays]
+    for a in (snapshot.weights, snapshot.out_weight):
+        sections.append(_np.ascontiguousarray(a, dtype=_FLOAT_DTYPE).tobytes())
+    header = {
+        "format": 1,
+        "kind": "digraph",
+        "name": name,
+        "version": snapshot.version,
+        "num_vertices": n,
+        "num_edges": m,
+        "vertex_of": vertex_of,
+    }
+    _write_file(path, header, sections)
+
+
+def open_digraph_snapshot(path: str, mmap: bool = True,
+                          verify: bool = False) -> CompactDiGraph:
+    """Reopen a digraph snapshot; CSR index arrays are adopted, not rebuilt."""
+    if _np is None:
+        raise StorageError("digraph snapshots require numpy")
+    header, data_offset = _read_header(path)
+    if header.get("kind") != "digraph":
+        raise StorageError("{}: expected a digraph snapshot, found kind "
+                           "{!r}".format(path, header.get("kind")))
+    if verify:
+        _verify_data_crc(path, data_offset, header["data_crc32"])
+    vertex_of = _decode_ids(header["vertex_of"])
+    n, m = header["num_vertices"], header["num_edges"]
+    if len(vertex_of) != n:
+        raise StorageError("{}: snapshot header is inconsistent".format(path))
+    int_lengths = (m, m, n + 1, m, n + 1, m, n + 1, 2 * m)
+    total_ints = sum(int_lengths)
+    if mmap and total_ints and (m + n):
+        ints = _np.memmap(path, dtype=_INT_DTYPE, mode="r",
+                          offset=data_offset, shape=(total_ints,))
+        floats = _np.memmap(path, dtype=_FLOAT_DTYPE, mode="r",
+                            offset=data_offset + 8 * total_ints,
+                            shape=(m + n,))
+    else:
+        ints = _np.fromfile(path, dtype=_INT_DTYPE, count=total_ints,
+                            offset=data_offset)
+        floats = _np.fromfile(path, dtype=_FLOAT_DTYPE, count=m + n,
+                              offset=data_offset + 8 * total_ints)
+    if len(ints) != total_ints or len(floats) != m + n:
+        raise StorageError("{}: snapshot data region is truncated".format(path))
+    views = []
+    cursor = 0
+    for length in int_lengths:
+        views.append(ints[cursor:cursor + length])
+        cursor += length
+    tails, heads, fwd_ip, fwd_ix, rev_ip, rev_ix, und_ip, und_ix = views
+    weights, out_weight = floats[:m], floats[m:]
+    vertex_ids = {v: i for i, v in enumerate(vertex_of)}
+    return CompactDiGraph.from_csr(
+        header.get("version", 0), vertex_of, vertex_ids, tails, heads,
+        weights, fwd_ip, fwd_ix, rev_ip, rev_ix, und_ip, und_ix, out_weight)

@@ -1,0 +1,244 @@
+"""The write-ahead log: durable append of the graph mutation stream.
+
+The structural mutation journal :class:`~repro.graph.graph.MultiRelationalGraph`
+already maintains for its compact snapshots is *exactly* the event stream a
+write-ahead log needs — this module gives it a durable file form.
+
+Record framing
+--------------
+The file starts with an 8-byte magic (``RPWAL001``).  Each record is::
+
+    +----------------+----------------+----------------------+
+    | length: u32 LE | crc32:  u32 LE | payload (JSON, utf-8)|
+    +----------------+----------------+----------------------+
+
+``length`` counts payload bytes only; ``crc32`` is :func:`zlib.crc32` of the
+payload.  The payload is the mutation entry ``(version, op, *args)`` encoded
+as a compact JSON array, e.g. ``[17,"+e","a","knows","b"]`` or
+``[18,"pv","a",{"age":29}]``.
+
+Crash consistency
+-----------------
+Appends are strictly sequential, so after a crash (or a ``kill -9``) the
+file is a valid prefix followed by at most one torn record.  Recovery
+(:func:`scan_wal`) walks records until the first incomplete frame, short
+payload, or CRC mismatch, and reports the byte offset of the last intact
+record; :class:`WriteAheadLog` truncates the torn tail before appending
+again.  Nothing after the durable prefix is ever replayed — losing the tail
+that was never fsynced is the documented contract, silently corrupting
+state is not.
+
+Durability batching
+-------------------
+``sync="always"`` fsyncs every append (slowest, loses nothing),
+``sync="batch"`` fsyncs every ``batch_size`` records and on ``flush()``/
+``close()`` (the default — bounded loss window, near-sequential-write
+throughput), ``sync="none"`` never fsyncs (tests / bulk loads; the OS
+decides).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import IO, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+__all__ = ["WAL_MAGIC", "WriteAheadLog", "scan_wal", "encode_record",
+           "check_loggable"]
+
+WAL_MAGIC = b"RPWAL001"
+
+_FRAME = struct.Struct("<II")  # payload length, payload crc32
+
+#: The scalar types the JSON framing round-trips with identity preserved.
+#: Tuples would silently come back as lists and lose hash identity — the
+#: exact class of bug the triple-CSV layer had with ints — so they are
+#: rejected at append time instead.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def check_loggable(entry: Tuple) -> None:
+    """Reject entries the JSON framing cannot round-trip faithfully.
+
+    Vertex and label identifiers must be JSON scalars (str/int/float/bool/
+    None); property maps must be JSON-encodable dicts.  Raises
+    :class:`StorageError` naming the offending value.
+    """
+    for arg in entry:
+        if isinstance(arg, _SCALARS):
+            continue
+        if isinstance(arg, dict):
+            try:
+                json.dumps(arg)
+            except (TypeError, ValueError) as exc:
+                raise StorageError(
+                    "property map {!r} is not JSON-serializable: {}".format(
+                        arg, exc)) from exc
+            continue
+        raise StorageError(
+            "cannot log {!r}: vertex/label ids must be JSON scalars "
+            "(str, int, float, bool or None) to round-trip with identity "
+            "preserved".format(arg))
+
+
+def encode_record(entry: Tuple) -> bytes:
+    """One framed record (length + crc + JSON payload) for ``entry``."""
+    check_loggable(entry)
+    payload = json.dumps(list(entry), separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Tuple:
+    data = json.loads(payload.decode("utf-8"))
+    return tuple(data)
+
+
+def scan_wal(path: str) -> Tuple[List[Tuple], int, bool]:
+    """Read every intact record: ``(entries, durable_end, tail_torn)``.
+
+    ``durable_end`` is the byte offset just past the last intact record —
+    the truncation point a writer must restore before appending.
+    ``tail_torn`` is True when trailing bytes past that offset were found
+    (a crash mid-append); the torn bytes are *not* decoded.
+
+    A missing file yields ``([], 0, False)``; a file whose *header* is bad
+    raises :class:`StorageError` (that is corruption, not a torn tail).
+    """
+    if not os.path.exists(path):
+        return [], 0, False
+    entries: List[Tuple] = []
+    with open(path, "rb") as stream:
+        magic = stream.read(len(WAL_MAGIC))
+        if len(magic) < len(WAL_MAGIC):
+            # Shorter than the magic: a writer died creating the file.
+            return [], 0, len(magic) > 0
+        if magic != WAL_MAGIC:
+            raise StorageError(
+                "{}: not a write-ahead log (bad magic {!r})".format(
+                    path, magic))
+        durable_end = len(WAL_MAGIC)
+        while True:
+            frame = stream.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                return entries, durable_end, len(frame) > 0
+            length, crc = _FRAME.unpack(frame)
+            payload = stream.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return entries, durable_end, True
+            try:
+                entries.append(_decode_payload(payload))
+            except ValueError:
+                # CRC-valid but undecodable payload: corruption, stop at
+                # the durable prefix exactly like a torn frame.
+                return entries, durable_end, True
+            durable_end = stream.tell()
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed, fsync-batched mutation log.
+
+    Opening repairs the file: a torn tail left by a crash is truncated back
+    to the durable prefix, so appends always extend a valid log.  Entries
+    accepted by :meth:`append` are *pending* until the next fsync point;
+    ``records_logged`` counts everything appended this session,
+    ``records_durable`` only what has been fsynced.
+    """
+
+    def __init__(self, path: str, sync: str = "batch", batch_size: int = 64,
+                 scanned: Optional[Tuple[int, bool]] = None):
+        if sync not in ("always", "batch", "none"):
+            raise StorageError(
+                "unknown sync policy {!r}; expected 'always', 'batch' "
+                "or 'none'".format(sync))
+        if batch_size < 1:
+            raise StorageError("batch_size must be >= 1")
+        self.path = path
+        self.sync = sync
+        self.batch_size = batch_size
+        self.records_logged = 0
+        self.records_durable = 0
+        self._pending: List[bytes] = []
+        self._pending_records = 0
+        if scanned is None:
+            # Callers that already ran scan_wal (for the replay entries)
+            # pass its (durable_end, tail_torn) so the file — which can be
+            # the bulk of a reopen — is not read and decoded twice.
+            _, durable_end, tail_torn = scan_wal(path)
+        else:
+            durable_end, tail_torn = scanned
+        exists = os.path.exists(path)
+        self._stream: Optional[IO[bytes]] = open(path, "r+b" if exists else "w+b")
+        if not exists or durable_end == 0:
+            self._stream.seek(0)
+            self._stream.truncate(0)
+            self._stream.write(WAL_MAGIC)
+            self._fsync()
+        elif tail_torn:
+            self._stream.truncate(durable_end)
+            self._fsync()
+            self._stream.seek(durable_end)
+        else:
+            self._stream.seek(durable_end)
+
+    # ------------------------------------------------------------------
+
+    def append(self, entry: Tuple) -> None:
+        """Buffer one ``(version, op, *args)`` entry; flush per the policy."""
+        if self._stream is None:
+            raise StorageError("write-ahead log {} is closed".format(self.path))
+        self._pending.append(encode_record(entry))
+        self._pending_records += 1
+        self.records_logged += 1
+        if self.sync == "always" or self._pending_records >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered records and (unless ``sync='none'``) fsync them."""
+        if self._stream is None:
+            raise StorageError("write-ahead log {} is closed".format(self.path))
+        if self._pending:
+            self._stream.write(b"".join(self._pending))
+            flushed = self._pending_records
+            self._pending = []
+            self._pending_records = 0
+            self._fsync()
+            self.records_durable += flushed
+
+    def _fsync(self) -> None:
+        self._stream.flush()
+        if self.sync != "none":
+            os.fsync(self._stream.fileno())
+
+    def tell(self) -> int:
+        """Durable byte size of the log (buffered records excluded)."""
+        if self._stream is None:
+            return os.path.getsize(self.path)
+        return self._stream.tell()
+
+    @property
+    def pending(self) -> int:
+        """Records appended but not yet flushed to the file."""
+        return self._pending_records
+
+    def close(self) -> None:
+        """Flush and close; further appends raise."""
+        if self._stream is not None:
+            self.flush()
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._stream is None else "open"
+        return "WriteAheadLog<{} {}, {} logged, {} durable, sync={}>".format(
+            self.path, state, self.records_logged, self.records_durable,
+            self.sync)

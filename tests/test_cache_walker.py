@@ -92,6 +92,24 @@ class TestQueryCache:
         with pytest.raises(ValueError):
             QueryCache(capacity=0)
 
+    def test_shared_cache_distinguishes_graphs(self):
+        # Two engines sharing one cache over different graphs that agree on
+        # version() must not serve each other's results: the key embeds a
+        # per-graph identity token.
+        g1 = MultiRelationalGraph([("a", "r", "b")])
+        g2 = MultiRelationalGraph([("a", "r", "c")])
+        assert g1.version() == g2.version()  # the collision the token fixes
+        assert g1.graph_token() != g2.graph_token()
+        shared = QueryCache(capacity=8)
+        e1 = Engine(g1, cache=shared)
+        e2 = Engine(g2, cache=shared)
+        first = e1.query("[_, r, _]").paths
+        second = e2.query("[_, r, _]").paths
+        assert shared.hits == 0  # g2's query must MISS, not reuse g1's entry
+        assert first != second
+        assert {p.head for p in first} == {"b"}
+        assert {p.head for p in second} == {"c"}
+
     def test_clear(self, engine):
         engine.query(QUERY)
         engine.cache.clear()

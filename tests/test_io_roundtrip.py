@@ -1,0 +1,181 @@
+"""Round-trip property suite: serialization formats and WAL recovery.
+
+Hypothesis-generated graphs — including empty graphs, isolated vertices,
+adversarial identifiers (commas, quotes, newlines, the reserved
+``#vertex`` marker itself) and vertex/edge properties — must survive each
+format that claims to carry them:
+
+* triple CSV: vertex set + edge set (properties are lossy by design),
+* JSON: everything (structure, properties, name),
+* GraphML subset: stringified structure.
+
+Plus the write-ahead log's crash-consistency property: truncating the log
+at *any* byte offset recovers exactly the records that were fully framed
+before that offset — never a torn or reordered suffix.
+"""
+
+import io
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SerializationError
+from repro.graph import io as graph_io
+from repro.graph.graph import MultiRelationalGraph
+from repro.storage.wal import WriteAheadLog, scan_wal
+
+# Deliberately hostile identifier alphabet: CSV delimiters, quoting,
+# newlines, unicode, leading '#' (the vertex-marker prefix).
+IDENT = st.text(alphabet='ab,"\n# é', min_size=1, max_size=6)
+LABEL = st.sampled_from(["knows", "created", 'we,"ird', "#vertex"])
+PROP_VALUE = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+# Keys are prefixed so they can never collide with add_edge/add_vertex
+# keyword parameters (tail/label/head/strict) when splatted back in.
+PROPS = st.dictionaries(
+    st.text(min_size=1, max_size=4).map(lambda k: "p_" + k), PROP_VALUE,
+    max_size=3)
+
+
+@st.composite
+def graphs(draw, with_properties=False):
+    g = MultiRelationalGraph(name=draw(st.text(alphabet="xyz-", max_size=6)))
+    for vertex in draw(st.lists(IDENT, max_size=6, unique=True)):
+        g.add_vertex(vertex, **(draw(PROPS) if with_properties else {}))
+    for tail, label, head in draw(
+            st.lists(st.tuples(IDENT, LABEL, IDENT), max_size=12)):
+        g.add_edge(tail, label, head,
+                   **(draw(PROPS) if with_properties else {}))
+    return g
+
+
+class TestTripleRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_structure_survives(self, g):
+        back = graph_io.from_triple_text(graph_io.to_triple_text(g))
+        assert back.vertices() == g.vertices()
+        assert back.edge_set() == g.edge_set()
+        assert back.labels() == g.labels()
+
+    def test_isolated_vertices_survive(self):
+        g = MultiRelationalGraph()
+        g.add_vertex("lonely")
+        g.add_edge("a", "r", "b")
+        back = graph_io.from_triple_text(graph_io.to_triple_text(g))
+        assert back.vertices() == frozenset({"lonely", "a", "b"})
+
+    def test_vertex_named_like_the_marker_survives(self):
+        g = MultiRelationalGraph()
+        g.add_vertex("#vertex")
+        back = graph_io.from_triple_text(graph_io.to_triple_text(g))
+        assert back.vertices() == frozenset({"#vertex"})
+
+    def test_empty_graph(self):
+        back = graph_io.from_triple_text(
+            graph_io.to_triple_text(MultiRelationalGraph()))
+        assert back.order() == 0 and back.size() == 0
+
+    @pytest.mark.parametrize("bad_graph", [
+        MultiRelationalGraph([(1, "r", 2)]),
+        MultiRelationalGraph([("a", 7, "b")]),
+        MultiRelationalGraph([(("t", "uple"), "r", "b")]),
+    ])
+    def test_non_string_ids_rejected_toward_json(self, bad_graph):
+        with pytest.raises(SerializationError) as info:
+            graph_io.to_triple_text(bad_graph)
+        assert "write_json" in str(info.value)
+
+    def test_non_string_isolated_vertex_rejected(self):
+        g = MultiRelationalGraph()
+        g.add_vertex(42)
+        with pytest.raises(SerializationError) as info:
+            graph_io.to_triple_text(g)
+        assert "write_json" in str(info.value)
+
+
+class TestJsonRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(with_properties=True))
+    def test_everything_survives(self, g):
+        back = graph_io.from_json_dict(graph_io.to_json_dict(g))
+        assert back == g
+        assert back.name == g.name
+        for v in g.vertices():
+            assert back.vertex_properties(v) == g.vertex_properties(v)
+        for e in g.edge_set():
+            assert back.edge_properties(e.tail, e.label, e.head) == \
+                g.edge_properties(e.tail, e.label, e.head)
+
+    def test_empty_graph(self):
+        back = graph_io.from_json_dict(
+            graph_io.to_json_dict(MultiRelationalGraph()))
+        assert back.order() == 0 and back.size() == 0
+
+
+class TestGraphmlRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs())
+    def test_stringified_structure_survives(self, g):
+        buffer = io.StringIO()
+        graph_io.write_graphml(g, buffer)
+        back = graph_io.read_graphml(io.StringIO(buffer.getvalue()))
+        assert back.vertices() == frozenset(str(v) for v in g.vertices())
+        assert {(e.tail, e.label, e.head) for e in back.edge_set()} == \
+            {(str(e.tail), str(e.label), str(e.head)) for e in g.edge_set()}
+
+
+ENTRY_ARG = st.one_of(st.text(max_size=6), st.integers(), st.booleans())
+ENTRIES = st.lists(
+    st.tuples(st.integers(min_value=0), st.sampled_from(["+v", "-v", "+e", "-e"]))
+    .flatmap(lambda head: st.lists(ENTRY_ARG, min_size=1, max_size=3)
+             .map(lambda args: head + tuple(args))),
+    max_size=12)
+
+
+class TestWalTruncationRecovery:
+    """Truncate the log anywhere: replay equals the durable prefix."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries=ENTRIES, data=st.data())
+    def test_any_cut_recovers_a_prefix(self, entries, data, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("wal") / "wal.log")
+        boundaries = []
+        with WriteAheadLog(path, sync="none") as wal:
+            for entry in entries:
+                wal.append(entry)
+                wal.flush()
+                boundaries.append(wal.tell())
+        full, _, torn = scan_wal(path)
+        assert full == entries and not torn
+        size = os.path.getsize(path)
+        cut = data.draw(st.integers(min_value=8, max_value=size),
+                        label="cut offset")
+        with open(path, "r+b") as stream:
+            stream.truncate(cut)
+        recovered, durable_end, _ = scan_wal(path)
+        expected = sum(1 for b in boundaries if b <= cut)
+        assert recovered == entries[:expected]
+        assert durable_end <= cut
+
+    def test_truncated_tail_repaired_on_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path, sync="none") as wal:
+            for i in range(5):
+                wal.append((i, "+v", "v{}".format(i)))
+        with open(path, "r+b") as stream:
+            stream.truncate(os.path.getsize(path) - 3)
+        recovered, _, torn = scan_wal(path)
+        assert torn and recovered == [(i, "+v", "v{}".format(i))
+                                      for i in range(4)]
+        with WriteAheadLog(path, sync="none") as wal:
+            wal.append((9, "+v", "fresh"))
+        final, _, torn = scan_wal(path)
+        assert not torn
+        assert final == recovered + [(9, "+v", "fresh")]
