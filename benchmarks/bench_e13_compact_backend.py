@@ -22,7 +22,13 @@ distributions, the hot paths the compact backend rewrote:
 * **persistence**: reopening a durable store (mmap'd CSR snapshot + WAL
   replay, :mod:`repro.storage`) vs rebuilding the same 12k-edge graph
   from its triple CSV, gated at >= 5x with identical query answers —
-  the regression gate for the snapshot-store reopen path.
+  the regression gate for the snapshot-store reopen path,
+* **sharded parallelism**: the all-sources RPQ sweep and the sharded
+  pagerank power iteration on a 50k-edge graph, 4 fan-out workers
+  (:mod:`repro.engine.parallel`) vs the single-core compact kernels,
+  each gated at >= 1.5x with identical (for pagerank: bit-identical)
+  answers; skipped when the machine has fewer than 4 cores.  Sizes do
+  not shrink under ``--quick``.
 
 Every comparison first asserts the two implementations return **identical
 answers** (same pair sets, same distance maps, same components, same ranks
@@ -33,12 +39,19 @@ Run standalone (not under pytest-benchmark, so CI can smoke it cheaply)::
 
     PYTHONPATH=src python benchmarks/bench_e13_compact_backend.py          # full
     PYTHONPATH=src python benchmarks/bench_e13_compact_backend.py --quick  # CI smoke
+
+``--json PATH`` additionally writes the whole run as one machine-readable
+trajectory record (scenario rows, sizes, timings, speedups, the parallel
+gate's outcome) — CI uploads it as the ``BENCH_e13.json`` artifact so the
+bench history is a queryable series instead of scrollback.
 """
 
 from __future__ import annotations
 
 import argparse
 import gc
+import json
+import os
 import random
 import time
 
@@ -309,6 +322,105 @@ def bench_rpq_selective(rows, quick):
     gate("rpq target-bound suffix (backward)", backward_s)
 
 
+#: Sharded fan-out must beat the single-core compact kernels by at least
+#: this factor on the all-sources sweep and the pagerank iteration — the
+#: acceptance gate for the parallel executor.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
+#: Worker count the parallel gate is measured at; machines with fewer
+#: cores skip the scenario (a fan-out cannot beat one core on one core).
+PARALLEL_WORKERS = 4
+
+
+def bench_parallel(rows, quick, record):
+    """All-sources RPQ + sharded pagerank, 4 workers vs one core, 50k edges.
+
+    The regression gate for the vertex-range sharding + fan-out/merge
+    executor: on a 50k-edge generated graph the parallel all-sources
+    product-BFS sweep and the shard-scattered pagerank power iteration
+    must each beat their single-core compact kernels by >=
+    ``PARALLEL_SPEEDUP_FLOOR``x with 4 workers.  Answers are verified
+    first — the RPQ pair sets must be equal, the pagerank ranks
+    bit-identical (the shard-ordered merge makes parallel float sums
+    reproduce the serial ones exactly).  Sizes do **not** shrink under
+    ``--quick``; the scenario is skipped (gate intact) when the machine
+    has fewer than ``PARALLEL_WORKERS`` cores.
+    """
+    from repro.engine.parallel import ParallelExecutor
+    from repro.rpq.evaluation import compile_rpq
+
+    num_vertices, num_edges = 12000, 50000
+    cpu = os.cpu_count() or 1
+    record.update({"vertices": num_vertices, "edges": num_edges,
+                   "workers": PARALLEL_WORKERS, "cpu_count": cpu,
+                   "floor": PARALLEL_SPEEDUP_FLOOR, "skipped": None})
+    if cpu < PARALLEL_WORKERS:
+        record["skipped"] = "cpu_count {} < {} workers".format(
+            cpu, PARALLEL_WORKERS)
+        print("parallel scenario skipped: {}".format(record["skipped"]))
+        return
+
+    # The label mix and expression are tuned for compute-heavy sweeps:
+    # the ``b`` sub-graph sits near the percolation threshold (deep but
+    # bounded cones), while the rare trailing ``x`` keeps the answer set —
+    # which the workers must pickle back — a small fraction of the
+    # traversal work.  An answer-dominated query (``a.b*``) would measure
+    # result serialization, not the fan-out.
+    graph = uniform_random(num_vertices, num_edges,
+                           labels=("a",) * 5 + ("b",) * 5 + ("c",) * 5
+                           + ("d",) * 4 + ("x",), seed=61)
+    expression = lconcat(sym("a"), lstar(sym("b")), sym("a"),
+                         lstar(sym("b")), sym("x"))
+    dfa = compile_rpq(expression, graph)
+    adjacency_snapshot(graph)  # base CSR built outside every timed region
+
+    single_answer, single_s = timed(lambda: rpq_pairs(graph, expression))
+    serial = ParallelExecutor(graph, processes=1,
+                              num_shards=PARALLEL_WORKERS)
+    parallel = ParallelExecutor(graph, processes=PARALLEL_WORKERS)
+    try:
+        # Warm the pool (fork + snapshot staging) on a small-source probe
+        # so the timed region measures the fan-out, not process startup.
+        parallel.rpq_pairs(dfa, sources=frozenset(range(8)))
+        parallel_answer, parallel_s = timed(lambda: parallel.rpq_pairs(dfa))
+        assert parallel_answer == single_answer, \
+            "parallel rpq pair set diverges from the single-core sweep"
+        assert single_s / parallel_s >= PARALLEL_SPEEDUP_FLOOR, \
+            "parallel all-sources rpq ({:.4f}s) must beat single-core " \
+            "({:.4f}s) by >= {}x with {} workers on a {}-edge graph".format(
+                parallel_s, single_s, PARALLEL_SPEEDUP_FLOOR,
+                PARALLEL_WORKERS, num_edges)
+        rows.append(("parallel rpq all-sources x{} workers ({} edges)".format(
+            PARALLEL_WORKERS, num_edges), single_s, parallel_s))
+        record["rpq_single_s"] = single_s
+        record["rpq_parallel_s"] = parallel_s
+        record["rpq_speedup"] = single_s / parallel_s
+
+        pagerank_kwargs = {"tolerance": 1.0e-12}
+        # Warm outside the timed region: the first parallel call re-forks
+        # the pool with the sharded payload staged alongside the snapshot.
+        parallel.pagerank(**pagerank_kwargs)
+        serial_ranks, serial_s = timed(
+            lambda: serial.pagerank(**pagerank_kwargs))
+        parallel_ranks, parallel_pr_s = timed(
+            lambda: parallel.pagerank(**pagerank_kwargs))
+        assert parallel_ranks == serial_ranks, \
+            "parallel pagerank ranks must be bit-identical to serial"
+        assert serial_s / parallel_pr_s >= PARALLEL_SPEEDUP_FLOOR, \
+            "parallel pagerank ({:.4f}s) must beat single-core " \
+            "({:.4f}s) by >= {}x with {} workers on a {}-edge graph".format(
+                parallel_pr_s, serial_s, PARALLEL_SPEEDUP_FLOOR,
+                PARALLEL_WORKERS, num_edges)
+        rows.append(("parallel pagerank x{} workers ({} edges)".format(
+            PARALLEL_WORKERS, num_edges), serial_s, parallel_pr_s))
+        record["pagerank_single_s"] = serial_s
+        record["pagerank_parallel_s"] = parallel_pr_s
+        record["pagerank_speedup"] = serial_s / parallel_pr_s
+    finally:
+        serial.close()
+        parallel.close()
+
+
 def _drop_snapshot_cache(graph):
     """Simulate the pre-incremental lifecycle: mutation == full invalidation."""
     if hasattr(graph, _CACHE_ATTR):
@@ -397,10 +509,38 @@ def bench_digraph_churn(rows, quick):
         steps, num_edges), rebuild_s, incremental_s))
 
 
+def write_json_record(path, args, rows, parallel_record):
+    """Spill the run as one machine-readable trajectory record."""
+    record = {
+        "bench": "e13_compact_backend",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": bool(args.quick),
+        "cpu_count": os.cpu_count(),
+        "have_numpy": HAVE_NUMPY,
+        "gates": {
+            "selective_speedup_floor": SELECTIVE_SPEEDUP_FLOOR,
+            "persistence_speedup_floor": PERSISTENCE_SPEEDUP_FLOOR,
+            "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        },
+        "rows": [
+            {"scenario": name, "baseline_s": baseline, "contender_s": fast,
+             "speedup": baseline / fast}
+            for name, baseline, fast in rows
+        ],
+        "parallel": parallel_record,
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(record, stream, indent=2)
+        stream.write("\n")
+    print("wrote trajectory record to {}".format(path))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sizes + one expression per family (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the run as a JSON trajectory record")
     args = parser.parse_args()
 
     if args.quick:
@@ -420,6 +560,7 @@ def main():
         digraph_size = (1500, 15000)
 
     rows = []
+    parallel_record = {}
     for label, graph in workloads:
         print("graph[{}]: {!r}".format(label, graph))
         bench_rpq(graph, label, rows, args.quick)
@@ -433,12 +574,18 @@ def main():
     if HAVE_NUMPY:
         bench_digraph_churn(rows, args.quick)
     bench_persistence(rows, args.quick)
+    bench_parallel(rows, args.quick, parallel_record)
     report(rows)
     print("all compact/seed answer sets identical; "
           "incremental churn beats full rebuilds; "
           "selective rpq scenarios beat the all-sources sweep >= {}x; "
-          "persistent reopen beats csv rebuild >= {}x".format(
-              SELECTIVE_SPEEDUP_FLOOR, PERSISTENCE_SPEEDUP_FLOOR))
+          "persistent reopen beats csv rebuild >= {}x; "
+          "sharded fan-out beats single-core >= {}x at {} workers "
+          "(or skipped on small machines)".format(
+              SELECTIVE_SPEEDUP_FLOOR, PERSISTENCE_SPEEDUP_FLOOR,
+              PARALLEL_SPEEDUP_FLOOR, PARALLEL_WORKERS))
+    if args.json:
+        write_json_record(args.json, args, rows, parallel_record)
 
 
 if __name__ == "__main__":

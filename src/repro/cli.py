@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli db open DIR ['PATHQL' ...query options]
     python -m repro.cli db checkpoint DIR
     python -m repro.cli db info DIR [--verify]
+    python -m repro.cli db shard DIR [--shards N] [--out SUBDIR]
 
 ``GRAPH_FILE`` may be triple CSV (``.csv``/``.txt``), JSON (``.json``) or
 GraphML (``.graphml``/``.xml``); the loader dispatches on extension.
@@ -19,7 +20,9 @@ GraphML (``.graphml``/``.xml``); the loader dispatches on extension.
 snapshots, see ``docs/persistence.md``): ``init`` seeds a store from a
 graph file, ``open`` recovers one (optionally running a query against it),
 ``checkpoint`` folds the log into a fresh snapshot generation, ``info``
-reports manifest/WAL/recovery state as JSON.
+reports manifest/WAL/recovery state as JSON, and ``shard`` spills the
+store's snapshot as per-vertex-range shard files (``docs/sharding.md``)
+so parallel worker processes can mmap just the rows they own.
 """
 
 from __future__ import annotations
@@ -117,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     db_info.add_argument("directory", help="store directory")
     db_info.add_argument("--verify", action="store_true",
                          help="also checksum the snapshot data region")
+
+    db_shard = db_commands.add_parser(
+        "shard", help="spill the store's snapshot as vertex-range shard "
+                      "files for the parallel executor")
+    db_shard.add_argument("directory", help="store directory")
+    db_shard.add_argument("--shards", type=int, default=None,
+                          help="shard count (default: cpu count)")
+    db_shard.add_argument("--out", default="shards",
+                          help="output subdirectory inside the store "
+                               "(default: shards)")
     return parser
 
 
@@ -175,6 +188,18 @@ def _run_db(args, out) -> None:
                     mmap=False, verify=True)
                 info["snapshot_checksum"] = "ok"
             out.write(json.dumps(info, indent=2, default=str) + "\n")
+    elif args.db_command == "shard":
+        from repro.graph.sharding import sharded_snapshot
+        from repro.storage import write_sharded_snapshots
+        shards = args.shards if args.shards else (os.cpu_count() or 1)
+        with PersistentGraph.open(args.directory,
+                                  materialize=True) as store:
+            manifest = write_sharded_snapshots(
+                os.path.join(args.directory, args.out),
+                sharded_snapshot(store.graph(), shards),
+                name=store.info().get("name", ""))
+        manifest["directory"] = args.out
+        out.write(json.dumps(manifest, indent=2, default=str) + "\n")
 
 
 def main(argv: Optional[list] = None, out=None) -> int:

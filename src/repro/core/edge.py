@@ -46,6 +46,12 @@ class Edge(tuple):
     def __new__(cls, tail: Hashable, label: Hashable, head: Hashable) -> "Edge":
         return tuple.__new__(cls, (tail, label, head))
 
+    def __getnewargs__(self):
+        # tuple subclasses with a custom __new__ signature must spell out
+        # their reconstruction arguments or unpickling fails — and edges
+        # cross process boundaries inside the parallel executor's results.
+        return tuple(self)
+
     @property
     def tail(self) -> Hashable:
         """The source vertex (the paper's ``gamma-(e)``)."""

@@ -73,6 +73,11 @@ class Path(tuple):
     def __new__(cls, edges: Iterable = ()) -> "Path":
         return tuple.__new__(cls, (_as_edge(e) for e in edges))
 
+    def __getnewargs__(self):
+        # See Edge.__getnewargs__: required for pickling tuple subclasses
+        # whose __new__ takes a different argument shape than the contents.
+        return (tuple(self),)
+
     @classmethod
     def of(cls, *edges) -> "Path":
         """Build a path from edge arguments: ``Path.of(e1, e2, ...)``."""

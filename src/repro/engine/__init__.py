@@ -26,7 +26,8 @@ from repro.engine.plan import (
     StarPlan,
     UnionPlan,
 )
-from repro.engine.planner import DirectionChoice, Planner
+from repro.engine.parallel import PARALLEL_MIN_EDGES, ParallelExecutor
+from repro.engine.planner import DirectionChoice, ParallelismChoice, Planner
 from repro.engine.stats import GraphStatistics, LabelDegreeProfile
 from repro.engine.cache import QueryCache
 from repro.engine.views import JoinView
@@ -41,6 +42,7 @@ __all__ = [
     "Engine", "QueryResult",
     "STRATEGIES", "execute_plan", "stream_paths", "run_strategy",
     "endpoint_pairs", "DirectionChoice", "LabelDegreeProfile",
+    "ParallelExecutor", "ParallelismChoice", "PARALLEL_MIN_EDGES",
     "PlanNode", "AtomScan", "LiteralScan", "EpsilonScan", "EmptyScan",
     "JoinPlan", "ProductPlan", "UnionPlan", "StarPlan",
     "Planner", "GraphStatistics", "QueryCache", "JoinView",

@@ -73,6 +73,12 @@ class QueryCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters (``Engine.cache_stats`` feeds on
+        this shape for both of its caches)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "capacity": self.capacity}
+
     def clear(self) -> None:
         """Drop all entries and reset counters."""
         self._entries.clear()

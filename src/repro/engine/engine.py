@@ -163,6 +163,9 @@ class Engine:
         self._dfa_cache: "OrderedDict" = OrderedDict()
         self._dfa_cache_hits = 0
         self._dfa_cache_misses = 0
+        # Lazily created fan-out executor (see repro.engine.parallel);
+        # rebuilt when a call asks for a different worker count.
+        self._parallel = None
 
     # ------------------------------------------------------------------
 
@@ -230,6 +233,52 @@ class Engine:
         return self._dfa_cache_hits, self._dfa_cache_misses, \
             len(self._dfa_cache)
 
+    def cache_stats(self) -> dict:
+        """Combined hit/miss/occupancy stats for both engine caches.
+
+        ``dfa_cache`` covers compiled-query reuse (per engine);
+        ``query_cache`` covers whole-result reuse (``None`` when the engine
+        was built without one).  Surfaced in :meth:`explain` so cache wins
+        are observable next to the parallelism decision.
+        """
+        hits, misses, entries = self.dfa_cache_info()
+        stats = {
+            "dfa_cache": {"hits": hits, "misses": misses,
+                          "entries": entries,
+                          "capacity": self._DFA_CACHE_CAP},
+            "query_cache": None,
+        }
+        if self.cache is not None:
+            stats["query_cache"] = self.cache.stats()
+        return stats
+
+    # -- parallel fan-out plumbing -------------------------------------
+
+    def _executor(self, choice):
+        """The engine's :class:`ParallelExecutor`, matched to ``choice``.
+
+        One executor (and its worker pool) persists across calls; asking
+        for a different worker or shard count replaces it.
+        """
+        from repro.engine.parallel import ParallelExecutor
+        executor = self._parallel
+        if executor is not None \
+                and executor.processes == choice.processes \
+                and executor.num_shards == choice.shards:
+            return executor
+        if executor is not None:
+            executor.close()
+        executor = ParallelExecutor(self.graph, processes=choice.processes,
+                                    num_shards=choice.shards)
+        self._parallel = executor
+        return executor
+
+    def close(self) -> None:
+        """Release the parallel worker pool (if one was ever started)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
     def compile(self, query: Union[str, RegexExpr]) -> RegexExpr:
         """PathQL text -> AST (ASTs pass through), algebraically normalized.
 
@@ -253,17 +302,20 @@ class Engine:
     def explain(self, query: Union[str, RegexExpr],
                 max_length: Optional[int] = None,
                 sources: Optional[frozenset] = None,
-                targets: Optional[frozenset] = None) -> str:
+                targets: Optional[frozenset] = None,
+                processes: Optional[int] = None) -> str:
         """EXPLAIN: the annotated plan tree, plus pairs-fast-path routing.
 
         The trailing lines report whether :meth:`pairs` would route this
         query through the compact product-BFS kernels (label-only or
         vertex-bound-end expressions) or fall back to bounded path
         materialization, the direction the cost model would pick for the
-        given endpoint filters (with its frontier-work estimates), and the
-        state of the graph's compact snapshot cache (cold, base CSR, or
-        delta overlay awaiting compaction) so staleness is visible next to
-        the plan.
+        given endpoint filters (with its frontier-work estimates), whether
+        the sharded fan-out executor would run it (and over how many
+        processes and shards), the state of the graph's compact snapshot
+        cache (cold, base CSR, or delta overlay awaiting compaction), and
+        the engine's cache hit rates — so staleness, parallelism and cache
+        wins are all visible next to the plan.
         """
         from repro.graph.compact import snapshot_state
         from repro.rpq.evaluation import lower_to_constrained_query
@@ -278,17 +330,35 @@ class Engine:
             if merged is None:
                 direction_note = ("pairs direction: n/a — endpoint filters "
                                   "exclude the bound vertex (empty result)")
+                parallel_note = "pairs parallelism: n/a (empty result)"
             else:
                 choice = self._direction_choice(constrained, *merged)
                 direction_note = "pairs direction: " + choice.describe()
-            note = note + "\n" + direction_note
+                parallelism = self._parallelism_choice(
+                    merged[0], processes, choice.direction)
+                parallel_note = "pairs parallelism: " + parallelism.describe()
+            note = note + "\n" + direction_note + "\n" + parallel_note
         else:
             note = ("pairs fast path: not eligible — expression binds "
                     "interior vertices or needs the edge-set algebra; "
                     "Engine.pairs() falls back to bounded automaton "
                     "evaluation")
         snapshot_note = "compact snapshot: " + snapshot_state(self.graph)
-        return text + "\n" + note + "\n" + snapshot_note
+        return text + "\n" + note + "\n" + snapshot_note \
+            + "\n" + self._cache_note()
+
+    def _cache_note(self) -> str:
+        """The EXPLAIN line summarizing :meth:`cache_stats`."""
+        stats = self.cache_stats()
+        dfa = stats["dfa_cache"]
+        note = "caches: dfa {}/{} hit/miss, {}/{} entries".format(
+            dfa["hits"], dfa["misses"], dfa["entries"], dfa["capacity"])
+        results = stats["query_cache"]
+        if results is None:
+            return note + "; results uncached"
+        return note + "; results {}/{} hit/miss, {}/{} entries".format(
+            results["hits"], results["misses"], results["entries"],
+            results["capacity"])
 
     # -- pairs fast-path plumbing --------------------------------------
 
@@ -324,10 +394,20 @@ class Engine:
             None if sources is None else len(sources),
             None if targets is None else len(targets))
 
+    def _parallelism_choice(self, sources, processes, direction="forward"):
+        """The planner's sharded-parallel threshold for one pairs call."""
+        planner = Planner(self.statistics(),
+                          max_length=self.default_max_length,
+                          optimize_joins=self.optimize)
+        return planner.choose_parallelism(
+            num_sources=None if sources is None else len(sources),
+            processes=processes, direction=direction)
+
     def pairs(self, query: Union[str, RegexExpr],
               sources: Optional[frozenset] = None,
               targets: Optional[frozenset] = None,
-              max_length: Optional[int] = None) -> frozenset:
+              max_length: Optional[int] = None,
+              processes: Optional[int] = None) -> frozenset:
         """All ``(source, target)`` pairs connected by a matching path.
 
         Expressions lowering to a constrained label RPQ (label-only, or
@@ -345,6 +425,13 @@ class Engine:
 
         ``sources``/``targets`` of ``None`` mean all vertices; otherwise
         only pairs whose endpoints are in the given sets are returned.
+
+        ``processes`` controls the sharded fan-out of broad forward sweeps
+        (see :mod:`repro.engine.parallel`): ``None`` lets the planner's
+        cost threshold decide from graph and source-set size, ``1`` forces
+        single-core, ``N > 1`` requests N workers.  Selective directions
+        (backward / bidirectional) always stay single-core — they were
+        chosen precisely because little work remains to split.
         """
         from repro.engine.executor import endpoint_pairs
         from repro.graph.compact import (
@@ -372,6 +459,12 @@ class Engine:
                     return rpq_pairs_backward(
                         self.graph, dfa, merged_targets,
                         sources=merged_sources)
+                parallelism = self._parallelism_choice(
+                    merged_sources, processes, choice.direction)
+                if parallelism.parallel:
+                    return self._executor(parallelism).rpq_pairs(
+                        dfa, sources=merged_sources,
+                        targets=merged_targets)
                 return rpq_pairs_compact(self.graph, dfa, merged_sources,
                                          targets=merged_targets)
         result = self.query(expression, strategy="automaton",
@@ -379,15 +472,70 @@ class Engine:
         return endpoint_pairs(result.paths, expression, self.graph,
                               sources=sources, targets=targets)
 
+    def pairs_batch(self, queries, sources: Optional[frozenset] = None,
+                    targets: Optional[frozenset] = None,
+                    max_length: Optional[int] = None,
+                    processes: Optional[int] = None) -> list:
+        """:meth:`pairs` for many expressions, amortizing one fan-out.
+
+        Every query that lowers to a forward-direction constrained RPQ is
+        compiled up front and evaluated in **one** pool dispatch over one
+        shared snapshot — (query, shard) tasks interleave, so a batch of
+        small sweeps still keeps every worker busy.  Queries that need
+        another direction or the bounded fallback are answered through the
+        ordinary :meth:`pairs` path.  Results keep the input order.
+        """
+        from repro.rpq.evaluation import lower_to_constrained_query
+        expressions = [self.compile(query) for query in queries]
+        results: list = [None] * len(expressions)
+        fan_out = []  # (index, dfa) for the batched forward sweeps
+        if max_length is None and sources is None and targets is None:
+            for index, expression in enumerate(expressions):
+                constrained = lower_to_constrained_query(expression)
+                if constrained is None or not constrained.label_only:
+                    continue
+                choice = self._direction_choice(constrained, None, None)
+                if choice.direction == "forward":
+                    fan_out.append(
+                        (index,
+                         self.compiled_dfa(constrained.label_expression)))
+        if fan_out:
+            parallelism = self._parallelism_choice(None, processes)
+            if parallelism.parallel:
+                merged = self._executor(parallelism).rpq_pairs_batch(
+                    [dfa for _, dfa in fan_out])
+            else:
+                from repro.graph.compact import rpq_pairs_compact
+                merged = [rpq_pairs_compact(self.graph, dfa)
+                          for _, dfa in fan_out]
+            for (index, _), answer in zip(fan_out, merged):
+                results[index] = answer
+        for index, expression in enumerate(expressions):
+            if results[index] is None:
+                # Hand pairs() the compiled AST, not the source string —
+                # the eligibility probe above already paid the parse.
+                results[index] = self.pairs(expression, sources=sources,
+                                            targets=targets,
+                                            max_length=max_length,
+                                            processes=processes)
+        return results
+
     def query(self, query: Union[str, RegexExpr], strategy: str = "materialized",
               max_length: Optional[int] = None,
-              limit: Optional[int] = None) -> QueryResult:
+              limit: Optional[int] = None,
+              processes: Optional[int] = None) -> QueryResult:
         """Run a query and return its :class:`QueryResult`.
 
         ``strategy`` is one of ``materialized`` (planned, set-at-a-time),
         ``streaming`` (lazy pipeline, respects ``limit`` early),
         ``automaton`` (per-path product BFS) or ``stack`` (the paper's
         section IV-B construction).
+
+        ``processes > 1`` fans the ``automaton`` strategy out over
+        first-edge-tail partitions (identical result set, merged by
+        union); it is explicit-only here — materializing and pickling
+        whole path sets is only worth it when the caller says so — and is
+        ignored for the other strategies and for ``limit`` queries.
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
@@ -408,8 +556,18 @@ class Engine:
             planner = Planner(self.statistics(), max_length=bound,
                               optimize_joins=self.optimize)
             plan = planner.plan(expression)
+        fan_out = (strategy == "automaton" and limit is None
+                   and processes is not None and processes > 1)
         started = time.perf_counter()
-        paths = run_strategy(strategy, self.graph, expression, plan, bound, limit)
+        if fan_out:
+            from repro.engine.planner import ParallelismChoice
+            choice = ParallelismChoice(
+                processes, processes,
+                "explicit processes={}".format(processes))
+            paths = self._executor(choice).generate_paths(expression, bound)
+        else:
+            paths = run_strategy(strategy, self.graph, expression, plan,
+                                 bound, limit)
         elapsed = time.perf_counter() - started
         if cacheable:
             self.cache.put(expression, bound, self.graph.version(),

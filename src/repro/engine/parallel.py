@@ -1,0 +1,600 @@
+"""The parallel fan-out/merge query executor over vertex-range shards.
+
+One :class:`ParallelExecutor` binds a graph to a persistent
+``multiprocessing`` worker pool and fans the embarrassingly parallel
+all-sources / batch kernels out over the vertex-range partition of
+:mod:`repro.graph.sharding`:
+
+* **RPQ sweeps** (:meth:`ParallelExecutor.rpq_pairs`) — each worker runs
+  the stamped product-BFS for the sources its shard owns (over the shared
+  full CSR; a sweep's cone crosses shard boundaries, its *seeds* do not)
+  and the per-shard pair sets merge by union — order-free, deterministic.
+* **BFS batches** (:meth:`ParallelExecutor.bfs_distances`) — the source
+  batch splits evenly, each worker runs the vectorized per-source kernel,
+  distance maps merge disjointly.
+* **Pagerank power iteration** (:meth:`ParallelExecutor.pagerank`) — the
+  one *scatter-style* kernel: each worker reads **only its own shard's
+  rows** (cross-shard edges live on the source side), returning a partial
+  rank-mass vector per iteration; the master sums partials in shard order,
+  so the merged floats are bit-for-bit identical to the serial fallback.
+
+Worker state and fork safety
+----------------------------
+Workers never pickle a graph.  In the default **inline** mode the pool is
+forked *after* the parent stages the snapshot payload in a module-level
+registry, so children inherit the CSR arrays copy-on-write (zero copy, and
+mmap-backed arrays stay shared through the page cache); every task carries
+the executor's registry token, so a pool repopulated after another
+executor forked cannot adopt the wrong payload.  In **file** mode
+(``shard_dir=``) tasks carry only a directory + version and workers lazily
+``mmap`` the shard files they are asked about — each worker faults in just
+the rows it owns, and the mode works under any multiprocessing start
+method.  Mutating the graph invalidates stale state by ``version()``: the
+inline pool is re-forked over a fresh payload, the file mode rewrites the
+shard directory and keeps the pool.
+
+Serial fallback
+---------------
+``processes=1``, a tiny graph (below ``min_edges``), a single shard, or a
+platform without ``fork`` (in inline mode) all run the *same* per-shard
+tasks in-process through the same merge — the parallel path can never
+change an answer, only its wall-clock.  The planner's
+:meth:`~repro.engine.planner.Planner.choose_parallelism` decides when the
+fan-out is worth it; see ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from array import array
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import AlgorithmError, ConvergenceError, ExecutionError
+from repro.graph.compact import (
+    HAVE_NUMPY,
+    adjacency_snapshot,
+    digraph_snapshot,
+    rpq_pairs_on_snapshot,
+)
+from repro.graph.sharding import (
+    live_ids_in_range,
+    row_degrees,
+    scatter_rank_mass,
+    shard_ranges,
+    sharded_snapshot,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+__all__ = ["ParallelExecutor", "PARALLEL_MIN_EDGES", "fork_available"]
+
+#: Below this many edges the fan-out's fixed costs (task pickling, pool
+#: scheduling) outweigh any parallel win and every call runs serially.
+PARALLEL_MIN_EDGES = 512
+
+#: Default worker count: the machine's cores, capped — query fan-out past
+#: this sees diminishing returns against merge and pickling costs.
+_MAX_DEFAULT_WORKERS = 8
+
+#: Registry of live executors' fork payloads, keyed by executor token.
+#: Children inherit the whole dict at fork time; tasks resolve their own
+#: token, so concurrent executors (and late pool repopulation) stay safe.
+_FORK_PAYLOADS: Dict[int, Dict[str, object]] = {}
+
+#: Worker-side cache of lazily opened shard/full snapshot files, keyed by
+#: ``(directory, version, which)``; stale versions of the same directory
+#: are dropped as fresh ones arrive.
+_FILE_CACHE: Dict[Tuple, object] = {}
+
+_EXECUTOR_TOKENS = itertools.count(1)
+
+
+def fork_available() -> bool:
+    """True when the zero-copy inline worker mode can be used."""
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Worker side (top-level so tasks resolve by name under any start method)
+# ----------------------------------------------------------------------
+
+def _resolve_payload(ctx: Dict) -> Dict[str, object]:
+    payload = _FORK_PAYLOADS.get(ctx["token"])
+    if payload is None or payload["version"] != ctx["version"]:
+        raise ExecutionError(
+            "worker holds no payload for executor token {} at version {} "
+            "(stale pool?)".format(ctx["token"], ctx["version"]))
+    return payload
+
+
+def _open_cached(directory: str, version: int, num_shards: int, which):
+    """Worker-side lazy mmap of one shard (or the full snapshot) file.
+
+    The cache key carries the shard *layout* (``num_shards``) besides the
+    version: a directory rewritten with a different shard count at the
+    same graph version must never serve the old layout's row slices (a
+    2-shard ``shard-0001`` owns different rows than a 4-shard one).
+    """
+    from repro.storage.snapshots import (
+        open_adjacency_snapshot,
+        open_shard,
+        read_shard_manifest,
+    )
+    key = (directory, version, num_shards, which)
+    cached = _FILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    manifest = read_shard_manifest(directory)
+    if manifest["version"] != version or \
+            manifest["num_shards"] != num_shards:
+        raise ExecutionError(
+            "shard directory {} holds version {} x {} shards, task wants "
+            "version {} x {} shards".format(
+                directory, manifest["version"], manifest["num_shards"],
+                version, num_shards))
+    if which == "full":
+        if not manifest.get("full"):
+            raise ExecutionError(
+                "shard directory {} has no full snapshot file".format(
+                    directory))
+        opened, _ = open_adjacency_snapshot(
+            os.path.join(directory, manifest["full"]), mmap=True)
+        if opened.version != version:
+            raise ExecutionError(
+                "{}/{} is at version {}, task wants {} (directory "
+                "partially rewritten?)".format(
+                    directory, manifest["full"], opened.version, version))
+    else:
+        opened, _ = open_shard(directory, which, mmap=True)
+    for stale in [k for k in _FILE_CACHE
+                  if k[0] == directory and k[1:3] != (version, num_shards)]:
+        del _FILE_CACHE[stale]
+    _FILE_CACHE[key] = opened
+    return opened
+
+
+def _full_snapshot(ctx: Dict):
+    if ctx["mode"] == "files":
+        return _open_cached(ctx["dir"], ctx["version"], ctx["shards"],
+                            "full")
+    return _resolve_payload(ctx)["snapshot"]
+
+
+def _shard_snapshot(ctx: Dict, index: int):
+    if ctx["mode"] == "files":
+        return _open_cached(ctx["dir"], ctx["version"], ctx["shards"],
+                            index)
+    return _resolve_payload(ctx)["sharded"].shards[index]
+
+
+def _run_task(task):
+    """Execute one fan-out task; runs identically in-pool and in-process."""
+    ctx, kind, args = task
+    if kind == "rpq":
+        dfa, source_spec, targets = args
+        snapshot = _full_snapshot(ctx)
+        if source_spec[0] == "range":
+            source_ids = live_ids_in_range(snapshot, source_spec[1],
+                                           source_spec[2])
+        else:
+            source_ids = source_spec[1]
+        return rpq_pairs_on_snapshot(snapshot, dfa, source_ids=source_ids,
+                                     targets=targets)
+    if kind == "scatter":
+        index, lo, hi, coefficients = args
+        shard = _shard_snapshot(ctx, index)
+        return scatter_rank_mass(shard, lo, hi, coefficients)
+    if kind == "bfs":
+        sources = args
+        dsnap = _resolve_payload(ctx)["digraph"]
+        return {source: dsnap.bfs_distances(source) for source in sources}
+    if kind == "paths":
+        expression, max_length, tails = args
+        from repro.automata.generator import generate_paths
+        graph = _resolve_payload(ctx)["graph"]
+        return generate_paths(graph, expression, max_length,
+                              first_edge_tails=tails)
+    raise ExecutionError("unknown parallel task kind {!r}".format(kind))
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+
+def _chunks(items: List, parts: int) -> List[List]:
+    """Split ``items`` into up to ``parts`` contiguous near-equal chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    out = []
+    cursor = 0
+    for index in range(parts):
+        step = size + (1 if index < extra else 0)
+        if step:
+            out.append(items[cursor:cursor + step])
+        cursor += step
+    return out
+
+
+class ParallelExecutor:
+    """A persistent fan-out/merge pool bound to one graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.graph.MultiRelationalGraph` (RPQ sweeps,
+        pagerank) or :class:`~repro.algorithms.digraph.DiGraph` (BFS
+        batches).
+    processes:
+        Worker count; ``None`` uses ``os.cpu_count()`` (capped — see
+        ``_MAX_DEFAULT_WORKERS``), ``1`` forces the serial fallback.
+    num_shards:
+        Vertex-range shard count (defaults to ``processes``).
+    min_edges:
+        Graphs below this edge count always run serially.
+    shard_dir:
+        Switch to file mode: shard snapshot files are written to (and
+        refreshed in) this directory and workers mmap them lazily instead
+        of inheriting forked memory.
+    """
+
+    def __init__(self, graph, processes: Optional[int] = None,
+                 num_shards: Optional[int] = None,
+                 min_edges: int = PARALLEL_MIN_EDGES,
+                 shard_dir: Optional[str] = None):
+        cpu = os.cpu_count() or 1
+        self.graph = graph
+        self.processes = max(1, processes if processes is not None
+                             else min(cpu, _MAX_DEFAULT_WORKERS))
+        self.num_shards = max(1, num_shards if num_shards is not None
+                              else self.processes)
+        self.min_edges = min_edges
+        self.shard_dir = shard_dir
+        self._token = next(_EXECUTOR_TOKENS)
+        self._pool = None
+        self._pool_key: Optional[Tuple] = None
+        self._files_version: Optional[int] = None
+        # Shard count actually written to shard_dir: shard_ranges clamps
+        # to the vertex count, so this can be lower than num_shards.
+        self._files_shards: Optional[int] = None
+        # (version, num_shards) -> source ranges over the live snapshot
+        # view: the O(labels*V) degree pass only re-runs after mutations.
+        self._range_cache: Optional[Tuple] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``files``, ``inline`` or ``serial`` (no fork, no shard_dir)."""
+        if self.shard_dir is not None:
+            return "files"
+        return "inline" if fork_available() else "serial"
+
+    def describe(self) -> str:
+        """One line for EXPLAIN output."""
+        return "{} process(es) x {} shard(s), {} mode".format(
+            self.processes, self.num_shards, self.mode)
+
+    def close(self) -> None:
+        """Terminate the pool and drop the staged fork payload."""
+        self._teardown_pool()
+        _FORK_PAYLOADS.pop(self._token, None)
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- state staging -------------------------------------------------
+
+    def _stage_payload(self, need: str, version: int) -> Dict:
+        """(Re)build the master-side payload for ``need`` at ``version``.
+
+        The payload accumulates what past calls needed, so a pool rebuilt
+        for pagerank still serves RPQ tasks without another rebuild.
+        """
+        payload = _FORK_PAYLOADS.get(self._token)
+        if payload is None or payload["version"] != version:
+            payload = {"version": version}
+        if need == "rpq" and "snapshot" not in payload:
+            payload["snapshot"] = adjacency_snapshot(self.graph)
+        if need == "scatter" and "sharded" not in payload:
+            payload["sharded"] = sharded_snapshot(self.graph, self.num_shards)
+        if need == "bfs" and "digraph" not in payload:
+            payload["digraph"] = digraph_snapshot(self.graph)
+        if need == "paths" and "graph" not in payload:
+            payload["graph"] = self.graph
+        _FORK_PAYLOADS[self._token] = payload
+        return payload
+
+    def _ensure_files(self, version: int) -> None:
+        """Refresh the shard directory when the graph has moved past it.
+
+        A directory that is already at (version, shard count) — spilled
+        by ``repro db shard`` or a previous executor — is adopted as-is;
+        only staleness triggers the O(V + E) fold-and-rewrite.
+        """
+        from repro.storage.snapshots import (
+            read_shard_manifest,
+            write_sharded_snapshots,
+        )
+        if self._files_version == version:
+            return
+        manifest = None
+        try:
+            manifest = read_shard_manifest(self.shard_dir)
+        except Exception:
+            pass
+        if manifest is None or manifest["version"] != version \
+                or manifest["num_shards"] != min(
+                    self.num_shards, max(manifest["num_vertices"], 1)):
+            manifest = write_sharded_snapshots(
+                self.shard_dir, sharded_snapshot(self.graph, self.num_shards))
+        self._files_version = version
+        self._files_shards = manifest["num_shards"]
+
+    def _context(self, need: str, version: int) -> Dict:
+        if self.mode == "files" and need in ("rpq", "scatter"):
+            self._ensure_files(version)
+            # The *written* shard count: shard_ranges clamps to the vertex
+            # count, so a 3-vertex graph under processes=4 still works.
+            return {"mode": "files", "dir": self.shard_dir,
+                    "version": version, "shards": self._files_shards}
+        self._stage_payload(need, version)
+        return {"mode": "inline", "token": self._token, "version": version}
+
+    def _map(self, need: str, ctx: Dict, tasks: List, num_edges: int) -> List:
+        """Run tasks through the pool, or in-process when serial is right."""
+        parallel = (self.processes > 1 and len(tasks) > 1
+                    and num_edges >= self.min_edges)
+        if parallel and ctx["mode"] == "inline" and not fork_available():
+            parallel = False
+        if not parallel:
+            return [_run_task(task) for task in tasks]
+        self._ensure_pool(ctx)
+        return self._pool.map(_run_task, tasks)
+
+    def _ensure_pool(self, ctx: Dict) -> None:
+        """Fork (or keep) the worker pool matching ``ctx``.
+
+        File-mode pools survive graph mutations (workers resolve versions
+        per task); inline pools are re-forked whenever the staged payload
+        changes, because children hold a copy-on-write image frozen at
+        fork time.
+        """
+        import multiprocessing
+        if ctx["mode"] == "files":
+            key: Tuple = ("files",)
+        else:
+            payload = _FORK_PAYLOADS[self._token]
+            key = ("inline", ctx["version"], frozenset(payload))
+        if self._pool is not None and self._pool_key == key:
+            return
+        self._teardown_pool()
+        context = multiprocessing.get_context(
+            "fork" if fork_available() else None)
+        self._pool = context.Pool(self.processes)
+        self._pool_key = key
+
+    def _source_ranges(self, snapshot, version: int):
+        """Out-degree-balanced source ranges over the live snapshot view,
+        memoized per (version, shard count)."""
+        key = (version, self.num_shards)
+        if self._range_cache is not None and self._range_cache[0] == key:
+            return self._range_cache[1]
+        ranges = shard_ranges(row_degrees(snapshot), self.num_shards)
+        self._range_cache = (key, ranges)
+        return ranges
+
+    # -- kernels -------------------------------------------------------
+
+    def rpq_pairs(self, dfa, sources: Optional[Iterable[Hashable]] = None,
+                  targets: Optional[Iterable[Hashable]] = None
+                  ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        """All-sources (or batch-source) RPQ pairs, fanned out and unioned."""
+        return self.rpq_pairs_batch([dfa], sources=sources,
+                                    targets=targets)[0]
+
+    def rpq_pairs_batch(self, dfas: List,
+                        sources: Optional[Iterable[Hashable]] = None,
+                        targets: Optional[Iterable[Hashable]] = None
+                        ) -> List[FrozenSet[Tuple[Hashable, Hashable]]]:
+        """One fan-out for many compiled queries over one snapshot.
+
+        The batch amortizes pool setup and snapshot staging: every
+        (query, shard) pair becomes one task in a single ``pool.map``, so
+        a dashboard's expression batch keeps all workers busy even when
+        individual queries are small.  Results keep the input order.
+        """
+        version = self.graph.version()
+        ctx = self._context("rpq", version)
+        if ctx["mode"] == "files":
+            sharded = sharded_snapshot(self.graph, self.num_shards)
+            vertex_ids = sharded.vertex_ids
+            ranges = sharded.ranges
+            num_edges = sharded.num_edges
+        else:
+            snapshot = _FORK_PAYLOADS[self._token]["snapshot"]
+            vertex_ids = snapshot.vertex_ids
+            ranges = self._source_ranges(snapshot, version)
+            num_edges = snapshot.num_edges
+        if sources is None:
+            specs = [("range", lo, hi) for lo, hi in ranges if hi > lo]
+        else:
+            ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
+            specs = [("ids", chunk) for chunk in _chunks(ids, self.num_shards)]
+        if targets is not None:
+            targets = frozenset(targets)
+        if not specs:
+            return [frozenset() for _ in dfas]
+        tasks = [(ctx, "rpq", (dfa, spec, targets))
+                 for dfa in dfas for spec in specs]
+        results = self._map("rpq", ctx, tasks, num_edges)
+        merged = []
+        per_query = len(specs)
+        for index in range(len(dfas)):
+            block = results[index * per_query:(index + 1) * per_query]
+            merged.append(frozenset().union(*block))
+        return merged
+
+    def bfs_distances(self, sources: Iterable[Hashable]
+                      ) -> Dict[Hashable, Dict[Hashable, int]]:
+        """``{source: {vertex: hops}}`` for a batch of BFS sources.
+
+        The executor must be bound to a :class:`DiGraph`; sources split
+        evenly across workers (each BFS costs the whole graph, so balance
+        is by count) and the per-source maps merge disjointly.  Unknown
+        source vertices raise exactly as ``DiGraph.bfs_distances`` would —
+        a batch wrapper must not silently shrink its result.  Without
+        numpy the batch runs serially through the graph's own kernel.
+        """
+        from repro.errors import VertexNotFoundError
+        source_list = list(sources)
+        for source in source_list:
+            if not self.graph.has_vertex(source):
+                raise VertexNotFoundError(source)
+        if not HAVE_NUMPY:
+            return {s: self.graph.bfs_distances(s) for s in source_list}
+        version = self.graph.version()
+        ctx = self._context("bfs", version)
+        tasks = [(ctx, "bfs", chunk)
+                 for chunk in _chunks(source_list, self.processes)]
+        if not tasks:
+            return {}
+        results = self._map("bfs", ctx, tasks, self.graph.size())
+        merged: Dict[Hashable, Dict[Hashable, int]] = {}
+        for block in results:
+            merged.update(block)
+        return merged
+
+    def generate_paths(self, expression, max_length: int):
+        """The ``automaton`` strategy fanned out over first-edge tails.
+
+        Every accepted path has a unique first edge, so partitioning the
+        *initial* expansion by the first edge's tail partitions the result
+        set; workers run the unrestricted product BFS from there and the
+        path sets merge by union.  Serial fallback returns the plain
+        single-process evaluation (identical by construction).
+        """
+        from repro.automata.generator import generate_paths
+        from repro.core.pathset import PathSet
+        version = self.graph.version()
+        ctx = self._context("paths", version)
+        vertices = sorted(self.graph.vertices(), key=repr)
+        chunks = [frozenset(chunk)
+                  for chunk in _chunks(vertices, self.processes)]
+        if len(chunks) <= 1:
+            return generate_paths(self.graph, expression, max_length)
+        tasks = [(ctx, "paths", (expression, max_length, chunk))
+                 for chunk in chunks]
+        results = self._map("paths", ctx, tasks, self.graph.size())
+        merged = frozenset().union(*(r.paths for r in results))
+        return PathSet(merged)
+
+    def pagerank(self, damping: float = 0.85,
+                 personalization: Optional[Dict[Hashable, float]] = None,
+                 max_iterations: int = 200,
+                 tolerance: float = 1.0e-10) -> Dict[Hashable, float]:
+        """Label-blind pagerank over the multi-relational graph's shards.
+
+        Same semantics as :func:`repro.algorithms.pagerank.pagerank` with
+        every edge (any label) weighted 1: damped walk, dangling-mass
+        redistribution, optional personalization, L1 convergence scaled by
+        n, :class:`ConvergenceError` at the iteration cap.  Each iteration
+        fans one scatter task per shard (workers read only their own rows)
+        and sums the partial mass vectors in shard order — serial and
+        parallel runs produce bit-identical ranks.
+        """
+        if not 0.0 <= damping <= 1.0:
+            raise AlgorithmError("damping must be within [0, 1]")
+        version = self.graph.version()
+        ctx = self._context("scatter", version)
+        sharded = sharded_snapshot(self.graph, self.num_shards)
+        n = sharded.num_vertices
+        if n == 0:
+            return {}
+        vertex_of = sharded.vertex_of
+        if personalization is None:
+            teleport = [1.0 / n] * n
+        else:
+            total = float(sum(personalization.values()))
+            if total <= 0.0:
+                raise AlgorithmError(
+                    "personalization must have positive total mass")
+            teleport = [personalization.get(v, 0.0) / total
+                        for v in vertex_of]
+        degrees = sharded.degrees
+        ranges = sharded.ranges
+        num_edges = sharded.num_edges
+        ranks = list(teleport)
+        for _ in range(max_iterations):
+            previous = ranks
+            coefficients = [
+                damping * previous[v] / degrees[v] if degrees[v] else 0.0
+                for v in range(n)]
+            dangling_mass = sum(previous[v] for v in range(n)
+                                if not degrees[v])
+            # array('d') slices pickle as flat buffers — the per-iteration
+            # task payloads stay a fraction of the scatter work they buy.
+            tasks = [(ctx, "scatter",
+                      (index, lo, hi, array("d", coefficients[lo:hi])))
+                     for index, (lo, hi) in enumerate(ranges)]
+            partials = self._map("scatter", ctx, tasks, num_edges)
+            base = damping * dangling_mass + (1.0 - damping)
+            ranks = self._merge_mass(partials, teleport, base, n)
+            if self._l1_delta(ranks, previous, n) < n * tolerance:
+                return dict(zip(vertex_of, ranks))
+        raise ConvergenceError("pagerank", max_iterations, tolerance)
+
+    @staticmethod
+    def _merge_mass(partials: List[List[float]], teleport: List[float],
+                    base: float, n: int) -> List[float]:
+        """Sum shard partials in shard order, then add the teleport term.
+
+        numpy only accelerates the element-wise adds; the addition order is
+        the same as the scalar fallback's, so both produce identical bits.
+        """
+        if _np is not None:
+            accumulated = _np.asarray(partials[0], dtype=_np.float64)
+            for partial in partials[1:]:
+                accumulated = accumulated + _np.asarray(partial,
+                                                        dtype=_np.float64)
+            accumulated = accumulated + base * _np.asarray(
+                teleport, dtype=_np.float64)
+            return accumulated.tolist()
+        ranks = list(partials[0])
+        for partial in partials[1:]:
+            for v in range(n):
+                ranks[v] += partial[v]
+        for v in range(n):
+            ranks[v] += base * teleport[v]
+        return ranks
+
+    @staticmethod
+    def _l1_delta(ranks: List[float], previous: List[float], n: int) -> float:
+        if _np is not None:
+            return float(_np.abs(_np.asarray(ranks)
+                                 - _np.asarray(previous)).sum())
+        return sum(abs(ranks[v] - previous[v]) for v in range(n))
+
+    def __repr__(self) -> str:
+        return "ParallelExecutor<{}, pool={}>".format(
+            self.describe(), "live" if self._pool is not None else "idle")

@@ -49,7 +49,7 @@ from repro.regex.ast import (
     Union,
 )
 
-__all__ = ["Planner", "DirectionChoice"]
+__all__ = ["Planner", "DirectionChoice", "ParallelismChoice"]
 
 #: Bidirectional evaluation keeps one bitmask per (vertex, state) per side;
 #: past this many vertices on either side the masks outgrow machine words
@@ -60,6 +60,17 @@ _BIDI_MAX_SIDE = 64
 #: estimates are sampling-noisy on near-symmetric graphs, and forward is
 #: the best-tuned kernel — flip direction only on a clear win.
 _DIRECTION_MARGIN = 0.9
+
+#: Auto-parallelism floors: below either, pool setup and result pickling
+#: outweigh the fan-out win and the planner keeps queries single-core.
+#: (An *explicit* ``processes=`` request only has to clear the executor's
+#: much smaller ``PARALLEL_MIN_EDGES`` safety floor.)
+_PARALLEL_AUTO_MIN_EDGES = 25_000
+_PARALLEL_AUTO_MIN_SOURCES = 256
+
+#: Auto-chosen worker counts are capped here: the sweep merge and task
+#: pickling serialize past a handful of workers.
+_PARALLEL_AUTO_MAX_WORKERS = 8
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,32 @@ class DirectionChoice:
                 "backward~{}, bidirectional~{})").format(
             self.direction, fmt(self.forward_cost),
             fmt(self.backward_cost), fmt(self.bidirectional_cost))
+
+
+@dataclass(frozen=True)
+class ParallelismChoice:
+    """Outcome of the sharded-parallel cost threshold
+    (:meth:`Planner.choose_parallelism`).
+
+    ``processes == 1`` means single-core; otherwise the executor should fan
+    out over ``shards`` vertex-range shards with ``processes`` workers.
+    ``reason`` says why, verbatim, for EXPLAIN output.
+    """
+
+    processes: int
+    shards: int
+    reason: str
+
+    @property
+    def parallel(self) -> bool:
+        return self.processes > 1
+
+    def describe(self) -> str:
+        """One-line summary for EXPLAIN output."""
+        if not self.parallel:
+            return "single-core ({})".format(self.reason)
+        return "parallel, {} process(es) x {} shard(s) ({})".format(
+            self.processes, self.shards, self.reason)
 
 
 class Planner:
@@ -206,6 +243,58 @@ class Planner:
         return DirectionChoice(direction=best, forward_cost=forward_cost,
                                backward_cost=backward_cost,
                                bidirectional_cost=bidirectional_cost)
+
+    # ------------------------------------------------------------------
+    # Sharded-parallel threshold (the fan-out executor's go / no-go)
+    # ------------------------------------------------------------------
+
+    def choose_parallelism(self, num_sources: Optional[int] = None,
+                           processes: Optional[int] = None,
+                           direction: str = "forward") -> ParallelismChoice:
+        """Sharded-parallel vs single-core for one pairs-style sweep.
+
+        The fan-out only pays when there is enough independent per-source
+        work to split: the graph must carry real edge volume, the source
+        set must be broad (an all-sources sweep, or a large batch), the
+        direction must be the forward per-source sweep (the backward and
+        bidirectional kernels are picked *because* the query is selective,
+        where one core already wins), and the machine must have cores.
+        ``processes`` is the caller's explicit request: it overrides the
+        volume thresholds (the executor still keeps its own tiny-graph
+        safety floor) but never parallelizes a selective direction.
+        """
+        import os
+        cpu = os.cpu_count() or 1
+        edges = self.statistics.edge_count
+        sources = self.statistics.vertex_count if num_sources is None \
+            else num_sources
+        if direction != "forward":
+            return ParallelismChoice(1, 1, "selective {} evaluation stays "
+                                     "single-core".format(direction))
+        if num_sources is not None and num_sources < 2:
+            return ParallelismChoice(1, 1, "a {}-source sweep cannot be "
+                                     "split".format(num_sources))
+        if processes is not None:
+            if processes <= 1:
+                return ParallelismChoice(1, 1, "explicit processes=1")
+            chosen = max(1, processes)
+            return ParallelismChoice(
+                chosen, chosen,
+                "explicit processes={}".format(processes))
+        if cpu < 2:
+            return ParallelismChoice(1, 1, "single-core machine")
+        if edges < _PARALLEL_AUTO_MIN_EDGES:
+            return ParallelismChoice(
+                1, 1, "{} edges below the {} auto floor".format(
+                    edges, _PARALLEL_AUTO_MIN_EDGES))
+        if sources < _PARALLEL_AUTO_MIN_SOURCES:
+            return ParallelismChoice(
+                1, 1, "{} sources below the {} auto floor".format(
+                    sources, _PARALLEL_AUTO_MIN_SOURCES))
+        chosen = min(cpu, _PARALLEL_AUTO_MAX_WORKERS)
+        return ParallelismChoice(
+            chosen, chosen,
+            "{} edges, {} sources over auto floors".format(edges, sources))
 
     # ------------------------------------------------------------------
 

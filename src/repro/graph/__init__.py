@@ -8,8 +8,10 @@ from repro.graph.compact import (
     adjacency_snapshot,
     digraph_snapshot,
     rpq_pairs_compact,
+    rpq_pairs_on_snapshot,
     snapshot_state,
 )
+from repro.graph.sharding import ShardedSnapshot, sharded_snapshot
 from repro.graph import generators
 from repro.graph import io
 from repro.graph import statistics
@@ -18,6 +20,7 @@ __all__ = [
     "MultiRelationalGraph",
     "CompactAdjacency", "CompactDiGraph", "DeltaAdjacency",
     "adjacency_snapshot", "digraph_snapshot", "rpq_pairs_compact",
-    "snapshot_state",
+    "rpq_pairs_on_snapshot", "snapshot_state",
+    "ShardedSnapshot", "sharded_snapshot",
     "generators", "io", "statistics",
 ]

@@ -75,7 +75,9 @@ __all__ = [
     "adjacency_snapshot",
     "digraph_snapshot",
     "digraph_snapshot_if_large",
+    "fold_adjacency_pairs",
     "rpq_pairs_compact",
+    "rpq_pairs_on_snapshot",
     "rpq_pairs_backward",
     "rpq_pairs_bidirectional",
     "snapshot_state",
@@ -449,6 +451,41 @@ class DeltaAdjacency:
             self.version, self.delta_ops, self.base.version)
 
 
+def fold_adjacency_pairs(view) -> Tuple[List[Hashable], List[Hashable],
+                                        List[List[Tuple[int, int]]], int]:
+    """Flatten any snapshot view to ``(vertex_of, label_of, pairs, |E|)``.
+
+    The one shared fold: works on a clean :class:`CompactAdjacency` and on
+    a :class:`DeltaAdjacency` overlay alike (both expose
+    ``live_vertex_ids`` / ``out_neighbors``) — tombstoned vertex slots are
+    dropped and ids re-densified, per-label edge pairs come out merged
+    (base minus removals plus additions).  Both the snapshot store's
+    checkpoint fold (:func:`repro.storage.snapshots.fold_view`) and the
+    sharding layer's overlay densification build on this, so the fold
+    invariants live in exactly one place.
+    """
+    live = list(view.live_vertex_ids())
+    slots = view.num_slots
+    remap: Optional[List[int]] = None
+    if len(live) != slots:
+        remap = [-1] * slots
+        for new_id, old_id in enumerate(live):
+            remap[old_id] = new_id
+    vertex_of = [view.vertex_of[i] for i in live]
+    label_of = list(view.label_of)
+    per_label: List[List[Tuple[int, int]]] = []
+    num_edges = 0
+    for label_id in range(len(label_of)):
+        pairs: List[Tuple[int, int]] = []
+        for new_id, old_id in enumerate(live):
+            for neighbor in view.out_neighbors(old_id, label_id):
+                pairs.append((new_id,
+                              remap[neighbor] if remap else int(neighbor)))
+        per_label.append(pairs)
+        num_edges += len(pairs)
+    return vertex_of, label_of, per_label, num_edges
+
+
 def adjacency_snapshot(graph, incremental: bool = True):
     """The cached compact adjacency for ``graph``, patched or rebuilt when stale.
 
@@ -597,16 +634,35 @@ def rpq_pairs_compact(graph, dfa, sources: Optional[Iterable[Hashable]] = None,
     (:func:`repro.rpq.evaluation.rpq_pairs_basic`); the equivalence and
     differential tests enforce it on random mutating graphs.
     """
-    snapshot = adjacency_snapshot(graph)
+    return rpq_pairs_on_snapshot(adjacency_snapshot(graph), dfa,
+                                 sources=sources, targets=targets)
+
+
+def rpq_pairs_on_snapshot(snapshot, dfa,
+                          sources: Optional[Iterable[Hashable]] = None,
+                          targets: Optional[Iterable[Hashable]] = None,
+                          source_ids: Optional[Iterable[int]] = None
+                          ) -> FrozenSet[Tuple[Hashable, Hashable]]:
+    """:func:`rpq_pairs_compact` on an explicit snapshot view.
+
+    The graph-free entry point the parallel fan-out executor needs: worker
+    processes hold a (forked or mmap-reopened) :class:`CompactAdjacency` /
+    :class:`DeltaAdjacency` but no live graph object, and each sweeps only
+    the ``source_ids`` slot range it owns.  ``source_ids`` (dense integer
+    ids, already live) takes precedence over ``sources`` (vertex objects,
+    interned here); both ``None`` means every live vertex.
+    """
     num_states = dfa.num_states
     slots = snapshot.num_slots
     vertex_ids = snapshot.vertex_ids
     vertex_of = snapshot.vertex_of
 
-    if sources is None:
-        source_ids: Iterable[int] = snapshot.live_vertex_ids()
-    else:
-        source_ids = sorted({vertex_ids[v] for v in sources if v in vertex_ids})
+    if source_ids is None:
+        if sources is None:
+            source_ids = snapshot.live_vertex_ids()
+        else:
+            source_ids = sorted({vertex_ids[v] for v in sources
+                                 if v in vertex_ids})
     target_ok, num_targets = _vertex_flag_array(slots, vertex_ids, targets)
     if target_ok is not None and num_targets == 0:
         return frozenset()
@@ -827,11 +883,27 @@ def rpq_pairs_bidirectional(graph, dfa, sources: Iterable[Hashable],
     total = len(source_ids) * len(target_ids)
     round_number = 0
 
+    # Per-mask decode caches: dense meets re-emit the same carried masks
+    # over and over (every meet in a round shares the frontier's masks), so
+    # decoding bit-by-bit inside emit made the meet phase quadratic in the
+    # endpoint-set size.  Decoded vertex tuples are memoized per mask value.
+    decoded_sources: Dict[int, Tuple[Hashable, ...]] = {}
+    decoded_targets: Dict[int, Tuple[Hashable, ...]] = {}
+
     def emit(source_mask: int, target_mask: int) -> None:
-        for i in _mask_bits(source_mask):
-            source_vertex = vertex_of[source_ids[i]]
-            for j in _mask_bits(target_mask):
-                answers.add((source_vertex, vertex_of[target_ids[j]]))
+        source_vertices = decoded_sources.get(source_mask)
+        if source_vertices is None:
+            source_vertices = tuple(vertex_of[source_ids[i]]
+                                    for i in _mask_bits(source_mask))
+            decoded_sources[source_mask] = source_vertices
+        target_vertices = decoded_targets.get(target_mask)
+        if target_vertices is None:
+            target_vertices = tuple(vertex_of[target_ids[j]]
+                                    for j in _mask_bits(target_mask))
+            decoded_targets[target_mask] = target_vertices
+        for source_vertex in source_vertices:
+            for target_vertex in target_vertices:
+                answers.add((source_vertex, target_vertex))
 
     fwd_frontier: List[int] = []
     for i, source_id in enumerate(source_ids):

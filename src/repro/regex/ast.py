@@ -59,6 +59,24 @@ class RegexExpr:
 
     __slots__ = ()
 
+    # -- pickling ---------------------------------------------------------
+    # Nodes are slot-based and guard mutation with a raising __setattr__,
+    # which also breaks pickle's default state restore.  Spell the state
+    # protocol out through object.__setattr__ (the same side door the
+    # constructors use) so expressions can cross process boundaries — the
+    # parallel executor ships them to its workers.
+
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     # -- algebra operators ------------------------------------------------
 
     def __or__(self, other: "RegexExpr") -> "RegexExpr":

@@ -10,8 +10,12 @@ from repro.storage.snapshots import (
     fold_view,
     open_adjacency_snapshot,
     open_digraph_snapshot,
+    open_shard,
+    open_sharded_snapshot,
+    read_shard_manifest,
     write_adjacency_snapshot,
     write_digraph_snapshot,
+    write_sharded_snapshots,
 )
 from repro.storage.wal import WriteAheadLog, scan_wal
 
@@ -25,4 +29,8 @@ __all__ = [
     "open_adjacency_snapshot",
     "write_digraph_snapshot",
     "open_digraph_snapshot",
+    "write_sharded_snapshots",
+    "read_shard_manifest",
+    "open_shard",
+    "open_sharded_snapshot",
 ]

@@ -50,17 +50,27 @@ except ImportError:  # pragma: no cover - the CI image ships numpy
     _np = None
 
 from repro.errors import StorageError
-from repro.graph.compact import CompactAdjacency, CompactDiGraph, _build_csr
+from repro.graph.compact import (
+    CompactAdjacency,
+    CompactDiGraph,
+    _build_csr,
+    fold_adjacency_pairs,
+)
 from repro.storage.wal import check_loggable
 
 __all__ = [
     "SNAPSHOT_MAGIC",
+    "SHARD_MANIFEST_NAME",
     "SnapshotMetadata",
     "fold_view",
     "write_adjacency_snapshot",
     "open_adjacency_snapshot",
     "write_digraph_snapshot",
     "open_digraph_snapshot",
+    "write_sharded_snapshots",
+    "read_shard_manifest",
+    "open_shard",
+    "open_sharded_snapshot",
 ]
 
 SNAPSHOT_MAGIC = b"RPCSR001"
@@ -250,32 +260,13 @@ def fold_view(view) -> Tuple[List[Hashable], List[Hashable],
                              List[List[Tuple[int, int]]], int]:
     """Flatten any snapshot view to ``(vertex_of, label_of, pairs, |E|)``.
 
-    Works on a clean :class:`CompactAdjacency` and on a
-    :class:`~repro.graph.compact.DeltaAdjacency` overlay alike (both expose
-    ``live_vertex_ids`` / ``out_neighbors``): tombstoned vertex slots are
-    dropped and ids re-densified, per-label edge pairs come out merged
-    (base minus removals plus additions) — the checkpoint's fold step.
+    The checkpoint's fold step — tombstoned vertex slots dropped, ids
+    re-densified, per-label edge pairs merged (base minus removals plus
+    additions).  The actual fold lives in
+    :func:`repro.graph.compact.fold_adjacency_pairs`, shared with the
+    sharding layer's overlay densification so the invariants cannot drift.
     """
-    live = list(view.live_vertex_ids())
-    slots = view.num_slots
-    remap: Optional[List[int]] = None
-    if len(live) != slots:
-        remap = [-1] * slots
-        for new_id, old_id in enumerate(live):
-            remap[old_id] = new_id
-    vertex_of = [view.vertex_of[i] for i in live]
-    label_of = list(view.label_of)
-    per_label: List[List[Tuple[int, int]]] = []
-    num_edges = 0
-    for label_id in range(len(label_of)):
-        pairs: List[Tuple[int, int]] = []
-        for new_id, old_id in enumerate(live):
-            for neighbor in view.out_neighbors(old_id, label_id):
-                pairs.append((new_id,
-                              remap[neighbor] if remap else int(neighbor)))
-        per_label.append(pairs)
-        num_edges += len(pairs)
-    return vertex_of, label_of, per_label, num_edges
+    return fold_adjacency_pairs(view)
 
 
 # ----------------------------------------------------------------------
@@ -409,6 +400,157 @@ def write_digraph_snapshot(path: str, snapshot: CompactDiGraph,
         "vertex_of": vertex_of,
     }
     _write_file(path, header, sections)
+
+
+#
+# ----------------------------------------------------------------------
+# Sharded snapshots (vertex-range shard files + manifest)
+# ----------------------------------------------------------------------
+
+SHARD_MANIFEST_NAME = "shards.json"
+
+
+class _MergedShardView:
+    """Read adapter presenting a :class:`ShardedSnapshot` as one flat view.
+
+    Exposes exactly the surface :func:`fold_view` consumes
+    (``live_vertex_ids`` / ``out_neighbors`` / interning tables), resolving
+    each row through the shard that owns it — so the full-graph snapshot
+    file can be spilled from the shards without re-walking any graph dict.
+    """
+
+    def __init__(self, sharded):
+        self.sharded = sharded
+        self.vertex_of = sharded.vertex_of
+        self.label_of = sharded.label_of
+        self.num_slots = sharded.num_vertices
+
+    def live_vertex_ids(self):
+        return range(self.num_slots)
+
+    def out_neighbors(self, vertex_id: int, label_id: int):
+        shard = self.sharded.shards[self.sharded.shard_for(vertex_id)]
+        return shard.out_neighbors(vertex_id, label_id)
+
+
+def _shard_file_name(index: int) -> str:
+    return "shard-{:04d}.rcsr".format(index)
+
+
+def write_sharded_snapshots(directory: str, sharded, name: str = "",
+                            write_full: bool = True) -> Dict[str, Any]:
+    """Spill a :class:`~repro.graph.sharding.ShardedSnapshot` to ``directory``.
+
+    Writes one standard multirelational snapshot file per shard (global
+    vertex table, only the shard's owned rows — so a worker process maps
+    just the pages it owns), optionally one ``full.rcsr`` merged snapshot
+    for the sweep kernels that need the whole CSR, and a ``shards.json``
+    manifest recording the ranges.  Returns the manifest dict.
+    """
+    os.makedirs(directory, exist_ok=True)
+
+    def write_replacing(file_name: str, view) -> None:
+        # Never truncate a live file in place: a crash mid-rewrite must
+        # not leave a half-written shard under a name the (still old)
+        # manifest vouches for, and long-lived workers may hold the old
+        # inode mmap'd — os.replace retires it without clobbering them.
+        final_path = os.path.join(directory, file_name)
+        tmp_path = final_path + ".tmp"
+        write_adjacency_snapshot(tmp_path, view, name=name,
+                                 version=sharded.version)
+        os.replace(tmp_path, final_path)
+
+    files = []
+    for index, shard in enumerate(sharded.shards):
+        file_name = _shard_file_name(index)
+        write_replacing(file_name, shard)
+        files.append(file_name)
+    manifest: Dict[str, Any] = {
+        "format": 1,
+        "kind": "sharded",
+        "name": name,
+        "version": sharded.version,
+        "num_shards": sharded.num_shards,
+        "num_vertices": sharded.num_vertices,
+        "num_edges": sharded.num_edges,
+        "ranges": [[lo, hi] for lo, hi in sharded.ranges],
+        "shards": files,
+        "full": None,
+    }
+    if write_full:
+        manifest["full"] = "full.rcsr"
+        write_replacing(manifest["full"], _MergedShardView(sharded))
+    tmp_path = os.path.join(directory, SHARD_MANIFEST_NAME + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp_path, os.path.join(directory, SHARD_MANIFEST_NAME))
+    return manifest
+
+
+def read_shard_manifest(directory: str) -> Dict[str, Any]:
+    """Load and sanity-check ``shards.json`` from a shard directory."""
+    path = os.path.join(directory, SHARD_MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise StorageError(
+            "{} is not a shard directory (no {})".format(
+                directory, SHARD_MANIFEST_NAME))
+    with open(path, "r", encoding="utf-8") as stream:
+        manifest = json.load(stream)
+    if manifest.get("kind") != "sharded" or manifest.get("format") != 1:
+        raise StorageError("{}: unsupported shard manifest".format(path))
+    if len(manifest.get("shards", ())) != len(manifest.get("ranges", ())):
+        raise StorageError("{}: shard manifest is inconsistent".format(path))
+    return manifest
+
+
+def _open_manifest_member(directory: str, manifest: Dict[str, Any],
+                          file_name: str, mmap: bool) -> CompactAdjacency:
+    """Open one file the manifest names, cross-checking its own version.
+
+    Shard files are rewritten atomically but individually; only this
+    check makes a half-refreshed directory (some files at the next
+    version, the manifest still at the old one — or vice versa after a
+    crash) fail loudly instead of serving rows from two graph versions.
+    """
+    snapshot, _ = open_adjacency_snapshot(
+        os.path.join(directory, file_name), mmap=mmap)
+    if snapshot.version != manifest["version"]:
+        raise StorageError(
+            "{}/{} is at version {} but the shard manifest says {} — "
+            "the directory was partially rewritten; re-run the shard "
+            "spill".format(directory, file_name, snapshot.version,
+                           manifest["version"]))
+    return snapshot
+
+
+def open_shard(directory: str, index: int, mmap: bool = True
+               ) -> Tuple[CompactAdjacency, Tuple[int, int]]:
+    """Reopen one shard file: ``(snapshot, (lo, hi))``.
+
+    The worker-process entry point — only this shard's file is opened
+    (mmap-backed under numpy), nothing else in the directory is touched.
+    """
+    manifest = read_shard_manifest(directory)
+    if not 0 <= index < manifest["num_shards"]:
+        raise StorageError("{}: no shard {} (have {})".format(
+            directory, index, manifest["num_shards"]))
+    snapshot = _open_manifest_member(directory, manifest,
+                                     manifest["shards"][index], mmap)
+    lo, hi = manifest["ranges"][index]
+    return snapshot, (lo, hi)
+
+
+def open_sharded_snapshot(directory: str, mmap: bool = True):
+    """Reopen every shard of a shard directory as a ``ShardedSnapshot``."""
+    from repro.graph.sharding import ShardedSnapshot
+    manifest = read_shard_manifest(directory)
+    shards = [_open_manifest_member(directory, manifest, file_name, mmap)
+              for file_name in manifest["shards"]]
+    ranges = [(lo, hi) for lo, hi in manifest["ranges"]]
+    return ShardedSnapshot.from_shards(manifest["version"], ranges, shards,
+                                       manifest["num_edges"])
 
 
 def open_digraph_snapshot(path: str, mmap: bool = True,
