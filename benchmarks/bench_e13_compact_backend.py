@@ -19,6 +19,14 @@ distributions, the hot paths the compact backend rewrote:
   mutation (the pre-incremental lifecycle, simulated by dropping the cache
   before each query).  The incremental mode is asserted faster — this is
   the regression gate for the snapshot/delta/compaction machinery,
+* **pre-flight analysis**: the static query analysis layer
+  (:mod:`repro.analysis.query`) wired into the engine — the warm
+  pre-flight (diagnostics served from the DFA cache) must cost < 5% of a
+  vertex-bound point query's end-to-end time, and a provably-empty query
+  must short-circuit to the empty set **without dispatching any compact
+  kernel** (proven by poisoning the kernels for the timed region, not
+  inferred from timing) while clocking in far below the all-sources
+  sweep it avoids,
 * **persistence**: reopening a durable store (mmap'd CSR snapshot + WAL
   replay, :mod:`repro.storage`) vs rebuilding the same 12k-edge graph
   from its triple CSV, gated at >= 5x with identical query answers —
@@ -322,6 +330,95 @@ def bench_rpq_selective(rows, quick):
     gate("rpq target-bound suffix (backward)", backward_s)
 
 
+#: Warm pre-flight analysis (diagnostics served from the engine's DFA
+#: cache) must cost less than this fraction of a vertex-bound point
+#: query's end-to-end time — the acceptance ceiling for wiring static
+#: analysis into every ``Engine.pairs`` call.
+PREFLIGHT_OVERHEAD_CEILING = 0.05
+
+
+def bench_preflight(rows, quick):
+    """Pre-flight query analysis: overhead ceiling + empty short-circuit.
+
+    Two gates for the static-analysis layer on a 12k-edge graph:
+
+    * the warm pre-flight (diagnostics out of the engine's DFA cache, the
+      cost every repeated ``Engine.pairs`` call now pays) must stay under
+      ``PREFLIGHT_OVERHEAD_CEILING`` of a vertex-bound point query's
+      end-to-end time, and
+    * a provably-empty query (a label that never occurs in the graph)
+      must return the empty set **without any kernel dispatch** — proven
+      by poisoning the compact kernels for the timed region, with a
+      satisfiable probe first tripping the poison so the proof cannot be
+      vacuous — while clocking in far below the all-sources sweep the
+      short-circuit avoids.
+
+    Sizes do not shrink under ``--quick``.
+    """
+    from repro.engine import Engine
+    from repro.graph import compact as compact_module
+
+    num_vertices, num_edges = 1500, 12000
+    graph = uniform_random(num_vertices, num_edges, labels=("a", "b", "c"),
+                           seed=59)
+    expression = lconcat(sym("a"), lstar(sym("b")))
+    adjacency_snapshot(graph)  # base CSR built outside every timed region
+    engine = Engine(graph)
+    source = sorted(graph.vertices())[0]
+    point_query = "[{}, a, _] . [_, b, _]*".format(source)
+
+    engine.pairs(point_query)  # warm parse/stats/DFA/diagnostics caches
+    _, query_s = timed(lambda: engine.pairs(point_query), repeat=3)
+    # One warm pre-flight is microseconds; time a batch and amortize so
+    # the measurement rises above timer noise.
+    batch = 1000
+    _, batch_s = timed(
+        lambda: [engine.preflight(expression) for _ in range(batch)],
+        repeat=3)
+    preflight_s = batch_s / batch
+    assert preflight_s / query_s < PREFLIGHT_OVERHEAD_CEILING, \
+        "warm pre-flight ({:.6f}s) must stay under {:.0%} of a point " \
+        "query ({:.6f}s) on a {}-edge graph".format(
+            preflight_s, PREFLIGHT_OVERHEAD_CEILING, query_s, num_edges)
+    rows.append(("preflight (warm, amortized x{}) vs point query".format(
+        batch), query_s, preflight_s))
+
+    # Empty short-circuit: the sweep this query would have cost...
+    _, sweep_s = timed(lambda: rpq_pairs(graph, expression))
+    # ...versus the short-circuit, with every compact kernel poisoned so
+    # a single dispatch fails loudly instead of skewing the timing.
+    kernel_names = ("rpq_pairs_compact", "rpq_pairs_backward",
+                    "rpq_pairs_bidirectional")
+    saved = {name: getattr(compact_module, name) for name in kernel_names}
+
+    def poisoned(*_args, **_kwargs):
+        raise AssertionError("kernel dispatched for a provably-empty query")
+
+    empty_engine = Engine(graph)
+    for name in kernel_names:
+        setattr(compact_module, name, poisoned)
+    try:
+        if HAVE_NUMPY:
+            # Prove the poison is live: a satisfiable query must trip it.
+            try:
+                empty_engine.pairs("[_, a, _]")
+            except AssertionError:
+                pass
+            else:
+                raise AssertionError(
+                    "kernel poison is not live; the short-circuit proof "
+                    "would be vacuous")
+        empty_answer, empty_s = timed(
+            lambda: empty_engine.pairs("[_, a, _] . [_, zz, _]"), repeat=3)
+    finally:
+        for name, original in saved.items():
+            setattr(compact_module, name, original)
+    assert empty_answer == frozenset(), \
+        "provably-empty query must answer with the empty set"
+    rows.append(("rpq provably-empty short-circuit vs sweep", sweep_s,
+                 empty_s))
+
+
 #: Sharded fan-out must beat the single-core compact kernels by at least
 #: this factor on the all-sources sweep and the pagerank iteration — the
 #: acceptance gate for the parallel executor.
@@ -519,6 +616,7 @@ def write_json_record(path, args, rows, parallel_record):
         "have_numpy": HAVE_NUMPY,
         "gates": {
             "selective_speedup_floor": SELECTIVE_SPEEDUP_FLOOR,
+            "preflight_overhead_ceiling": PREFLIGHT_OVERHEAD_CEILING,
             "persistence_speedup_floor": PERSISTENCE_SPEEDUP_FLOOR,
             "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
         },
@@ -565,6 +663,7 @@ def main():
         print("graph[{}]: {!r}".format(label, graph))
         bench_rpq(graph, label, rows, args.quick)
     bench_rpq_selective(rows, args.quick)
+    bench_preflight(rows, args.quick)
     if HAVE_NUMPY:
         bench_digraph(digraph_size[0], digraph_size[1], rows, args.quick)
     else:
@@ -579,11 +678,15 @@ def main():
     print("all compact/seed answer sets identical; "
           "incremental churn beats full rebuilds; "
           "selective rpq scenarios beat the all-sources sweep >= {}x; "
+          "warm pre-flight stays under {:.0%} of a point query and "
+          "provably-empty queries short-circuit with zero kernel "
+          "dispatch; "
           "persistent reopen beats csv rebuild >= {}x; "
           "sharded fan-out beats single-core >= {}x at {} workers "
           "(or skipped on small machines)".format(
-              SELECTIVE_SPEEDUP_FLOOR, PERSISTENCE_SPEEDUP_FLOOR,
-              PARALLEL_SPEEDUP_FLOOR, PARALLEL_WORKERS))
+              SELECTIVE_SPEEDUP_FLOOR, PREFLIGHT_OVERHEAD_CEILING,
+              PERSISTENCE_SPEEDUP_FLOOR, PARALLEL_SPEEDUP_FLOOR,
+              PARALLEL_WORKERS))
     if args.json:
         write_json_record(args.json, args, rows, parallel_record)
 

@@ -1,0 +1,39 @@
+"""Static analysis for the path-algebra engine.
+
+Two analyzers live here, both pre-flight — they inspect expressions and
+source code *before* anything runs, so bad queries are rejected (or
+short-circuited) without a kernel dispatch and repo invariants are
+machine-checked instead of remembered:
+
+* :mod:`repro.analysis.query` — pre-flight RPQ analysis: unknown-label
+  detection, dead/unreachable DFA state pruning (language-preserving),
+  provable-emptiness verdicts, and star-height / state-count complexity
+  estimates.  Wired into ``Engine.pairs`` / ``Engine.query`` /
+  ``Engine.pairs_batch`` (provably-empty queries return the empty result
+  with zero kernel work), ``Engine.explain`` (the ``diagnostics:``
+  section) and the ``repro lint-query`` CLI.
+* :mod:`repro.analysis.lint` — **reprolint**, an AST-walking checker for
+  repo-specific invariants generic linters cannot express (numpy gating,
+  kernel purity, pool-payload pickle safety, storage tmp+rename writes).
+  Runnable as ``python -m repro.analysis.lint src/repro``; see
+  ``docs/static_analysis.md`` for the rule catalog and suppression
+  syntax.
+"""
+
+from repro.analysis.query import (
+    ExpressionDiagnostics,
+    QueryDiagnostics,
+    analyze_compiled_query,
+    analyze_expression,
+    prune_dfa,
+    star_height,
+)
+
+__all__ = [
+    "ExpressionDiagnostics",
+    "QueryDiagnostics",
+    "analyze_compiled_query",
+    "analyze_expression",
+    "prune_dfa",
+    "star_height",
+]

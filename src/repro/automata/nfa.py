@@ -38,7 +38,7 @@ faster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, NamedTuple, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, NamedTuple, Sequence, Set, Tuple
 
 from repro.core.edge import Edge
 from repro.core.pathset import PathSet
@@ -88,7 +88,7 @@ class AtomMatcher:
         return self.atom.resolve(graph)
 
     def candidate_edges(self, graph: MultiRelationalGraph,
-                        from_vertex) -> FrozenSet[Edge]:
+                        from_vertex: Hashable) -> FrozenSet[Edge]:
         """Pattern edges whose tail is ``from_vertex`` — index-accelerated."""
         atom = self.atom
         if atom.tail is not None and atom.tail != from_vertex:
@@ -123,7 +123,7 @@ class ExactMatcher:
         return PathSet([self.edge])
 
     def candidate_edges(self, graph: MultiRelationalGraph,
-                        from_vertex) -> FrozenSet[Edge]:
+                        from_vertex: Hashable) -> FrozenSet[Edge]:
         """The pinned edge when its tail matches, else nothing."""
         if self.edge.tail == from_vertex:
             return frozenset([self.edge])
@@ -174,7 +174,7 @@ class NFA:
         """Add a silent move of the given kind."""
         self.epsilon[source].append((target, kind))
 
-    def add_consuming(self, source: int, matcher, target: int) -> None:
+    def add_consuming(self, source: int, matcher: Any, target: int) -> None:
         """Add an input move labeled with an edge-set matcher."""
         self.consuming[source].append((matcher, target))
 
@@ -296,7 +296,7 @@ def _build(nfa: NFA, expr: RegexExpr) -> _Fragment:
     raise AutomatonError("cannot compile unknown node {!r}".format(expr))
 
 
-def _build_sequence(nfa: NFA, parts, boundary: int) -> _Fragment:
+def _build_sequence(nfa: NFA, parts: Sequence[RegexExpr], boundary: int) -> _Fragment:
     """Left-fold a sequence, duplicating each right operand per entry route.
 
     From ``accept_empty`` of the accumulated left (it matched epsilon so

@@ -22,7 +22,7 @@ queries; :func:`recognizes` is the one-shot convenience.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.path import Path
 from repro.graph.graph import MultiRelationalGraph
@@ -81,7 +81,7 @@ class Recognizer:
         """Convenience negation of :meth:`accepts`."""
         return not self.accepts(path)
 
-    def accepting_subset(self, paths) -> list:
+    def accepting_subset(self, paths: Iterable[Path]) -> List[Path]:
         """The accepted members of an iterable of paths (stable order)."""
         return [p for p in paths if self.accepts(p)]
 

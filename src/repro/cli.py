@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("pathql")
     explain.add_argument("--max-length", type=int, default=8)
 
+    lint_query = commands.add_parser(
+        "lint-query", help="pre-flight analysis report for a query "
+                           "(unknown labels, DFA pruning, provable "
+                           "emptiness) without running it")
+    lint_query.add_argument("graph", help="graph file (csv/json/graphml)")
+    lint_query.add_argument("pathql", help="PathQL query text")
+
     stats = commands.add_parser("stats", help="summarize a graph file")
     stats.add_argument("graph")
 
@@ -131,6 +138,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output subdirectory inside the store "
                                "(default: shards)")
     return parser
+
+
+def _run_lint_query(graph: MultiRelationalGraph, pathql: str, out) -> int:
+    """``repro lint-query``: print the pre-flight report, run nothing.
+
+    Exit code 0 when the query is satisfiable, 1 when pre-flight analysis
+    proves it empty over this graph — so the command doubles as a gate in
+    scripts that vet queries before shipping them.
+    """
+    from repro.analysis.query import analyze_expression
+    from repro.rpq.evaluation import lower_to_constrained_query
+    engine = Engine(graph)
+    expression = engine.compile(pathql)
+    constrained = lower_to_constrained_query(expression)
+    if constrained is not None:
+        diagnostics = engine.preflight(constrained.label_expression)
+        out.write("route: pairs fast path ({})\n".format(
+            constrained.describe()))
+    else:
+        diagnostics = analyze_expression(expression, graph)
+        out.write("route: bounded automaton fallback (edge-set algebra)\n")
+    out.write(diagnostics.describe() + "\n")
+    return 1 if diagnostics.empty else 0
 
 
 def _run_query(graph: MultiRelationalGraph, pathql: str, strategy: str,
@@ -214,6 +244,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         elif args.command == "explain":
             engine = Engine(load_graph(args.graph))
             out.write(engine.explain(args.pathql, max_length=args.max_length) + "\n")
+        elif args.command == "lint-query":
+            return _run_lint_query(load_graph(args.graph), args.pathql, out)
         elif args.command == "stats":
             summary = statistics.summarize(load_graph(args.graph))
             out.write(json.dumps(summary, indent=2, default=str) + "\n")

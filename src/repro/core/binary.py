@@ -21,7 +21,7 @@ algebra can answer label queries.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, Iterator, Tuple
+from typing import FrozenSet, Hashable, Iterable, Iterator, NoReturn, Tuple
 
 from repro.errors import AlgebraError
 from repro.graph.graph import MultiRelationalGraph
@@ -80,7 +80,7 @@ class VertexPath(tuple):
                 "cannot compose: head {!r} != tail {!r}".format(self.head, other.tail))
         return VertexPath(tuple(self) + tuple(other)[1:])
 
-    def label_path(self):
+    def label_path(self) -> NoReturn:
         """Always raises: the binary representation has discarded the labels."""
         raise LabelLossError(
             "vertex paths carry no edge labels; the binary-relation algebra "
@@ -137,11 +137,11 @@ class VertexPathSet:
     def __iter__(self) -> Iterator[VertexPath]:
         return iter(sorted(self._paths, key=repr))
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: object) -> bool:
         p = item if isinstance(item, VertexPath) else VertexPath(item)
         return p in self._paths
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, VertexPathSet):
             return NotImplemented
         return self._paths == other._paths

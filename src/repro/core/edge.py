@@ -46,7 +46,7 @@ class Edge(tuple):
     def __new__(cls, tail: Hashable, label: Hashable, head: Hashable) -> "Edge":
         return tuple.__new__(cls, (tail, label, head))
 
-    def __getnewargs__(self):
+    def __getnewargs__(self) -> Tuple[Hashable, Hashable, Hashable]:
         # tuple subclasses with a custom __new__ signature must spell out
         # their reconstruction arguments or unpickling fails — and edges
         # cross process boundaries inside the parallel executor's results.

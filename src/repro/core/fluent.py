@@ -22,7 +22,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional
+from typing import Callable, FrozenSet, Hashable, Iterable, Iterator, List, Optional
 
 from repro.core.edge import Edge
 from repro.core.path import Path
@@ -168,7 +168,7 @@ class Traversal:
         """Keep paths currently ending at one of ``vertices`` (right restriction)."""
         return Traversal(self._graph, self.paths().ending_in(set(vertices)))
 
-    def where_head_has(self, key: str, value) -> "Traversal":
+    def where_head_has(self, key: str, value: Hashable) -> "Traversal":
         """Keep paths whose head vertex has property ``key == value``."""
         def check(p: Path) -> bool:
             head = p.head
@@ -219,7 +219,7 @@ class Traversal:
                 histogram[p.head] = histogram.get(p.head, 0) + 1
         return histogram
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Path]:
         return iter(self.paths())
 
     def __len__(self) -> int:

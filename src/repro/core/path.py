@@ -35,7 +35,7 @@ from repro.errors import (
 __all__ = ["Path", "EPSILON", "sigma", "gamma_minus", "gamma_plus", "omega", "omega_prime"]
 
 
-def _as_edge(item) -> Edge:
+def _as_edge(item: Union[Edge, Tuple[Hashable, Hashable, Hashable]]) -> Edge:
     """Coerce a 3-tuple (or Edge) into an :class:`Edge`, validating arity."""
     if isinstance(item, Edge):
         return item
@@ -73,7 +73,7 @@ class Path(tuple):
     def __new__(cls, edges: Iterable = ()) -> "Path":
         return tuple.__new__(cls, (_as_edge(e) for e in edges))
 
-    def __getnewargs__(self):
+    def __getnewargs__(self) -> Tuple[Tuple[Edge, ...]]:
         # See Edge.__getnewargs__: required for pickling tuple subclasses
         # whose __new__ takes a different argument shape than the contents.
         return (tuple(self),)
@@ -145,10 +145,10 @@ class Path(tuple):
                 .format(self.head, other.tail))
         return self.concat(other)
 
-    def __add__(self, other) -> "Path":  # type: ignore[override]
+    def __add__(self, other: Union["Path", Iterable[Edge]]) -> "Path":  # type: ignore[override]
         return self.concat(other if isinstance(other, Path) else Path(other))
 
-    def __radd__(self, other) -> "Path":
+    def __radd__(self, other: Union["Path", Iterable[Edge]]) -> "Path":
         return Path(other).concat(self)
 
     def __mul__(self, times: int) -> "Path":  # type: ignore[override]
@@ -296,7 +296,7 @@ class Path(tuple):
             return EPSILON
         return Path(tuple.__getitem__(self, slice(len(self) - n, len(self))))
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: Union[int, slice]) -> Union[Edge, "Path"]:  # type: ignore[override]
         result = tuple.__getitem__(self, index)
         if isinstance(index, slice):
             return Path(result)

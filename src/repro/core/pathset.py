@@ -44,7 +44,7 @@ from repro.core.path import EPSILON, Path
 __all__ = ["PathSet", "EMPTY", "EPSILON_SET"]
 
 
-def _as_path(item) -> Path:
+def _as_path(item: object) -> Path:
     """Coerce edges / raw 3-tuples / edge iterables into :class:`Path`."""
     if isinstance(item, Path):
         return item
@@ -118,7 +118,7 @@ class PathSet:
     # Set protocol
     # ------------------------------------------------------------------
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: object) -> bool:
         return _as_path(item) in self._paths
 
     def __iter__(self) -> Iterator[Path]:
@@ -132,7 +132,7 @@ class PathSet:
     def __bool__(self) -> bool:
         return bool(self._paths)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, PathSet):
             return self._paths == other._paths
         if isinstance(other, (set, frozenset)):
@@ -172,7 +172,7 @@ class PathSet:
         """Set union ``A U B``."""
         return PathSet(self._paths | _coerce(other)._paths)
 
-    def __or__(self, other) -> "PathSet":
+    def __or__(self, other: object) -> "PathSet":
         return self.union(_coerce(other))
 
     __ror__ = __or__
@@ -181,14 +181,14 @@ class PathSet:
         """Set intersection (not named in the paper, standard on ``P(E*)``)."""
         return PathSet(self._paths & _coerce(other)._paths)
 
-    def __and__(self, other) -> "PathSet":
+    def __and__(self, other: object) -> "PathSet":
         return self.intersection(_coerce(other))
 
     def difference(self, other: "PathSet") -> "PathSet":
         """Set difference ``A \\ B``."""
         return PathSet(self._paths - _coerce(other)._paths)
 
-    def __sub__(self, other) -> "PathSet":
+    def __sub__(self, other: object) -> "PathSet":
         return self.difference(_coerce(other))
 
     def join(self, other: "PathSet") -> "PathSet":
@@ -230,7 +230,7 @@ class PathSet:
         }
         return PathSet(out)
 
-    def __matmul__(self, other) -> "PathSet":
+    def __matmul__(self, other: object) -> "PathSet":
         return self.join(_coerce(other))
 
     def product(self, other: "PathSet") -> "PathSet":
@@ -243,7 +243,7 @@ class PathSet:
         other = _coerce(other)
         return PathSet(a.concat(b) for a in self._paths for b in other._paths)
 
-    def __mul__(self, other) -> "PathSet":
+    def __mul__(self, other: object) -> "PathSet":
         if isinstance(other, int):
             raise TypeError(
                 "A * n is ambiguous; use A.join_power(n) (A ** n) or A.product(...)")
@@ -391,7 +391,7 @@ class PathSet:
         return "PathSet<{} paths: {}>".format(len(self._paths), preview)
 
 
-def _coerce(value) -> PathSet:
+def _coerce(value: object) -> PathSet:
     """Accept PathSet or any path iterable where a PathSet is expected."""
     if isinstance(value, PathSet):
         return value

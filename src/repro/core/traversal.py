@@ -22,7 +22,7 @@ supported by the ``exclude_*`` fields of :class:`Step`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, Hashable, Iterable, List, Optional, Sequence
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from repro.core.edge import Edge
 from repro.core.pathset import PathSet
@@ -71,7 +71,7 @@ class Step:
              exclude_labels: Optional[Iterable[Hashable]] = None,
              exclude_heads: Optional[Iterable[Hashable]] = None) -> "Step":
         """Build a step from plain iterables (frozensets are made for you)."""
-        def freeze(value):
+        def freeze(value: Optional[Iterable[Hashable]]) -> Optional[FrozenSet[Hashable]]:
             return None if value is None else frozenset(value)
         return cls(freeze(tails), freeze(labels), freeze(heads),
                    freeze(exclude_tails), freeze(exclude_labels),

@@ -205,28 +205,47 @@ class Engine:
             self._statistics_version = version
         return self._statistics
 
-    def compiled_dfa(self, label_expression):
-        """The DFA for a label expression, via the engine's LRU cache.
+    def preflight(self, label_expression) -> "QueryDiagnostics":
+        """Pre-flight analysis for a label expression, via the LRU cache.
+
+        Compiles the expression (subset construction), then runs
+        :func:`repro.analysis.query.analyze_compiled_query` over it:
+        dead/unreachable DFA states are pruned (language-preserving),
+        unknown labels become warnings, and provable emptiness — an empty
+        language, or no accepting state reachable through labels the graph
+        actually carries — becomes a verdict :meth:`pairs` /
+        :meth:`pairs_batch` short-circuit on.
 
         Keyed by ``(expression, label alphabet)`` — the alphabet frozenset
         is the "alphabet version": mutations that do not add or retire a
-        label keep every cached DFA valid, so steady-state repeated queries
-        never re-determinize (``compile_rpq`` from scratch subset-constructs
-        on every call).
+        label keep every cached entry valid, so steady-state repeated
+        queries pay neither re-determinization nor re-analysis.
         """
+        from repro.analysis.query import analyze_compiled_query
         from repro.rpq.evaluation import compile_rpq
         key = (label_expression, self.graph.labels())
-        dfa = self._dfa_cache.get(key)
-        if dfa is None:
+        diagnostics = self._dfa_cache.get(key)
+        if diagnostics is None:
             self._dfa_cache_misses += 1
             dfa = compile_rpq(label_expression, self.graph)
-            self._dfa_cache[key] = dfa
+            diagnostics = analyze_compiled_query(
+                dfa, label_expression, self.graph.labels())
+            self._dfa_cache[key] = diagnostics
             if len(self._dfa_cache) > self._DFA_CACHE_CAP:
                 self._dfa_cache.popitem(last=False)
         else:
             self._dfa_cache_hits += 1
             self._dfa_cache.move_to_end(key)
-        return dfa
+        return diagnostics
+
+    def compiled_dfa(self, label_expression):
+        """The (pruned) DFA for a label expression, via the LRU cache.
+
+        The automaton comes out of :meth:`preflight`, so dead and
+        unreachable states are already pruned — same language, smaller
+        product space for the kernels.
+        """
+        return self.preflight(label_expression).dfa
 
     def dfa_cache_info(self) -> Tuple[int, int, int]:
         """``(hits, misses, current size)`` of the compiled-DFA cache."""
@@ -316,13 +335,23 @@ class Engine:
         cache (cold, base CSR, or delta overlay awaiting compaction), and
         the engine's cache hit rates — so staleness, parallelism and cache
         wins are all visible next to the plan.
+
+        The output closes with a ``diagnostics:`` section from pre-flight
+        analysis (see :mod:`repro.analysis.query`): star-height and DFA
+        state-count complexity estimates, pruned-state counts, warnings
+        about labels the graph has never seen, and — when the analysis can
+        prove it — a "provably empty" verdict, which :meth:`pairs`,
+        :meth:`pairs_batch` and :meth:`query` short-circuit on without a
+        kernel dispatch.
         """
+        from repro.analysis.query import analyze_expression
         from repro.graph.compact import snapshot_state
         from repro.rpq.evaluation import lower_to_constrained_query
         expression = self.compile(query)
         text = self.plan(expression, max_length).explain()
         constrained = lower_to_constrained_query(expression)
         if constrained is not None:
+            diagnostics = self.preflight(constrained.label_expression)
             note = ("pairs fast path: eligible — {}; Engine.pairs() runs "
                     "the compact product-BFS kernels (unbounded, no path "
                     "materialization)").format(constrained.describe())
@@ -331,21 +360,29 @@ class Engine:
                 direction_note = ("pairs direction: n/a — endpoint filters "
                                   "exclude the bound vertex (empty result)")
                 parallel_note = "pairs parallelism: n/a (empty result)"
+            elif diagnostics.empty:
+                direction_note = ("pairs direction: n/a — pre-flight "
+                                  "analysis proved the result empty "
+                                  "(short-circuit, no kernel dispatch)")
+                parallel_note = "pairs parallelism: n/a (empty result)"
             else:
-                choice = self._direction_choice(constrained, *merged)
+                choice = self._direction_choice(
+                    constrained, *merged,
+                    states=diagnostics.dfa.num_states)
                 direction_note = "pairs direction: " + choice.describe()
                 parallelism = self._parallelism_choice(
                     merged[0], processes, choice.direction)
                 parallel_note = "pairs parallelism: " + parallelism.describe()
             note = note + "\n" + direction_note + "\n" + parallel_note
         else:
+            diagnostics = analyze_expression(expression, self.graph)
             note = ("pairs fast path: not eligible — expression binds "
                     "interior vertices or needs the edge-set algebra; "
                     "Engine.pairs() falls back to bounded automaton "
                     "evaluation")
         snapshot_note = "compact snapshot: " + snapshot_state(self.graph)
         return text + "\n" + note + "\n" + snapshot_note \
-            + "\n" + self._cache_note()
+            + "\n" + self._cache_note() + "\n" + diagnostics.describe()
 
     def _cache_note(self) -> str:
         """The EXPLAIN line summarizing :meth:`cache_stats`."""
@@ -384,15 +421,22 @@ class Engine:
             targets = frozenset(targets)
         return sources, targets
 
-    def _direction_choice(self, constrained, sources, targets):
-        """The cost model's pick for one constrained query + filters."""
+    def _direction_choice(self, constrained, sources, targets,
+                          states: int = 1):
+        """The cost model's pick for one constrained query + filters.
+
+        ``states`` is the pruned DFA state count from :meth:`preflight`;
+        the planner caps per-level frontiers at ``|V| x states`` (the
+        product space the kernels actually walk).
+        """
         planner = Planner(self.statistics(),
                           max_length=self.default_max_length,
                           optimize_joins=self.optimize)
         return planner.choose_rpq_direction(
             constrained.label_expression,
             None if sources is None else len(sources),
-            None if targets is None else len(targets))
+            None if targets is None else len(targets),
+            states=states)
 
     def _parallelism_choice(self, sources, processes, direction="forward"):
         """The planner's sharded-parallel threshold for one pairs call."""
@@ -449,9 +493,16 @@ class Engine:
                 if merged is None:
                     return frozenset()
                 merged_sources, merged_targets = merged
-                dfa = self.compiled_dfa(constrained.label_expression)
+                diagnostics = self.preflight(constrained.label_expression)
+                if diagnostics.empty:
+                    # Pre-flight proved the answer is empty (empty
+                    # language, or no accepting state reachable through
+                    # labels the graph carries): no kernel dispatch.
+                    return frozenset()
+                dfa = diagnostics.dfa
                 choice = self._direction_choice(constrained, merged_sources,
-                                                merged_targets)
+                                                merged_targets,
+                                                states=dfa.num_states)
                 if choice.direction == "bidirectional":
                     return rpq_pairs_bidirectional(
                         self.graph, dfa, merged_sources, merged_targets)
@@ -494,11 +545,17 @@ class Engine:
                 constrained = lower_to_constrained_query(expression)
                 if constrained is None or not constrained.label_only:
                     continue
-                choice = self._direction_choice(constrained, None, None)
+                diagnostics = self.preflight(constrained.label_expression)
+                if diagnostics.empty:
+                    # Provably empty: answer inline, keep it out of the
+                    # fan-out (zero kernel dispatch for this query).
+                    results[index] = frozenset()
+                    continue
+                choice = self._direction_choice(
+                    constrained, None, None,
+                    states=diagnostics.dfa.num_states)
                 if choice.direction == "forward":
-                    fan_out.append(
-                        (index,
-                         self.compiled_dfa(constrained.label_expression)))
+                    fan_out.append((index, diagnostics.dfa))
         if fan_out:
             parallelism = self._parallelism_choice(None, processes)
             if parallelism.parallel:
@@ -541,8 +598,17 @@ class Engine:
             raise ExecutionError(
                 "unknown strategy {!r}; expected one of {}".format(
                     strategy, STRATEGIES))
+        from repro.analysis.query import analyze_expression
         expression = self.compile(query)
         bound = max_length if max_length is not None else self.default_max_length
+        diagnostics = analyze_expression(expression, self.graph)
+        if diagnostics.empty:
+            # Structural pre-flight proved the language empty over this
+            # graph (absent labels/vertices, empty literals, ...): skip
+            # planning, caching and execution entirely.
+            return QueryResult(paths=PathSet(), expression=expression,
+                               strategy=strategy, max_length=bound,
+                               elapsed=0.0, plan=None)
         cacheable = self.cache is not None and limit is None
         if cacheable:
             cached = self.cache.get(expression, bound, self.graph.version(),

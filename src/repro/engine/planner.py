@@ -91,7 +91,7 @@ class DirectionChoice:
 
     def describe(self) -> str:
         """One-line summary for EXPLAIN output."""
-        def fmt(cost):
+        def fmt(cost: Optional[float]) -> str:
             return "n/a" if cost is None else "{:.3g}".format(cost)
         return ("direction={} (est. frontier work: forward~{}, "
                 "backward~{}, bidirectional~{})").format(
@@ -193,8 +193,8 @@ class Planner:
 
     def choose_rpq_direction(self, label_expression,
                              num_sources: Optional[int] = None,
-                             num_targets: Optional[int] = None
-                             ) -> DirectionChoice:
+                             num_targets: Optional[int] = None,
+                             states: int = 1) -> DirectionChoice:
         """Pick forward / backward / bidirectional for one pairs query.
 
         ``num_sources``/``num_targets`` are the bound endpoint-set sizes
@@ -207,9 +207,15 @@ class Planner:
         stop at half the horizon.  Bidirectional is only offered when both
         endpoint sets are explicit and small (mask width); forward wins
         ties, preserving the pre-cost-model behavior on symmetric graphs.
+
+        ``states`` is the (pruned) DFA state count from pre-flight
+        analysis: the product BFS walks ``(vertex, state)`` configurations,
+        so the per-level frontier cap is ``|V| x |Q|``, not ``|V|``.  The
+        default of 1 reproduces the pre-analysis model.
         """
         statistics = self.statistics
         vertex_count = max(statistics.vertex_count, 1)
+        frontier_cap = vertex_count * max(states, 1)
         labels = label_expression.symbols()
         forward_growth = statistics.forward_growth(labels)
         backward_growth = statistics.backward_growth(labels)
@@ -218,9 +224,9 @@ class Planner:
         seeds_backward = vertex_count if num_targets is None else num_targets
 
         forward_cost = seeds_forward * self._cone_cost(
-            1.0, forward_growth, horizon, vertex_count)
+            1.0, forward_growth, horizon, frontier_cap)
         backward_cost = seeds_backward * self._cone_cost(
-            1.0, backward_growth, horizon, vertex_count)
+            1.0, backward_growth, horizon, frontier_cap)
         bidirectional_cost = None
         if num_sources is not None and num_targets is not None \
                 and 0 < num_sources <= _BIDI_MAX_SIDE \
@@ -228,9 +234,9 @@ class Planner:
             half = (horizon + 1) // 2
             bidirectional_cost = (
                 self._cone_cost(num_sources, forward_growth, half,
-                                vertex_count)
+                                frontier_cap)
                 + self._cone_cost(num_targets, backward_growth, half,
-                                  vertex_count))
+                                  frontier_cap))
 
         best = "forward"
         best_cost = forward_cost
@@ -298,7 +304,7 @@ class Planner:
 
     # ------------------------------------------------------------------
 
-    def _plan_chain(self, children: List[PlanNode], node_type,
+    def _plan_chain(self, children: List[PlanNode], node_type: type,
                     selectivity: float) -> PlanNode:
         """Choose an association order for an n-ary join/product chain."""
         if len(children) == 1:
@@ -307,7 +313,7 @@ class Planner:
             return self._left_deep(children, node_type, selectivity)
         return self._matrix_chain(children, node_type, selectivity)
 
-    def _combine(self, left: PlanNode, right: PlanNode, node_type,
+    def _combine(self, left: PlanNode, right: PlanNode, node_type: type,
                  selectivity: float) -> PlanNode:
         rows = left.estimated_rows * right.estimated_rows * selectivity
         cost = (left.estimated_cost + right.estimated_cost
@@ -315,14 +321,14 @@ class Planner:
         return node_type(estimated_rows=rows, estimated_cost=cost,
                          left=left, right=right)
 
-    def _left_deep(self, children: List[PlanNode], node_type,
+    def _left_deep(self, children: List[PlanNode], node_type: type,
                    selectivity: float) -> PlanNode:
         result = children[0]
         for child in children[1:]:
             result = self._combine(result, child, node_type, selectivity)
         return result
 
-    def _matrix_chain(self, children: List[PlanNode], node_type,
+    def _matrix_chain(self, children: List[PlanNode], node_type: type,
                       selectivity: float) -> PlanNode:
         """Optimal parenthesization by interval dynamic programming.
 

@@ -1018,7 +1018,7 @@ def rpq_pairs_bidirectional(graph, dfa, sources: Iterable[Hashable],
 # Single-relational (DiGraph) snapshot + vectorized kernels
 # ----------------------------------------------------------------------
 
-class CompactDiGraph:
+class CompactDiGraph:  # reprolint: ignore[numpy-gate] -- numpy-only by contract
     """A numpy snapshot of one :class:`~repro.algorithms.digraph.DiGraph`.
 
     Holds interning maps plus flat edge arrays (``tails``, ``heads``,
@@ -1409,7 +1409,7 @@ class CompactDiGraph:
             self.num_vertices, len(self.tails), self.version)
 
 
-class _DiGraphDelta:
+class _DiGraphDelta:  # reprolint: ignore[numpy-gate] -- only built around a CompactDiGraph
     """Cache entry pairing a base :class:`CompactDiGraph` with pending deltas.
 
     Journal replay accumulates removed-edge keys and an added-edge table;

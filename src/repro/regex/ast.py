@@ -25,7 +25,7 @@ generator, and the test suite property-checks the two against each other.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 from repro.core.edge import Edge
 from repro.core.path import Path
@@ -66,14 +66,14 @@ class RegexExpr:
     # constructors use) so expressions can cross process boundaries — the
     # parallel executor ships them to its workers.
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, object]:
         state = {}
         for klass in type(self).__mro__:
             for slot in getattr(klass, "__slots__", ()):
                 state[slot] = getattr(self, slot)
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, object]) -> None:
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
 
@@ -150,17 +150,17 @@ class RegexExpr:
             out += child.atoms()
         return out
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self._key() == other._key()
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._key()))
 
-    def _key(self):
+    def _key(self) -> Hashable:
         raise NotImplementedError
 
 
-def _check_expr(value) -> "RegexExpr":
+def _check_expr(value: object) -> "RegexExpr":
     if not isinstance(value, RegexExpr):
         raise RegexError(
             "expected a regular path expression, got {!r}".format(value))
@@ -176,7 +176,7 @@ class Empty(RegexExpr):
     def nullable(self) -> bool:
         return False
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return ()
 
     def __repr__(self) -> str:
@@ -195,7 +195,7 @@ class Epsilon(RegexExpr):
     def nullable(self) -> bool:
         return True
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return ()
 
     def __repr__(self) -> str:
@@ -222,7 +222,7 @@ class Atom(RegexExpr):
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "head", head)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Atom is immutable")
 
     @property
@@ -243,7 +243,7 @@ class Atom(RegexExpr):
             return False
         return graph.has_edge(e.tail, e.label, e.head)
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return (self.tail, self.label, self.head)
 
     def __repr__(self) -> str:
@@ -251,7 +251,7 @@ class Atom(RegexExpr):
             self.tail, self.label, self.head)
 
     def __str__(self) -> str:
-        def show(part):
+        def show(part: Optional[Hashable]) -> str:
             return "_" if part is None else str(part)
         return "[{}, {}, {}]".format(show(self.tail), show(self.label), show(self.head))
 
@@ -272,7 +272,7 @@ class Literal(RegexExpr):
         object.__setattr__(self, "path_set",
                            paths if isinstance(paths, PathSet) else PathSet(paths))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Literal is immutable")
 
     @property
@@ -283,7 +283,7 @@ class Literal(RegexExpr):
         """The literal's own path set (graph-independent)."""
         return self.path_set
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return self.path_set
 
     def __repr__(self) -> str:
@@ -305,13 +305,13 @@ class _Nary(RegexExpr):
             raise RegexError("{} needs at least one operand".format(type(self).__name__))
         object.__setattr__(self, "parts", normalized)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("regex nodes are immutable")
 
     def children(self) -> Tuple[RegexExpr, ...]:
         return self.parts
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return self.parts
 
     def __repr__(self) -> str:
@@ -418,7 +418,7 @@ class Star(RegexExpr):
     def __init__(self, inner: RegexExpr):
         object.__setattr__(self, "inner", _check_expr(inner))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("regex nodes are immutable")
 
     @property
@@ -438,7 +438,7 @@ class Star(RegexExpr):
             return inner
         return Star(inner)
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return (self.inner,)
 
     def __repr__(self) -> str:
@@ -467,7 +467,7 @@ class Repeat(RegexExpr):
         object.__setattr__(self, "minimum", minimum)
         object.__setattr__(self, "maximum", maximum)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("regex nodes are immutable")
 
     @property
@@ -510,7 +510,7 @@ class Repeat(RegexExpr):
             return copies[0]
         return Join(tuple(copies))
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return (self.inner, self.minimum, self.maximum)
 
     def __repr__(self) -> str:

@@ -61,7 +61,7 @@ class _Seq(RegexExpr):
         object.__setattr__(self, "right", right)
         object.__setattr__(self, "require_adjacent", require_adjacent)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("_Seq is immutable")
 
     @property
@@ -71,7 +71,7 @@ class _Seq(RegexExpr):
     def children(self) -> Tuple[RegexExpr, ...]:
         return (self.left, self.right)
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return (self.left, self.right, self.require_adjacent)
 
     def __repr__(self) -> str:
@@ -90,14 +90,14 @@ class _ExactSuffix(RegexExpr):
     def __init__(self, remaining: Path):
         object.__setattr__(self, "remaining", remaining)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("_ExactSuffix is immutable")
 
     @property
     def nullable(self) -> bool:
         return len(self.remaining) == 0
 
-    def _key(self):
+    def _key(self) -> Hashable:
         return (self.remaining,)
 
     def __repr__(self) -> str:
@@ -208,7 +208,7 @@ def derive(expression: RegexExpr, e: Edge, graph: MultiRelationalGraph,
     raise RegexError("cannot derive unknown node {!r}".format(expr))
 
 
-def _split(expr, node_type) -> Tuple[RegexExpr, RegexExpr]:
+def _split(expr: RegexExpr, node_type: type) -> Tuple[RegexExpr, RegexExpr]:
     """Split an n-ary Join/Product into (first, rest-of-same-type)."""
     parts = expr.parts
     if len(parts) == 1:

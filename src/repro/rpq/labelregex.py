@@ -54,6 +54,23 @@ class LabelExpr:
 
     __slots__ = ()
 
+    # -- pickling ---------------------------------------------------------
+    # Like RegexExpr, subclasses pair __slots__ with a raising __setattr__,
+    # which breaks pickle's default slot-state restore.  Route the state
+    # protocol through object.__setattr__ (the constructors' side door) so
+    # label expressions survive the trip to ParallelExecutor workers.
+
+    def __getstate__(self) -> Dict[str, object]:
+        state: Dict[str, object] = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     def __or__(self, other: "LabelExpr") -> "LabelExpr":
         return LabelUnion((self, other))
 

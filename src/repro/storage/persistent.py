@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.graph.compact import _CACHE_ATTR, DeltaAdjacency, adjacency_snapshot
@@ -99,7 +99,7 @@ class _CompactGraphAdapter:
     def __init__(self) -> None:
         self._view = None
 
-    def pin(self, view) -> "_CompactGraphAdapter":
+    def pin(self, view: Any) -> "_CompactGraphAdapter":
         self._view = view
         setattr(self, _CACHE_ATTR, view)
         return self
@@ -110,7 +110,7 @@ class _CompactGraphAdapter:
     def labels(self) -> FrozenSet[Hashable]:
         return frozenset(self._view.label_ids)
 
-    def journal_since(self, version: int):
+    def journal_since(self, version: int) -> List[Any]:
         return []
 
     def prune_journal(self, version: int) -> None:
@@ -236,7 +236,7 @@ class PersistentGraph:
             store.graph()
         return store
 
-    def _replay(self, entries) -> None:
+    def _replay(self, entries: Iterable[Tuple[Any, ...]]) -> None:
         """Apply recovered WAL entries: structure to the overlay, property
         merges to the sidecar maps (deletes drop the matching maps)."""
         structural = []
@@ -284,7 +284,7 @@ class PersistentGraph:
     # Views and materialization
     # ------------------------------------------------------------------
 
-    def view(self):
+    def view(self) -> Any:
         """The live compact adjacency: overlay if WAL entries were
         replayed, the (mmap) base otherwise, or the attached graph's own
         snapshot once materialized."""
@@ -373,7 +373,7 @@ class PersistentGraph:
             return self._graph.edge_properties(tail, label, head)
         return dict(self._edge_props.get((tail, label, head), {}))
 
-    def pairs(self, expression,
+    def pairs(self, expression: Any,
               sources: Optional[Iterable[Hashable]] = None,
               targets: Optional[Iterable[Hashable]] = None) -> FrozenSet:
         """RPQ reachability over the durable state.
@@ -399,7 +399,7 @@ class PersistentGraph:
         return self.graph().add_vertex(vertex, **properties)
 
     def add_edge(self, tail: Hashable, label: Hashable, head: Hashable,
-                 **properties: Any):
+                 **properties: Any) -> Any:
         return self.graph().add_edge(tail, label, head, **properties)
 
     def remove_edge(self, tail: Hashable, label: Hashable,

@@ -42,7 +42,7 @@ import os
 import struct
 import sys
 import zlib
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 try:
     import numpy as _np
@@ -107,7 +107,7 @@ class SnapshotMetadata:
 # Shared plumbing
 # ----------------------------------------------------------------------
 
-def _check_identifiers(values, what: str) -> None:
+def _check_identifiers(values: Iterable[Hashable], what: str) -> None:
     for value in values:
         try:
             check_loggable((value,))
@@ -115,7 +115,7 @@ def _check_identifiers(values, what: str) -> None:
             raise StorageError("{}: {}".format(what, exc)) from exc
 
 
-def _int_cells(values) -> Any:
+def _int_cells(values: Iterable[int]) -> Any:
     """An int64 buffer for ``values`` — numpy array, or array.array('q')."""
     if _np is not None:
         return _np.asarray(values, dtype=_np.int64)
@@ -123,7 +123,7 @@ def _int_cells(values) -> Any:
     return array.array("q", values)
 
 
-def _cell_bytes(cells) -> bytes:
+def _cell_bytes(cells: Any) -> bytes:
     if _np is not None and isinstance(cells, _np.ndarray):
         return cells.astype(_INT_DTYPE, copy=False).tobytes()
     raw = cells.tobytes()
@@ -178,7 +178,7 @@ def _read_header(path: str) -> Tuple[Dict[str, Any], int]:
     return header, _PRELUDE_SIZE + header_len
 
 
-def _map_ints(path: str, data_offset: int, total: int, mmap: bool):
+def _map_ints(path: str, data_offset: int, total: int, mmap: bool) -> Any:
     """The whole int64 data region: memmap view, ndarray, or array.array."""
     if _np is not None:
         if total == 0:
@@ -214,7 +214,8 @@ def _verify_data_crc(path: str, data_offset: int, expected: int) -> None:
 
 
 def _encode_properties(vertex_of: List[Hashable], label_of: List[Hashable],
-                       vertex_properties, edge_properties):
+                       vertex_properties: Optional[Dict[Hashable, Dict[str, Any]]],
+                       edge_properties: Optional[Dict[Tuple, Dict[str, Any]]]) -> Dict[str, Any]:
     vertex_ids = {v: i for i, v in enumerate(vertex_of)}
     label_ids = {l: i for i, l in enumerate(label_of)}
     packed_vertices = {}
@@ -236,7 +237,9 @@ def _encode_properties(vertex_of: List[Hashable], label_of: List[Hashable],
     return packed_vertices, packed_edges
 
 
-def _decode_properties(header, vertex_of, label_of):
+def _decode_properties(header: Dict[str, Any], vertex_of: List[Hashable],
+                       label_of: List[Hashable]) -> Tuple[Dict[Hashable, Dict[str, Any]],
+                                                          Dict[Tuple, Dict[str, Any]]]:
     vertex_properties: Dict[Hashable, Dict[str, Any]] = {}
     for index, props in (header.get("vertex_properties") or {}).items():
         vertex_properties[vertex_of[int(index)]] = dict(props)
@@ -247,7 +250,7 @@ def _decode_properties(header, vertex_of, label_of):
     return vertex_properties, edge_properties
 
 
-def _decode_ids(values) -> List[Hashable]:
+def _decode_ids(values: Iterable[Hashable]) -> List[Hashable]:
     """JSON round-trips scalars losslessly; just guard against lists."""
     return list(values)
 
@@ -256,7 +259,7 @@ def _decode_ids(values) -> List[Hashable]:
 # Folding (delta overlay -> dense arrays)
 # ----------------------------------------------------------------------
 
-def fold_view(view) -> Tuple[List[Hashable], List[Hashable],
+def fold_view(view: Any) -> Tuple[List[Hashable], List[Hashable],
                              List[List[Tuple[int, int]]], int]:
     """Flatten any snapshot view to ``(vertex_of, label_of, pairs, |E|)``.
 
@@ -273,10 +276,10 @@ def fold_view(view) -> Tuple[List[Hashable], List[Hashable],
 # Multi-relational snapshots
 # ----------------------------------------------------------------------
 
-def write_adjacency_snapshot(path: str, view, name: str = "",
+def write_adjacency_snapshot(path: str, view: Any, name: str = "",
                              version: int = 0,
-                             vertex_properties=None,
-                             edge_properties=None) -> None:
+                             vertex_properties: Optional[Dict[Hashable, Dict[str, Any]]] = None,
+                             edge_properties: Optional[Dict[Tuple, Dict[str, Any]]] = None) -> None:
     """Spill one adjacency view (base or overlay) to ``path``.
 
     ``view`` is anything :func:`fold_view` accepts; properties are carried
@@ -419,16 +422,16 @@ class _MergedShardView:
     file can be spilled from the shards without re-walking any graph dict.
     """
 
-    def __init__(self, sharded):
+    def __init__(self, sharded: Any):
         self.sharded = sharded
         self.vertex_of = sharded.vertex_of
         self.label_of = sharded.label_of
         self.num_slots = sharded.num_vertices
 
-    def live_vertex_ids(self):
+    def live_vertex_ids(self) -> Iterable[int]:
         return range(self.num_slots)
 
-    def out_neighbors(self, vertex_id: int, label_id: int):
+    def out_neighbors(self, vertex_id: int, label_id: int) -> Any:
         shard = self.sharded.shards[self.sharded.shard_for(vertex_id)]
         return shard.out_neighbors(vertex_id, label_id)
 
@@ -437,7 +440,7 @@ def _shard_file_name(index: int) -> str:
     return "shard-{:04d}.rcsr".format(index)
 
 
-def write_sharded_snapshots(directory: str, sharded, name: str = "",
+def write_sharded_snapshots(directory: str, sharded: Any, name: str = "",
                             write_full: bool = True) -> Dict[str, Any]:
     """Spill a :class:`~repro.graph.sharding.ShardedSnapshot` to ``directory``.
 
@@ -449,7 +452,7 @@ def write_sharded_snapshots(directory: str, sharded, name: str = "",
     """
     os.makedirs(directory, exist_ok=True)
 
-    def write_replacing(file_name: str, view) -> None:
+    def write_replacing(file_name: str, view: Any) -> None:
         # Never truncate a live file in place: a crash mid-rewrite must
         # not leave a half-written shard under a name the (still old)
         # manifest vouches for, and long-lived workers may hold the old
@@ -542,7 +545,7 @@ def open_shard(directory: str, index: int, mmap: bool = True
     return snapshot, (lo, hi)
 
 
-def open_sharded_snapshot(directory: str, mmap: bool = True):
+def open_sharded_snapshot(directory: str, mmap: bool = True) -> Any:
     """Reopen every shard of a shard directory as a ``ShardedSnapshot``."""
     from repro.graph.sharding import ShardedSnapshot
     manifest = read_shard_manifest(directory)

@@ -51,6 +51,7 @@ from repro.graph.compact import (
 )
 from repro.graph.generators import uniform_random
 from repro.rpq import (
+    LabelEmpty,
     lconcat,
     lstar,
     lunion,
@@ -248,3 +249,75 @@ class TestDiGraphKernelDifferential:
         # them into a fresh base.
         assert overlay_steps > 0
         assert len(base_identities) > 1
+
+
+class TestPrunedDfaDifferential:
+    """Pre-flight DFA pruning is invisible to query results under churn.
+
+    Interleaves random mutations with queries answered three ways — the
+    dict reference, the compact kernel on the *unpruned* automaton, and
+    the compact kernel on the *pruned* automaton — asserting exact parity
+    at every step, plus the engine path (cached pruned DFA + provable-
+    emptiness short-circuits) on top.  The expression mix includes a label
+    the graph never carries (always provably empty) and a union branch
+    that dead-ends in the empty language — subset construction emits a
+    real trap state for it, so the pruner has actual work; the harness
+    asserts both pruning and emptiness verdicts occurred.
+    """
+
+    # (label expression, equivalent PathQL) pairs: the engine speaks
+    # PathQL, the reference and kernels speak label expressions.  PathQL
+    # of None skips the engine check (the rewriter folds embedded empty
+    # languages away before the engine ever sees the trap state).
+    CASES = [
+        (lunion(sym("a"), lconcat(sym("b"), LabelEmpty())), None),
+        (lconcat(sym("a"), sym("b")),
+         "[_, a, _] . [_, b, _]"),
+        (lconcat(sym("a"), lstar(sym("b"))),
+         "[_, a, _] . [_, b, _]*"),
+        (lunion(lconcat(sym("a"), sym("b")), lstar(sym("c"))),
+         "([_, a, _] . [_, b, _]) | [_, c, _]*"),
+        (lconcat(sym("a"), sym("zz")),
+         "[_, a, _] . [_, zz, _]"),
+        (lconcat(lstar(sym("c")), sym("b")),
+         "[_, c, _]* . [_, b, _]"),
+    ]
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_pruned_equals_unpruned_at_every_step(self, seed):
+        from repro.analysis.query import analyze_compiled_query, prune_dfa
+        from repro.engine import Engine
+        from repro.graph.compact import rpq_pairs_compact
+        from repro.rpq.evaluation import compile_rpq
+
+        rng = random.Random(seed)
+        graph = uniform_random(30, 120, labels=LABELS, seed=seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        engine = Engine(graph)
+        states_pruned = 0
+        empty_verdicts = 0
+        for step in range(200):
+            _mutate_mrg(graph, rng, vertices, step)
+            label_expression, pathql = self.CASES[step % len(self.CASES)]
+            reference = rpq_pairs_basic(graph, label_expression)
+
+            unpruned = compile_rpq(label_expression, graph)
+            pruned, removed = prune_dfa(unpruned)
+            states_pruned += removed
+            assert rpq_pairs_compact(graph, unpruned) == reference, \
+                "unpruned kernel diverged at step {}".format(step)
+            assert rpq_pairs_compact(graph, pruned) == reference, \
+                "pruned kernel diverged at step {}".format(step)
+
+            diagnostics = analyze_compiled_query(unpruned, label_expression,
+                                                 graph.labels())
+            if diagnostics.empty:
+                empty_verdicts += 1
+                assert reference == frozenset(), \
+                    "unsound emptiness verdict at step {}".format(step)
+
+            if pathql is not None:
+                assert engine.pairs(pathql) == reference, \
+                    "engine path diverged at step {}".format(step)
+        assert states_pruned > 0, "churn never produced a prunable DFA"
+        assert empty_verdicts > 0, "churn never produced an empty verdict"
