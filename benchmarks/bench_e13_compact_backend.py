@@ -31,6 +31,11 @@ distributions, the hot paths the compact backend rewrote:
   replay, :mod:`repro.storage`) vs rebuilding the same 12k-edge graph
   from its triple CSV, gated at >= 5x with identical query answers —
   the regression gate for the snapshot-store reopen path,
+* **the async service tier** (:mod:`repro.service`): a warm result-cache
+  hit through ``AsyncEngine.pairs`` must beat uncached evaluation >= 20x,
+  the awaitable facade may add <= 10% over direct ``Engine.pairs`` on a
+  cache-miss sweep, and a deadline set below a sweep's runtime must
+  cancel near the budget with the very next query succeeding,
 * **sharded parallelism**: the all-sources RPQ sweep and the sharded
   pagerank power iteration on a 50k-edge graph, 4 fan-out workers
   (:mod:`repro.engine.parallel`) vs the single-core compact kernels,
@@ -606,6 +611,142 @@ def bench_digraph_churn(rows, quick):
         steps, num_edges), rebuild_s, incremental_s))
 
 
+#: A warm result-cache hit served through the async service tier must
+#: beat recomputing the same query uncached by at least this factor.
+SERVICE_CACHE_SPEEDUP_FLOOR = 20.0
+
+#: Awaiting a cache-miss query through AsyncEngine (slot admission +
+#: executor round trip + deadline plumbing) may cost at most this fraction
+#: over calling the blocking ``Engine.pairs`` directly.
+SERVICE_ASYNC_OVERHEAD_CEILING = 0.10
+
+
+def bench_service(rows, quick):
+    """The async service tier: cache wins, facade overhead, deadline cuts.
+
+    Three gates for :mod:`repro.service` on the 12k-edge graph:
+
+    * a warm result-cache hit through ``AsyncEngine.pairs`` (the loop-side
+      fast path — no executor round trip, no slot) must beat the uncached
+      evaluation by >= ``SERVICE_CACHE_SPEEDUP_FLOOR``x,
+    * on a **cache-miss** source-restricted sweep (~tens of ms of kernel
+      work) the awaitable facade must add at most
+      ``SERVICE_ASYNC_OVERHEAD_CEILING`` over direct ``Engine.pairs``, and
+    * a per-query deadline set well below a sweep's runtime must cancel
+      reliably — :class:`DeadlineExceededError` near the budget, not near
+      the sweep time — and the very next query on the same engine must
+      succeed (an abandoned kernel cannot poison the shared executor).
+
+    Sizes do not shrink under ``--quick``: dispatch overhead is only
+    meaningful against a realistically sized kernel.
+    """
+    import asyncio
+
+    from repro.engine import Engine, QueryCache
+    from repro.errors import DeadlineExceededError
+    from repro.service import AsyncEngine
+
+    num_vertices, num_edges = 1500, 12000
+    graph = uniform_random(num_vertices, num_edges, labels=("a", "b", "c"),
+                           seed=67)
+    adjacency_snapshot(graph)  # base CSR built outside every timed region
+    vertices = sorted(graph.vertices())
+    query = "[_, a, _] . [_, b, _]*"
+    miss_sources = vertices[:16]
+
+    # -- facade overhead on a cache-miss query (no cache: always a miss).
+    uncached = Engine(graph)
+    uncached.pairs(query, sources=miss_sources)  # warm parse/DFA caches
+    calls = 3 if quick else 6
+
+    def run_direct():
+        for _ in range(calls):
+            uncached.pairs(query, sources=miss_sources)
+
+    async def run_awaited_once(service):
+        for _ in range(calls):
+            await service.pairs(query, sources=miss_sources)
+
+    def run_awaited():
+        async def main():
+            async with AsyncEngine(uncached, max_workers=2) as service:
+                await service.pairs(query, sources=miss_sources)  # warm
+                gc.collect()
+                started = time.perf_counter()
+                await run_awaited_once(service)
+                return time.perf_counter() - started
+        return asyncio.run(main())
+
+    _, direct_s = timed(run_direct)
+    awaited_s = min(run_awaited() for _ in range(3))
+    overhead = awaited_s / direct_s - 1.0
+    assert overhead <= SERVICE_ASYNC_OVERHEAD_CEILING, \
+        "AsyncEngine facade adds {:.1%} over direct Engine.pairs " \
+        "({:.4f}s vs {:.4f}s for {} cache-miss calls); ceiling is " \
+        "{:.0%}".format(overhead, awaited_s, direct_s, calls,
+                        SERVICE_ASYNC_OVERHEAD_CEILING)
+    rows.append(("service facade x{} cache-miss calls ({:+.1%})".format(
+        calls, overhead), awaited_s, direct_s))
+
+    # -- warm cache hit through the service vs uncached evaluation.
+    cached_engine = Engine(graph, cache=QueryCache(capacity=16))
+
+    async def cache_contest():
+        async with AsyncEngine(cached_engine, max_workers=2) as service:
+            await service.pairs(query, sources=miss_sources)  # fill
+            hits_before = service.counters["cache_fast_hits"]
+            gc.collect()
+            started = time.perf_counter()
+            repeats = 20
+            for _ in range(repeats):
+                await service.pairs(query, sources=miss_sources)
+            hit_s = (time.perf_counter() - started) / repeats
+            assert service.counters["cache_fast_hits"] \
+                == hits_before + repeats, "warm queries must hit the " \
+                "loop-side cache fast path"
+            return hit_s
+
+    hit_s = asyncio.run(cache_contest())
+    miss_s = direct_s / calls
+    assert miss_s / hit_s >= SERVICE_CACHE_SPEEDUP_FLOOR, \
+        "warm service cache hit ({:.6f}s) must beat uncached evaluation " \
+        "({:.6f}s) by >= {}x".format(hit_s, miss_s,
+                                     SERVICE_CACHE_SPEEDUP_FLOOR)
+    rows.append(("service warm cache hit vs uncached query", miss_s, hit_s))
+
+    # -- deadlines cancel reliably, and the engine survives them.
+    async def deadline_contest():
+        sweep_sources = vertices[:64]
+        async with AsyncEngine(Engine(graph), max_workers=2) as service:
+            await service.pairs(query, sources=sweep_sources)  # warm
+            gc.collect()
+            started = time.perf_counter()
+            _, sweep_s = timed(lambda: service.engine.pairs(
+                query, sources=sweep_sources))
+            budget = max(0.005, sweep_s / 4.0)
+            started = time.perf_counter()
+            try:
+                await service.pairs(query, sources=sweep_sources,
+                                    deadline=budget)
+            except DeadlineExceededError:
+                cancelled_s = time.perf_counter() - started
+            else:
+                raise AssertionError(
+                    "a {:.4f}s deadline under a {:.4f}s sweep must "
+                    "cancel".format(budget, sweep_s))
+            assert cancelled_s < sweep_s * 0.75, \
+                "cancellation fired at {:.4f}s — near the sweep time " \
+                "({:.4f}s), not the {:.4f}s budget".format(
+                    cancelled_s, sweep_s, budget)
+            # The shared executor is not poisoned: next query answers.
+            follow_up = await service.pairs(query, sources=miss_sources)
+            assert follow_up == uncached.pairs(query, sources=miss_sources)
+            return sweep_s, cancelled_s
+
+    sweep_s, cancelled_s = asyncio.run(deadline_contest())
+    rows.append(("service deadline cut vs full sweep", sweep_s, cancelled_s))
+
+
 def write_json_record(path, args, rows, parallel_record):
     """Spill the run as one machine-readable trajectory record."""
     record = {
@@ -619,6 +760,8 @@ def write_json_record(path, args, rows, parallel_record):
             "preflight_overhead_ceiling": PREFLIGHT_OVERHEAD_CEILING,
             "persistence_speedup_floor": PERSISTENCE_SPEEDUP_FLOOR,
             "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+            "service_cache_speedup_floor": SERVICE_CACHE_SPEEDUP_FLOOR,
+            "service_async_overhead_ceiling": SERVICE_ASYNC_OVERHEAD_CEILING,
         },
         "rows": [
             {"scenario": name, "baseline_s": baseline, "contender_s": fast,
@@ -673,6 +816,7 @@ def main():
     if HAVE_NUMPY:
         bench_digraph_churn(rows, args.quick)
     bench_persistence(rows, args.quick)
+    bench_service(rows, args.quick)
     bench_parallel(rows, args.quick, parallel_record)
     report(rows)
     print("all compact/seed answer sets identical; "
@@ -682,10 +826,13 @@ def main():
           "provably-empty queries short-circuit with zero kernel "
           "dispatch; "
           "persistent reopen beats csv rebuild >= {}x; "
+          "service cache hits beat uncached >= {}x, facade overhead "
+          "<= {:.0%}, deadlines cancel with a live follow-up; "
           "sharded fan-out beats single-core >= {}x at {} workers "
           "(or skipped on small machines)".format(
               SELECTIVE_SPEEDUP_FLOOR, PREFLIGHT_OVERHEAD_CEILING,
-              PERSISTENCE_SPEEDUP_FLOOR, PARALLEL_SPEEDUP_FLOOR,
+              PERSISTENCE_SPEEDUP_FLOOR, SERVICE_CACHE_SPEEDUP_FLOOR,
+              SERVICE_ASYNC_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
               PARALLEL_WORKERS))
     if args.json:
         write_json_record(args.json, args, rows, parallel_record)

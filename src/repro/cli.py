@@ -12,6 +12,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli db checkpoint DIR
     python -m repro.cli db info DIR [--verify]
     python -m repro.cli db shard DIR [--shards N] [--out SUBDIR]
+    python -m repro.cli serve ROOT [--host H] [--port P] [--token T=TENANT]
+                                   [--workers N] [--max-concurrency N]
+                                   [--queue-depth N] [--deadline-ms MS]
+                                   [--cache N] [--quota TENANT=N]
 
 ``GRAPH_FILE`` may be triple CSV (``.csv``/``.txt``), JSON (``.json``) or
 GraphML (``.graphml``/``.xml``); the loader dispatches on extension.
@@ -23,6 +27,11 @@ graph file, ``open`` recovers one (optionally running a query against it),
 reports manifest/WAL/recovery state as JSON, and ``shard`` spills the
 store's snapshot as per-vertex-range shard files (``docs/sharding.md``)
 so parallel worker processes can mmap just the rows they own.
+
+``serve`` runs the async HTTP/JSON query service (``docs/serving.md``)
+over a directory of stores: one subdirectory per graph name, multi-tenant
+bearer-token auth, per-request deadlines, 429 shedding with
+``Retry-After``, and a version-keyed result cache shared across graphs.
 """
 
 from __future__ import annotations
@@ -137,6 +146,35 @@ def build_parser() -> argparse.ArgumentParser:
     db_shard.add_argument("--out", default="shards",
                           help="output subdirectory inside the store "
                                "(default: shards)")
+
+    serve = commands.add_parser(
+        "serve", help="run the async HTTP/JSON query service over a "
+                      "directory of graph stores")
+    serve.add_argument("root", help="directory holding one store "
+                                    "subdirectory per graph name")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one and prints it)")
+    serve.add_argument("--token", action="append", default=[],
+                       metavar="TOKEN=TENANT",
+                       help="accept bearer TOKEN for TENANT (repeatable; "
+                            "none = open access as tenant 'anonymous')")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads shared across graphs")
+    serve.add_argument("--max-concurrency", type=int, default=None,
+                       help="concurrent queries per graph "
+                            "(default: --workers)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="waiting queries per graph before shedding "
+                            "with 429 (default: 32)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-query deadline in milliseconds")
+    serve.add_argument("--cache", type=int, default=256,
+                       help="shared result-cache capacity (0 disables)")
+    serve.add_argument("--quota", action="append", default=[],
+                       metavar="TENANT=N",
+                       help="per-tenant concurrent-query quota "
+                            "(repeatable; default 8 each)")
     return parser
 
 
@@ -232,6 +270,61 @@ def _run_db(args, out) -> None:
         out.write(json.dumps(manifest, indent=2, default=str) + "\n")
 
 
+def _parse_mapping(pairs, flag):
+    """``KEY=VALUE`` repeatable-flag entries as a dict."""
+    mapping = {}
+    for item in pairs:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise PathAlgebraError(
+                "{} expects KEY=VALUE, got {!r}".format(flag, item))
+        mapping[key] = value
+    return mapping
+
+
+def _run_serve(args, out) -> int:
+    """``repro serve``: the async HTTP/JSON query service (docs/serving.md)."""
+    import asyncio
+    import signal
+
+    from repro.service import serve as service_serve
+
+    tokens = _parse_mapping(args.token, "--token")
+    quotas = {tenant: int(count) for tenant, count in
+              _parse_mapping(args.quota, "--quota").items()}
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise PathAlgebraError("--deadline-ms must be positive")
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+
+        def ready(host: str, port: int) -> None:
+            out.write("serving {} on http://{}:{}\n".format(
+                args.root, host, port))
+            out.flush()
+
+        try:
+            await service_serve(
+                args.root, host=args.host, port=args.port, tokens=tokens,
+                ready=ready, stop_event=stop,
+                max_workers=args.workers,
+                max_concurrency=args.max_concurrency,
+                max_queue_depth=args.queue_depth,
+                default_deadline=None if args.deadline_ms is None
+                else args.deadline_ms / 1000.0,
+                cache_capacity=args.cache, quotas=quotas)
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+
+    asyncio.run(run())
+    out.write("shutdown complete\n")
+    return 0
+
+
 def main(argv: Optional[list] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -253,6 +346,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
             out.write(graph_to_dot(load_graph(args.graph)) + "\n")
         elif args.command == "db":
             _run_db(args, out)
+        elif args.command == "serve":
+            return _run_serve(args, out)
         elif args.command == "demo":
             out.write("Figure 1 query over the built-in Figure 1 graph:\n")
             out.write("  {}\n\n".format(FIGURE1_QUERY))

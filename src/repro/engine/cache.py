@@ -6,84 +6,119 @@ invalidation: every :class:`MultiRelationalGraph` mutation bumps a version
 counter, and cache keys embed it — any stale entry simply never matches
 again and ages out of the LRU.
 
-The cache stores whole :class:`PathSet` results (immutable, so sharing is
-safe).  Only full-result strategies use it; ``limit`` queries bypass caching
-(a truncated result is not reusable).
+The cache stores whole immutable results — :class:`PathSet` for ``query()``
+entries, frozen pair sets for ``pairs()`` entries (keyed apart by ``kind``).
+Only full-result calls use it; ``limit`` queries bypass caching (a truncated
+result is not reusable).
+
+Key audit (PR 7)
+----------------
+The key must cover **every parameter that can change the result**.  PRs 3-6
+added ``sources``/``targets`` endpoint filters to the pairs path, so the key
+now embeds them (``None`` = unfiltered keeps its own slot).  Two parameters
+are deliberately *not* in the key: ``processes`` (the fan-out merges to the
+same answer set by construction — tests/test_parallel.py pins that) and the
+traversal direction (derived from expression + filters + statistics, all of
+which the key already covers through expression/filters/version).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Any, FrozenSet, Hashable, Optional, Tuple
 
-from repro.core.pathset import PathSet
 from repro.regex.ast import RegexExpr
 
 __all__ = ["QueryCache"]
 
 
 class QueryCache:
-    """A bounded LRU of ``(expression, bound, graph identity+version) -> PathSet``.
+    """A bounded LRU of ``(kind, expression, bound, filters, graph identity+version) -> result``.
 
     The key embeds a **per-graph token** besides the mutation version: one
     cache instance may be shared by engines over different graphs, and two
     graphs easily agree on ``version()`` (every fresh graph starts at the
     same counter) while holding different edges — without the token they
     would serve each other's results.
+
+    All operations are thread-safe: the service tier's
+    :class:`~repro.service.AsyncEngine` probes and fills one shared cache
+    from multiple executor threads.
     """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple, PathSet]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def _key(self, expression: RegexExpr, max_length: int,
-             graph_version: int, strategy: str, graph_token) -> Tuple:
+    @staticmethod
+    def _key(expression: RegexExpr, max_length: Optional[int],
+             graph_version: int, strategy: str, graph_token,
+             sources: Optional[FrozenSet[Hashable]],
+             targets: Optional[FrozenSet[Hashable]],
+             kind: str) -> Tuple:
         # Strategy is part of the key only to keep benchmark comparisons
         # honest; all strategies return equal sets, so sharing across them
         # would also be sound.  The token is NOT optional soundness-wise —
-        # see the class docstring.
-        return (expression, max_length, graph_version, strategy, graph_token)
+        # see the class docstring — and neither are the endpoint filters:
+        # two pairs() calls differing only in sources/targets return
+        # different sets, so each filter combination gets its own slot.
+        sources = None if sources is None else frozenset(sources)
+        targets = None if targets is None else frozenset(targets)
+        return (kind, expression, max_length, graph_version, strategy,
+                graph_token, sources, targets)
 
-    def get(self, expression: RegexExpr, max_length: int,
+    def get(self, expression: RegexExpr, max_length: Optional[int],
             graph_version: int, strategy: str,
-            graph_token=None) -> Optional[PathSet]:
+            graph_token=None,
+            sources: Optional[FrozenSet[Hashable]] = None,
+            targets: Optional[FrozenSet[Hashable]] = None,
+            kind: str = "paths") -> Optional[Any]:
         """The cached result, or None; a hit refreshes LRU recency."""
         key = self._key(expression, max_length, graph_version, strategy,
-                        graph_token)
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return result
+                        graph_token, sources, targets, kind)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
 
-    def put(self, expression: RegexExpr, max_length: int,
-            graph_version: int, strategy: str, result: PathSet,
-            graph_token=None) -> None:
+    def put(self, expression: RegexExpr, max_length: Optional[int],
+            graph_version: int, strategy: str, result: Any,
+            graph_token=None,
+            sources: Optional[FrozenSet[Hashable]] = None,
+            targets: Optional[FrozenSet[Hashable]] = None,
+            kind: str = "paths") -> None:
         """Insert a result, evicting the least recently used beyond capacity."""
         key = self._key(expression, max_length, graph_version, strategy,
-                        graph_token)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+                        graph_token, sources, targets, kind)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def stats(self) -> dict:
         """Hit/miss/occupancy counters (``Engine.cache_stats`` feeds on
         this shape for both of its caches)."""
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries), "capacity": self.capacity}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries), "capacity": self.capacity}
 
     def clear(self) -> None:
         """Drop all entries and reset counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -53,6 +53,7 @@ True
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -164,8 +165,11 @@ class Engine:
         self._dfa_cache_hits = 0
         self._dfa_cache_misses = 0
         # Lazily created fan-out executor (see repro.engine.parallel);
-        # rebuilt when a call asks for a different worker count.
+        # rebuilt when a call asks for a different worker count.  The lock
+        # keeps the swap-and-close safe when a service tier drives one
+        # engine from several executor threads.
         self._parallel = None
+        self._parallel_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -280,23 +284,38 @@ class Engine:
         for a different worker or shard count replaces it.
         """
         from repro.engine.parallel import ParallelExecutor
-        executor = self._parallel
-        if executor is not None \
-                and executor.processes == choice.processes \
-                and executor.num_shards == choice.shards:
+        with self._parallel_lock:
+            executor = self._parallel
+            if executor is not None \
+                    and executor.processes == choice.processes \
+                    and executor.num_shards == choice.shards:
+                return executor
+            if executor is not None:
+                executor.close()
+            executor = ParallelExecutor(self.graph,
+                                        processes=choice.processes,
+                                        num_shards=choice.shards)
+            self._parallel = executor
             return executor
-        if executor is not None:
-            executor.close()
-        executor = ParallelExecutor(self.graph, processes=choice.processes,
-                                    num_shards=choice.shards)
-        self._parallel = executor
-        return executor
 
     def close(self) -> None:
-        """Release the parallel worker pool (if one was ever started)."""
-        if self._parallel is not None:
-            self._parallel.close()
-            self._parallel = None
+        """Release the parallel worker pool (if one was ever started).
+
+        Idempotent and thread-safe: a server shutdown may race a late
+        query's executor swap, and both may run `close` more than once —
+        the pool is drained gracefully exactly once either way (see
+        :meth:`ParallelExecutor.close`), so no semaphores or workers leak.
+        """
+        with self._parallel_lock:
+            executor, self._parallel = self._parallel, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def compile(self, query: Union[str, RegexExpr]) -> RegexExpr:
         """PathQL text -> AST (ASTs pass through), algebraically normalized.
@@ -476,7 +495,61 @@ class Engine:
         single-core, ``N > 1`` requests N workers.  Selective directions
         (backward / bidirectional) always stay single-core — they were
         chosen precisely because little work remains to split.
+
+        When the engine carries a :class:`QueryCache`, the returned pair
+        set is cached under ``(expression, max_length, sources, targets,
+        graph version+token)`` — every parameter that can change the
+        answer (``processes`` only changes the wall-clock, never the set,
+        so it is deliberately not in the key).
         """
+        expression = self.compile(query)
+        sources_key = None if sources is None else frozenset(sources)
+        targets_key = None if targets is None else frozenset(targets)
+        # The version is read once, before evaluation: a mutation racing
+        # the kernel must not let a result computed at version N be
+        # stored — and later served — under version N+1.
+        version = self.graph.version()
+        if self.cache is not None:
+            cached = self.cache.get(
+                expression, max_length, version, "pairs",
+                graph_token=self._graph_token, sources=sources_key,
+                targets=targets_key, kind="pairs")
+            if cached is not None:
+                return cached
+        result = self._pairs_computed(expression, sources_key, targets_key,
+                                      max_length, processes)
+        if self.cache is not None:
+            self.cache.put(
+                expression, max_length, version, "pairs",
+                result, graph_token=self._graph_token, sources=sources_key,
+                targets=targets_key, kind="pairs")
+        return result
+
+    def cached_pairs(self, query: Union[str, RegexExpr],
+                     sources: Optional[frozenset] = None,
+                     targets: Optional[frozenset] = None,
+                     max_length: Optional[int] = None) -> Optional[frozenset]:
+        """The cached :meth:`pairs` result, or ``None`` — pure O(lookup).
+
+        Never dispatches a kernel; the service tier probes this in the
+        event loop before paying an executor round trip.
+        """
+        if self.cache is None:
+            return None
+        expression = self.compile(query)
+        return self.cache.get(
+            expression, max_length, self.graph.version(), "pairs",
+            graph_token=self._graph_token,
+            sources=None if sources is None else frozenset(sources),
+            targets=None if targets is None else frozenset(targets),
+            kind="pairs")
+
+    def _pairs_computed(self, expression: RegexExpr,
+                        sources: Optional[frozenset],
+                        targets: Optional[frozenset],
+                        max_length: Optional[int],
+                        processes: Optional[int]) -> frozenset:
+        """The uncached :meth:`pairs` evaluation (see its docstring)."""
         from repro.engine.executor import endpoint_pairs
         from repro.graph.compact import (
             rpq_pairs_backward,
@@ -484,7 +557,6 @@ class Engine:
             rpq_pairs_compact,
         )
         from repro.rpq.evaluation import lower_to_constrained_query
-        expression = self.compile(query)
         if max_length is None:
             constrained = lower_to_constrained_query(expression)
             if constrained is not None:
@@ -540,8 +612,16 @@ class Engine:
         expressions = [self.compile(query) for query in queries]
         results: list = [None] * len(expressions)
         fan_out = []  # (index, dfa) for the batched forward sweeps
+        version = self.graph.version()
         if max_length is None and sources is None and targets is None:
             for index, expression in enumerate(expressions):
+                if self.cache is not None:
+                    cached = self.cache.get(
+                        expression, None, version, "pairs",
+                        graph_token=self._graph_token, kind="pairs")
+                    if cached is not None:
+                        results[index] = cached
+                        continue
                 constrained = lower_to_constrained_query(expression)
                 if constrained is None or not constrained.label_only:
                     continue
@@ -567,6 +647,11 @@ class Engine:
                           for _, dfa in fan_out]
             for (index, _), answer in zip(fan_out, merged):
                 results[index] = answer
+                if self.cache is not None:
+                    self.cache.put(expressions[index], None, version,
+                                   "pairs", answer,
+                                   graph_token=self._graph_token,
+                                   kind="pairs")
         for index, expression in enumerate(expressions):
             if results[index] is None:
                 # Hand pairs() the compiled AST, not the source string —

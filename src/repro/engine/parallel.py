@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from array import array
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
@@ -279,17 +280,38 @@ class ParallelExecutor:
         return "{} process(es) x {} shard(s), {} mode".format(
             self.processes, self.num_shards, self.mode)
 
-    def close(self) -> None:
-        """Terminate the pool and drop the staged fork payload."""
-        self._teardown_pool()
+    #: How long a graceful shutdown waits for in-flight tasks before
+    #: falling back to ``terminate()``.
+    SHUTDOWN_TIMEOUT = 5.0
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain the pool and drop the staged fork payload (idempotent).
+
+        Workers are asked to finish their current task (``Pool.close`` +
+        ``join``); only when the join has not completed after ``timeout``
+        seconds (default :data:`SHUTDOWN_TIMEOUT`) are they terminated.
+        Going straight to ``terminate()`` used to kill workers mid-task,
+        which under heavy load leaked semaphores and left zombie
+        processes behind a server shutdown.
+        """
+        self._teardown_pool(timeout=timeout)
         _FORK_PAYLOADS.pop(self._token, None)
 
-    def _teardown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_key = None
+    def _teardown_pool(self, timeout: Optional[float] = None) -> None:
+        pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is None:
+            return
+        timeout = self.SHUTDOWN_TIMEOUT if timeout is None else timeout
+        pool.close()
+        # Pool.join has no timeout parameter: join from a helper thread
+        # and escalate to terminate() only if the drain outlives the
+        # budget (a worker wedged in a kernel, or an abandoned map).
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(timeout)
+        if joiner.is_alive():
+            pool.terminate()
+            joiner.join(self.SHUTDOWN_TIMEOUT)
 
     def __enter__(self) -> "ParallelExecutor":
         return self

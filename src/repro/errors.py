@@ -31,6 +31,12 @@ __all__ = [
     "StorageError",
     "AlgorithmError",
     "ConvergenceError",
+    "ServiceError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "QuotaExceededError",
+    "AuthenticationError",
+    "UnknownGraphError",
 ]
 
 
@@ -162,6 +168,69 @@ class StorageError(GraphError):
     checksum, and values the JSON-framed log cannot represent faithfully.
     A *truncated* WAL tail is not an error — recovery silently keeps the
     durable prefix (that is the crash-consistency contract)."""
+
+
+class ServiceError(PathAlgebraError):
+    """Base class for errors raised by the async query service tier."""
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """A query's deadline expired (queued, running, or cancelled).
+
+    ``deadline`` is the budget in seconds the caller set; ``phase`` says
+    where it ran out (``"queued"``, ``"running"`` or ``"cancelled"``).
+    The query's worker slot is reclaimed as soon as its kernel notices —
+    the shared pool stays usable for follow-up queries.
+    """
+
+    def __init__(self, deadline, phase="running"):
+        message = "query exceeded its {:.3f}s deadline ({})".format(
+            deadline, phase) if deadline is not None else \
+            "query was cancelled ({})".format(phase)
+        super().__init__(message)
+        self.deadline = deadline
+        self.phase = phase
+
+
+class OverloadedError(ServiceError):
+    """The service shed this request; retry after a backoff (HTTP 429).
+
+    Raised by admission control when the waiting queue is already at its
+    depth bound — queuing deeper would only grow tail latency, so the
+    request is rejected *before* consuming resources.  ``retry_after`` is
+    the suggested backoff in seconds (surfaced as the ``Retry-After``
+    header by the HTTP tier).
+    """
+
+    def __init__(self, message, retry_after=1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceededError(OverloadedError):
+    """A tenant hit its own concurrency quota (still retriable)."""
+
+    def __init__(self, tenant, quota, retry_after=1.0):
+        super().__init__(
+            "tenant {!r} is at its quota of {} concurrent queries".format(
+                tenant, quota), retry_after=retry_after)
+        self.tenant = tenant
+        self.quota = quota
+
+
+class AuthenticationError(ServiceError):
+    """The request carried no valid API token (HTTP 401)."""
+
+
+class UnknownGraphError(ServiceError, KeyError):
+    """The registry has no graph store under the requested name."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self):
+        return "no graph store named {!r} in the registry".format(self.name)
 
 
 class AlgorithmError(PathAlgebraError):

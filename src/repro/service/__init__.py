@@ -1,0 +1,28 @@
+"""The async query service tier: awaitable engine, registry, HTTP server.
+
+This package turns the single-process library into a serving stack:
+
+* :class:`~repro.service.async_engine.AsyncEngine` — an asyncio facade
+  over :class:`~repro.engine.engine.Engine` with bounded concurrency,
+  per-query deadlines, cooperative cancellation, and admission control.
+* :class:`~repro.service.registry.GraphRegistry` — multi-tenant, named
+  :class:`~repro.storage.PersistentGraph` stores with ref-counted
+  lifecycle and per-tenant quotas.
+* :class:`~repro.service.http.HttpServer` / :func:`~repro.service.http.serve`
+  — the stdlib-only HTTP/JSON front end (``repro serve`` on the CLI).
+
+See ``docs/serving.md`` for the operational guide.
+"""
+
+from repro.service.async_engine import AsyncEngine, Deadline
+from repro.service.http import HttpServer, serve
+from repro.service.registry import GraphHandle, GraphRegistry
+
+__all__ = [
+    "AsyncEngine",
+    "Deadline",
+    "GraphHandle",
+    "GraphRegistry",
+    "HttpServer",
+    "serve",
+]

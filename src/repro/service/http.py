@@ -1,0 +1,424 @@
+"""A minimal asyncio HTTP/1.1 JSON server over the graph registry.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled request framing — no
+new dependencies), one short-lived connection per request
+(``Connection: close``), JSON in/out.  The protocol surface:
+
+==========  =======================================  =====================
+method      path                                     body / response
+==========  =======================================  =====================
+GET         ``/healthz``                             liveness (no auth)
+GET         ``/v1/graphs``                           registry listing
+POST        ``/v1/graphs/{name}/query``              ``{"query": ...}`` →
+                                                     sorted pair list
+POST        ``/v1/graphs/{name}/explain``            EXPLAIN text
+GET         ``/v1/graphs/{name}/stats``              store + cache + slots
+POST        ``/v1/graphs/{name}/mutate``             edge add/remove batch
+POST        ``/v1/graphs/{name}/checkpoint``         fold WAL, new gen
+==========  =======================================  =====================
+
+Query bodies: ``query`` (PathQL text; or ``queries`` for a batch),
+optional ``sources`` / ``targets`` lists, ``max_length``, ``processes``,
+and ``deadline_ms`` — the per-request deadline enforced by
+:class:`~repro.service.async_engine.AsyncEngine`.
+
+Auth and backoff contract
+-------------------------
+``tokens`` maps bearer tokens to tenant names; requests must send
+``Authorization: Bearer <token>`` (pass no tokens to run open, every
+caller the ``"anonymous"`` tenant).  Error mapping:
+
+* 401 — missing/unknown token (``WWW-Authenticate: Bearer``),
+* 404 — unknown graph name,
+* 400 — malformed body, PathQL syntax/compile errors,
+* 429 — shed by admission control or tenant quota; the ``Retry-After``
+  header carries the backoff seconds to wait before retrying,
+* 504 — the request's ``deadline_ms`` expired (queued or running); retry
+  with a larger budget or at lower load,
+* 500 — anything else (the body names the exception class).
+
+Every response carries ``X-Repro-Graph-Version`` when a graph was
+resolved, so clients can correlate answers with mutation versions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.errors import (
+    AuthenticationError,
+    DeadlineExceededError,
+    OverloadedError,
+    PathAlgebraError,
+    ServiceError,
+    UnknownGraphError,
+)
+from repro.service.registry import GraphHandle, GraphRegistry
+
+__all__ = ["HttpServer", "serve"]
+
+#: Largest accepted request body; bigger payloads get a 400.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Budget for a client to deliver its request head + body.
+READ_TIMEOUT = 30.0
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _BadRequest(ServiceError):
+    """Malformed request framing or body (HTTP 400)."""
+
+
+class HttpServer:
+    """The asyncio HTTP front end bound to one :class:`GraphRegistry`."""
+
+    def __init__(self, registry: GraphRegistry,
+                 tokens: Optional[Dict[str, str]] = None,
+                 max_body: int = MAX_BODY_BYTES):
+        self.registry = registry
+        self.tokens = dict(tokens or {})
+        self.max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and serve; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self, deadline: Optional[float] = 30.0) -> None:
+        """Stop accepting, drain queries, close every store (idempotent)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.registry.aclose(deadline=deadline)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = await asyncio.wait_for(
+                    self._read_request(reader), READ_TIMEOUT)
+            except asyncio.TimeoutError:
+                return
+            except (_BadRequest, asyncio.IncompleteReadError,
+                    ConnectionError) as error:
+                await self._respond(writer, 400,
+                                    {"error": str(error) or "bad request",
+                                     "retriable": False})
+                return
+            status, payload, extra = await self._dispatch(
+                method, path, headers, body)
+            await self._respond(writer, status, payload, extra)
+            self.requests_served += 1
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _BadRequest("empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            if ":" in line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise _BadRequest("bad Content-Length") from exc
+        if length > self.max_body:
+            raise _BadRequest(
+                "body of {} bytes exceeds the {} byte limit".format(
+                    length, self.max_body))
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, Any],
+                       extra_headers: Optional[Dict[str, str]] = None
+                       ) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        head = ["HTTP/1.1 {} {}".format(status,
+                                        _STATUS_TEXT.get(status, "Status")),
+                "Content-Type: application/json",
+                "Content-Length: {}".format(len(data)),
+                "Connection: close"]
+        for key, value in (extra_headers or {}).items():
+            head.append("{}: {}".format(key, value))
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + data)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str], body: bytes
+                        ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        started = time.perf_counter()
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, {"status": "ok"}, {}
+            tenant = self._authenticate(headers)
+            if path == "/v1/graphs" and method == "GET":
+                return 200, {"graphs": self.registry.list_graphs(),
+                             "stats": self.registry.stats()}, {}
+            name, action = self._parse_graph_path(path)
+            admission = self.registry.admit(tenant)
+            try:
+                handle = self.registry.acquire(name)
+                try:
+                    payload = await self._run_action(
+                        handle, method, action, self._parse_body(body),
+                        tenant)
+                    version = handle.engine.graph.version()
+                finally:
+                    self.registry.release(name)
+            finally:
+                admission.release()
+            payload.setdefault("elapsed_ms", round(
+                (time.perf_counter() - started) * 1000.0, 3))
+            return 200, payload, {"X-Repro-Graph-Version": str(version)}
+        except AuthenticationError as error:
+            return 401, {"error": str(error), "retriable": False}, \
+                {"WWW-Authenticate": "Bearer"}
+        except UnknownGraphError as error:
+            return 404, {"error": str(error), "retriable": False}, {}
+        except DeadlineExceededError as error:
+            return 504, {"error": str(error), "retriable": True,
+                         "phase": error.phase}, {}
+        except OverloadedError as error:
+            # The backoff contract: 429 + Retry-After, client retries
+            # with jittered exponential backoff from that floor.
+            return 429, {"error": str(error), "retriable": True,
+                         "retry_after": error.retry_after}, \
+                {"Retry-After": "{:g}".format(error.retry_after)}
+        except _BadRequest as error:
+            return 400, {"error": str(error), "retriable": False}, {}
+        except PathAlgebraError as error:
+            return 400, {"error": str(error), "retriable": False,
+                         "type": type(error).__name__}, {}
+        except Exception as error:  # pragma: no cover - defensive surface
+            return 500, {"error": str(error), "retriable": False,
+                         "type": type(error).__name__}, {}
+
+    def _authenticate(self, headers: Dict[str, str]) -> str:
+        if not self.tokens:
+            return "anonymous"
+        authorization = headers.get("authorization", "")
+        scheme, _, token = authorization.partition(" ")
+        if scheme.lower() != "bearer" or token.strip() not in self.tokens:
+            raise AuthenticationError(
+                "missing or unknown bearer token")
+        return self.tokens[token.strip()]
+
+    @staticmethod
+    def _parse_graph_path(path: str) -> Tuple[str, str]:
+        parts = [p for p in path.split("/") if p]
+        # /v1/graphs/{name}/{action}
+        if len(parts) == 4 and parts[0] == "v1" and parts[1] == "graphs":
+            return parts[2], parts[3]
+        raise UnknownGraphError(path)
+
+    def _parse_body(self, body: bytes) -> Dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _BadRequest("body is not valid JSON: {}".format(exc)) \
+                from exc
+        if not isinstance(parsed, dict):
+            raise _BadRequest("body must be a JSON object")
+        return parsed
+
+    # -- actions -------------------------------------------------------
+
+    async def _run_action(self, handle: GraphHandle, method: str,
+                          action: str, body: Dict[str, Any],
+                          tenant: str) -> Dict[str, Any]:
+        runner: Optional[Callable[..., Awaitable[Dict[str, Any]]]] = {
+            ("POST", "query"): self._action_query,
+            ("POST", "explain"): self._action_explain,
+            ("GET", "stats"): self._action_stats,
+            ("POST", "mutate"): self._action_mutate,
+            ("POST", "checkpoint"): self._action_checkpoint,
+        }.get((method, action))
+        if runner is None:
+            raise UnknownGraphError("{} {}".format(method, action))
+        return await runner(handle, body, tenant)
+
+    @staticmethod
+    def _deadline_of(body: Dict[str, Any]) -> Optional[float]:
+        deadline_ms = body.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise _BadRequest("deadline_ms must be a positive number")
+        return float(deadline_ms) / 1000.0
+
+    @staticmethod
+    def _endpoints_of(body: Dict[str, Any], key: str) -> Optional[frozenset]:
+        value = body.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, list):
+            raise _BadRequest("{} must be a list of vertices".format(key))
+        return frozenset(value)
+
+    async def _action_query(self, handle: GraphHandle,
+                            body: Dict[str, Any],
+                            tenant: str) -> Dict[str, Any]:
+        deadline = self._deadline_of(body)
+        sources = self._endpoints_of(body, "sources")
+        targets = self._endpoints_of(body, "targets")
+        max_length = body.get("max_length")
+        processes = body.get("processes")
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not all(
+                    isinstance(q, str) for q in queries):
+                raise _BadRequest("queries must be a list of PathQL strings")
+            answers = await handle.async_engine.pairs_batch(
+                queries, sources=sources, targets=targets,
+                max_length=max_length, processes=processes,
+                deadline=deadline)
+            return {"graph": handle.name, "tenant": tenant,
+                    "results": [{"query": q,
+                                 "count": len(a),
+                                 "pairs": sorted(map(list, a), key=repr)}
+                                for q, a in zip(queries, answers)]}
+        query = body.get("query")
+        if not isinstance(query, str):
+            raise _BadRequest('body must carry "query" (PathQL text)')
+        cache_hits_before = \
+            handle.async_engine.counters["cache_fast_hits"]
+        answer = await handle.async_engine.pairs(
+            query, sources=sources, targets=targets,
+            max_length=max_length, processes=processes, deadline=deadline)
+        cached = handle.async_engine.counters["cache_fast_hits"] \
+            > cache_hits_before
+        return {"graph": handle.name, "tenant": tenant, "query": query,
+                "count": len(answer), "cached": cached,
+                "pairs": sorted(map(list, answer), key=repr)}
+
+    async def _action_explain(self, handle: GraphHandle,
+                              body: Dict[str, Any],
+                              tenant: str) -> Dict[str, Any]:
+        query = body.get("query")
+        if not isinstance(query, str):
+            raise _BadRequest('body must carry "query" (PathQL text)')
+        text = await handle.async_engine.explain(
+            query, max_length=body.get("max_length"),
+            sources=self._endpoints_of(body, "sources"),
+            targets=self._endpoints_of(body, "targets"),
+            deadline=self._deadline_of(body))
+        return {"graph": handle.name, "query": query, "explain": text}
+
+    async def _action_stats(self, handle: GraphHandle,
+                            body: Dict[str, Any],
+                            tenant: str) -> Dict[str, Any]:
+        return {"graph": handle.name, "info": handle.info(),
+                "registry": self.registry.stats()}
+
+    async def _action_mutate(self, handle: GraphHandle,
+                             body: Dict[str, Any],
+                             tenant: str) -> Dict[str, Any]:
+        additions = body.get("add_edges", [])
+        removals = body.get("remove_edges", [])
+        for triples, label_ in ((additions, "add_edges"),
+                                (removals, "remove_edges")):
+            if not isinstance(triples, list) or not all(
+                    isinstance(t, list) and len(t) == 3 for t in triples):
+                raise _BadRequest(
+                    "{} must be a list of [tail, label, head] "
+                    "triples".format(label_))
+        if not additions and not removals:
+            raise _BadRequest("mutate body carries no add_edges/remove_edges")
+
+        def apply(graph) -> Dict[str, int]:
+            added = removed = 0
+            for tail, label, head in additions:
+                graph.add_edge(tail, label, head)
+                added += 1
+            for tail, label, head in removals:
+                if graph.has_edge(tail, label, head):
+                    graph.remove_edge(tail, label, head)
+                    removed += 1
+            return {"added": added, "removed": removed}
+
+        outcome = await handle.async_engine.mutate(
+            apply, deadline=self._deadline_of(body))
+        outcome.update(graph=handle.name,
+                       version=handle.engine.graph.version())
+        return outcome
+
+    async def _action_checkpoint(self, handle: GraphHandle,
+                                 body: Dict[str, Any],
+                                 tenant: str) -> Dict[str, Any]:
+        info = await handle.checkpoint(deadline=self._deadline_of(body))
+        return {"graph": handle.name, "info": info}
+
+
+async def serve(root: str, host: str = "127.0.0.1", port: int = 8080,
+                tokens: Optional[Dict[str, str]] = None,
+                registry: Optional[GraphRegistry] = None,
+                ready: Optional[Callable[[str, int], None]] = None,
+                stop_event: Optional[asyncio.Event] = None,
+                **registry_options: Any) -> None:
+    """Run the HTTP server until ``stop_event`` is set.
+
+    ``ready(host, port)`` fires once the socket is bound (the CLI prints
+    the endpoint; tests grab the ephemeral port).  Shutdown is graceful:
+    stop accepting, drain in-flight queries, flush and close every store.
+    """
+    own_registry = registry is None
+    if registry is None:
+        registry = GraphRegistry(root, **registry_options)
+    server = HttpServer(registry, tokens=tokens)
+    bound_host, bound_port = await server.start(host=host, port=port)
+    if ready is not None:
+        ready(bound_host, bound_port)
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    try:
+        await stop_event.wait()
+    finally:
+        if own_registry:
+            await server.stop()
+        else:
+            server_only = server._server
+            if server_only is not None:
+                server_only.close()
+                await server_only.wait_closed()
+                server._server = None

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.errors import StorageError
@@ -158,6 +159,11 @@ class PersistentGraph:
         self._adapter = _CompactGraphAdapter()
         self._wal_sink = _WalSink(self)
         self._closed = False
+        # Serializes lifecycle transitions (materialize / checkpoint /
+        # close): the service tier shares one store between query threads
+        # and an admin endpoint, and e.g. two first-mutation calls racing
+        # materialization must build the dict indices exactly once.
+        self._lock = threading.RLock()
         self._recovery: Dict[str, Any] = {"wal_records": 0,
                                           "tail_torn": False}
 
@@ -260,15 +266,21 @@ class PersistentGraph:
             self._overlay = overlay
 
     def close(self) -> None:
-        """Flush the log and detach; the store directory is then quiescent."""
-        if self._closed:
-            return
-        if self._graph is not None:
-            self._graph.detach_wal_sink(self._wal_sink)
-        self._wal.close()
-        self._base = None
-        self._overlay = None
-        self._closed = True
+        """Flush the log and detach; the store directory is then quiescent.
+
+        Idempotent and thread-safe: a server shutdown may close a store
+        from its lifecycle thread while a late request handler does the
+        same, and the WAL must be flushed-then-closed exactly once.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._graph is not None:
+                self._graph.detach_wal_sink(self._wal_sink)
+            self._wal.close()
+            self._base = None
+            self._overlay = None
+            self._closed = True
 
     def flush(self) -> None:
         """Force pending WAL records to disk (fsync per the sync policy)."""
@@ -306,10 +318,11 @@ class PersistentGraph:
         compact-snapshot cache — so compact queries stay rebuild-free —
         and attaches the WAL sink so further mutations are logged.
         """
-        self._check_open()
-        if self._graph is None:
-            self._graph = self._materialize()
-        return self._graph
+        with self._lock:
+            self._check_open()
+            if self._graph is None:
+                self._graph = self._materialize()
+            return self._graph
 
     def _materialize(self) -> MultiRelationalGraph:
         view = self._overlay if self._overlay is not None else self._base
@@ -431,6 +444,10 @@ class PersistentGraph:
         leaves the old generation live and intact; after (2), the new one.
         Returns the refreshed :meth:`info` dict.
         """
+        with self._lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Dict[str, Any]:
         self._check_open()
         self._wal.flush()
         if self._graph is not None:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from typing import IO, List, Optional, Tuple
 
@@ -163,6 +164,10 @@ class WriteAheadLog:
         self.records_durable = 0
         self._pending: List[bytes] = []
         self._pending_records = 0
+        # Serializes append/flush/close: the service tier can drive a
+        # mutation (appending) while a checkpoint flushes the same log
+        # from another thread.
+        self._lock = threading.Lock()
         if scanned is None:
             # Callers that already ran scan_wal (for the replay entries)
             # pass its (durable_end, tail_torn) so the file — which can be
@@ -188,18 +193,28 @@ class WriteAheadLog:
 
     def append(self, entry: Tuple) -> None:
         """Buffer one ``(version, op, *args)`` entry; flush per the policy."""
-        if self._stream is None:
-            raise StorageError("write-ahead log {} is closed".format(self.path))
-        self._pending.append(encode_record(entry))
-        self._pending_records += 1
-        self.records_logged += 1
-        if self.sync == "always" or self._pending_records >= self.batch_size:
-            self.flush()
+        record = encode_record(entry)
+        with self._lock:
+            if self._stream is None:
+                raise StorageError(
+                    "write-ahead log {} is closed".format(self.path))
+            self._pending.append(record)
+            self._pending_records += 1
+            self.records_logged += 1
+            if self.sync == "always" \
+                    or self._pending_records >= self.batch_size:
+                self._flush_pending()
 
     def flush(self) -> None:
         """Write buffered records and (unless ``sync='none'``) fsync them."""
-        if self._stream is None:
-            raise StorageError("write-ahead log {} is closed".format(self.path))
+        with self._lock:
+            if self._stream is None:
+                raise StorageError(
+                    "write-ahead log {} is closed".format(self.path))
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Write+fsync the pending batch; caller holds the lock."""
         if self._pending:
             self._stream.write(b"".join(self._pending))
             flushed = self._pending_records
@@ -215,9 +230,10 @@ class WriteAheadLog:
 
     def tell(self) -> int:
         """Durable byte size of the log (buffered records excluded)."""
-        if self._stream is None:
-            return os.path.getsize(self.path)
-        return self._stream.tell()
+        with self._lock:
+            if self._stream is None:
+                return os.path.getsize(self.path)
+            return self._stream.tell()
 
     @property
     def pending(self) -> int:
@@ -225,11 +241,19 @@ class WriteAheadLog:
         return self._pending_records
 
     def close(self) -> None:
-        """Flush and close; further appends raise."""
-        if self._stream is not None:
-            self.flush()
-            self._stream.close()
-            self._stream = None
+        """Flush pending records and close; further appends raise.
+
+        Idempotent — and the flush-before-close ordering is the
+        durability contract ``sync="batch"`` callers rely on: records
+        appended below ``batch_size`` must hit the disk here, not be
+        silently dropped with the stream (regression-pinned by
+        ``tests/test_storage.py``).
+        """
+        with self._lock:
+            if self._stream is not None:
+                self._flush_pending()
+                self._stream.close()
+                self._stream = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self

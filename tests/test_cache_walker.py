@@ -116,6 +116,40 @@ class TestQueryCache:
         assert len(engine.cache) == 0
         assert engine.cache.hits == 0
 
+    def test_sources_and_targets_key_the_cache(self, engine):
+        """PR 7 regression: sources/targets entered ``pairs()`` in PR 3
+        but the cache key never learned them, so a source-restricted call
+        could poison the unrestricted answer (and vice versa)."""
+        full = engine.pairs("[_, alpha, _]")
+        restricted = engine.pairs("[_, alpha, _]", sources=["i"])
+        assert restricted < full
+        # Both answers must round-trip through the cache unmixed.
+        assert engine.pairs("[_, alpha, _]") == full
+        assert engine.pairs("[_, alpha, _]", sources=["i"]) == restricted
+        assert engine.pairs("[_, alpha, _]", targets=["j"]) < full
+        assert engine.cache.hits == 2
+
+    def test_cache_get_distinguishes_endpoint_sets(self):
+        cache = QueryCache(capacity=8)
+        expr = atom(label="r")
+        cache.put(expr, 4, 0, "pairs", frozenset({("a", "b")}),
+                  sources=frozenset({"a"}), kind="pairs")
+        assert cache.get(expr, 4, 0, "pairs",
+                         sources=frozenset({"a"}), kind="pairs") is not None
+        assert cache.get(expr, 4, 0, "pairs", kind="pairs") is None
+        assert cache.get(expr, 4, 0, "pairs",
+                         sources=frozenset({"z"}), kind="pairs") is None
+        assert cache.get(expr, 4, 0, "pairs", sources=frozenset({"a"}),
+                         targets=frozenset({"b"}), kind="pairs") is None
+
+    def test_pairs_and_query_results_never_collide(self, engine):
+        """The ``kind`` component keeps frozenset pair answers and PathSet
+        query answers apart even for the same expression and bound."""
+        pairs = engine.pairs("[_, alpha, _]", max_length=6)
+        result = engine.query("[_, alpha, _]", max_length=6)
+        assert pairs == {(p.tail, p.head) for p in result.paths}
+        assert engine.pairs("[_, alpha, _]", max_length=6) == pairs
+
 
 class TestGrammarWalker:
     @pytest.fixture

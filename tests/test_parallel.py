@@ -148,6 +148,34 @@ class TestPoolLifecycle:
         executor.close()
         assert token not in parallel_module._FORK_PAYLOADS
 
+    def test_close_joins_live_pool_without_terminate(self):
+        """PR 7 regression: close() used to go straight to terminate(),
+        killing workers mid-write.  A live idle pool must drain via
+        close()/join(); terminate() is only the timeout fallback."""
+        graph = small_graph(seed=47)
+        executor = pool_executor(graph)
+        executor.rpq_pairs(compile_rpq(STAR, graph))
+        pool = executor._pool
+        assert pool is not None
+        terminated = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: (terminated.append(True),
+                                  original_terminate())[-1]
+        executor.close()
+        assert terminated == []
+        assert executor._pool is None
+
+    def test_engine_close_releases_pool_idempotently(self):
+        """Engine.close() with a live pool is graceful and repeatable."""
+        graph = small_graph(seed=53)
+        engine = Engine(graph)
+        answer = engine.pairs("[_, a, _] . [_, b, _]*", processes=2)
+        assert answer == rpq_pairs_basic(graph, STAR)
+        engine.close()
+        engine.close()
+        # The engine stays usable for serial evaluation after close.
+        assert engine.pairs("[_, a, _] . [_, b, _]*") == answer
+
 
 @needs_fork
 class TestFileMode:

@@ -1,0 +1,523 @@
+"""The async query service tier: AsyncEngine, GraphRegistry, HTTP server.
+
+The acceptance bar this file enforces:
+
+* deadlines expire cleanly in every phase (queued, running, batch) and an
+  expired or cancelled query never poisons the shared executor — the very
+  next query on the same engine succeeds,
+* reader/writer exclusivity: concurrent clients querying while a third
+  mutates and checkpoints always observe an answer consistent with *some*
+  graph version (never a torn half-mutation view),
+* admission control sheds at the queue-depth bound (retriable 429
+  semantics) and per-tenant quotas cap in-flight work,
+* the HTTP tier round-trips queries and maps every service error onto the
+  documented status codes (401/404/400/429/504) with backoff headers,
+* the loop-side result-cache fast path answers repeated queries without
+  an executor round trip and invalidates on mutation.
+
+No pytest-asyncio in the container: each test drives its own loop with
+``asyncio.run``.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.engine import Engine, QueryCache
+from repro.errors import (
+    AuthenticationError,
+    DeadlineExceededError,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceError,
+    UnknownGraphError,
+)
+from repro.graph.graph import MultiRelationalGraph
+from repro.service import AsyncEngine, Deadline, GraphRegistry, HttpServer
+from repro.storage import PersistentGraph
+
+CHAIN = 12
+
+
+def chain_graph(name="chain"):
+    graph = MultiRelationalGraph(name=name)
+    for i in range(CHAIN):
+        graph.add_edge(i, "a", i + 1)
+    graph.add_edge(0, "b", CHAIN)
+    return graph
+
+
+def make_async_engine(graph=None, **kwargs):
+    kwargs.setdefault("max_workers", 2)
+    engine = Engine(graph if graph is not None else chain_graph(),
+                    cache=QueryCache(capacity=16))
+    return AsyncEngine(engine, **kwargs)
+
+
+def slow_down(engine, delay):
+    """Wrap ``engine.pairs`` so every evaluation takes >= ``delay``."""
+    original = engine.pairs
+
+    def slow_pairs(*args, **kwargs):
+        time.sleep(delay)
+        return original(*args, **kwargs)
+
+    engine.pairs = slow_pairs
+
+
+class TestDeadline:
+    def test_validation_and_states(self):
+        with pytest.raises(ServiceError):
+            Deadline(0)
+        unbounded = Deadline(None)
+        assert unbounded.remaining() is None and not unbounded.expired()
+        unbounded.cancel()
+        with pytest.raises(DeadlineExceededError) as exc:
+            unbounded.check()
+        assert exc.value.phase == "cancelled"
+
+    def test_expiry(self):
+        budget = Deadline(0.005)
+        time.sleep(0.02)
+        assert budget.expired() and budget.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError) as exc:
+            budget.check(phase="queued")
+        assert exc.value.phase == "queued"
+
+
+class TestAsyncEngine:
+    def test_pairs_matches_blocking_engine(self):
+        async def run():
+            async with make_async_engine() as service:
+                got = await service.pairs("[_, a, _] . [_, a, _]",
+                                          sources=[0])
+                assert got == service.engine.pairs(
+                    "[_, a, _] . [_, a, _]", sources=[0])
+                batch = await service.pairs_batch(["[_, a, _]", "[_, b, _]"])
+                assert batch[1] == frozenset({(0, CHAIN)})
+        asyncio.run(run())
+
+    def test_cache_fast_path_skips_executor(self):
+        async def run():
+            async with make_async_engine() as service:
+                first = await service.pairs("[_, a, _]")
+                submitted = service.counters["submitted"]
+                second = await service.pairs("[_, a, _]")
+                assert second == first
+                assert service.counters["submitted"] == submitted
+                assert service.counters["cache_fast_hits"] == 1
+                # Mutation invalidates: the next call recomputes.
+                await service.mutate(
+                    lambda g: g.add_edge(CHAIN, "a", CHAIN + 1))
+                third = await service.pairs("[_, a, _]")
+                assert (CHAIN, CHAIN + 1) in third
+        asyncio.run(run())
+
+    def test_deadline_expires_while_running(self):
+        async def run():
+            async with make_async_engine() as service:
+                slow_down(service.engine, 0.4)
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    await service.pairs("[_, a, _]", deadline=0.05)
+                assert time.monotonic() - started < 0.3
+                assert service.counters["deadline_exceeded"] == 1
+                # The abandoned kernel finishes in its thread; the engine
+                # (and its executor) stay healthy for the next query.
+                answer = await service.pairs("[_, b, _]", deadline=5.0)
+                assert answer == frozenset({(0, CHAIN)})
+        asyncio.run(run())
+
+    def test_deadline_expires_while_queued(self):
+        async def run():
+            async with make_async_engine(max_concurrency=1) as service:
+                slow_down(service.engine, 0.3)
+                hog = asyncio.ensure_future(service.pairs("[_, a, _]"))
+                await asyncio.sleep(0.05)  # hog owns the only slot
+                with pytest.raises(DeadlineExceededError) as exc:
+                    await service.pairs("[_, b, _]", deadline=0.05)
+                assert exc.value.phase == "queued"
+                assert await hog  # the hog itself is unharmed
+        asyncio.run(run())
+
+    def test_cancellation_does_not_poison_the_pool(self):
+        async def run():
+            async with make_async_engine() as service:
+                slow_down(service.engine, 0.3)
+                victim = asyncio.ensure_future(service.pairs("[_, a, _]"))
+                await asyncio.sleep(0.05)
+                victim.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await victim
+                answer = await service.pairs("[_, b, _]")
+                assert answer == frozenset({(0, CHAIN)})
+                assert service.counters["failed"] == 0
+        asyncio.run(run())
+
+    def test_queue_depth_sheds_with_overloaded(self):
+        async def run():
+            async with make_async_engine(max_concurrency=1,
+                                         max_queue_depth=1) as service:
+                slow_down(service.engine, 0.3)
+                hog = asyncio.ensure_future(service.pairs("[_, a, _]"))
+                await asyncio.sleep(0.05)
+                waiter = asyncio.ensure_future(service.pairs("[_, b, _]"))
+                await asyncio.sleep(0.05)  # waiter fills the queue
+                with pytest.raises(OverloadedError) as exc:
+                    await service.pairs("[_, b, _] . [_, a, _]")
+                assert exc.value.retry_after > 0
+                assert service.counters["shed"] == 1
+                await hog
+                await waiter
+        asyncio.run(run())
+
+    def test_batch_deadline_stops_between_items(self):
+        async def run():
+            async with make_async_engine() as service:
+                slow_down(service.engine, 0.1)
+                queries = ["[_, a, _]"] * 20
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    await service.pairs_batch(queries, deadline=0.15)
+                # Cooperative per-item checks: the worker stops at the
+                # next item boundary instead of grinding through all 20.
+                assert time.monotonic() - started < 1.0
+        asyncio.run(run())
+
+    def test_mutate_is_exclusive_and_versions_are_consistent(self):
+        async def run():
+            async with make_async_engine() as service:
+                observed = []
+
+                async def reader():
+                    for _ in range(10):
+                        observed.append(await service.pairs("[_, a, _]"))
+                        await asyncio.sleep(0)
+
+                async def writer():
+                    for i in range(5):
+                        await service.mutate(
+                            lambda g, i=i: g.add_edge(
+                                CHAIN + i, "a", CHAIN + i + 1))
+                        await asyncio.sleep(0)
+
+                await asyncio.gather(reader(), reader(), writer())
+                # Every observation is a prefix-consistent snapshot: the
+                # chain answer for SOME number of completed mutations.
+                valid = set()
+                edges = frozenset((i, i + 1) for i in range(CHAIN))
+                for done in range(6):
+                    valid.add(edges | frozenset(
+                        (CHAIN + j, CHAIN + j + 1) for j in range(done)))
+                for answer in observed:
+                    assert answer in valid
+                assert service.counters["mutations"] == 5
+        asyncio.run(run())
+
+    def test_closed_engine_refuses_work(self):
+        async def run():
+            service = make_async_engine()
+            await service.aclose()
+            await service.aclose()  # idempotent
+            with pytest.raises(ServiceError):
+                await service.pairs("[_, a, _]")
+        asyncio.run(run())
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    root = tmp_path / "graphs"
+    root.mkdir()
+    for name in ("alpha", "beta"):
+        PersistentGraph.create(str(root / name), chain_graph(name),
+                               name=name).close()
+    return str(root)
+
+
+class TestGraphRegistry:
+    def test_acquire_release_refcounts_and_listing(self, store_root):
+        with GraphRegistry(store_root, max_workers=2) as registry:
+            assert registry.list_graphs() == ["alpha", "beta"]
+            handle = registry.acquire("alpha")
+            again = registry.acquire("alpha")
+            assert again is handle and handle.refcount == 2
+            registry.release("alpha")
+            registry.release("alpha")
+            assert handle.refcount == 0
+            assert registry.stats()["open_graphs"] == ["alpha"]
+
+    def test_unknown_and_hostile_names_rejected(self, store_root):
+        with GraphRegistry(store_root, max_workers=2) as registry:
+            for name in ("missing", "../alpha", "a/b", ".hidden", ""):
+                with pytest.raises(UnknownGraphError):
+                    registry.acquire(name)
+
+    def test_max_open_evicts_least_recently_used_idle(self, store_root):
+        with GraphRegistry(store_root, max_workers=2,
+                           max_open=1) as registry:
+            registry.acquire("alpha")
+            registry.release("alpha")
+            registry.acquire("beta")  # evicts idle alpha
+            names = registry.stats()["open_graphs"]
+            assert names == ["beta"]
+
+    def test_quota_admission(self, store_root):
+        with GraphRegistry(store_root, max_workers=2,
+                           quotas={"alice": 2}) as registry:
+            first = registry.admit("alice")
+            registry.admit("alice")
+            with pytest.raises(QuotaExceededError) as exc:
+                registry.admit("alice")
+            assert exc.value.tenant == "alice"
+            registry.admit("bob")  # separate tenant, separate budget
+            first.release()
+            first.release()  # release-once token: second call is a no-op
+            assert registry.tenants()["alice"] == 1
+            registry.admit("alice")
+
+    def test_shared_cache_is_keyed_per_graph(self, store_root):
+        async def run():
+            registry = GraphRegistry(store_root, max_workers=2)
+            try:
+                alpha = registry.acquire("alpha")
+                beta = registry.acquire("beta")
+                got_a = await alpha.async_engine.pairs("[_, b, _]")
+                got_b = await beta.async_engine.pairs("[_, b, _]")
+                assert got_a == got_b == frozenset({(0, CHAIN)})
+                # Same expression, same version counter — but distinct
+                # graph tokens, so neither fast path crossed graphs.
+                assert alpha.async_engine.counters["cache_fast_hits"] == 0
+                assert beta.async_engine.counters["cache_fast_hits"] == 0
+            finally:
+                await registry.aclose()
+        asyncio.run(run())
+
+    def test_checkpoint_through_writer_slot(self, store_root):
+        async def run():
+            registry = GraphRegistry(store_root, max_workers=2)
+            try:
+                handle = registry.acquire("alpha")
+                await handle.async_engine.mutate(
+                    lambda g: g.add_edge("x", "a", "y"))
+                info = await handle.checkpoint()
+                assert info["generation"] == 2
+                assert info["wal_records_logged"] == 0
+            finally:
+                await registry.aclose()
+            with PersistentGraph.open(store_root + "/alpha") as reopened:
+                assert reopened.graph().has_edge("x", "a", "y")
+        asyncio.run(run())
+
+
+async def http_request(host, port, method, path, body=None, token=None):
+    """A minimal one-shot HTTP/1.1 client for the service under test."""
+    reader, writer = await asyncio.open_connection(host, port)
+    data = b"" if body is None else json.dumps(body).encode()
+    lines = ["{} {} HTTP/1.1".format(method, path), "Host: test",
+             "Content-Length: {}".format(len(data))]
+    if token is not None:
+        lines.append("Authorization: Bearer {}".format(token))
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    headers = {}
+    for line in head_lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, json.loads(payload), headers
+
+
+class TestHttpServer:
+    def run_server(self, store_root, coro_factory, **server_kwargs):
+        async def run():
+            registry = GraphRegistry(store_root, max_workers=2,
+                                     **server_kwargs.pop("registry", {}))
+            server = HttpServer(registry, **server_kwargs)
+            host, port = await server.start()
+            try:
+                await coro_factory(host, port, server)
+            finally:
+                await server.stop()
+        asyncio.run(run())
+
+    def test_query_roundtrip_and_cached_flag(self, store_root):
+        async def scenario(host, port, server):
+            status, payload, headers = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, b, _]"})
+            assert status == 200
+            assert payload["pairs"] == [[0, CHAIN]]
+            assert payload["cached"] is False
+            assert "x-repro-graph-version" in headers
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, b, _]"})
+            assert status == 200 and payload["cached"] is True
+        self.run_server(store_root, scenario)
+
+    def test_batch_sources_targets_and_listing(self, store_root):
+        async def scenario(host, port, server):
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"queries": ["[_, a, _]", "[_, b, _]"], "sources": [0]})
+            assert status == 200
+            by_query = {r["query"]: r for r in payload["results"]}
+            assert by_query["[_, a, _]"]["pairs"] == [[0, 1]]
+            assert by_query["[_, b, _]"]["pairs"] == [[0, CHAIN]]
+            status, payload, _ = await http_request(
+                host, port, "GET", "/v1/graphs")
+            assert status == 200
+            assert payload["graphs"] == ["alpha", "beta"]
+        self.run_server(store_root, scenario)
+
+    def test_healthz_stats_explain(self, store_root):
+        async def scenario(host, port, server):
+            status, payload, _ = await http_request(
+                host, port, "GET", "/healthz")
+            assert (status, payload) == (200, {"status": "ok"})
+            status, payload, _ = await http_request(
+                host, port, "GET", "/v1/graphs/alpha/stats")
+            assert status == 200
+            assert payload["info"]["name"] == "alpha"
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/explain",
+                {"query": "[_, a, _] . [_, b, _]"})
+            assert status == 200
+            assert "atomscan" in payload["explain"].lower()
+        self.run_server(store_root, scenario)
+
+    def test_auth_unknown_and_bad_requests(self, store_root):
+        async def scenario(host, port, server):
+            status, _, headers = await http_request(
+                host, port, "GET", "/v1/graphs/alpha/stats")
+            assert status == 401
+            assert headers["www-authenticate"] == "Bearer"
+            status, _, _ = await http_request(
+                host, port, "GET", "/v1/graphs/alpha/stats", token="bogus")
+            assert status == 401
+            status, _, _ = await http_request(
+                host, port, "GET", "/v1/graphs/nope/stats", token="s3cr3t")
+            assert status == 404
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, a"}, token="s3cr3t")
+            assert status == 400 and payload["retriable"] is False
+            status, _, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"deadline_ms": -5, "query": "[_, a, _]"}, token="s3cr3t")
+            assert status == 400
+        self.run_server(store_root, scenario,
+                        tokens={"s3cr3t": "alice"})
+
+    def test_deadline_maps_to_504(self, store_root):
+        async def scenario(host, port, server):
+            handle = server.registry.acquire("alpha")
+            slow_down(handle.engine, 0.4)
+            server.registry.release("alpha")
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, a, _]", "deadline_ms": 50})
+            assert status == 504 and payload["retriable"] is True
+            # Follow-up without a deadline still answers: no poisoning.
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, b, _]"})
+            assert status == 200 and payload["pairs"] == [[0, CHAIN]]
+        self.run_server(store_root, scenario)
+
+    def test_quota_maps_to_429_with_retry_after(self, store_root):
+        async def scenario(host, port, server):
+            handle = server.registry.acquire("alpha")
+            slow_down(handle.engine, 0.4)
+            server.registry.release("alpha")
+            slow = asyncio.ensure_future(http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, a, _]"}, token="s3cr3t"))
+            await asyncio.sleep(0.1)  # alice's only slot is now busy
+            status, payload, headers = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, b, _]"}, token="s3cr3t")
+            assert status == 429 and payload["retriable"] is True
+            assert float(headers["retry-after"]) > 0
+            status, _, _ = await slow
+            assert status == 200
+            # The slot came back with the admission token.
+            status, _, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, b, _]"}, token="s3cr3t")
+            assert status == 200
+        self.run_server(store_root, scenario,
+                        tokens={"s3cr3t": "alice"},
+                        registry={"quotas": {"alice": 1}})
+
+    def test_mutate_and_checkpoint_endpoints(self, store_root):
+        async def scenario(host, port, server):
+            status, before, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, a, _]", "sources": [CHAIN]})
+            assert status == 200 and before["count"] == 0
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/mutate",
+                {"add_edges": [[CHAIN, "a", CHAIN + 1]],
+                 "remove_edges": [[0, "b", CHAIN]]})
+            assert status == 200
+            assert payload["added"] == 1 and payload["removed"] == 1
+            status, after, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/query",
+                {"query": "[_, a, _]", "sources": [CHAIN]})
+            assert status == 200
+            assert after["pairs"] == [[CHAIN, CHAIN + 1]]
+            status, payload, _ = await http_request(
+                host, port, "POST", "/v1/graphs/alpha/checkpoint", {})
+            assert status == 200 and payload["info"]["generation"] == 2
+        self.run_server(store_root, scenario)
+
+
+class TestConcurrentClientsUnderMutation:
+    """The PR 7 satellite scenario: two asyncio clients query over HTTP
+    while a third mutates and checkpoints the same graph."""
+
+    def test_results_consistent_with_some_version(self, store_root):
+        async def run():
+            registry = GraphRegistry(store_root, max_workers=3)
+            server = HttpServer(registry)
+            host, port = await server.start()
+            observed = []
+            try:
+                async def client():
+                    for _ in range(8):
+                        status, payload, _ = await http_request(
+                            host, port, "POST", "/v1/graphs/alpha/query",
+                            {"query": "[_, a, _]"})
+                        assert status == 200
+                        observed.append(frozenset(
+                            tuple(p) for p in payload["pairs"]))
+
+                async def mutator():
+                    for i in range(4):
+                        status, _, _ = await http_request(
+                            host, port, "POST", "/v1/graphs/alpha/mutate",
+                            {"add_edges": [[CHAIN + i, "a", CHAIN + i + 1]]})
+                        assert status == 200
+                        if i == 1:
+                            status, _, _ = await http_request(
+                                host, port, "POST",
+                                "/v1/graphs/alpha/checkpoint", {})
+                            assert status == 200
+
+                await asyncio.gather(client(), client(), mutator())
+            finally:
+                await server.stop()
+            edges = frozenset((i, i + 1) for i in range(CHAIN))
+            valid = set()
+            for done in range(5):
+                valid.add(edges | frozenset(
+                    (CHAIN + j, CHAIN + j + 1) for j in range(done)))
+            assert observed and all(answer in valid for answer in observed)
+        asyncio.run(run())

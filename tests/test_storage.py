@@ -437,6 +437,21 @@ class TestCrashRecovery:
             assert not store.info()["recovered_tail_torn"]
             assert_store_matches(store, expected)
 
+    def test_close_flushes_pending_batch_records(self, tmp_path):
+        """PR 7 satellite: a clean close() must flush sync="batch" records
+        still sitting below batch_size — only a crash loses them."""
+        directory = str(tmp_path / "store")
+        g = MultiRelationalGraph()
+        store = PersistentGraph.create(directory, graph=g, sync="batch",
+                                       batch_size=1000)
+        g.add_edge("a", "r", "b")
+        g.add_edge("b", "r", "c")
+        assert store._wal._pending  # below batch_size: still buffered
+        store.close()
+        with PersistentGraph.open(directory) as reopened:
+            assert reopened.graph().has_edge("a", "r", "b")
+            assert reopened.graph().has_edge("b", "r", "c")
+
     def test_unflushed_batch_is_the_loss_window(self, tmp_path):
         directory = str(tmp_path / "store")
         g = MultiRelationalGraph()
