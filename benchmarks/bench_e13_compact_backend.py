@@ -36,6 +36,11 @@ distributions, the hot paths the compact backend rewrote:
   the awaitable facade may add <= 10% over direct ``Engine.pairs`` on a
   cache-miss sweep, and a deadline set below a sweep's runtime must
   cancel near the budget with the very next query succeeding,
+* **fault-hook tax**: the disarmed fault-injection hooks compiled into
+  the storage/pool/service hot paths (:mod:`repro.faults`) must cost
+  <= 2% of a hot persistent query — measured structurally (crossings
+  per query x priced per-crossing cost), so the "zero overhead in
+  production" claim is a gate, not a comment,
 * **sharded parallelism**: the all-sources RPQ sweep and the sharded
   pagerank power iteration on a 50k-edge graph, 4 fan-out workers
   (:mod:`repro.engine.parallel`) vs the single-core compact kernels,
@@ -434,6 +439,69 @@ PARALLEL_SPEEDUP_FLOOR = 1.5
 PARALLEL_WORKERS = 4
 
 
+#: Disarmed fault hooks may tax a hot persistent query by at most this
+#: fraction — the "zero-overhead in production" claim of repro.faults.
+FAULT_HOOK_OVERHEAD_CEILING = 0.02
+
+
+def bench_faults(rows, quick):
+    """Disarmed fault-injection hooks must stay under 2% of a hot query.
+
+    Measured structurally, not by differencing two noisy end-to-end
+    timings (a 2% delta drowns in run-to-run variance): an installed but
+    *empty* :class:`~repro.faults.FaultPlan` counts how many hook
+    crossings one hot ``PersistentGraph.pairs`` query performs, a tight
+    loop prices a single disarmed crossing (the production path is one
+    module-global load plus an ``is None`` test — the plan check only
+    runs while chaos tests arm one), and the product of the two is gated
+    against the measured query time.
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults import FaultPlan, clear_plan, fault_hook, install_plan
+    from repro.storage import PersistentGraph
+
+    num_vertices, num_edges = (300, 2500) if quick else (600, 6000)
+    graph = uniform_random(num_vertices, num_edges, labels=("a", "b", "c"),
+                           seed=3)
+    expression = lconcat(sym("a"), lstar(sym("b")))
+    directory = tempfile.mkdtemp(prefix="bench-e13-faults-")
+    try:
+        store = PersistentGraph.create(os.path.join(directory, "g"), graph,
+                                       name="bench")
+        store.pairs(expression)  # warm snapshot/DFA caches
+        # Crossings per query, counted by an installed-but-empty plan.
+        probe = FaultPlan()
+        install_plan(probe)
+        try:
+            store.pairs(expression)
+            crossings = probe.hits
+        finally:
+            clear_plan()
+        _, query_s = timed(lambda: store.pairs(expression), repeat=3)
+        calls = 200_000
+        def hook_loop():
+            for _ in range(calls):
+                fault_hook("wal.fsync")
+        _, loop_s = timed(hook_loop, repeat=3)
+        store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    per_crossing = loop_s / calls
+    hook_tax = crossings * per_crossing
+    budget = query_s * FAULT_HOOK_OVERHEAD_CEILING
+    print("faults: {} hook crossing(s) per hot query, {:.1f} ns each; "
+          "tax {:.2e}s vs {:.2e}s budget".format(
+              crossings, per_crossing * 1e9, hook_tax, budget))
+    assert crossings >= 1, "the hot query crossed no fault site"
+    assert hook_tax <= budget, \
+        "disarmed fault hooks cost {:.3%} of a hot query (ceiling " \
+        "{:.0%})".format(hook_tax / query_s, FAULT_HOOK_OVERHEAD_CEILING)
+    rows.append(("faults: disarmed hook tax vs 2% budget", budget,
+                 hook_tax))
+
+
 def bench_parallel(rows, quick, record):
     """All-sources RPQ + sharded pagerank, 4 workers vs one core, 50k edges.
 
@@ -762,6 +830,7 @@ def write_json_record(path, args, rows, parallel_record):
             "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
             "service_cache_speedup_floor": SERVICE_CACHE_SPEEDUP_FLOOR,
             "service_async_overhead_ceiling": SERVICE_ASYNC_OVERHEAD_CEILING,
+            "fault_hook_overhead_ceiling": FAULT_HOOK_OVERHEAD_CEILING,
         },
         "rows": [
             {"scenario": name, "baseline_s": baseline, "contender_s": fast,
@@ -817,6 +886,7 @@ def main():
         bench_digraph_churn(rows, args.quick)
     bench_persistence(rows, args.quick)
     bench_service(rows, args.quick)
+    bench_faults(rows, args.quick)
     bench_parallel(rows, args.quick, parallel_record)
     report(rows)
     print("all compact/seed answer sets identical; "
@@ -828,11 +898,13 @@ def main():
           "persistent reopen beats csv rebuild >= {}x; "
           "service cache hits beat uncached >= {}x, facade overhead "
           "<= {:.0%}, deadlines cancel with a live follow-up; "
+          "disarmed fault hooks tax a hot query <= {:.0%}; "
           "sharded fan-out beats single-core >= {}x at {} workers "
           "(or skipped on small machines)".format(
               SELECTIVE_SPEEDUP_FLOOR, PREFLIGHT_OVERHEAD_CEILING,
               PERSISTENCE_SPEEDUP_FLOOR, SERVICE_CACHE_SPEEDUP_FLOOR,
-              SERVICE_ASYNC_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
+              SERVICE_ASYNC_OVERHEAD_CEILING,
+              FAULT_HOOK_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
               PARALLEL_WORKERS))
     if args.json:
         write_json_record(args.json, args, rows, parallel_record)

@@ -289,6 +289,16 @@ def _run_serve(args, out) -> int:
 
     from repro.service import serve as service_serve
 
+    # Chaos/testing hook (docs/robustness.md): REPRO_FAULTS arms named
+    # fault sites for this server process, e.g.
+    #   REPRO_FAULTS="wal.fsync:eio:times=1;http.connection_drop:drop"
+    # Unset (the production default) leaves every hook a no-op.
+    spec = os.environ.get("REPRO_FAULTS")
+    if spec:
+        from repro.faults import FaultPlan, install_plan
+        install_plan(FaultPlan.from_spec(spec))
+        out.write("fault plan armed: {}\n".format(spec))
+
     tokens = _parse_mapping(args.token, "--token")
     quotas = {tenant: int(count) for tenant, count in
               _parse_mapping(args.quota, "--quota").items()}

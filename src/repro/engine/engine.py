@@ -298,6 +298,22 @@ class Engine:
             self._parallel = executor
             return executor
 
+    def pool_healthy(self) -> bool:
+        """Whether the lazy parallel pool (if started) has no dead workers.
+
+        ``True`` when no pool was ever started — a cold engine is healthy,
+        not broken.  Used by the service readiness probe.
+        """
+        with self._parallel_lock:
+            executor = self._parallel
+        return executor is None or executor.healthy()
+
+    def parallel_stats(self) -> Optional[dict]:
+        """Self-healing counters of the live executor, ``None`` if cold."""
+        with self._parallel_lock:
+            executor = self._parallel
+        return None if executor is None else executor.stats()
+
     def close(self) -> None:
         """Release the parallel worker pool (if one was ever started).
 

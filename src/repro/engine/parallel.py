@@ -48,10 +48,17 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from array import array
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
-from repro.errors import AlgorithmError, ConvergenceError, ExecutionError
+from repro.errors import (
+    AlgorithmError,
+    ConvergenceError,
+    ExecutionError,
+    WorkerPoolError,
+)
+from repro.faults import worker_fault_point
 from repro.graph.compact import (
     HAVE_NUMPY,
     adjacency_snapshot,
@@ -174,7 +181,13 @@ def _shard_snapshot(ctx: Dict, index: int):
 
 
 def _run_task(task):
-    """Execute one fan-out task; runs identically in-pool and in-process."""
+    """Execute one fan-out task; runs identically in-pool and in-process.
+
+    The ``pool.task`` fault site fires only inside a forked worker (the
+    plan pins the arming pid), so the serial fallback re-running these
+    very tasks in the parent cannot be killed by the fault it is healing.
+    """
+    worker_fault_point("pool.task")
     ctx, kind, args = task
     if kind == "rpq":
         dfa, source_spec, targets = args
@@ -241,12 +254,25 @@ class ParallelExecutor:
         Switch to file mode: shard snapshot files are written to (and
         refreshed in) this directory and workers mmap them lazily instead
         of inheriting forked memory.
+    max_task_retries:
+        How many times a fan-out whose worker died (or stalled past
+        ``stall_timeout``) is retried on a freshly respawned pool before
+        the executor gives up on parallelism and runs the same tasks
+        in-process.  Every fan-out is a pure function of its task list
+        and the merge is deterministic, so a retry — parallel or serial —
+        can only change wall-clock, never the answer.
+    stall_timeout:
+        Seconds a fan-out may make no progress before it is declared
+        wedged (a worker hung in a kernel).  ``None`` disables the watch
+        (then only worker *death* triggers self-healing).
     """
 
     def __init__(self, graph, processes: Optional[int] = None,
                  num_shards: Optional[int] = None,
                  min_edges: int = PARALLEL_MIN_EDGES,
-                 shard_dir: Optional[str] = None):
+                 shard_dir: Optional[str] = None,
+                 max_task_retries: int = 2,
+                 stall_timeout: Optional[float] = 60.0):
         cpu = os.cpu_count() or 1
         self.graph = graph
         self.processes = max(1, processes if processes is not None
@@ -255,9 +281,18 @@ class ParallelExecutor:
                               else self.processes)
         self.min_edges = min_edges
         self.shard_dir = shard_dir
+        self.max_task_retries = max(0, max_task_retries)
+        self.stall_timeout = stall_timeout
+        # Self-healing telemetry (see stats()): how often workers died
+        # and were respawned, fan-outs were retried, and the serial
+        # fallback had to finish a fan-out.
+        self.workers_respawned = 0
+        self.tasks_retried = 0
+        self.serial_fallbacks = 0
         self._token = next(_EXECUTOR_TOKENS)
         self._pool = None
         self._pool_key: Optional[Tuple] = None
+        self._pool_pids: FrozenSet[int] = frozenset()
         self._files_version: Optional[int] = None
         # Shard count actually written to shard_dir: shard_ranges clamps
         # to the vertex count, so this can be lower than num_shards.
@@ -297,8 +332,31 @@ class ParallelExecutor:
         self._teardown_pool(timeout=timeout)
         _FORK_PAYLOADS.pop(self._token, None)
 
+    def healthy(self) -> bool:
+        """True when the executor can serve: no live pool, or an intact one.
+
+        An executor with no pool is healthy by definition — the next
+        fan-out forks a fresh one (and the serial fallback needs no pool
+        at all).
+        """
+        pool = self._pool
+        return pool is None or not self._pool_damaged(pool)
+
+    def stats(self) -> Dict[str, object]:
+        """Self-healing telemetry, JSON-ready (surfaced via ``/stats``)."""
+        return {
+            "mode": self.mode,
+            "processes": self.processes,
+            "pool_live": self._pool is not None,
+            "healthy": self.healthy(),
+            "workers_respawned": self.workers_respawned,
+            "tasks_retried": self.tasks_retried,
+            "serial_fallbacks": self.serial_fallbacks,
+        }
+
     def _teardown_pool(self, timeout: Optional[float] = None) -> None:
         pool, self._pool, self._pool_key = self._pool, None, None
+        self._pool_pids = frozenset()
         if pool is None:
             return
         timeout = self.SHUTDOWN_TIMEOUT if timeout is None else timeout
@@ -383,16 +441,73 @@ class ParallelExecutor:
         self._stage_payload(need, version)
         return {"mode": "inline", "token": self._token, "version": version}
 
+    #: How often the self-healing poll wakes to look for dead workers.
+    _POLL_INTERVAL = 0.05
+
     def _map(self, need: str, ctx: Dict, tasks: List, num_edges: int) -> List:
-        """Run tasks through the pool, or in-process when serial is right."""
+        """Run tasks through the pool, or in-process when serial is right.
+
+        The parallel path self-heals: a fan-out whose worker died (or
+        that stalled past ``stall_timeout``) tears the pool down,
+        respawns it, and retries the *whole* task list up to
+        ``max_task_retries`` times; when even that fails, the same tasks
+        run in-process through the same deterministic merge.  Lost work
+        is therefore only ever wall-clock — a fan-out either returns the
+        exact same result as the serial path or keeps failing loudly.
+        """
         parallel = (self.processes > 1 and len(tasks) > 1
                     and num_edges >= self.min_edges)
         if parallel and ctx["mode"] == "inline" and not fork_available():
             parallel = False
         if not parallel:
             return [_run_task(task) for task in tasks]
-        self._ensure_pool(ctx)
-        return self._pool.map(_run_task, tasks)
+        for attempt in range(self.max_task_retries + 1):
+            self._ensure_pool(ctx)
+            try:
+                return self._map_once(tasks)
+            except WorkerPoolError:
+                self.workers_respawned += 1
+                if attempt < self.max_task_retries:
+                    self.tasks_retried += len(tasks)
+                # A dead or wedged pool drains slowly at best: give the
+                # close a short grace, then terminate.
+                self._teardown_pool(timeout=self._POLL_INTERVAL * 4)
+        self.serial_fallbacks += 1
+        return [_run_task(task) for task in tasks]
+
+    def _map_once(self, tasks: List) -> List:
+        """One pool fan-out, watched for worker death and stalls."""
+        import multiprocessing
+        pool = self._pool
+        result = pool.map_async(_run_task, tasks)
+        deadline = (None if self.stall_timeout is None
+                    else time.monotonic() + self.stall_timeout)
+        while True:
+            try:
+                return result.get(self._POLL_INTERVAL)
+            except multiprocessing.TimeoutError:
+                pass
+            if self._pool_damaged(pool):
+                raise WorkerPoolError(
+                    "a pool worker died mid-task (fan-out of {} task(s) "
+                    "lost)".format(len(tasks)))
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerPoolError(
+                    "pool fan-out of {} task(s) stalled past {:.1f}s"
+                    .format(len(tasks), self.stall_timeout))
+
+    def _pool_damaged(self, pool) -> bool:
+        """True when any worker died since this pool was forked.
+
+        ``Pool`` quietly repopulates dead workers (fresh pids, exitcode
+        None again) but the task the dead worker held is lost forever,
+        so both signals matter: an exitcode catches a death before
+        repopulation, a pid-set change catches it after.
+        """
+        workers = list(pool._pool)
+        if any(worker.exitcode is not None for worker in workers):
+            return True
+        return {worker.pid for worker in workers} != self._pool_pids
 
     def _ensure_pool(self, ctx: Dict) -> None:
         """Fork (or keep) the worker pool matching ``ctx``.
@@ -415,6 +530,8 @@ class ParallelExecutor:
             "fork" if fork_available() else None)
         self._pool = context.Pool(self.processes)
         self._pool_key = key
+        self._pool_pids = frozenset(
+            worker.pid for worker in self._pool._pool)
 
     def _source_ranges(self, snapshot, version: int):
         """Out-degree-balanced source ranges over the live snapshot view,

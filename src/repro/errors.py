@@ -29,6 +29,8 @@ __all__ = [
     "ExecutionError",
     "SerializationError",
     "StorageError",
+    "StoreDegradedError",
+    "WorkerPoolError",
     "AlgorithmError",
     "ConvergenceError",
     "ServiceError",
@@ -37,6 +39,9 @@ __all__ = [
     "QuotaExceededError",
     "AuthenticationError",
     "UnknownGraphError",
+    "ClientError",
+    "RemoteQueryError",
+    "RetryBudgetExceededError",
 ]
 
 
@@ -170,6 +175,40 @@ class StorageError(GraphError):
     durable prefix (that is the crash-consistency contract)."""
 
 
+class StoreDegradedError(StorageError):
+    """The store is serving reads only (WAL writes failed; HTTP 503).
+
+    A write-ahead-log append or fsync failure means further mutations
+    could not be made durable, so the store flips into an explicit
+    **read-only degraded mode**: queries keep serving the live in-memory
+    state exactly, mutations raise this error, and a successful
+    :meth:`~repro.storage.persistent.PersistentGraph.checkpoint` — which
+    folds the live state into a fresh snapshot generation with a fresh
+    log — heals the store back to writable.  ``retry_after`` is backoff
+    guidance for clients (the HTTP tier maps this to a retriable 503).
+    """
+
+    def __init__(self, directory, reason, retry_after=5.0):
+        super().__init__(
+            "graph store {} is in read-only degraded mode ({}); mutations "
+            "are refused until a checkpoint heals it".format(
+                directory, reason))
+        self.directory = directory
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class WorkerPoolError(ExecutionError):
+    """A parallel worker died or wedged mid-task.
+
+    Raised (and normally *handled*) inside
+    :class:`~repro.engine.parallel.ParallelExecutor`: the executor
+    respawns the pool and retries the lost tasks a bounded number of
+    times, then falls back to serial execution — callers only ever see
+    this error if even the serial fallback cannot run.
+    """
+
+
 class ServiceError(PathAlgebraError):
     """Base class for errors raised by the async query service tier."""
 
@@ -231,6 +270,48 @@ class UnknownGraphError(ServiceError, KeyError):
 
     def __str__(self):
         return "no graph store named {!r} in the registry".format(self.name)
+
+
+class ClientError(ServiceError):
+    """Base class for errors raised by the :mod:`repro.service.client` SDK."""
+
+
+class RemoteQueryError(ClientError):
+    """The server answered with a non-retriable (or non-retried) error.
+
+    ``status`` is the HTTP status code, ``payload`` the decoded JSON error
+    body (``{}`` when the body was not JSON).  Raised immediately for
+    non-retriable statuses, and for *any* error status on non-idempotent
+    operations (mutations are never retried — a retry could double-apply).
+    """
+
+    def __init__(self, status, payload, operation=""):
+        message = "{} failed with HTTP {}: {}".format(
+            operation or "request", status,
+            (payload or {}).get("error", "unknown error"))
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+        self.operation = operation
+
+
+class RetryBudgetExceededError(ClientError):
+    """Every retry attempt failed; ``attempts`` records the whole trail.
+
+    ``attempts`` is a list of ``(status_or_exception_name, delay)`` pairs,
+    one per attempt, with the backoff slept after each failed try —
+    observability for tests and operators alike.  ``last_status`` is the
+    final HTTP status (``None`` when the last failure was a transport
+    error).
+    """
+
+    def __init__(self, operation, attempts, last_status, last_error):
+        super().__init__(
+            "{} still failing after {} attempt(s); last: {}".format(
+                operation, len(attempts), last_error))
+        self.operation = operation
+        self.attempts = attempts
+        self.last_status = last_status
 
 
 class AlgorithmError(PathAlgebraError):

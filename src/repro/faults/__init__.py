@@ -1,0 +1,32 @@
+"""Deterministic fault injection: the robustness test harness's sharp end.
+
+See :mod:`repro.faults.plan` for the model (sites, kinds, determinism)
+and ``docs/robustness.md`` for the site inventory and the
+fail-stop-or-correct contract the chaos suite enforces.
+"""
+
+from repro.faults.plan import (
+    KILL_EXIT_CODE,
+    Fault,
+    FaultPlan,
+    clear_plan,
+    fault_hook,
+    fault_point,
+    fault_scope,
+    install_plan,
+    installed_plan,
+    worker_fault_point,
+)
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "Fault",
+    "FaultPlan",
+    "clear_plan",
+    "fault_hook",
+    "fault_point",
+    "fault_scope",
+    "install_plan",
+    "installed_plan",
+    "worker_fault_point",
+]

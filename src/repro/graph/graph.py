@@ -294,20 +294,28 @@ class MultiRelationalGraph:
     _SNAPSHOT_CACHE_ATTR = "_compact_snapshot_cache"
 
     def _journal_append(self, entry: Tuple) -> None:
-        """Record one structural op, tagged with the version it produced."""
-        if self._wal_sinks:
-            self._wal_emit(entry)
+        """Record one structural op, tagged with the version it produced.
+
+        The journal entry lands *before* the WAL sinks see the op: a sink
+        may raise (a failed durable append flips the store read-only),
+        and the in-memory journal must already agree with the applied
+        structure when it does — otherwise the compact snapshot cache
+        would stamp the new version onto a view missing this very op and
+        serve silently wrong answers ever after.
+        """
         if not self._journal and \
                 getattr(self, self._SNAPSHOT_CACHE_ATTR, None) is None:
             # No snapshot consumer exists yet: journaling would only retain
             # memory.  Keep the floor pinned so a later consumer knows the
             # gap is uncovered and rebuilds.
             self._journal_floor = self._version
-            return
-        self._journal.append((self._version,) + entry)
-        if len(self._journal) > self._JOURNAL_CAP:
-            del self._journal[:]
-            self._journal_floor = self._version
+        else:
+            self._journal.append((self._version,) + entry)
+            if len(self._journal) > self._JOURNAL_CAP:
+                del self._journal[:]
+                self._journal_floor = self._version
+        if self._wal_sinks:
+            self._wal_emit(entry)
 
     def journal_since(self, version: int) -> Optional[List[Tuple]]:
         """Structural ops applied after ``version``, oldest first.

@@ -10,11 +10,14 @@ This package turns the single-process library into a serving stack:
   lifecycle and per-tenant quotas.
 * :class:`~repro.service.http.HttpServer` / :func:`~repro.service.http.serve`
   — the stdlib-only HTTP/JSON front end (``repro serve`` on the CLI).
+* :class:`~repro.service.client.ReproClient` — the retrying client SDK
+  (capped exponential backoff + jitter, idempotent operations only).
 
 See ``docs/serving.md`` for the operational guide.
 """
 
 from repro.service.async_engine import AsyncEngine, Deadline
+from repro.service.client import ReproClient
 from repro.service.http import HttpServer, serve
 from repro.service.registry import GraphHandle, GraphRegistry
 
@@ -24,5 +27,6 @@ __all__ = [
     "GraphHandle",
     "GraphRegistry",
     "HttpServer",
+    "ReproClient",
     "serve",
 ]

@@ -454,6 +454,18 @@ class AsyncEngine:
             self._executor.shutdown(wait=wait)
         self.engine.close()
 
+    @property
+    def idle(self) -> bool:
+        """True when no query is active or queued on this engine.
+
+        The registry's eviction pass consults this so a handle is never
+        torn down underneath an in-flight query: refcounts cover callers
+        that went through :meth:`GraphRegistry.acquire`, while ``idle``
+        covers work already admitted into the engine itself.
+        """
+        return (self._active_readers == 0 and not self._writer_active
+                and not self._waiters)
+
     def stats(self) -> Dict[str, Any]:
         """Concurrency + cache counters, JSON-ready."""
         return {
@@ -464,6 +476,7 @@ class AsyncEngine:
             "waiting": len(self._waiters),
             "counters": dict(self.counters),
             "engine_caches": self.engine.cache_stats(),
+            "parallel": self.engine.parallel_stats(),
         }
 
     async def __aenter__(self) -> "AsyncEngine":

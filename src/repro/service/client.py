@@ -1,0 +1,293 @@
+"""``ReproClient`` — the retrying HTTP SDK for the serving tier.
+
+Stdlib-only (``http.client``), one connection per request to match the
+server's ``Connection: close`` framing.  The client owns the *retry
+half* of the service's backoff contract (``docs/robustness.md``):
+
+* **Only idempotent operations are retried** — ``query``, ``explain``,
+  ``stats``, ``list_graphs``.  A query re-asked computes the same
+  answer; a mutation re-sent may double-apply, so ``mutate`` and
+  ``checkpoint`` raise on the *first* failure (including transport
+  errors, where the outcome on the server is unknown).
+* **Retriable failures** are HTTP 429 (shed / over quota), 503 (store
+  degraded), 504 (deadline expired) and transport errors (connection
+  refused / reset — e.g. an injected ``http.connection_drop``).  Any
+  other error status raises :class:`~repro.errors.RemoteQueryError`
+  immediately.
+* **Capped exponential backoff with jitter**: attempt *n* sleeps
+  ``backoff_base * 2**n`` seconds, capped at ``backoff_cap``, then
+  equal-jittered (half fixed, half uniform-random from a seedable RNG
+  so tests are deterministic).  A ``Retry-After`` header (or
+  ``retry_after`` body field) acts as a *floor*, never a ceiling — the
+  server's guidance is the minimum politeness, not a promise the
+  resource frees up exactly then.
+* After ``max_retries`` failed retries the client gives up with
+  :class:`~repro.errors.RetryBudgetExceededError`, whose ``attempts``
+  trail records every ``(status_or_exception, slept)`` pair.
+
+``sleeper`` and ``transport`` are injectable for tests: a recording
+sleeper asserts the exact backoff sequence without waiting, and a
+scripted transport replays canned ``(status, headers, body)`` answers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import (
+    ClientError,
+    RemoteQueryError,
+    RetryBudgetExceededError,
+)
+
+__all__ = ["ReproClient", "RETRIABLE_STATUSES"]
+
+#: Statuses the server documents as transient (retriable: true).
+RETRIABLE_STATUSES = frozenset({429, 503, 504})
+
+#: ``transport(method, path, body) -> (status, lowercase headers, body)``.
+Transport = Callable[[str, str, bytes],
+                     Tuple[int, Dict[str, str], bytes]]
+
+
+class ReproClient:
+    """A client for one ``repro serve`` endpoint, with retry policy."""
+
+    def __init__(self, base_url: str,
+                 token: Optional[str] = None,
+                 max_retries: int = 5,
+                 backoff_base: float = 0.1,
+                 backoff_cap: float = 5.0,
+                 timeout: float = 30.0,
+                 jitter_seed: Optional[int] = None,
+                 sleeper: Callable[[float], None] = time.sleep,
+                 transport: Optional[Transport] = None):
+        parts = urlsplit(base_url if "//" in base_url
+                         else "http://" + base_url)
+        if parts.scheme != "http":
+            raise ClientError(
+                "unsupported URL scheme {!r} (http only)".format(
+                    parts.scheme))
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port if parts.port is not None else 80
+        self.token = token
+        self.max_retries = max(0, max_retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleeper
+        self._transport: Transport = transport or self._http_transport
+        #: Total retries slept across this client's lifetime.
+        self.retries_performed = 0
+
+    # -- transport -----------------------------------------------------
+
+    def _http_transport(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json",
+                       "Connection": "close"}
+            if self.token:
+                headers["Authorization"] = "Bearer " + self.token
+            connection.request(method, path, body=body or None,
+                               headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return (response.status,
+                    {key.lower(): value
+                     for key, value in response.getheaders()},
+                    data)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(data: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else {}
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    @staticmethod
+    def _retry_after(headers: Dict[str, str],
+                     payload: Dict[str, Any]) -> Optional[float]:
+        value = headers.get("retry-after", payload.get("retry_after"))
+        try:
+            return float(value) if value is not None else None
+        except (TypeError, ValueError):
+            return None
+
+    def _backoff(self, attempt: int,
+                 retry_after: Optional[float]) -> float:
+        delay = min(self.backoff_cap,
+                    self.backoff_base * (2.0 ** attempt))
+        # Equal jitter: half deterministic, half uniform — spreads a
+        # thundering herd without ever halving below base politeness.
+        delay = delay / 2.0 + self._rng.random() * (delay / 2.0)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+    # -- retry core ----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 idempotent: bool = True,
+                 operation: str = "request") -> Dict[str, Any]:
+        payload_bytes = json.dumps(body).encode("utf-8") \
+            if body is not None else b""
+        attempts: List[Tuple[Any, float]] = []
+        last_status: Optional[int] = None
+        last_error = "no attempt made"
+        for attempt in range(self.max_retries + 1):
+            retry_after: Optional[float] = None
+            failure: Any
+            try:
+                status, headers, data = self._transport(
+                    method, path, payload_bytes)
+            except (OSError, http.client.HTTPException) as exc:
+                last_status = None
+                last_error = "{}: {}".format(type(exc).__name__, exc)
+                if not idempotent:
+                    # The request may have been applied before the
+                    # connection died; retrying could double-apply.
+                    raise ClientError(
+                        "{} hit a transport error and will not be "
+                        "retried (non-idempotent): {}".format(
+                            operation, last_error)) from exc
+                failure = type(exc).__name__
+            else:
+                payload = self._decode(data)
+                if status < 400:
+                    return payload
+                last_status = status
+                last_error = "HTTP {}: {}".format(
+                    status, payload.get("error", "unknown error"))
+                if status not in RETRIABLE_STATUSES or not idempotent:
+                    raise RemoteQueryError(status, payload, operation)
+                retry_after = self._retry_after(headers, payload)
+                failure = status
+            if attempt >= self.max_retries:
+                break
+            delay = self._backoff(attempt, retry_after)
+            attempts.append((failure, delay))
+            self.retries_performed += 1
+            self._sleep(delay)
+        raise RetryBudgetExceededError(operation, attempts, last_status,
+                                       last_error)
+
+    @staticmethod
+    def _graph_path(graph: str, action: str) -> str:
+        return "/v1/graphs/{}/{}".format(graph, action)
+
+    @staticmethod
+    def _query_body(**fields: Any) -> Dict[str, Any]:
+        body = {key: value for key, value in fields.items()
+                if value is not None}
+        for key in ("sources", "targets"):
+            if key in body:
+                body[key] = sorted(body[key], key=repr)
+        return body
+
+    # -- idempotent operations (retried) -------------------------------
+
+    def query(self, graph: str, query: str, *,
+              sources: Optional[Sequence[Any]] = None,
+              targets: Optional[Sequence[Any]] = None,
+              max_length: Optional[int] = None,
+              processes: Optional[int] = None,
+              deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Full JSON answer for one PathQL query (retried on 429/503/504)."""
+        return self._request(
+            "POST", self._graph_path(graph, "query"),
+            self._query_body(query=query, sources=sources, targets=targets,
+                             max_length=max_length, processes=processes,
+                             deadline_ms=deadline_ms),
+            idempotent=True, operation="query({!r})".format(query))
+
+    def query_pairs(self, graph: str, query: str,
+                    **options: Any) -> Set[Tuple[Any, Any]]:
+        """Just the answer set, as hashable ``(source, target)`` tuples."""
+        payload = self.query(graph, query, **options)
+        return {tuple(pair) for pair in payload.get("pairs", [])}
+
+    def query_batch(self, graph: str, queries: Sequence[str], *,
+                    sources: Optional[Sequence[Any]] = None,
+                    targets: Optional[Sequence[Any]] = None,
+                    max_length: Optional[int] = None,
+                    processes: Optional[int] = None,
+                    deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """One round trip for many queries over one graph snapshot."""
+        return self._request(
+            "POST", self._graph_path(graph, "query"),
+            self._query_body(queries=list(queries), sources=sources,
+                             targets=targets, max_length=max_length,
+                             processes=processes, deadline_ms=deadline_ms),
+            idempotent=True,
+            operation="query_batch({} queries)".format(len(queries)))
+
+    def explain(self, graph: str, query: str,
+                **options: Any) -> str:
+        payload = self._request(
+            "POST", self._graph_path(graph, "explain"),
+            self._query_body(query=query, **options),
+            idempotent=True, operation="explain({!r})".format(query))
+        return payload.get("explain", "")
+
+    def stats(self, graph: str) -> Dict[str, Any]:
+        return self._request("GET", self._graph_path(graph, "stats"),
+                             idempotent=True,
+                             operation="stats({!r})".format(graph))
+
+    def list_graphs(self) -> List[str]:
+        payload = self._request("GET", "/v1/graphs", idempotent=True,
+                                operation="list_graphs")
+        return list(payload.get("graphs", []))
+
+    # -- non-idempotent operations (never retried) ---------------------
+
+    def mutate(self, graph: str, *,
+               add_edges: Optional[Sequence[Sequence[Any]]] = None,
+               remove_edges: Optional[Sequence[Sequence[Any]]] = None,
+               deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Apply an edge batch.  **Never retried** — see module docs."""
+        body = self._query_body(
+            add_edges=[list(edge) for edge in add_edges or []] or None,
+            remove_edges=[list(edge) for edge in remove_edges or []] or None,
+            deadline_ms=deadline_ms)
+        return self._request("POST", self._graph_path(graph, "mutate"),
+                             body, idempotent=False,
+                             operation="mutate({!r})".format(graph))
+
+    def checkpoint(self, graph: str,
+                   deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Fold the WAL into a new generation.  **Never retried.**"""
+        body = self._query_body(deadline_ms=deadline_ms)
+        return self._request("POST",
+                             self._graph_path(graph, "checkpoint"),
+                             body or {}, idempotent=False,
+                             operation="checkpoint({!r})".format(graph))
+
+    # -- probes (single shot, never raise on status) -------------------
+
+    def health(self) -> bool:
+        """One unretried ``GET /healthz``; transport errors propagate."""
+        status, _, _ = self._transport("GET", "/healthz", b"")
+        return status == 200
+
+    def ready(self) -> Tuple[bool, Dict[str, Any]]:
+        """``(ready, detail)`` from one unretried ``GET /readyz``."""
+        status, _, data = self._transport("GET", "/readyz", b"")
+        return status == 200, self._decode(data)
+
+    def __repr__(self) -> str:
+        return "ReproClient<http://{}:{}, max_retries={}>".format(
+            self.host, self.port, self.max_retries)

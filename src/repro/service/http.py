@@ -8,6 +8,7 @@ new dependencies), one short-lived connection per request
 method      path                                     body / response
 ==========  =======================================  =====================
 GET         ``/healthz``                             liveness (no auth)
+GET         ``/readyz``                              readiness (no auth)
 GET         ``/v1/graphs``                           registry listing
 POST        ``/v1/graphs/{name}/query``              ``{"query": ...}`` →
                                                      sorted pair list
@@ -31,11 +32,21 @@ caller the ``"anonymous"`` tenant).  Error mapping:
 * 401 — missing/unknown token (``WWW-Authenticate: Bearer``),
 * 404 — unknown graph name,
 * 400 — malformed body, PathQL syntax/compile errors,
+* 413 — request body over the size cap (``retriable: false`` — the same
+  payload will never fit; resending it is pointless),
 * 429 — shed by admission control or tenant quota; the ``Retry-After``
   header carries the backoff seconds to wait before retrying,
+* 503 — the store is in read-only degraded mode (WAL write failed);
+  queries still serve, mutations are refused with ``retriable: true``
+  and ``Retry-After`` — a checkpoint heals the store (see
+  ``docs/robustness.md``),
 * 504 — the request's ``deadline_ms`` expired (queued or running); retry
   with a larger budget or at lower load,
 * 500 — anything else (the body names the exception class).
+
+``GET /readyz`` (no auth) distinguishes *ready* from merely live: 200
+only while the registry is open, no open store is degraded, and every
+parallel pool is healthy; otherwise 503 with the failing checks listed.
 
 Every response carries ``X-Repro-Graph-Version`` when a graph was
 resolved, so clients can correlate answers with mutation versions.
@@ -54,13 +65,15 @@ from repro.errors import (
     OverloadedError,
     PathAlgebraError,
     ServiceError,
+    StoreDegradedError,
     UnknownGraphError,
 )
+from repro.faults import fault_hook
 from repro.service.registry import GraphHandle, GraphRegistry
 
 __all__ = ["HttpServer", "serve"]
 
-#: Largest accepted request body; bigger payloads get a 400.
+#: Largest accepted request body; bigger payloads get a 413.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 #: Budget for a client to deliver its request head + body.
@@ -70,12 +83,16 @@ _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    504: "Gateway Timeout",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
 class _BadRequest(ServiceError):
     """Malformed request framing or body (HTTP 400)."""
+
+
+class _PayloadTooLarge(_BadRequest):
+    """Request body over ``max_body`` (HTTP 413, never retriable)."""
 
 
 class HttpServer:
@@ -113,10 +130,20 @@ class HttpServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         try:
+            slow = fault_hook("http.slow_client")
+            if slow is not None:
+                # Injected "slow client": stall before the request is
+                # read so the READ_TIMEOUT budget is what bounds us.
+                await asyncio.sleep(slow.seconds)
             try:
                 method, path, headers, body = await asyncio.wait_for(
                     self._read_request(reader), READ_TIMEOUT)
             except asyncio.TimeoutError:
+                return
+            except _PayloadTooLarge as error:
+                await self._respond(writer, 413,
+                                    {"error": str(error),
+                                     "retriable": False})
                 return
             except (_BadRequest, asyncio.IncompleteReadError,
                     ConnectionError) as error:
@@ -126,6 +153,14 @@ class HttpServer:
                 return
             status, payload, extra = await self._dispatch(
                 method, path, headers, body)
+            drop = fault_hook("http.connection_drop")
+            if drop is not None:
+                # Injected mid-response failure: hard-abort the socket
+                # so the client sees a reset, never a truncated 200.
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
             await self._respond(writer, status, payload, extra)
             self.requests_served += 1
         except ConnectionError:
@@ -158,7 +193,7 @@ class HttpServer:
         except ValueError as exc:
             raise _BadRequest("bad Content-Length") from exc
         if length > self.max_body:
-            raise _BadRequest(
+            raise _PayloadTooLarge(
                 "body of {} bytes exceeds the {} byte limit".format(
                     length, self.max_body))
         body = await reader.readexactly(length) if length else b""
@@ -189,6 +224,12 @@ class HttpServer:
         try:
             if path == "/healthz" and method == "GET":
                 return 200, {"status": "ok"}, {}
+            if path == "/readyz" and method == "GET":
+                ready_now, detail = self.registry.readiness()
+                if ready_now:
+                    return 200, dict(detail, status="ready"), {}
+                return 503, dict(detail, status="unready",
+                                 retriable=True), {"Retry-After": "1"}
             tenant = self._authenticate(headers)
             if path == "/v1/graphs" and method == "GET":
                 return 200, {"graphs": self.registry.list_graphs(),
@@ -225,6 +266,15 @@ class HttpServer:
                 {"Retry-After": "{:g}".format(error.retry_after)}
         except _BadRequest as error:
             return 400, {"error": str(error), "retriable": False}, {}
+        except StoreDegradedError as error:
+            # Must precede PathAlgebraError: StoreDegradedError is a
+            # StorageError and would otherwise map to a terminal 400.
+            # Degradation is transient — a checkpoint heals the store —
+            # so the contract is 503 + Retry-After, client may retry.
+            return 503, {"error": str(error), "retriable": True,
+                         "degraded": True,
+                         "retry_after": error.retry_after}, \
+                {"Retry-After": "{:g}".format(error.retry_after)}
         except PathAlgebraError as error:
             return 400, {"error": str(error), "retriable": False,
                          "type": type(error).__name__}, {}

@@ -39,7 +39,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.cache import QueryCache
 from repro.engine.engine import Engine
@@ -202,9 +202,16 @@ class GraphRegistry:
         return GraphHandle(name, store, engine, async_engine)
 
     def _evict_idle(self) -> None:
-        """Close least-recently-used idle handles past ``max_open``."""
+        """Close least-recently-used idle handles past ``max_open``.
+
+        A handle is evictable only when *both* its refcount is 0 (no
+        caller holds it) and its async engine is idle (no admitted query
+        is still running or queued) — an in-flight query keeps its graph
+        alive even if the HTTP tier already released the handle.
+        """
         while len(self._handles) >= self.max_open:
-            idle = [h for h in self._handles.values() if h.refcount == 0]
+            idle = [h for h in self._handles.values()
+                    if h.refcount == 0 and h.async_engine.idle]
             if not idle:
                 raise ServiceError(
                     "registry holds {} busy graphs (max_open={}); "
@@ -287,6 +294,31 @@ class GraphRegistry:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def readiness(self) -> "Tuple[bool, Dict[str, Any]]":
+        """``(ready, detail)`` for the ``/readyz`` probe.
+
+        Ready means the registry can serve *and mutate*: it is open,
+        no open store is in read-only degraded mode, and no engine's
+        parallel pool has dead workers awaiting respawn.  A process can
+        be live (``/healthz`` 200) while unready — e.g. every query
+        still serves but the WAL rejected a write and mutations 503.
+        """
+        with self._lock:
+            if self._closed:
+                return False, {"reason": "registry is closed"}
+            degraded = sorted(
+                name for name, handle in self._handles.items()
+                if handle.store.degraded)
+            unhealthy = sorted(
+                name for name, handle in self._handles.items()
+                if not handle.engine.pool_healthy())
+            detail: Dict[str, Any] = {
+                "open_graphs": sorted(self._handles),
+                "degraded": degraded,
+                "pool_unhealthy": unhealthy,
+            }
+            return (not degraded and not unhealthy), detail
 
     def stats(self) -> Dict[str, Any]:
         """Registry-level summary: open graphs, tenants, shared cache."""

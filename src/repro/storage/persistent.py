@@ -39,7 +39,8 @@ import os
 import threading
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreDegradedError
+from repro.faults import fault_point
 from repro.graph.compact import _CACHE_ATTR, DeltaAdjacency, adjacency_snapshot
 from repro.graph.graph import MultiRelationalGraph
 from repro.storage.snapshots import (
@@ -56,18 +57,34 @@ _PROPERTY_OPS = ("pv", "pe")
 
 
 def _write_manifest(directory: str, manifest: Dict[str, Any]) -> None:
-    """Write the manifest durably: tmp file + fsync + atomic rename + dirsync."""
+    """Write the manifest durably: tmp file + fsync + atomic rename + dirsync.
+
+    Failure (real or injected at ``manifest.rename``) raises
+    :class:`StorageError` with the tmp file removed — the previously
+    published manifest stays live, so a crashed or failed swap can never
+    leave the store pointing at a half-written generation.
+    """
     tmp_path = os.path.join(directory, MANIFEST_NAME + ".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as stream:
-        json.dump(manifest, stream, indent=2, sort_keys=True)
-        stream.flush()
-        os.fsync(stream.fileno())
-    os.replace(tmp_path, os.path.join(directory, MANIFEST_NAME))
-    fd = os.open(directory, os.O_RDONLY)
     try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            json.dump(manifest, stream, indent=2, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        fault_point("manifest.rename")
+        os.replace(tmp_path, os.path.join(directory, MANIFEST_NAME))
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise StorageError(
+            "{}: manifest publish failed ({})".format(directory, exc)
+        ) from exc
 
 
 def _read_manifest(directory: str) -> Dict[str, Any]:
@@ -123,8 +140,12 @@ class _WalSink:
 
     ``precheck`` runs *before* the graph mutates (see
     :meth:`MultiRelationalGraph._wal_precheck`): an entry the JSON framing
-    cannot represent is rejected while graph, journal and log still agree.
-    The call itself appends the already-applied mutation to the WAL.
+    cannot represent — or a store already in read-only degraded mode —
+    is rejected while graph, journal and log still agree.  The call
+    itself appends the already-applied mutation to the WAL; if *that*
+    append fails the store flips degraded (the triggering mutation stays
+    applied in memory and keeps serving; it becomes durable again at the
+    healing checkpoint, which folds the live state).
     """
 
     __slots__ = ("store",)
@@ -133,9 +154,15 @@ class _WalSink:
         self.store = store
 
     def __call__(self, record: Tuple) -> None:
-        self.store._wal.append(record)
+        try:
+            self.store._wal.append(record)
+        except StoreDegradedError:
+            raise
+        except StorageError as exc:
+            raise self.store._enter_degraded(str(exc)) from exc
 
     def precheck(self, entry: Tuple) -> None:
+        self.store._check_writable()
         check_loggable(entry)
 
 
@@ -159,6 +186,9 @@ class PersistentGraph:
         self._adapter = _CompactGraphAdapter()
         self._wal_sink = _WalSink(self)
         self._closed = False
+        # Reason string while in read-only degraded mode (WAL writes
+        # failed), None while writable.  Sticky until a checkpoint heals.
+        self._degraded: Optional[str] = None
         # Serializes lifecycle transitions (materialize / checkpoint /
         # close): the service tier shares one store between query threads
         # and an admin endpoint, and e.g. two first-mutation calls racing
@@ -277,14 +307,31 @@ class PersistentGraph:
                 return
             if self._graph is not None:
                 self._graph.detach_wal_sink(self._wal_sink)
-            self._wal.close()
-            self._base = None
-            self._overlay = None
-            self._closed = True
+            try:
+                self._wal.close()
+            except StorageError:
+                # A degraded store's log may be unable to flush its
+                # failed batch; the durable prefix on disk is already
+                # consistent, and close must not raise on the way down.
+                if self._degraded is None:
+                    raise
+            finally:
+                self._base = None
+                self._overlay = None
+                self._closed = True
 
     def flush(self) -> None:
-        """Force pending WAL records to disk (fsync per the sync policy)."""
-        self._wal.flush()
+        """Force pending WAL records to disk (fsync per the sync policy).
+
+        A flush failure is a WAL write failure: the store enters
+        read-only degraded mode and raises :class:`StoreDegradedError`.
+        """
+        self._check_open()
+        self._check_writable()
+        try:
+            self._wal.flush()
+        except StorageError as exc:
+            raise self._enter_degraded(str(exc)) from exc
 
     def __enter__(self) -> "PersistentGraph":
         return self
@@ -357,6 +404,36 @@ class PersistentGraph:
                 "graph store {} is closed".format(self.directory))
 
     # ------------------------------------------------------------------
+    # Degraded mode (read-only after a WAL write failure)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the store is read-only after a WAL write failure.
+
+        Queries keep serving the live in-memory state exactly; mutations
+        raise :class:`StoreDegradedError` *before* any state changes; a
+        successful :meth:`checkpoint` — which folds the live state into a
+        fresh generation with a fresh log — heals the store.
+        """
+        return self._degraded is not None
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Why the store went read-only, or None while writable."""
+        return self._degraded
+
+    def _enter_degraded(self, reason: str) -> StoreDegradedError:
+        """Flip (sticky) into degraded mode; returns the error to raise."""
+        if self._degraded is None:
+            self._degraded = reason
+        return StoreDegradedError(self.directory, self._degraded)
+
+    def _check_writable(self) -> None:
+        if self._degraded is not None:
+            raise StoreDegradedError(self.directory, self._degraded)
+
+    # ------------------------------------------------------------------
     # Reads (lazy-friendly)
     # ------------------------------------------------------------------
 
@@ -397,6 +474,11 @@ class PersistentGraph:
         """
         from repro.rpq.evaluation import rpq_pairs
         self._check_open()
+        try:
+            fault_point("store.pairs")
+        except OSError as exc:
+            raise StorageError(
+                "{}: read failed ({})".format(self.directory, exc)) from exc
         if self._graph is not None:
             return rpq_pairs(self._graph, expression, sources,
                              targets=targets)
@@ -449,7 +531,14 @@ class PersistentGraph:
 
     def _checkpoint_locked(self) -> Dict[str, Any]:
         self._check_open()
-        self._wal.flush()
+        if self._degraded is None:
+            try:
+                self._wal.flush()
+            except StorageError as exc:
+                # The checkpoint continues as the heal path: the live
+                # in-memory state (which includes every entry the log
+                # could not take) is folded into the new generation.
+                self._enter_degraded(str(exc))
         if self._graph is not None:
             view = adjacency_snapshot(self._graph)
             version = self._graph.version()
@@ -478,9 +567,17 @@ class PersistentGraph:
                         wal=wal_name, snapshot_version=version)
         _write_manifest(self.directory, manifest)
         # The new generation is durable and live: retire the old one.
-        self._wal.close()
+        try:
+            self._wal.close()
+        except StorageError:
+            # A degraded generation's log may refuse its final flush; its
+            # durable prefix is superseded by the snapshot just published.
+            pass
         self._wal = new_wal
         self._manifest = manifest
+        # Every live entry is folded into the published generation: the
+        # store is durable again.
+        self._degraded = None
         for stale in (os.path.join(self.directory, old_snapshot),
                       old_wal_path):
             try:
@@ -519,6 +616,8 @@ class PersistentGraph:
             "recovered_wal_records": self._recovery["wal_records"],
             "recovered_tail_torn": self._recovery["tail_torn"],
             "materialized": self.materialized,
+            "degraded": self.degraded,
+            "degraded_reason": self._degraded,
             "order": view.num_vertices,
             "size": view.num_edges,
             "labels": view.num_labels,

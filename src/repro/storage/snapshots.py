@@ -50,6 +50,7 @@ except ImportError:  # pragma: no cover - the CI image ships numpy
     _np = None
 
 from repro.errors import StorageError
+from repro.faults import fault_point
 from repro.graph.compact import (
     CompactAdjacency,
     CompactDiGraph,
@@ -136,20 +137,36 @@ def _cell_bytes(cells: Any) -> bytes:
 
 def _write_file(path: str, header: Dict[str, Any],
                 sections: List[bytes]) -> None:
-    """Prelude + padded header + data, fsynced before returning."""
+    """Prelude + padded header + data, fsynced before returning.
+
+    A write/fsync failure (real or injected at ``snapshot.fsync``)
+    surfaces as :class:`StorageError` and removes the partial file —
+    callers publish snapshots by writing under a fresh/tmp name first,
+    so a failed spill must never leave a half-written file for a later
+    open to trip over.
+    """
     data = b"".join(sections)
     header = dict(header)
     header["data_crc32"] = zlib.crc32(data)
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
     pad = -(_PRELUDE_SIZE + len(raw)) % _ALIGN
     raw += b" " * pad  # trailing whitespace is valid JSON
-    with open(path, "wb") as stream:
-        stream.write(SNAPSHOT_MAGIC)
-        stream.write(_PRELUDE.pack(len(raw), zlib.crc32(raw)))
-        stream.write(raw)
-        stream.write(data)
-        stream.flush()
-        os.fsync(stream.fileno())
+    try:
+        with open(path, "wb") as stream:
+            stream.write(SNAPSHOT_MAGIC)
+            stream.write(_PRELUDE.pack(len(raw), zlib.crc32(raw)))
+            stream.write(raw)
+            stream.write(data)
+            stream.flush()
+            fault_point("snapshot.fsync")
+            os.fsync(stream.fileno())
+    except OSError as exc:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise StorageError(
+            "{}: snapshot write failed ({})".format(path, exc)) from exc
 
 
 def _read_header(path: str) -> Tuple[Dict[str, Any], int]:
@@ -461,7 +478,17 @@ def write_sharded_snapshots(directory: str, sharded: Any, name: str = "",
         tmp_path = final_path + ".tmp"
         write_adjacency_snapshot(tmp_path, view, name=name,
                                  version=sharded.version)
-        os.replace(tmp_path, final_path)
+        try:
+            fault_point("shard.rename")
+            os.replace(tmp_path, final_path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise StorageError(
+                "{}: shard publish failed ({})".format(final_path, exc)
+            ) from exc
 
     files = []
     for index, shard in enumerate(sharded.shards):

@@ -47,6 +47,7 @@ import zlib
 from typing import IO, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.faults import fault_hook, fault_point
 
 __all__ = ["WAL_MAGIC", "WriteAheadLog", "scan_wal", "encode_record",
            "check_loggable"]
@@ -164,6 +165,11 @@ class WriteAheadLog:
         self.records_durable = 0
         self._pending: List[bytes] = []
         self._pending_records = 0
+        #: Set (to a reason string) when a failed append could not even be
+        #: rolled back to the durable prefix: the on-disk tail is torn and
+        #: this handle refuses further writes.  Reopening the path repairs
+        #: the file through the normal torn-tail recovery.
+        self._broken: Optional[str] = None
         # Serializes append/flush/close: the service tier can drive a
         # mutation (appending) while a checkpoint flushes the same log
         # from another thread.
@@ -182,12 +188,19 @@ class WriteAheadLog:
             self._stream.truncate(0)
             self._stream.write(WAL_MAGIC)
             self._fsync()
+            durable_end = len(WAL_MAGIC)
         elif tail_torn:
             self._stream.truncate(durable_end)
             self._fsync()
             self._stream.seek(durable_end)
         else:
             self._stream.seek(durable_end)
+        #: Byte offset of the durable prefix: everything before it has
+        #: been written *and* fsynced.  A failed flush rolls the file back
+        #: to exactly this offset, so a retried flush re-writes the whole
+        #: pending batch from here — never double-writing a prefix the
+        #: failed attempt partially got out.
+        self._durable_end = durable_end
 
     # ------------------------------------------------------------------
 
@@ -195,6 +208,11 @@ class WriteAheadLog:
         """Buffer one ``(version, op, *args)`` entry; flush per the policy."""
         record = encode_record(entry)
         with self._lock:
+            if self._broken is not None:
+                raise StorageError(
+                    "write-ahead log {} is broken ({}); reopen the store "
+                    "to recover the durable prefix".format(
+                        self.path, self._broken))
             if self._stream is None:
                 raise StorageError(
                     "write-ahead log {} is closed".format(self.path))
@@ -208,22 +226,93 @@ class WriteAheadLog:
     def flush(self) -> None:
         """Write buffered records and (unless ``sync='none'``) fsync them."""
         with self._lock:
-            if self._stream is None:
+            if self._stream is None and self._broken is None:
                 raise StorageError(
                     "write-ahead log {} is closed".format(self.path))
             self._flush_pending()
 
     def _flush_pending(self) -> None:
-        """Write+fsync the pending batch; caller holds the lock."""
-        if self._pending:
-            self._stream.write(b"".join(self._pending))
-            flushed = self._pending_records
-            self._pending = []
-            self._pending_records = 0
+        """Write+fsync the pending batch transactionally; caller holds the lock.
+
+        The batch only counts as durable — and only leaves ``_pending`` —
+        after the fsync succeeds.  Any failure (a real ``ENOSPC``/``EIO``
+        or an injected one, possibly after a *short* write that left a
+        partial frame in the file) rolls the file back to the durable
+        prefix and re-raises as :class:`StorageError`: the pending batch
+        stays queued intact, so a later retry starts from a clean prefix
+        and can never double-write the bytes the failed attempt got out.
+        """
+        if self._broken is not None:
+            raise StorageError(
+                "write-ahead log {} is broken ({}); reopen the store to "
+                "recover the durable prefix".format(self.path, self._broken))
+        if not self._pending:
+            return
+        assert self._stream is not None
+        buffer = b"".join(self._pending)
+        try:
+            fault = fault_hook("wal.write")
+            if fault is not None and fault.kind in ("eio", "enospc"):
+                # Model a short write: part of the batch reaches the file
+                # (a torn frame on disk), then the device errors out.
+                short = int(len(buffer) * fault.fraction)
+                if short:
+                    self._stream.write(buffer[:short])
+                    self._stream.flush()
+                raise fault.to_error()
+            self._stream.write(buffer)
+            fault_point("wal.fsync")
             self._fsync()
-            self.records_durable += flushed
+        except OSError as exc:
+            self._rewind_to_durable()
+            raise StorageError(
+                "write-ahead log {}: append failed ({}); the log was "
+                "rolled back to its durable prefix".format(
+                    self.path, exc)) from exc
+        self._durable_end += len(buffer)
+        flushed = self._pending_records
+        self._pending = []
+        self._pending_records = 0
+        self.records_durable += flushed
+
+    def _rewind_to_durable(self) -> None:
+        """Truncate the file back to the durable prefix after a failed flush.
+
+        Reopens the path rather than reusing the failed stream: the
+        ``BufferedWriter`` may still hold part of the failed batch, and a
+        truncate through it would first try to flush those very bytes.
+        If even the rewind fails the handle is poisoned (``_broken``) —
+        the torn tail stays on disk, where :func:`scan_wal` recovery
+        truncates it on the next open.
+        """
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            try:
+                stream.close()
+            except OSError:
+                pass  # the buffered partial batch may fail to flush again
+        try:
+            fault_point("wal.rewind")
+            reopened = open(self.path, "r+b")
+        except OSError as exc:
+            self._broken = "rollback failed: {}".format(exc)
+            return
+        try:
+            reopened.truncate(self._durable_end)
+            reopened.flush()
+            os.fsync(reopened.fileno())
+            reopened.seek(self._durable_end)
+        except OSError as exc:
+            self._broken = "rollback failed: {}".format(exc)
+            try:
+                reopened.close()
+            except OSError:
+                pass
+            return
+        self._stream = reopened
 
     def _fsync(self) -> None:
+        assert self._stream is not None
         self._stream.flush()
         if self.sync != "none":
             os.fsync(self._stream.fileno())
@@ -240,6 +329,16 @@ class WriteAheadLog:
         """Records appended but not yet flushed to the file."""
         return self._pending_records
 
+    @property
+    def broken(self) -> Optional[str]:
+        """Why this handle refuses writes, or None while healthy."""
+        return self._broken
+
+    @property
+    def durable_end(self) -> int:
+        """Byte offset of the durable (written + fsynced) prefix."""
+        return self._durable_end
+
     def close(self) -> None:
         """Flush pending records and close; further appends raise.
 
@@ -247,13 +346,28 @@ class WriteAheadLog:
         durability contract ``sync="batch"`` callers rely on: records
         appended below ``batch_size`` must hit the disk here, not be
         silently dropped with the stream (regression-pinned by
-        ``tests/test_storage.py``).
+        ``tests/test_storage.py``).  A flush failure still closes the
+        handle (the durable prefix on disk stays valid) before the
+        :class:`StorageError` propagates; a *broken* handle closes
+        quietly — its error already surfaced when the rollback failed,
+        and reopening the path runs torn-tail recovery.
         """
         with self._lock:
-            if self._stream is not None:
-                self._flush_pending()
-                self._stream.close()
-                self._stream = None
+            if self._stream is None and self._broken is None:
+                return
+            try:
+                if self._broken is None:
+                    self._flush_pending()
+            finally:
+                self._pending = []
+                self._pending_records = 0
+                self._broken = None
+                stream, self._stream = self._stream, None
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass  # durable prefix is already fsynced
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -1,0 +1,310 @@
+"""The ``ReproClient`` SDK: backoff policy in vitro, retries in vivo.
+
+Two halves:
+
+* **Scripted-transport tests** — a canned transport replays exact
+  ``(status, headers, body)`` sequences (or raises transport errors)
+  while a recording sleeper captures every backoff; this pins down the
+  retry policy itself: what is retried, for how long, with which delays,
+  and how ``Retry-After`` floors them.
+* **Live-server tests** — a real ``repro serve`` subprocess (with
+  ``REPRO_FAULTS`` arming server-side faults) proves the client rides
+  out 429 shedding, 503 degradation and injected connection drops, and
+  that non-idempotent calls are genuinely never retried.
+"""
+
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import (
+    ClientError,
+    RemoteQueryError,
+    RetryBudgetExceededError,
+)
+from repro.graph.graph import MultiRelationalGraph
+from repro.service.client import RETRIABLE_STATUSES, ReproClient
+from repro.storage import PersistentGraph
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+class ScriptedTransport:
+    """Replays a list of responses; an Exception instance is raised."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+
+    def __call__(self, method, path, body):
+        self.requests.append((method, path, body))
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def ok(payload):
+    import json
+    return 200, {}, json.dumps(payload).encode()
+
+
+def err(status, payload=None, retry_after=None):
+    import json
+    headers = {}
+    if retry_after is not None:
+        headers["retry-after"] = str(retry_after)
+    return status, headers, json.dumps(
+        payload or {"error": "injected"}).encode()
+
+
+def make_client(script, **kwargs):
+    slept = []
+    transport = ScriptedTransport(script)
+    kwargs.setdefault("jitter_seed", 42)
+    kwargs.setdefault("backoff_base", 0.1)
+    kwargs.setdefault("backoff_cap", 1.0)
+    client = ReproClient("http://127.0.0.1:1", token="t",
+                         sleeper=slept.append, transport=transport,
+                         **kwargs)
+    return client, transport, slept
+
+
+class TestRetryPolicy:
+    def test_success_needs_no_retry(self):
+        client, transport, slept = make_client(
+            [ok({"pairs": [[0, 1]], "count": 1})])
+        assert client.query_pairs("g", "[_, a, _]") == {(0, 1)}
+        assert slept == [] and client.retries_performed == 0
+        method, path, body = transport.requests[0]
+        assert (method, path) == ("POST", "/v1/graphs/g/query")
+
+    @pytest.mark.parametrize("status", sorted(RETRIABLE_STATUSES))
+    def test_retriable_statuses_are_retried_to_success(self, status):
+        client, transport, slept = make_client(
+            [err(status), err(status), ok({"pairs": []})])
+        assert client.query_pairs("g", "[_, a, _]") == set()
+        assert len(slept) == 2 and client.retries_performed == 2
+
+    def test_backoff_grows_exponentially_with_jitter(self):
+        client, _, slept = make_client(
+            [err(503)] * 4 + [ok({})],
+            backoff_base=0.1, backoff_cap=10.0, jitter_seed=7)
+        client.query("g", "[_, a, _]")
+        # Equal jitter: attempt n sleeps in [base*2^n / 2, base*2^n].
+        for attempt, delay in enumerate(slept):
+            full = 0.1 * (2 ** attempt)
+            assert full / 2 <= delay <= full
+        # And the raw (pre-floor) schedule is reproducible from the seed.
+        rng = random.Random(7)
+        expected = [0.1 * (2 ** n) / 2 * (1 + rng.random())
+                    for n in range(4)]
+        assert slept == pytest.approx(expected)
+
+    def test_backoff_respects_cap(self):
+        client, _, slept = make_client(
+            [err(429)] * 5 + [ok({})],
+            backoff_base=1.0, backoff_cap=2.0, max_retries=5)
+        client.query("g", "[_, a, _]")
+        assert all(delay <= 2.0 for delay in slept)
+
+    def test_retry_after_floors_the_backoff(self):
+        client, _, slept = make_client(
+            [err(429, retry_after=0.7), ok({})], backoff_base=0.01)
+        client.query("g", "[_, a, _]")
+        assert len(slept) == 1 and slept[0] >= 0.7
+
+    def test_retry_after_in_body_also_floors(self):
+        client, _, slept = make_client(
+            [err(503, payload={"error": "degraded", "retry_after": 0.4}),
+             ok({})], backoff_base=0.01)
+        client.query("g", "[_, a, _]")
+        assert slept[0] >= 0.4
+
+    def test_non_retriable_status_raises_immediately(self):
+        client, transport, slept = make_client(
+            [err(400, payload={"error": "bad pathql"})])
+        with pytest.raises(RemoteQueryError) as exc:
+            client.query("g", "this is not pathql")
+        assert exc.value.status == 400
+        assert exc.value.payload["error"] == "bad pathql"
+        assert slept == [] and not transport.script
+
+    def test_transport_errors_are_retried_for_idempotent_ops(self):
+        client, _, slept = make_client(
+            [ConnectionResetError("peer reset"), ok({"graphs": ["g"]})])
+        assert client.list_graphs() == ["g"]
+        assert len(slept) == 1
+
+    def test_budget_exhaustion_carries_the_attempt_trail(self):
+        client, _, slept = make_client(
+            [err(503), ConnectionResetError("boom"), err(503)],
+            max_retries=2)
+        with pytest.raises(RetryBudgetExceededError) as exc:
+            client.stats("g")
+        trail = exc.value.attempts
+        assert [kind for kind, _ in trail] == \
+            [503, "ConnectionResetError"]
+        assert exc.value.last_status == 503
+        assert len(slept) == 2   # no sleep after the final failure
+
+    def test_mutate_is_never_retried_on_status(self):
+        client, transport, slept = make_client([err(503)])
+        with pytest.raises(RemoteQueryError) as exc:
+            client.mutate("g", add_edges=[(0, "a", 1)])
+        assert exc.value.status == 503
+        assert slept == [] and not transport.script
+
+    def test_mutate_is_never_retried_on_transport_error(self):
+        client, transport, slept = make_client(
+            [ConnectionResetError("mid-flight"), ok({})])
+        with pytest.raises(ClientError, match="non-idempotent"):
+            client.mutate("g", add_edges=[(0, "a", 1)])
+        assert slept == [] and len(transport.requests) == 1
+
+    def test_checkpoint_is_never_retried(self):
+        client, _, slept = make_client([err(429)])
+        with pytest.raises(RemoteQueryError):
+            client.checkpoint("g")
+        assert slept == []
+
+    def test_seeded_clients_sleep_identically(self):
+        delays = []
+        for _ in range(2):
+            client, _, slept = make_client(
+                [err(503)] * 3 + [ok({})], jitter_seed=99)
+            client.query("g", "[_, a, _]")
+            delays.append(tuple(slept))
+        assert delays[0] == delays[1]
+
+    def test_rejects_non_http_scheme(self):
+        with pytest.raises(ClientError):
+            ReproClient("ftp://example:21")
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A real ``repro serve`` subprocess; yields a factory for clients.
+
+    ``REPRO_FAULTS`` (and other server knobs) come from the test via the
+    indirect ``request.param`` -> ``(env_faults, extra_args)`` tuple.
+    """
+    def start(env_faults=None, extra_args=()):
+        root = tmp_path / "graphs"
+        if not root.exists():
+            root.mkdir()
+            graph = MultiRelationalGraph(name="demo")
+            for i in range(200):
+                graph.add_edge(i, "a", (i + 1) % 200)
+                graph.add_edge(i, "b", (i * 7 + 3) % 200)
+            PersistentGraph.create(str(root / "demo"), graph,
+                                   name="demo").close()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        if env_faults:
+            env["REPRO_FAULTS"] = env_faults
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(root),
+             "--port", "0", "--token", "sdk=tester", "--workers", "2",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env)
+        procs.append(proc)
+        for _ in range(50):
+            line = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            if match:
+                return proc, match.group(1), int(match.group(2))
+        raise AssertionError("server never announced its endpoint")
+
+    procs = []
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def live_client(host, port, **kwargs):
+    kwargs.setdefault("max_retries", 6)
+    kwargs.setdefault("backoff_base", 0.05)
+    kwargs.setdefault("backoff_cap", 1.0)
+    kwargs.setdefault("jitter_seed", 11)
+    kwargs.setdefault("timeout", 30.0)
+    return ReproClient("http://{}:{}".format(host, port), token="sdk",
+                       **kwargs)
+
+
+class TestAgainstLiveServer:
+    def test_rides_out_quota_shedding_with_backoff(self, live_server):
+        _, host, port = live_server(extra_args=("--quota", "tester=1"))
+        client = live_client(host, port)
+        # Hold the single quota slot with slow sweeps from threads while
+        # the client under test retries its way through the 429s.
+        import threading
+        stop = threading.Event()
+        blocker = live_client(host, port, max_retries=0)
+        heavy = {"query": "[_, a, _]* . [_, b, _]* . [_, a, _]",
+                 "max_length": 6}
+
+        def hog():
+            while not stop.is_set():
+                try:
+                    blocker.query("demo", heavy["query"],
+                                  max_length=heavy["max_length"])
+                except (RemoteQueryError, RetryBudgetExceededError,
+                        ClientError, OSError):
+                    pass
+
+        thread = threading.Thread(target=hog)
+        thread.start()
+        try:
+            answer = client.query_pairs("demo", "[_, b, _]",
+                                        sources=[0])
+        finally:
+            stop.set()
+            thread.join()
+        assert answer == {(0, 3)}
+
+    def test_degraded_store_503_heals_by_checkpoint(self, live_server):
+        # One injected WAL write error: the batch overflow mid-mutation
+        # flips the store into read-only degraded mode server-side.
+        _, host, port = live_server(env_faults="wal.write:eio:times=1")
+        client = live_client(host, port)
+        edges = [("u{}".format(i), "a", "v{}".format(i))
+                 for i in range(30)]
+        with pytest.raises(RemoteQueryError) as exc:
+            client.mutate("demo", add_edges=edges)   # never retried
+        assert exc.value.status == 503
+        assert exc.value.payload["retriable"] is True
+        ready, detail = client.ready()
+        assert not ready and detail["degraded"] == ["demo"]
+        assert client.health()
+        # Queries keep serving while degraded.
+        assert client.query_pairs("demo", "[_, b, _]",
+                                  sources=[0]) == {(0, 3)}
+        # Checkpoint (one shot, not retried) heals; mutations land again.
+        client.checkpoint("demo")
+        ready, _ = client.ready()
+        assert ready
+        outcome = client.mutate("demo", add_edges=[("x", "a", "y")])
+        assert outcome["added"] == 1
+
+    def test_connection_drops_are_retried_to_success(self, live_server):
+        # The server aborts the first two connections mid-response; the
+        # (idempotent) query rides the resets to the real answer.
+        _, host, port = live_server(
+            env_faults="http.connection_drop:drop:times=2")
+        client = live_client(host, port)
+        assert client.query_pairs("demo", "[_, b, _]",
+                                  sources=[0]) == {(0, 3)}
+        assert client.retries_performed >= 2
