@@ -41,6 +41,12 @@ distributions, the hot paths the compact backend rewrote:
   <= 2% of a hot persistent query — measured structurally (crossings
   per query x priced per-crossing cost), so the "zero overhead in
   production" claim is a gate, not a comment,
+* **lock-witness tax**: the disarmed :class:`~repro.concurrency.OrderedLock`
+  wrapper adopted by every lock-holding subsystem must cost <= 2% of a
+  hot WAL-append + cached-query loop, measured the same structural way
+  (acquisitions per loop counted by a briefly armed witness x the priced
+  per-acquisition delta of the disarmed wrapper over a raw
+  ``threading.Lock``),
 * **sharded parallelism**: the all-sources RPQ sweep and the sharded
   pagerank power iteration on a 50k-edge graph, 4 fan-out workers
   (:mod:`repro.engine.parallel`) vs the single-core compact kernels,
@@ -443,6 +449,12 @@ PARALLEL_WORKERS = 4
 #: fraction — the "zero-overhead in production" claim of repro.faults.
 FAULT_HOOK_OVERHEAD_CEILING = 0.02
 
+#: The disarmed OrderedLock wrapper may tax a hot WAL-append +
+#: cached-query loop by at most this fraction — the same bargain the
+#: fault hooks struck, gated for the lock-order witness of
+#: repro.concurrency.
+LOCK_WITNESS_OVERHEAD_CEILING = 0.02
+
 
 def bench_faults(rows, quick):
     """Disarmed fault-injection hooks must stay under 2% of a hot query.
@@ -500,6 +512,89 @@ def bench_faults(rows, quick):
         "{:.0%})".format(hook_tax / query_s, FAULT_HOOK_OVERHEAD_CEILING)
     rows.append(("faults: disarmed hook tax vs 2% budget", budget,
                  hook_tax))
+
+
+def bench_locks(rows, quick):
+    """Disarmed OrderedLocks must stay under 2% of a hot mutate+query loop.
+
+    The witness wrapper promises the fault hooks' bargain: armed it
+    records order edges, disarmed an acquisition is the raw lock plus
+    one module-global load and an ``is None`` test.  Measured
+    structurally like :func:`bench_faults` — differencing two noisy
+    end-to-end timings would drown a 2% delta: a briefly armed witness
+    counts acquisitions across a WAL-append + cached-query loop, a tight
+    loop prices the *disarmed* wrapper's per-acquisition delta over a
+    raw :class:`threading.Lock`, and the product is gated against the
+    measured (disarmed) loop time.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.concurrency import OrderedLock, installed_witness, \
+        witness_scope
+    from repro.storage import PersistentGraph
+
+    num_vertices, num_edges = (300, 2500) if quick else (600, 6000)
+    graph = uniform_random(num_vertices, num_edges, labels=("a", "b", "c"),
+                           seed=3)
+    expression = lconcat(sym("a"), lstar(sym("b")))
+    directory = tempfile.mkdtemp(prefix="bench-e13-locks-")
+    try:
+        store = PersistentGraph.create(os.path.join(directory, "g"), graph,
+                                       name="bench", sync="batch",
+                                       batch_size=64)
+        steps = 20 if quick else 40
+
+        def hot_loop():
+            for step in range(steps):
+                store.add_edge(step % num_vertices, "a",
+                               (step * 7) % num_vertices)
+                store.pairs(expression)
+
+        hot_loop()  # warm snapshot/DFA caches outside every measured run
+        # Acquisitions per loop, counted by a briefly armed witness.
+        # (Re-entrant re-acquires are exempt from the count, which only
+        # makes the gate stricter: they still pay the disarmed wrapper.)
+        with witness_scope() as witness:
+            hot_loop()
+            crossings = witness.acquisitions
+        assert installed_witness() is None, \
+            "the timed loop must run disarmed"
+        _, loop_s = timed(hot_loop, repeat=3)
+        calls = 200_000
+        wrapped = OrderedLock("bench.locks")
+        raw = threading.Lock()
+
+        def wrapped_loop():
+            for _ in range(calls):
+                with wrapped:
+                    pass
+
+        def raw_loop():
+            for _ in range(calls):
+                with raw:
+                    pass
+
+        _, wrapped_s = timed(wrapped_loop, repeat=3)
+        _, raw_s = timed(raw_loop, repeat=3)
+        store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    per_crossing = max(0.0, (wrapped_s - raw_s) / calls)
+    lock_tax = crossings * per_crossing
+    budget = loop_s * LOCK_WITNESS_OVERHEAD_CEILING
+    print("locks: {} acquisition(s) per hot loop, {:+.1f} ns wrapper "
+          "delta each; tax {:.2e}s vs {:.2e}s budget".format(
+              crossings, per_crossing * 1e9, lock_tax, budget))
+    assert crossings >= steps, \
+        "the witnessed loop crossed suspiciously few ordered locks"
+    assert lock_tax <= budget, \
+        "disarmed OrderedLocks cost {:.3%} of a hot mutate+query loop " \
+        "(ceiling {:.0%})".format(lock_tax / loop_s,
+                                  LOCK_WITNESS_OVERHEAD_CEILING)
+    rows.append(("locks: disarmed witness tax vs 2% budget", budget,
+                 lock_tax))
 
 
 def bench_parallel(rows, quick, record):
@@ -831,6 +926,7 @@ def write_json_record(path, args, rows, parallel_record):
             "service_cache_speedup_floor": SERVICE_CACHE_SPEEDUP_FLOOR,
             "service_async_overhead_ceiling": SERVICE_ASYNC_OVERHEAD_CEILING,
             "fault_hook_overhead_ceiling": FAULT_HOOK_OVERHEAD_CEILING,
+            "lock_witness_overhead_ceiling": LOCK_WITNESS_OVERHEAD_CEILING,
         },
         "rows": [
             {"scenario": name, "baseline_s": baseline, "contender_s": fast,
@@ -887,6 +983,7 @@ def main():
     bench_persistence(rows, args.quick)
     bench_service(rows, args.quick)
     bench_faults(rows, args.quick)
+    bench_locks(rows, args.quick)
     bench_parallel(rows, args.quick, parallel_record)
     report(rows)
     print("all compact/seed answer sets identical; "
@@ -899,12 +996,14 @@ def main():
           "service cache hits beat uncached >= {}x, facade overhead "
           "<= {:.0%}, deadlines cancel with a live follow-up; "
           "disarmed fault hooks tax a hot query <= {:.0%}; "
+          "disarmed ordered locks tax a hot mutate+query loop <= {:.0%}; "
           "sharded fan-out beats single-core >= {}x at {} workers "
           "(or skipped on small machines)".format(
               SELECTIVE_SPEEDUP_FLOOR, PREFLIGHT_OVERHEAD_CEILING,
               PERSISTENCE_SPEEDUP_FLOOR, SERVICE_CACHE_SPEEDUP_FLOOR,
               SERVICE_ASYNC_OVERHEAD_CEILING,
-              FAULT_HOOK_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
+              FAULT_HOOK_OVERHEAD_CEILING,
+              LOCK_WITNESS_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
               PARALLEL_WORKERS))
     if args.json:
         write_json_record(args.json, args, rows, parallel_record)

@@ -18,7 +18,17 @@ machine-checked instead of remembered:
   Runnable as ``python -m repro.analysis.lint src/repro``; see
   ``docs/static_analysis.md`` for the rule catalog and suppression
   syntax.
+* :mod:`repro.analysis.concurrency` — **reprorace**, the lock-discipline
+  and resource-lifecycle checker: guarded-attribute inference with
+  unguarded-write detection, nested-acquire (self-deadlock) detection, a
+  static cross-module lock-order graph with cycle reporting, and
+  must-close lifecycle rules for ``storage/`` and ``service/``.
+  Runnable as ``python -m repro.analysis.concurrency src/repro``; its
+  dynamic counterpart is the runtime witness in
+  :mod:`repro.concurrency`.
 """
+
+from typing import Any
 
 from repro.analysis.query import (
     ExpressionDiagnostics,
@@ -32,8 +42,34 @@ from repro.analysis.query import (
 __all__ = [
     "ExpressionDiagnostics",
     "QueryDiagnostics",
+    "RACE_RULES",
+    "RULES",
+    "Violation",
     "analyze_compiled_query",
     "analyze_expression",
+    "analyze_paths",
+    "lint_paths",
     "prune_dfa",
     "star_height",
 ]
+
+#: Lazily-resolved re-exports.  ``lint`` and ``concurrency`` are also
+#: ``python -m`` entry points; importing them eagerly here would load
+#: them twice under runpy (sys.modules warning), so resolve on demand.
+_LAZY = {
+    "RACE_RULES": "repro.analysis.concurrency",
+    "analyze_paths": "repro.analysis.concurrency",
+    "RULES": "repro.analysis.lint",
+    "Violation": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

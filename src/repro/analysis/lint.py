@@ -51,9 +51,14 @@ Usage::
 
     python -m repro.analysis.lint src/repro            # lint the tree
     python -m repro.analysis.lint --list-rules         # rule catalog
+    python -m repro.analysis.lint --json src/repro     # structured records
 
 Exit status is 0 when clean, 1 when violations were found, 2 on usage or
-parse errors.  Every violation prints as ``path:line: rule: message``.
+parse errors.  Every violation prints as ``path:line: rule: message``
+(or, under ``--json``, as one JSON object with a flat record per
+finding).  The suppression machinery here is tool-generic — the lock
+discipline checker reprorace (:mod:`repro.analysis.concurrency`) reuses
+it under its own ``# reprorace:`` namespace.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ from __future__ import annotations
 import argparse
 import ast
 import io
+import json
 import os
 import re
 import sys
@@ -68,7 +74,7 @@ import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
-__all__ = ["Violation", "lint_paths", "main", "RULES"]
+__all__ = ["Violation", "lint_paths", "emit_report", "main", "RULES"]
 
 #: rule name -> one-line description (the ``--list-rules`` catalog).
 RULES: Dict[str, str] = {
@@ -87,8 +93,18 @@ RULES: Dict[str, str] = {
 #: Sentinel for "every rule" in suppression tables.
 _ALL = frozenset(RULES)
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*(skip-file|ignore(?:\[([^\]]+)\])?)")
+
+def _suppress_re(tool: str) -> "re.Pattern[str]":
+    """The suppression-comment pattern for one tool's namespace.
+
+    The machinery below is shared with reprorace
+    (:mod:`repro.analysis.concurrency`); each tool only honours its own
+    ``# <tool>: ignore[...]`` comments, so a reprorace suppression never
+    silences a reprolint finding on the same line (and vice versa).
+    """
+    return re.compile(
+        r"#\s*{}:\s*(skip-file|ignore(?:\[([^\]]+)\])?)".format(
+            re.escape(tool)))
 
 #: Method names whose call mutates the receiver in place.
 _MUTATORS = frozenset({
@@ -115,6 +131,11 @@ class Violation:
     def format(self) -> str:
         return "{}:{}: {}: {}".format(self.path, self.line, self.rule,
                                       self.message)
+
+    def to_record(self) -> Dict[str, object]:
+        """The ``--json`` shape: one flat record per finding."""
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
 
 
 @dataclass
@@ -164,9 +185,13 @@ def _iter_comments(source: str) -> Iterable[Tuple[int, str]]:
         return
 
 
-def _parse_suppressions(module: _Module) -> None:
+def _parse_suppressions(module: _Module, tool: str = "reprolint",
+                        known_rules: Optional[FrozenSet[str]] = None) -> None:
+    if known_rules is None:
+        known_rules = _ALL
+    pattern = _suppress_re(tool)
     for number, text in _iter_comments(module.source):
-        match = _SUPPRESS_RE.search(text)
+        match = pattern.search(text)
         if match is None:
             continue
         if match.group(1) == "skip-file":
@@ -174,14 +199,15 @@ def _parse_suppressions(module: _Module) -> None:
             return
         names = match.group(2)
         if names is None:
-            rules: FrozenSet[str] = _ALL
+            rules: FrozenSet[str] = known_rules
         else:
             rules = frozenset(name.strip() for name in names.split(","))
-            unknown = rules - _ALL
+            unknown = rules - known_rules
             if unknown:
                 raise SystemExit(
-                    "{}:{}: unknown reprolint rule(s) in suppression: {}"
-                    .format(module.path, number, ", ".join(sorted(unknown))))
+                    "{}:{}: unknown {} rule(s) in suppression: {}"
+                    .format(module.path, number, tool,
+                            ", ".join(sorted(unknown))))
         module.line_rules[number] = module.line_rules.get(
             number, frozenset()) | rules
     # A suppression on a class/def header covers the whole block.
@@ -194,7 +220,9 @@ def _parse_suppressions(module: _Module) -> None:
                     (node.lineno, node.end_lineno or node.lineno, rules))
 
 
-def _collect_modules(paths: Iterable[str]) -> List[_Module]:
+def _collect_modules(paths: Iterable[str], tool: str = "reprolint",
+                     known_rules: Optional[FrozenSet[str]] = None
+                     ) -> List[_Module]:
     files: List[str] = []
     for target in paths:
         if os.path.isdir(target):
@@ -213,7 +241,7 @@ def _collect_modules(paths: Iterable[str]) -> List[_Module]:
         except SyntaxError as error:
             raise SystemExit("{}: cannot parse: {}".format(path, error))
         module = _Module(path=path, source=source, tree=tree)
-        _parse_suppressions(module)
+        _parse_suppressions(module, tool, known_rules)
         modules.append(module)
     return modules
 
@@ -548,6 +576,30 @@ def lint_paths(paths: Iterable[str]) -> List[Violation]:
     return sorted(out, key=lambda v: (v.path, v.line, v.rule))
 
 
+def emit_report(tool: str, violations: List[Violation],
+                as_json: bool) -> int:
+    """Print findings (text or ``--json``) and return the exit status.
+
+    Shared with reprorace so both CLIs report identically: the JSON shape
+    is one object with the tool name, a count, and one flat record per
+    violation — stable keys for CI annotation tooling to consume.
+    """
+    if as_json:
+        print(json.dumps({
+            "tool": tool,
+            "count": len(violations),
+            "violations": [v.to_record() for v in violations],
+        }, indent=2, sort_keys=True))
+        return 1 if violations else 0
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print("{}: {} violation(s)".format(tool, len(violations)))
+        return 1
+    print("{}: clean".format(tool))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -556,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="files or directories to lint")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit violations as one structured JSON record")
     args = parser.parse_args(argv)
     if args.list_rules:
         width = max(len(name) for name in RULES)
@@ -564,14 +618,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if not args.targets:
         parser.error("no targets given (try: src/repro)")
-    violations = lint_paths(args.targets)
-    for violation in violations:
-        print(violation.format())
-    if violations:
-        print("reprolint: {} violation(s)".format(len(violations)))
-        return 1
-    print("reprolint: clean")
-    return 0
+    return emit_report("reprolint", lint_paths(args.targets), args.as_json)
 
 
 if __name__ == "__main__":

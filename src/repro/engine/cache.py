@@ -24,10 +24,10 @@ which the key already covers through expression/filters/version).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, FrozenSet, Hashable, Optional, Tuple
 
+from repro.concurrency import ordered_lock
 from repro.regex.ast import RegexExpr
 
 __all__ = ["QueryCache"]
@@ -52,7 +52,9 @@ class QueryCache:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        # A leaf in the witness's lock hierarchy: nothing else is ever
+        # acquired while a cache bucket operation holds this.
+        self._lock = ordered_lock("engine.query_cache")
         self.hits = 0
         self.misses = 0
 

@@ -53,13 +53,13 @@ True
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
 from repro.automata.recognizer import Recognizer
+from repro.concurrency import ordered_lock
 from repro.core.path import Path
 from repro.core.pathset import PathSet
 from repro.core.projection import BinaryProjection, project_paths
@@ -169,7 +169,7 @@ class Engine:
         # keeps the swap-and-close safe when a service tier drives one
         # engine from several executor threads.
         self._parallel = None
-        self._parallel_lock = threading.Lock()
+        self._parallel_lock = ordered_lock("engine.parallel")
 
     # ------------------------------------------------------------------
 

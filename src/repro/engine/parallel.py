@@ -52,6 +52,7 @@ import time
 from array import array
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
+from repro.concurrency import ordered_lock, release_resource, track_resource
 from repro.errors import (
     AlgorithmError,
     ConvergenceError,
@@ -293,6 +294,11 @@ class ParallelExecutor:
         self._pool = None
         self._pool_key: Optional[Tuple] = None
         self._pool_pids: FrozenSet[int] = frozenset()
+        self._pool_leak_token: Optional[int] = None
+        # Guards pool spawn/teardown: the service tier can drive a close
+        # (engine swap or shutdown) while a fan-out respawns the pool.
+        # Witness-ordered below engine.parallel (the Engine's swap lock).
+        self._pool_lock = ordered_lock("engine.pool")
         self._files_version: Optional[int] = None
         # Shard count actually written to shard_dir: shard_ranges clamps
         # to the vertex count, so this can be lower than num_shards.
@@ -355,8 +361,14 @@ class ParallelExecutor:
         }
 
     def _teardown_pool(self, timeout: Optional[float] = None) -> None:
+        with self._pool_lock:
+            self._teardown_pool_locked(timeout)
+
+    def _teardown_pool_locked(self, timeout: Optional[float] = None) -> None:  # guarded-by: _pool_lock
         pool, self._pool, self._pool_key = self._pool, None, None
         self._pool_pids = frozenset()
+        release_resource(self._pool_leak_token)
+        self._pool_leak_token = None
         if pool is None:
             return
         timeout = self.SHUTDOWN_TIMEOUT if timeout is None else timeout
@@ -523,15 +535,18 @@ class ParallelExecutor:
         else:
             payload = _FORK_PAYLOADS[self._token]
             key = ("inline", ctx["version"], frozenset(payload))
-        if self._pool is not None and self._pool_key == key:
-            return
-        self._teardown_pool()
-        context = multiprocessing.get_context(
-            "fork" if fork_available() else None)
-        self._pool = context.Pool(self.processes)
-        self._pool_key = key
-        self._pool_pids = frozenset(
-            worker.pid for worker in self._pool._pool)
+        with self._pool_lock:
+            if self._pool is not None and self._pool_key == key:
+                return
+            self._teardown_pool_locked()
+            context = multiprocessing.get_context(
+                "fork" if fork_available() else None)
+            self._pool = context.Pool(self.processes)
+            self._pool_leak_token = track_resource(
+                "worker-pool", "{} process(es)".format(self.processes))
+            self._pool_key = key
+            self._pool_pids = frozenset(
+                worker.pid for worker in self._pool._pool)
 
     def _source_ranges(self, snapshot, version: int):
         """Out-degree-balanced source ranges over the live snapshot view,

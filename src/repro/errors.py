@@ -33,6 +33,9 @@ __all__ = [
     "WorkerPoolError",
     "AlgorithmError",
     "ConvergenceError",
+    "ConcurrencyError",
+    "LockOrderViolation",
+    "ResourceLeakError",
     "ServiceError",
     "DeadlineExceededError",
     "OverloadedError",
@@ -312,6 +315,47 @@ class RetryBudgetExceededError(ClientError):
         self.operation = operation
         self.attempts = attempts
         self.last_status = last_status
+
+
+class ConcurrencyError(PathAlgebraError):
+    """Base class for errors raised by the concurrency witness layer."""
+
+
+class LockOrderViolation(ConcurrencyError):
+    """The armed lock-order witness saw a cyclic acquisition order.
+
+    Raised *before* the offending acquire blocks, so the witness
+    fail-stops on the first potential deadlock instead of exhibiting it.
+    ``cycle`` is the lock-name path that closes the cycle (the witness
+    orders locks by name, not instance — two instances of the same class
+    share an order slot, which is exactly the discipline a class-level
+    lock hierarchy promises).
+    """
+
+    def __init__(self, cycle, holding=()):
+        self.cycle = tuple(cycle)
+        self.holding = tuple(holding)
+        message = "lock-order cycle: {}".format(" -> ".join(self.cycle))
+        if holding:
+            message += " (thread holds: {})".format(", ".join(self.holding))
+        super().__init__(message)
+
+
+class ResourceLeakError(ConcurrencyError):
+    """The armed leak registry closed out with live tracked resources.
+
+    ``leaks`` is a list of ``(kind, detail)`` pairs — one per resource
+    (WAL handle, store, worker pool, executor) that was opened while
+    tracking was armed and never released.
+    """
+
+    def __init__(self, leaks):
+        self.leaks = list(leaks)
+        super().__init__(
+            "{} resource(s) never released: {}".format(
+                len(self.leaks),
+                "; ".join("{}[{}]".format(kind, detail)
+                          for kind, detail in self.leaks)))
 
 
 class AlgorithmError(PathAlgebraError):

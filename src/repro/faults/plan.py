@@ -53,12 +53,12 @@ from __future__ import annotations
 
 import errno
 import os
-import threading
 import time
 from typing import Callable, Dict, Iterator, List, Optional
 
 from contextlib import contextmanager
 
+from repro.concurrency import ordered_lock
 from repro.errors import StorageError
 
 __all__ = [
@@ -154,7 +154,9 @@ class FaultPlan:
         self.hits = 0
         self._faults: Dict[str, List[Fault]] = {}
         self._pid = os.getpid()
-        self._lock = threading.Lock()
+        # A leaf under storage.wal: WAL flushes cross fault hooks while
+        # holding the WAL lock, so this must never acquire anything.
+        self._lock = ordered_lock("faults.plan")
 
     def arm(self, site: str, kind: str, **options: object) -> Fault:
         """Arm one fault at ``site``; returns it for later inspection."""

@@ -31,7 +31,7 @@ processes mmap only the rows they own) are written and reopened by
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.graph.compact import (
     CompactAdjacency,
@@ -59,7 +59,7 @@ __all__ = [
 _SHARD_CACHE_ATTR = "_sharded_snapshot_cache"
 
 
-def row_degrees(view) -> List[int]:
+def row_degrees(view: Any) -> List[int]:
     """Total out-degree per vertex slot, summed over every label.
 
     Works on base snapshots and delta overlays alike (removed base edges
@@ -114,7 +114,7 @@ def shard_ranges(degrees: List[int], num_shards: int) -> List[Tuple[int, int]]:
     return ranges
 
 
-def live_ids_in_range(view, lo: int, hi: int) -> Iterable[int]:
+def live_ids_in_range(view: Any, lo: int, hi: int) -> Iterable[int]:
     """The live vertex ids inside ``[lo, hi)`` (tombstoned slots skipped)."""
     dead = getattr(view, "dead_vertices", None)
     if not dead:
@@ -141,7 +141,8 @@ def _densify(view: DeltaAdjacency) -> CompactAdjacency:
                                         forward, reverse, num_edges)
 
 
-def _slice_rows(indptr, indices, lo: int, hi: int, n: int):
+def _slice_rows(indptr: Any, indices: Any, lo: int, hi: int,
+                n: int) -> Tuple[Any, Any]:
     """One label's forward CSR restricted to rows ``[lo, hi)``.
 
     Returns ``(shard_indptr, shard_indices)`` over the full ``n``-slot row
@@ -163,7 +164,8 @@ def _slice_rows(indptr, indices, lo: int, hi: int, n: int):
     return shard_indptr, indices[start:stop]
 
 
-def _reverse_of_rows(indptr, indices, lo: int, hi: int, n: int):
+def _reverse_of_rows(indptr: Any, indices: Any, lo: int, hi: int,
+                     n: int) -> Tuple[Any, Any]:
     """The reverse CSR of the edges owned by rows ``[lo, hi)``.
 
     Unlike the forward arrays this cannot be sliced (reverse rows are
@@ -235,7 +237,7 @@ class ShardedSnapshot:
         return len(self.vertex_of)
 
     @classmethod
-    def build(cls, view, num_shards: int) -> "ShardedSnapshot":
+    def build(cls, view: Any, num_shards: int) -> "ShardedSnapshot":
         """Partition a snapshot view into ``num_shards`` vertex-range shards.
 
         ``view`` may be a base :class:`CompactAdjacency` or a
@@ -314,7 +316,7 @@ def row_degrees_of_shards(ranges: List[Tuple[int, int]],
     return degrees
 
 
-def sharded_snapshot(graph, num_shards: int) -> ShardedSnapshot:
+def sharded_snapshot(graph: Any, num_shards: int) -> ShardedSnapshot:
     """The cached :class:`ShardedSnapshot` for ``graph``, rebuilt when stale.
 
     Cached on the graph instance keyed by ``(version, num_shards)`` — a
@@ -334,7 +336,7 @@ def sharded_snapshot(graph, num_shards: int) -> ShardedSnapshot:
 
 
 def scatter_rank_mass(shard: CompactAdjacency, lo: int, hi: int,
-                      coefficients) -> "array.array":
+                      coefficients: Any) -> "array.array":
     """One pagerank power-iteration scatter over one shard's owned rows.
 
     ``coefficients[v - lo]`` is the damped per-edge share of owned vertex

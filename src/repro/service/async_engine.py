@@ -44,6 +44,7 @@ from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.concurrency import ordered_lock, release_resource, track_resource
 from repro.engine.engine import Engine
 from repro.errors import DeadlineExceededError, OverloadedError, ServiceError
 from repro.regex.ast import RegexExpr
@@ -144,6 +145,9 @@ class AsyncEngine:
         self._executor = executor if executor is not None else \
             ThreadPoolExecutor(max_workers=max_workers,
                                thread_name_prefix="repro-query")
+        self._leak_token = track_resource(
+            "query-executor", repr(engine.graph)) \
+            if self._owns_executor else None
         self.max_concurrency = max(1, max_concurrency
                                    if max_concurrency is not None
                                    else max_workers)
@@ -158,6 +162,10 @@ class AsyncEngine:
         self._waiters: Deque[Tuple[str, "asyncio.Future"]] = deque()
         self._compiled: "OrderedDict[str, RegexExpr]" = OrderedDict()
         self._closed = False
+        # Guards only the close() idempotency flip: slot state stays
+        # loop-confined, but teardown can race between the event loop and
+        # the registry's synchronous eviction/close paths.
+        self._state_lock = ordered_lock("service.async_engine")
         self.counters: Dict[str, int] = {
             "submitted": 0, "completed": 0, "failed": 0,
             "deadline_exceeded": 0, "shed": 0, "cache_fast_hits": 0,
@@ -374,7 +382,7 @@ class AsyncEngine:
                     max_length: Optional[int] = None,
                     limit: Optional[int] = None,
                     processes: Optional[int] = None,
-                    deadline: Optional[float] = None):
+                    deadline: Optional[float] = None) -> Any:
         """Awaitable :meth:`Engine.query` (path-materializing strategies)."""
         budget = self._deadline(deadline)
         expression = self._compile(query)
@@ -442,10 +450,17 @@ class AsyncEngine:
         self.close(wait=False)
 
     def close(self, wait: bool = True) -> None:
-        """Synchronous teardown (idempotent): executor + engine pool."""
-        if self._closed:
-            return
-        self._closed = True
+        """Synchronous teardown (idempotent): executor + engine pool.
+
+        The closed flip happens under ``_state_lock`` so exactly one of
+        two racing closers (the event loop's ``aclose`` vs the registry's
+        synchronous eviction) runs the teardown body; everything after
+        the flip is executed by that single winner.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
         for _, waiter in list(self._waiters):
             if not waiter.done():
                 waiter.cancel()
@@ -453,6 +468,7 @@ class AsyncEngine:
         if self._owns_executor:
             self._executor.shutdown(wait=wait)
         self.engine.close()
+        release_resource(self._leak_token)
 
     @property
     def idle(self) -> bool:
@@ -482,7 +498,7 @@ class AsyncEngine:
     async def __aenter__(self) -> "AsyncEngine":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()
 
     def __repr__(self) -> str:

@@ -172,7 +172,9 @@ class HttpServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _BadRequest("empty request")
@@ -416,7 +418,7 @@ class HttpServer:
         if not additions and not removals:
             raise _BadRequest("mutate body carries no add_edges/remove_edges")
 
-        def apply(graph) -> Dict[str, int]:
+        def apply(graph: Any) -> Dict[str, int]:
             added = removed = 0
             for tail, label, head in additions:
                 graph.add_edge(tail, label, head)

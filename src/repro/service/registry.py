@@ -37,10 +37,14 @@ gracefully, WALs flushed).
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.concurrency import (
+    ordered_rlock,
+    release_resource,
+    track_resource,
+)
 from repro.engine.cache import QueryCache
 from repro.engine.engine import Engine
 from repro.errors import (
@@ -103,7 +107,7 @@ class _Admission:
     def __enter__(self) -> "_Admission":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()
 
 
@@ -132,6 +136,7 @@ class GraphRegistry:
         self._quotas = dict(quotas or {})
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-registry")
+        self._leak_token = track_resource("registry-executor", self.root)
         # capacity <= 0 disables result caching entirely (repro serve
         # --cache 0): every query then recomputes at the current version.
         self._cache: Optional[QueryCache] = \
@@ -143,7 +148,9 @@ class GraphRegistry:
         self._closed = False
         # acquire/release may be driven from the event loop and from
         # synchronous admin code; one lock keeps the handle table sane.
-        self._lock = threading.RLock()
+        # Witness-ordered at the top of the hierarchy: eviction closes
+        # stores (storage.store) while this is held.
+        self._lock = ordered_rlock("service.registry")
 
     # -- naming --------------------------------------------------------
 
@@ -201,7 +208,7 @@ class GraphRegistry:
             executor=self._executor)
         return GraphHandle(name, store, engine, async_engine)
 
-    def _evict_idle(self) -> None:
+    def _evict_idle(self) -> None:  # guarded-by: _lock
         """Close least-recently-used idle handles past ``max_open``.
 
         A handle is evictable only when *both* its refcount is 0 (no
@@ -276,6 +283,7 @@ class GraphRegistry:
             await handle.async_engine.aclose(deadline=deadline)
             handle.store.close()
         self._executor.shutdown(wait=True)
+        release_resource(self._leak_token)
 
     def close(self) -> None:
         """Synchronous teardown (idempotent): handles, executor, cache."""
@@ -288,11 +296,12 @@ class GraphRegistry:
         for handle in handles:
             self._close_handle(handle)
         self._executor.shutdown(wait=True)
+        release_resource(self._leak_token)
 
     def __enter__(self) -> "GraphRegistry":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def readiness(self) -> "Tuple[bool, Dict[str, Any]]":

@@ -36,9 +36,9 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
+from repro.concurrency import ordered_rlock, release_resource, track_resource
 from repro.errors import StorageError, StoreDegradedError
 from repro.faults import fault_point
 from repro.graph.compact import _CACHE_ATTR, DeltaAdjacency, adjacency_snapshot
@@ -193,9 +193,12 @@ class PersistentGraph:
         # close): the service tier shares one store between query threads
         # and an admin endpoint, and e.g. two first-mutation calls racing
         # materialization must build the dict indices exactly once.
-        self._lock = threading.RLock()
+        # Re-entrant (checkpoint's heal path re-enters _enter_degraded)
+        # and witness-ordered above storage.wal.
+        self._lock = ordered_rlock("storage.store")
         self._recovery: Dict[str, Any] = {"wal_records": 0,
                                           "tail_torn": False}
+        self._leak_token = track_resource("store", directory)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -236,7 +239,11 @@ class PersistentGraph:
                              for e, p in graph._edges.items() if p})
         wal = WriteAheadLog(os.path.join(directory, manifest["wal"]),
                             sync=sync, batch_size=batch_size)
-        _write_manifest(directory, manifest)
+        try:
+            _write_manifest(directory, manifest)
+        except BaseException:
+            wal.close()  # the store was never born; don't leak its log
+            raise
         store = cls(directory, manifest, wal, sync, batch_size, mmap=True)
         store._graph = graph
         graph.attach_wal_sink(store._wal_sink)
@@ -272,7 +279,9 @@ class PersistentGraph:
             store.graph()
         return store
 
-    def _replay(self, entries: Iterable[Tuple[Any, ...]]) -> None:
+    # The store is thread-confined during replay (construction time); the
+    # sidecar maps and overlay it fills are only published afterwards.
+    def _replay(self, entries: Iterable[Tuple[Any, ...]]) -> None:  # reprorace: ignore[unguarded-write]
         """Apply recovered WAL entries: structure to the overlay, property
         merges to the sidecar maps (deletes drop the matching maps)."""
         structural = []
@@ -319,6 +328,7 @@ class PersistentGraph:
                 self._base = None
                 self._overlay = None
                 self._closed = True
+                release_resource(self._leak_token)
 
     def flush(self) -> None:
         """Force pending WAL records to disk (fsync per the sync policy).
@@ -424,10 +434,17 @@ class PersistentGraph:
         return self._degraded
 
     def _enter_degraded(self, reason: str) -> StoreDegradedError:
-        """Flip (sticky) into degraded mode; returns the error to raise."""
-        if self._degraded is None:
-            self._degraded = reason
-        return StoreDegradedError(self.directory, self._degraded)
+        """Flip (sticky) into degraded mode; returns the error to raise.
+
+        Takes the store lock: the WAL sink calls this from whichever
+        thread's mutation hit the write failure (after the WAL's own lock
+        is released), racing any concurrent checkpoint heal.  Re-entrant
+        from ``_checkpoint_locked`` — the lock is an RLock.
+        """
+        with self._lock:
+            if self._degraded is None:
+                self._degraded = reason
+            return StoreDegradedError(self.directory, self._degraded)
 
     def _check_writable(self) -> None:
         if self._degraded is not None:
@@ -529,7 +546,7 @@ class PersistentGraph:
         with self._lock:
             return self._checkpoint_locked()
 
-    def _checkpoint_locked(self) -> Dict[str, Any]:
+    def _checkpoint_locked(self) -> Dict[str, Any]:  # guarded-by: _lock
         self._check_open()
         if self._degraded is None:
             try:
@@ -565,7 +582,13 @@ class PersistentGraph:
         manifest = dict(self._manifest)
         manifest.update(generation=generation, snapshot=snapshot_name,
                         wal=wal_name, snapshot_version=version)
-        _write_manifest(self.directory, manifest)
+        try:
+            _write_manifest(self.directory, manifest)
+        except BaseException:
+            # The new generation was never published: the old one stays
+            # live, so the just-opened log must not leak its handle.
+            new_wal.close()
+            raise
         # The new generation is durable and live: retire the old one.
         try:
             self._wal.close()

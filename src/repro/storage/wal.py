@@ -42,10 +42,10 @@ from __future__ import annotations
 import json
 import os
 import struct
-import threading
 import zlib
 from typing import IO, List, Optional, Tuple
 
+from repro.concurrency import ordered_lock, release_resource, track_resource
 from repro.errors import StorageError
 from repro.faults import fault_hook, fault_point
 
@@ -172,8 +172,9 @@ class WriteAheadLog:
         self._broken: Optional[str] = None
         # Serializes append/flush/close: the service tier can drive a
         # mutation (appending) while a checkpoint flushes the same log
-        # from another thread.
-        self._lock = threading.Lock()
+        # from another thread.  Witness-ordered: storage.wal sits below
+        # storage.store and above faults.plan in the lock hierarchy.
+        self._lock = ordered_lock("storage.wal")
         if scanned is None:
             # Callers that already ran scan_wal (for the replay entries)
             # pass its (durable_end, tail_torn) so the file — which can be
@@ -183,6 +184,7 @@ class WriteAheadLog:
             durable_end, tail_torn = scanned
         exists = os.path.exists(path)
         self._stream: Optional[IO[bytes]] = open(path, "r+b" if exists else "w+b")
+        self._leak_token = track_resource("wal", path)
         if not exists or durable_end == 0:
             self._stream.seek(0)
             self._stream.truncate(0)
@@ -231,7 +233,7 @@ class WriteAheadLog:
                     "write-ahead log {} is closed".format(self.path))
             self._flush_pending()
 
-    def _flush_pending(self) -> None:
+    def _flush_pending(self) -> None:  # guarded-by: _lock
         """Write+fsync the pending batch transactionally; caller holds the lock.
 
         The batch only counts as durable — and only leaves ``_pending`` —
@@ -275,7 +277,7 @@ class WriteAheadLog:
         self._pending_records = 0
         self.records_durable += flushed
 
-    def _rewind_to_durable(self) -> None:
+    def _rewind_to_durable(self) -> None:  # guarded-by: _lock
         """Truncate the file back to the durable prefix after a failed flush.
 
         Reopens the path rather than reusing the failed stream: the
@@ -368,6 +370,7 @@ class WriteAheadLog:
                         stream.close()
                     except OSError:
                         pass  # durable prefix is already fsynced
+                release_resource(self._leak_token)
 
     def __enter__(self) -> "WriteAheadLog":
         return self

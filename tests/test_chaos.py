@@ -20,6 +20,7 @@ import random
 
 import pytest
 
+from repro.concurrency import tracking_scope, witness_scope
 from repro.engine.parallel import ParallelExecutor, fork_available
 from repro.errors import StorageError, StoreDegradedError
 from repro.faults import FaultPlan, clear_plan, fault_scope
@@ -56,6 +57,26 @@ def disarmed():
     clear_plan()
     yield
     clear_plan()
+
+
+@pytest.fixture(autouse=True)
+def concurrency_witness():
+    """Run the whole chaos schedule under the armed lock-order witness
+    and leak registry: every injected fault also proves the acquisition
+    order stayed acyclic and every WAL/store/pool handle was released.
+
+    The witness fail-stops (raising ``LockOrderViolation``) the moment a
+    cyclic acquisition happens, so a regression surfaces as a typed error
+    at the offending acquire, not a wedged run; the final asserts keep
+    the arming honest (a disarmed run would pass vacuously) and sweep up
+    leaks and any cycle the fail-stop could somehow have missed.
+    """
+    with witness_scope() as witness, tracking_scope() as tracker:
+        yield
+        witness.assert_acyclic()
+        assert witness.acquisitions > 0, "witness saw no lock traffic"
+        tracker.assert_empty()
+        assert tracker.released > 0, "leak registry saw no resources"
 
 
 class Tally:

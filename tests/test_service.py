@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from repro.concurrency import tracking_scope, witness_scope
 from repro.engine import Engine, QueryCache
 from repro.errors import (
     AuthenticationError,
@@ -39,6 +40,17 @@ from repro.service import AsyncEngine, Deadline, GraphRegistry, HttpServer
 from repro.storage import PersistentGraph
 
 CHAIN = 12
+
+
+@pytest.fixture(autouse=True)
+def concurrency_checks():
+    """Every service test runs under the armed lock-order witness and
+    leak registry: teardown must leave the acquisition graph acyclic and
+    every executor/store/WAL the test opened released."""
+    with witness_scope() as witness, tracking_scope() as tracker:
+        yield
+        witness.assert_acyclic()
+        tracker.assert_empty()
 
 
 def chain_graph(name="chain"):
