@@ -597,6 +597,124 @@ def bench_locks(rows, quick):
                  lock_tax))
 
 
+#: A caught-up replica must replay the shipped log >= this many times
+#: faster than the primary originally wrote it — catch-up after a
+#: restart or re-bootstrap converges instead of chasing a moving tail.
+REPLICA_APPLY_SPEEDUP_FLOOR = 5.0
+
+#: A default-cadence tailing replica may tax the primary's query
+#: latency by at most this fraction (best-of-N on both sides).
+TAIL_POLL_OVERHEAD_CEILING = 0.02
+
+
+def bench_replication(rows, quick):
+    """WAL shipping (:mod:`repro.replication`): apply rate + tail tax.
+
+    Two gates for the replication tier on a 10k-edge churn workload
+    (sizes do not shrink under ``--quick``):
+
+    * **catch-up**: a replica bootstrapping from the snapshot and
+      replaying the shipped segment log must apply records >=
+      ``REPLICA_APPLY_SPEEDUP_FLOOR``x faster than the primary's
+      original mutation rate — the condition for a lagging replica to
+      converge at all, and the headroom that keeps steady-state lag at
+      one poll interval.  Answers are verified identical before timing
+      counts.
+    * **tail tax**: with a replica tailing at the default poll cadence
+      over the in-process feed, the primary's query latency may rise by
+      at most ``TAIL_POLL_OVERHEAD_CEILING`` (the ship path reads
+      sealed bytes under its own lock — queries never wait on it).
+    """
+    import tempfile
+    import threading
+
+    from repro.replication import PrimaryFeed, ReplicaGraph, ReplicaTailer
+    from repro.storage import PersistentGraph
+
+    churn = 10_000
+    with tempfile.TemporaryDirectory(prefix="bench-repl-") as scratch:
+        store = PersistentGraph.create(
+            os.path.join(scratch, "primary"), name="bench",
+            replicate=True, sync="batch")
+        rng = random.Random(13)
+        edges = [(rng.randrange(1500), rng.choice(("a", "b", "c")),
+                  rng.randrange(1500)) for _ in range(churn)]
+        gc.collect()
+        started = time.perf_counter()
+        for tail, label, head in edges:
+            store.add_edge(tail, label, head)
+        store.flush()
+        primary_s = time.perf_counter() - started
+        feed = PrimaryFeed(store)
+        records = store.segments.last_version
+
+        def catch_up():
+            replica = ReplicaGraph.bootstrap(
+                os.path.join(scratch, "replica-timed"), feed)
+            try:
+                started = time.perf_counter()
+                while True:
+                    report = replica.poll_once(feed, max_bytes=1 << 22)
+                    if report["at_end"] and report["lag_records"] == 0:
+                        break
+                elapsed = time.perf_counter() - started
+                expression = lconcat(sym("a"), lstar(sym("b")))
+                assert replica.pairs(expression) == \
+                    rpq_pairs(store.graph(), expression), \
+                    "replica answers diverged from the primary's"
+                return elapsed
+            finally:
+                replica.close()
+
+        # The bootstrap snapshot for an all-churn store is tiny (the
+        # create-time snapshot is empty): the timed region is the log
+        # replay itself.  Best of three to shake scheduler noise.
+        replica_s = min(catch_up() for _ in range(3))
+        assert primary_s / replica_s >= REPLICA_APPLY_SPEEDUP_FLOOR, \
+            "replica applied {} records in {:.3f}s — only {:.1f}x the " \
+            "primary's {:.3f}s mutation run (floor {:.0f}x)".format(
+                records, replica_s, primary_s / replica_s, primary_s,
+                REPLICA_APPLY_SPEEDUP_FLOOR)
+        rows.append(("replication: {}-record catch-up vs primary "
+                     "write run".format(records), primary_s, replica_s))
+
+        # -- tail tax on primary query latency, default poll cadence.
+        expression = lconcat(sym("a"), lstar(sym("b")))
+        sources = frozenset(range(0, 256))
+
+        def sweep():
+            return rpq_pairs(store.graph(), expression, sources=sources)
+
+        baseline_answer, baseline_s = timed(sweep, repeat=5)
+        replica = ReplicaGraph.bootstrap(
+            os.path.join(scratch, "replica-tail"), feed)
+        tailer = ReplicaTailer(replica, feed)
+        stop = threading.Event()
+        thread = threading.Thread(target=tailer.run, args=(stop,),
+                                  name="bench-replica-tail", daemon=True)
+        thread.start()
+        try:
+            deadline = time.time() + 10.0
+            while not tailer.state()["ready"] and time.time() < deadline:
+                time.sleep(0.01)
+            assert tailer.state()["ready"], "tailer never caught up"
+            tailing_answer, tailing_s = timed(sweep, repeat=5)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+            replica.close()
+        store.close()
+        assert tailing_answer == baseline_answer
+        overhead = tailing_s / baseline_s - 1.0
+        assert overhead <= TAIL_POLL_OVERHEAD_CEILING, \
+            "a default-cadence tailing replica added {:.1%} to primary " \
+            "query latency ({:.4f}s vs {:.4f}s; ceiling {:.0%})".format(
+                overhead, tailing_s, baseline_s,
+                TAIL_POLL_OVERHEAD_CEILING)
+        rows.append(("replication: primary query latency under tail "
+                     "({:+.1%})".format(overhead), tailing_s, baseline_s))
+
+
 def bench_parallel(rows, quick, record):
     """All-sources RPQ + sharded pagerank, 4 workers vs one core, 50k edges.
 
@@ -927,6 +1045,8 @@ def write_json_record(path, args, rows, parallel_record):
             "service_async_overhead_ceiling": SERVICE_ASYNC_OVERHEAD_CEILING,
             "fault_hook_overhead_ceiling": FAULT_HOOK_OVERHEAD_CEILING,
             "lock_witness_overhead_ceiling": LOCK_WITNESS_OVERHEAD_CEILING,
+            "replica_apply_speedup_floor": REPLICA_APPLY_SPEEDUP_FLOOR,
+            "tail_poll_overhead_ceiling": TAIL_POLL_OVERHEAD_CEILING,
         },
         "rows": [
             {"scenario": name, "baseline_s": baseline, "contender_s": fast,
@@ -982,6 +1102,7 @@ def main():
         bench_digraph_churn(rows, args.quick)
     bench_persistence(rows, args.quick)
     bench_service(rows, args.quick)
+    bench_replication(rows, args.quick)
     bench_faults(rows, args.quick)
     bench_locks(rows, args.quick)
     bench_parallel(rows, args.quick, parallel_record)
@@ -995,6 +1116,9 @@ def main():
           "persistent reopen beats csv rebuild >= {}x; "
           "service cache hits beat uncached >= {}x, facade overhead "
           "<= {:.0%}, deadlines cancel with a live follow-up; "
+          "replica catch-up replays the shipped log >= {}x the "
+          "primary's write rate with a tail tax <= {:.0%} on primary "
+          "query latency; "
           "disarmed fault hooks tax a hot query <= {:.0%}; "
           "disarmed ordered locks tax a hot mutate+query loop <= {:.0%}; "
           "sharded fan-out beats single-core >= {}x at {} workers "
@@ -1002,6 +1126,7 @@ def main():
               SELECTIVE_SPEEDUP_FLOOR, PREFLIGHT_OVERHEAD_CEILING,
               PERSISTENCE_SPEEDUP_FLOOR, SERVICE_CACHE_SPEEDUP_FLOOR,
               SERVICE_ASYNC_OVERHEAD_CEILING,
+              REPLICA_APPLY_SPEEDUP_FLOOR, TAIL_POLL_OVERHEAD_CEILING,
               FAULT_HOOK_OVERHEAD_CEILING,
               LOCK_WITNESS_OVERHEAD_CEILING, PARALLEL_SPEEDUP_FLOOR,
               PARALLEL_WORKERS))

@@ -44,7 +44,8 @@ the chaos suite.  Four rules:
 
 Annotations
 -----------
-``# guarded-by: <lockattr>`` on a ``def`` line asserts the *caller*
+``# guarded-by: <lockattr>`` on a ``def`` signature line (the ``def``
+itself, or any continuation line of a wrapped signature) asserts the *caller*
 holds ``self.<lockattr>`` for the whole method — the repo's private
 ``_do_x_locked``-style helpers carry it, and reprorace then both treats
 their writes as guarded and flags any re-acquisition of that lock
@@ -234,9 +235,16 @@ def _collect_classes(modules: List[_Module]) -> Dict[str, _Class]:
             for item in node.body:
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     info.methods[item.name] = item
-                    guard = guards.get(item.lineno)
-                    if guard is not None:
-                        info.method_guards[item.name] = guard
+                    # The guard comment may sit on any signature line —
+                    # wrapped defs put it after the closing paren.
+                    body_start = item.body[0].lineno if item.body \
+                        else item.lineno + 1
+                    body_start = max(body_start, item.lineno + 1)
+                    for line in range(item.lineno, body_start):
+                        guard = guards.get(line)
+                        if guard is not None:
+                            info.method_guards[item.name] = guard
+                            break
             init = info.methods.get("__init__")
             param_types: Dict[str, str] = {}
             if init is not None:

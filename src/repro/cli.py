@@ -147,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output subdirectory inside the store "
                                "(default: shards)")
 
+    db_verify = db_commands.add_parser(
+        "verify", help="offline CRC scrub of a store or replica directory; "
+                       "exit 1 and report the first corrupt record on "
+                       "damage")
+    db_verify.add_argument("directory", help="store or replica directory")
+
+    db_promote = db_commands.add_parser(
+        "promote", help="promote a replica directory to a writable "
+                        "primary store (seals and verifies the shipped "
+                        "log first)")
+    db_promote.add_argument("directory", help="replica directory")
+
     serve = commands.add_parser(
         "serve", help="run the async HTTP/JSON query service over a "
                       "directory of graph stores")
@@ -175,6 +187,28 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="TENANT=N",
                        help="per-tenant concurrent-query quota "
                             "(repeatable; default 8 each)")
+    serve.add_argument("--replicate", action="store_true",
+                       help="open stores with a shippable segment log and "
+                            "serve GET /replication/* to replicas")
+    serve.add_argument("--access-log", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="write one JSON access-log line per request "
+                            "to PATH ('-' or no value = stderr; off by "
+                            "default)")
+    serve.add_argument("--replica-of", default=None, metavar="URL",
+                       help="serve ROOT as a read-only replica tailing "
+                            "the primary at URL (ROOT is the replica "
+                            "state directory)")
+    serve.add_argument("--graph", default=None,
+                       help="with --replica-of: the graph name to "
+                            "replicate (default: the primary's only "
+                            "graph)")
+    serve.add_argument("--primary-token", default=None,
+                       help="with --replica-of: bearer token presented "
+                            "to the primary's /replication endpoints")
+    serve.add_argument("--poll-interval", type=float, default=0.2,
+                       help="with --replica-of: WAL tail poll interval "
+                            "in seconds (default: 0.2)")
     return parser
 
 
@@ -225,7 +259,7 @@ def _run_query(graph: MultiRelationalGraph, pathql: str, strategy: str,
         out.write("  {}\n".format(p))
 
 
-def _run_db(args, out) -> None:
+def _run_db(args, out) -> int:
     """The ``db`` subcommand family over :class:`repro.storage.PersistentGraph`."""
     from repro.storage import PersistentGraph
 
@@ -268,6 +302,20 @@ def _run_db(args, out) -> None:
                 name=store.info().get("name", ""))
         manifest["directory"] = args.out
         out.write(json.dumps(manifest, indent=2, default=str) + "\n")
+    elif args.db_command == "verify":
+        from repro.replication import verify_store
+        report = verify_store(args.directory)
+        out.write(json.dumps(report, indent=2, default=str) + "\n")
+        if not report["ok"]:
+            first = report.get("first_corrupt")
+            out.write("FIRST CORRUPT: {}\n".format(
+                json.dumps(first, default=str)))
+            return 1
+    elif args.db_command == "promote":
+        from repro.replication import promote_replica
+        report = promote_replica(args.directory)
+        out.write(json.dumps(report, indent=2, default=str) + "\n")
+    return 0
 
 
 def _parse_mapping(pairs, flag):
@@ -305,6 +353,18 @@ def _run_serve(args, out) -> int:
     if args.deadline_ms is not None and args.deadline_ms <= 0:
         raise PathAlgebraError("--deadline-ms must be positive")
 
+    access_log = None
+    log_stream = None
+    if args.access_log is not None:
+        if args.access_log == "-":
+            log_stream = sys.stderr
+        else:
+            log_stream = open(args.access_log, "a", encoding="utf-8")
+
+        def access_log(entry):
+            log_stream.write(json.dumps(entry, default=str) + "\n")
+            log_stream.flush()
+
     async def run() -> None:
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -317,20 +377,35 @@ def _run_serve(args, out) -> int:
             out.flush()
 
         try:
-            await service_serve(
-                args.root, host=args.host, port=args.port, tokens=tokens,
-                ready=ready, stop_event=stop,
-                max_workers=args.workers,
-                max_concurrency=args.max_concurrency,
-                max_queue_depth=args.queue_depth,
-                default_deadline=None if args.deadline_ms is None
-                else args.deadline_ms / 1000.0,
-                cache_capacity=args.cache, quotas=quotas)
+            if args.replica_of is not None:
+                from repro.service.http import serve_replica
+                await serve_replica(
+                    args.root, args.replica_of, host=args.host,
+                    port=args.port, graph=args.graph, tokens=tokens,
+                    primary_token=args.primary_token,
+                    poll_interval=args.poll_interval, ready=ready,
+                    stop_event=stop, access_log=access_log)
+            else:
+                await service_serve(
+                    args.root, host=args.host, port=args.port,
+                    tokens=tokens, ready=ready, stop_event=stop,
+                    access_log=access_log,
+                    max_workers=args.workers,
+                    max_concurrency=args.max_concurrency,
+                    max_queue_depth=args.queue_depth,
+                    default_deadline=None if args.deadline_ms is None
+                    else args.deadline_ms / 1000.0,
+                    cache_capacity=args.cache, quotas=quotas,
+                    replicate=args.replicate)
         finally:
             for signum in (signal.SIGINT, signal.SIGTERM):
                 loop.remove_signal_handler(signum)
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        if log_stream is not None and log_stream is not sys.stderr:
+            log_stream.close()
     out.write("shutdown complete\n")
     return 0
 
@@ -355,7 +430,7 @@ def main(argv: Optional[list] = None, out=None) -> int:
         elif args.command == "dot":
             out.write(graph_to_dot(load_graph(args.graph)) + "\n")
         elif args.command == "db":
-            _run_db(args, out)
+            return _run_db(args, out)
         elif args.command == "serve":
             return _run_serve(args, out)
         elif args.command == "demo":

@@ -30,6 +30,11 @@ __all__ = [
     "SerializationError",
     "StorageError",
     "StoreDegradedError",
+    "ReplicationError",
+    "ReplicationCursorGapError",
+    "ReplicationCorruptionError",
+    "ReplicaStaleError",
+    "ReplicaReadOnlyError",
     "WorkerPoolError",
     "AlgorithmError",
     "ConvergenceError",
@@ -372,3 +377,81 @@ class ConvergenceError(AlgorithmError, RuntimeError):
         self.algorithm = algorithm
         self.iterations = iterations
         self.tolerance = tolerance
+
+
+class ReplicationError(StorageError):
+    """Base class for WAL-shipping replication failures.
+
+    The replication contract is fail-stop: a replica either serves a
+    view bit-identical to the primary at its applied cursor, or raises
+    a member of this family — never a silently corrupt or divergent
+    answer.  Subclasses distinguish the recovery action (retry the
+    fetch, re-bootstrap from a fresh snapshot, or page an operator).
+    """
+
+
+class ReplicationCursorGapError(ReplicationError):
+    """The requested cursor points before the primary's retained log.
+
+    Sealed segments the replica never fetched have been archived (or the
+    primary reset its segment log after healing from degraded mode), so
+    the suffix from ``cursor`` can no longer be served.  The only safe
+    recovery is a full re-bootstrap from the current snapshot — tailing
+    on would skip records.  The HTTP tier maps this to ``410 Gone``.
+    """
+
+    def __init__(self, cursor, retained):
+        super().__init__(
+            "replication cursor {} precedes the retained WAL (first "
+            "retained segment {}); re-bootstrap from a fresh "
+            "snapshot".format(cursor, retained))
+        self.cursor = cursor
+        self.retained = retained
+
+
+class ReplicationCorruptionError(ReplicationError):
+    """A shipped or local replication artifact failed its CRC.
+
+    Raised for torn segment ships (a frame cut mid-payload), checksum
+    mismatches in fetched snapshot bytes, and corrupt records found by
+    the offline scrub.  ``detail`` names the artifact and offset so the
+    first bad record is reportable (``repro db verify``)."""
+
+    def __init__(self, detail):
+        super().__init__("replication artifact failed verification: "
+                         "{}".format(detail))
+        self.detail = detail
+
+
+class ReplicaStaleError(ReplicationError):
+    """The replica's lag exceeds the caller's ``max-staleness`` bound.
+
+    Bounded-staleness reads are a per-request contract: callers state
+    the lag they tolerate and the replica refuses (HTTP 503 with
+    ``Retry-After``) rather than silently serving an older view.
+    ``lag_records``/``lag_seconds`` report the lag that broke the bound.
+    """
+
+    def __init__(self, lag_records, lag_seconds, bound_ms,
+                 retry_after=1.0):
+        super().__init__(
+            "replica lag ({} records, {:.3f}s) exceeds max-staleness "
+            "{}ms".format(lag_records, lag_seconds, bound_ms))
+        self.lag_records = lag_records
+        self.lag_seconds = lag_seconds
+        self.bound_ms = bound_ms
+        self.retry_after = retry_after
+
+
+class ReplicaReadOnlyError(ReplicationError):
+    """A mutation was sent to a replica (HTTP 403).
+
+    Replicas apply records shipped from the primary only; accepting a
+    local write would fork history.  ``repro db promote`` is the one
+    sanctioned way to make a replica store writable."""
+
+    def __init__(self, directory):
+        super().__init__(
+            "store {} is a read-only replica; promote it with 'repro db "
+            "promote' before writing".format(directory))
+        self.directory = directory

@@ -29,6 +29,13 @@ that the site interprets:
 ``drop`` / ``delay``
     Service faults: the HTTP tier aborts the connection mid-response, or
     stalls ``seconds`` before reading/writing (a slow client).
+``torn`` / ``dup``
+    Replication-ship faults: ``torn`` truncates a shipped byte run to
+    ``fraction`` of its length (a segment cut mid-frame, or a snapshot
+    fetch interrupted by primary death); ``dup`` re-serves an
+    already-shipped batch (the feed hands back the *request* cursor as
+    the next cursor, so the replica fetches the same run twice —
+    duplicate/reordered delivery the apply path must absorb).
 
 Determinism
 -----------
@@ -76,7 +83,7 @@ __all__ = [
 #: Fault kinds -> the errno a raise-style site surfaces.
 _ERRNO_OF_KIND = {"eio": errno.EIO, "enospc": errno.ENOSPC}
 
-_KINDS = ("eio", "enospc", "kill", "hang", "drop", "delay")
+_KINDS = ("eio", "enospc", "kill", "hang", "drop", "delay", "torn", "dup")
 
 #: Exit status a ``kill`` fault dies with — distinguishable from a real
 #: segfault (negative signal) and from a clean exit in pool post-mortems.

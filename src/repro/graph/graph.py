@@ -270,6 +270,22 @@ class MultiRelationalGraph:
         """A counter bumped by every mutation (cache-invalidation token)."""
         return self._version
 
+    def advance_version(self, floor: int) -> None:
+        """Raise the version clock to at least ``floor`` (never lowers it).
+
+        Rebuilding a graph from a snapshot restarts the op counter at the
+        rebuild's op count, which can fall *below* the version the durable
+        log (and any replica tailing it) last saw — new WAL records would
+        then reuse already-consumed versions and a version-deduplicating
+        consumer would silently drop them.  The storage tier calls this
+        after materialization with the durable floor so the clock stays
+        monotonic across process restarts.  Jumping the clock is safe:
+        versions are an ordering token, gaps are already routine (one
+        ``add_edge`` can bump it three times).
+        """
+        if floor > self._version:
+            self._version = floor
+
     def graph_token(self) -> int:
         """A process-unique identity token minted at graph construction.
 

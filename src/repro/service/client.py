@@ -37,15 +37,17 @@ import json
 import random
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from repro.errors import (
     ClientError,
     RemoteQueryError,
+    ReplicationCursorGapError,
+    ReplicationError,
     RetryBudgetExceededError,
 )
 
-__all__ = ["ReproClient", "RETRIABLE_STATUSES"]
+__all__ = ["ReproClient", "RemoteFeed", "RETRIABLE_STATUSES"]
 
 #: Statuses the server documents as transient (retriable: true).
 RETRIABLE_STATUSES = frozenset({429, 503, 504})
@@ -66,7 +68,8 @@ class ReproClient:
                  timeout: float = 30.0,
                  jitter_seed: Optional[int] = None,
                  sleeper: Callable[[float], None] = time.sleep,
-                 transport: Optional[Transport] = None):
+                 transport: Optional[Transport] = None,
+                 keep_alive: bool = False):
         parts = urlsplit(base_url if "//" in base_url
                          else "http://" + base_url)
         if parts.scheme != "http":
@@ -83,6 +86,8 @@ class ReproClient:
         self._rng = random.Random(jitter_seed)
         self._sleep = sleeper
         self._transport: Transport = transport or self._http_transport
+        self.keep_alive = keep_alive
+        self._connection: Optional[http.client.HTTPConnection] = None
         #: Total retries slept across this client's lifetime.
         self.retries_performed = 0
 
@@ -90,15 +95,13 @@ class ReproClient:
 
     def _http_transport(self, method: str, path: str,
                         body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        if self.keep_alive:
+            return self._keepalive_transport(method, path, body)
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
-            headers = {"Content-Type": "application/json",
-                       "Connection": "close"}
-            if self.token:
-                headers["Authorization"] = "Bearer " + self.token
             connection.request(method, path, body=body or None,
-                               headers=headers)
+                               headers=self._headers("close"))
             response = connection.getresponse()
             data = response.read()
             return (response.status,
@@ -107,6 +110,57 @@ class ReproClient:
                     data)
         finally:
             connection.close()
+
+    def _headers(self, connection_mode: str) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json",
+                   "Connection": connection_mode}
+        if self.token:
+            headers["Authorization"] = "Bearer " + self.token
+        return headers
+
+    def _keepalive_transport(self, method: str, path: str,
+                             body: bytes) -> Tuple[int, Dict[str, str],
+                                                   bytes]:
+        """One request over a cached connection, reopened on any failure.
+
+        The server caps requests per connection and reaps idle ones, so
+        a cached connection going away mid-stream is routine — drop it
+        and retry once on a fresh socket before surfacing the error (a
+        fresh-socket failure is a real one the retry loop should see).
+        """
+        for attempt in (0, 1):
+            connection = self._connection
+            fresh = connection is None
+            if fresh:
+                connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+                self._connection = connection
+            try:
+                connection.request(method, path, body=body or None,
+                                   headers=self._headers("keep-alive"))
+                response = connection.getresponse()
+                data = response.read()
+                if response.getheader("Connection",
+                                      "").lower() == "close":
+                    self.close()
+                return (response.status,
+                        {key.lower(): value
+                         for key, value in response.getheaders()},
+                        data)
+            except (OSError, http.client.HTTPException):
+                self.close()
+                if fresh or attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (if any)."""
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     @staticmethod
     def _decode(data: bytes) -> Dict[str, Any]:
@@ -288,6 +342,92 @@ class ReproClient:
         status, _, data = self._transport("GET", "/readyz", b"")
         return status == 200, self._decode(data)
 
+    # -- replication feed (single shot; the tailer owns the backoff) ---
+
+    def replication_snapshot(self, graph: Optional[str] = None
+                             ) -> Tuple[bytes, Dict[str, Any]]:
+        """Fetch the primary's snapshot bytes + bootstrap metadata.
+
+        Single-shot on purpose: the replica tailer runs its own paced
+        retry loop, and a multi-megabyte body is nothing to re-send
+        blindly.  Transport errors propagate as :class:`OSError`.
+        """
+        path = "/replication/snapshot"
+        if graph:
+            path += "?" + urlencode({"graph": graph})
+        status, headers, data = self._transport("GET", path, b"")
+        self._raise_replication_status(status, headers, data,
+                                       "replication_snapshot")
+        return data, {
+            "graph": headers.get("x-repro-graph-name", ""),
+            "snapshot": headers.get("x-repro-snapshot", ""),
+            "snapshot_version": int(
+                headers.get("x-repro-snapshot-version", "0")),
+            "cursor": headers.get("x-repro-replication-cursor", ""),
+            "version": int(headers.get("x-repro-primary-version", "0")),
+            "bytes": int(headers.get("x-repro-bytes", len(data))),
+        }
+
+    def replication_wal(self, cursor: str, graph: Optional[str] = None,
+                        max_bytes: Optional[int] = None
+                        ) -> Tuple[bytes, Dict[str, Any]]:
+        """Fetch the CRC-framed WAL run at ``cursor`` (single shot)."""
+        params: Dict[str, Any] = {"cursor": cursor}
+        if graph:
+            params["graph"] = graph
+        if max_bytes is not None:
+            params["max_bytes"] = max_bytes
+        path = "/replication/wal?" + urlencode(params)
+        status, headers, data = self._transport("GET", path, b"")
+        if status == 410:
+            payload = self._decode(data)
+            raise ReplicationCursorGapError(
+                cursor, str(payload.get("first_retained", "unknown")))
+        self._raise_replication_status(status, headers, data,
+                                       "replication_wal")
+        return data, {
+            "graph": headers.get("x-repro-graph-name", ""),
+            "cursor": headers.get("x-repro-next-cursor", cursor),
+            "at_end": headers.get("x-repro-at-end", "0") == "1",
+            "version": int(headers.get("x-repro-primary-version", "0")),
+            "bytes": int(headers.get("x-repro-bytes", len(data))),
+        }
+
+    def _raise_replication_status(self, status: int,
+                                  headers: Dict[str, str], data: bytes,
+                                  operation: str) -> None:
+        if status < 400:
+            return
+        payload = self._decode(data)
+        if status in RETRIABLE_STATUSES:
+            raise ReplicationError(
+                "{} failed: HTTP {}: {}".format(
+                    operation, status, payload.get("error", "unknown")))
+        raise RemoteQueryError(status, payload, operation)
+
     def __repr__(self) -> str:
         return "ReproClient<http://{}:{}, max_retries={}>".format(
             self.host, self.port, self.max_retries)
+
+
+class RemoteFeed:
+    """The replica-side feed protocol over a :class:`ReproClient`.
+
+    Adapts the client's raw replication fetches to the ``snapshot()`` /
+    ``wal(cursor, max_bytes)`` protocol
+    :class:`repro.replication.ReplicaGraph` consumes — the same protocol
+    :class:`repro.replication.PrimaryFeed` speaks in process, so chaos
+    tests exercise the identical replica code path without sockets.
+    """
+
+    def __init__(self, client: ReproClient, graph: Optional[str] = None):
+        self.client = client
+        self.graph = graph
+
+    def snapshot(self) -> Tuple[bytes, Dict[str, Any]]:
+        return self.client.replication_snapshot(self.graph)
+
+    def wal(self, cursor_token: str,
+            max_bytes: int = 1 << 20) -> Tuple[bytes, Dict[str, Any]]:
+        return self.client.replication_wal(cursor_token, graph=self.graph,
+                                           max_bytes=max_bytes)

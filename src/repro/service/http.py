@@ -1,8 +1,11 @@
 """A minimal asyncio HTTP/1.1 JSON server over the graph registry.
 
 Stdlib-only (``asyncio.start_server`` + hand-rolled request framing — no
-new dependencies), one short-lived connection per request
-(``Connection: close``), JSON in/out.  The protocol surface:
+new dependencies), JSON in/out.  Connections default to one request
+(``Connection: close``); a client that sends ``Connection: keep-alive``
+gets the connection held open for further requests, bounded by a
+per-connection request cap and an idle timeout (see *Keep-alive* below).
+The protocol surface:
 
 ==========  =======================================  =====================
 method      path                                     body / response
@@ -16,7 +19,38 @@ POST        ``/v1/graphs/{name}/explain``            EXPLAIN text
 GET         ``/v1/graphs/{name}/stats``              store + cache + slots
 POST        ``/v1/graphs/{name}/mutate``             edge add/remove batch
 POST        ``/v1/graphs/{name}/checkpoint``         fold WAL, new gen
+GET         ``/replication/snapshot``                snapshot bytes (binary)
+GET         ``/replication/wal?cursor=S:O``          WAL frame run (binary)
 ==========  =======================================  =====================
+
+The two ``/replication/*`` reads (authenticated; ``?graph=`` selects the
+store, optional when exactly one is served) are the primary side of
+WAL-shipped replication — binary bodies whose metadata travels in
+``X-Repro-*`` headers (snapshot version, start/next cursor, primary
+version, intended byte count).  They require the store to carry a
+segment log (``repro serve --replicate``); see ``docs/replication.md``.
+A cursor that has fallen off the retained log gets **410 Gone** — the
+replica must re-bootstrap, retrying is pointless.
+
+Keep-alive
+----------
+The server only reuses a connection when the *client* asks
+(``Connection: keep-alive``), so close-framed clients — including ones
+that read to EOF — are untouched.  Reuse is bounded: at most
+``keepalive_max_requests`` per connection (the response that hits the
+cap says ``Connection: close``) and ``keepalive_idle_timeout`` seconds
+of silence between requests (the connection is then quietly dropped —
+an idle peer holding a socket costs a file descriptor, not a request).
+The replica tailer rides this: one connection per poll loop instead of
+one per poll.
+
+Access log
+----------
+``access_log`` (off by default; ``repro serve --access-log``) is a
+callable receiving one JSON-ready dict per served request: timestamp,
+remote address, method, path, status, elapsed ms, response bytes,
+tenant, and the request's index on its connection.  The CLI writes each
+as one JSON line.
 
 Query bodies: ``query`` (PathQL text; or ``queries`` for a batch),
 optional ``sources`` / ``targets`` lists, ``max_length``, ``processes``,
@@ -56,22 +90,33 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
-from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, \
+    Union
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.replication import REPLICA_META_NAME
 
 from repro.errors import (
     AuthenticationError,
     DeadlineExceededError,
     OverloadedError,
     PathAlgebraError,
+    ReplicaReadOnlyError,
+    ReplicaStaleError,
+    ReplicationCorruptionError,
+    ReplicationCursorGapError,
+    ReplicationError,
     ServiceError,
+    StorageError,
     StoreDegradedError,
     UnknownGraphError,
 )
 from repro.faults import fault_hook
 from repro.service.registry import GraphHandle, GraphRegistry
 
-__all__ = ["HttpServer", "serve"]
+__all__ = ["HttpServer", "ReplicaHttpServer", "serve", "serve_replica"]
 
 #: Largest accepted request body; bigger payloads get a 413.
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -79,12 +124,24 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Budget for a client to deliver its request head + body.
 READ_TIMEOUT = 30.0
 
+#: Keep-alive bounds: requests per connection, and idle seconds between
+#: requests before the server quietly drops the socket.
+KEEPALIVE_MAX_REQUESTS = 100
+KEEPALIVE_IDLE_TIMEOUT = 5.0
+
+#: Upper bound a ``/replication/wal`` request may ask for per fetch.
+MAX_SHIP_BYTES = 8 * 1024 * 1024
+
 _STATUS_TEXT = {
-    200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
+    200: "OK", 400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 410: "Gone",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: An access-log sink: receives one JSON-ready dict per served request.
+AccessLog = Callable[[Dict[str, Any]], None]
 
 
 class _BadRequest(ServiceError):
@@ -95,17 +152,28 @@ class _PayloadTooLarge(_BadRequest):
     """Request body over ``max_body`` (HTTP 413, never retriable)."""
 
 
+class _ConnectionClosed(Exception):
+    """The peer closed between requests — a quiet end, not an error."""
+
+
 class HttpServer:
     """The asyncio HTTP front end bound to one :class:`GraphRegistry`."""
 
     def __init__(self, registry: GraphRegistry,
                  tokens: Optional[Dict[str, str]] = None,
-                 max_body: int = MAX_BODY_BYTES):
+                 max_body: int = MAX_BODY_BYTES,
+                 access_log: Optional[AccessLog] = None,
+                 keepalive_max_requests: int = KEEPALIVE_MAX_REQUESTS,
+                 keepalive_idle_timeout: float = KEEPALIVE_IDLE_TIMEOUT):
         self.registry = registry
         self.tokens = dict(tokens or {})
         self.max_body = max_body
+        self.access_log = access_log
+        self.keepalive_max_requests = max(1, keepalive_max_requests)
+        self.keepalive_idle_timeout = keepalive_idle_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self.requests_served = 0
+        self.connections_reused = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -129,40 +197,61 @@ class HttpServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        served_here = 0
         try:
             slow = fault_hook("http.slow_client")
             if slow is not None:
                 # Injected "slow client": stall before the request is
                 # read so the READ_TIMEOUT budget is what bounds us.
                 await asyncio.sleep(slow.seconds)
-            try:
-                method, path, headers, body = await asyncio.wait_for(
-                    self._read_request(reader), READ_TIMEOUT)
-            except asyncio.TimeoutError:
-                return
-            except _PayloadTooLarge as error:
-                await self._respond(writer, 413,
-                                    {"error": str(error),
-                                     "retriable": False})
-                return
-            except (_BadRequest, asyncio.IncompleteReadError,
-                    ConnectionError) as error:
-                await self._respond(writer, 400,
-                                    {"error": str(error) or "bad request",
-                                     "retriable": False})
-                return
-            status, payload, extra = await self._dispatch(
-                method, path, headers, body)
-            drop = fault_hook("http.connection_drop")
-            if drop is not None:
-                # Injected mid-response failure: hard-abort the socket
-                # so the client sees a reset, never a truncated 200.
-                transport = writer.transport
-                if transport is not None:
-                    transport.abort()
-                return
-            await self._respond(writer, status, payload, extra)
-            self.requests_served += 1
+            while True:
+                # First request gets the full delivery budget; a reused
+                # connection sitting silent only gets the idle timeout.
+                timeout = READ_TIMEOUT if served_here == 0 \
+                    else self.keepalive_idle_timeout
+                try:
+                    method, path, headers, body = await asyncio.wait_for(
+                        self._read_request(reader), timeout)
+                except (asyncio.TimeoutError, _ConnectionClosed):
+                    return
+                except _PayloadTooLarge as error:
+                    await self._respond(writer, 413,
+                                        {"error": str(error),
+                                         "retriable": False})
+                    return
+                except (_BadRequest, asyncio.IncompleteReadError,
+                        ConnectionError) as error:
+                    await self._respond(writer, 400,
+                                        {"error": str(error)
+                                         or "bad request",
+                                         "retriable": False})
+                    return
+                started = time.perf_counter()
+                status, payload, extra = await self._dispatch(
+                    method, path, headers, body)
+                drop = fault_hook("http.connection_drop")
+                if drop is not None:
+                    # Injected mid-response failure: hard-abort the
+                    # socket so the client sees a reset, never a
+                    # truncated 200.
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    return
+                # Reuse only on explicit client opt-in, and below the
+                # per-connection cap — the capped response says close.
+                keep = served_here + 1 < self.keepalive_max_requests and \
+                    headers.get("connection", "").lower() == "keep-alive"
+                sent = await self._respond(writer, status, payload, extra,
+                                           keep_alive=keep)
+                served_here += 1
+                self.requests_served += 1
+                if served_here > 1:
+                    self.connections_reused += 1
+                self._log_access(writer, method, path, headers, status,
+                                 started, sent, served_here)
+                if not keep:
+                    return
         except ConnectionError:
             pass
         finally:
@@ -172,10 +261,42 @@ class HttpServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _log_access(self, writer: asyncio.StreamWriter, method: str,
+                    path: str, headers: Dict[str, str], status: int,
+                    started: float, sent: int, seq: int) -> None:
+        if self.access_log is None:
+            return
+        try:
+            tenant = self._authenticate(headers)
+        except AuthenticationError:
+            tenant = None
+        peer = writer.get_extra_info("peername")
+        try:
+            self.access_log({
+                "ts": round(time.time(), 6),
+                "remote": "{}:{}".format(peer[0], peer[1])
+                if isinstance(peer, tuple) and len(peer) >= 2 else str(peer),
+                "method": method,
+                "path": path,
+                "status": status,
+                "elapsed_ms": round(
+                    (time.perf_counter() - started) * 1000.0, 3),
+                "bytes": sent,
+                "tenant": tenant,
+                "request_on_connection": seq,
+            })
+        except Exception:  # pragma: no cover - logging must never kill serving
+            pass
+
     async def _read_request(
             self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, Dict[str, str], bytes]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+        raw_line = await reader.readline()
+        if not raw_line:
+            # EOF before any bytes: the peer closed (normal between
+            # keep-alive requests) — not a protocol error.
+            raise _ConnectionClosed()
+        request_line = raw_line.decode("latin-1").strip()
         if not request_line:
             raise _BadRequest("empty request")
         parts = request_line.split()
@@ -202,56 +323,44 @@ class HttpServer:
         return method, path, headers, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: Dict[str, Any],
-                       extra_headers: Optional[Dict[str, str]] = None
-                       ) -> None:
-        data = json.dumps(payload, default=str).encode("utf-8")
+                       payload: Union[Dict[str, Any], bytes],
+                       extra_headers: Optional[Dict[str, str]] = None,
+                       keep_alive: bool = False) -> int:
+        if isinstance(payload, bytes):
+            data, content_type = payload, "application/octet-stream"
+        else:
+            data = json.dumps(payload, default=str).encode("utf-8")
+            content_type = "application/json"
         head = ["HTTP/1.1 {} {}".format(status,
                                         _STATUS_TEXT.get(status, "Status")),
-                "Content-Type: application/json",
-                "Content-Length: {}".format(len(data)),
-                "Connection: close"]
+                "Content-Type: {}".format(content_type),
+                "Content-Length: {}".format(len(data))]
+        if keep_alive:
+            head.append("Connection: keep-alive")
+            head.append("Keep-Alive: timeout={:g}, max={}".format(
+                self.keepalive_idle_timeout, self.keepalive_max_requests))
+        else:
+            head.append("Connection: close")
         for key, value in (extra_headers or {}).items():
             head.append("{}: {}".format(key, value))
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
                      + data)
         await writer.drain()
+        return len(data)
 
     # -- routing -------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str,
                         headers: Dict[str, str], body: bytes
-                        ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        started = time.perf_counter()
+                        ) -> Tuple[int, Union[Dict[str, Any], bytes],
+                                   Dict[str, str]]:
+        """Route and map every failure to its documented status code.
+
+        The routing itself lives in :meth:`_route` (overridden by
+        :class:`ReplicaHttpServer`); the error contract is shared.
+        """
         try:
-            if path == "/healthz" and method == "GET":
-                return 200, {"status": "ok"}, {}
-            if path == "/readyz" and method == "GET":
-                ready_now, detail = self.registry.readiness()
-                if ready_now:
-                    return 200, dict(detail, status="ready"), {}
-                return 503, dict(detail, status="unready",
-                                 retriable=True), {"Retry-After": "1"}
-            tenant = self._authenticate(headers)
-            if path == "/v1/graphs" and method == "GET":
-                return 200, {"graphs": self.registry.list_graphs(),
-                             "stats": self.registry.stats()}, {}
-            name, action = self._parse_graph_path(path)
-            admission = self.registry.admit(tenant)
-            try:
-                handle = self.registry.acquire(name)
-                try:
-                    payload = await self._run_action(
-                        handle, method, action, self._parse_body(body),
-                        tenant)
-                    version = handle.engine.graph.version()
-                finally:
-                    self.registry.release(name)
-            finally:
-                admission.release()
-            payload.setdefault("elapsed_ms", round(
-                (time.perf_counter() - started) * 1000.0, 3))
-            return 200, payload, {"X-Repro-Graph-Version": str(version)}
+            return await self._route(method, path, headers, body)
         except AuthenticationError as error:
             return 401, {"error": str(error), "retriable": False}, \
                 {"WWW-Authenticate": "Bearer"}
@@ -268,6 +377,34 @@ class HttpServer:
                 {"Retry-After": "{:g}".format(error.retry_after)}
         except _BadRequest as error:
             return 400, {"error": str(error), "retriable": False}, {}
+        except ReplicaReadOnlyError as error:
+            # A mutation sent to a replica: refusing is permanent until
+            # the operator promotes, so 403, never retried.
+            return 403, {"error": str(error), "retriable": False,
+                         "replica": True, "read_only": True}, {}
+        except ReplicationCursorGapError as error:
+            # The cursor fell off the retained log; re-asking with the
+            # same cursor can never succeed — the replica re-bootstraps.
+            return 410, {"error": str(error), "retriable": False,
+                         "rebootstrap": True, "cursor": error.cursor,
+                         "first_retained": error.retained}, {}
+        except ReplicaStaleError as error:
+            return 503, {"error": str(error), "retriable": True,
+                         "stale": True,
+                         "lag_records": error.lag_records,
+                         "lag_seconds": error.lag_seconds,
+                         "retry_after": error.retry_after}, \
+                {"Retry-After": "{:g}".format(error.retry_after),
+                 "X-Repro-Replica-Lag": "records={}; seconds={:.3f}".format(
+                     error.lag_records, error.lag_seconds)}
+        except ReplicationCorruptionError as error:
+            return 500, {"error": str(error), "retriable": False,
+                         "type": type(error).__name__}, {}
+        except ReplicationError as error:
+            # Transient feed failure (e.g. an injected ship fault):
+            # retriable, same contract as a degraded store.
+            return 503, {"error": str(error), "retriable": True}, \
+                {"Retry-After": "1"}
         except StoreDegradedError as error:
             # Must precede PathAlgebraError: StoreDegradedError is a
             # StorageError and would otherwise map to a terminal 400.
@@ -283,6 +420,114 @@ class HttpServer:
         except Exception as error:  # pragma: no cover - defensive surface
             return 500, {"error": str(error), "retriable": False,
                          "type": type(error).__name__}, {}
+
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes
+                     ) -> Tuple[int, Union[Dict[str, Any], bytes],
+                                Dict[str, str]]:
+        started = time.perf_counter()
+        path, params = self._split_target(path)
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}, {}
+        if path == "/readyz" and method == "GET":
+            ready_now, detail = self.registry.readiness()
+            if ready_now:
+                return 200, dict(detail, status="ready"), {}
+            return 503, dict(detail, status="unready",
+                             retriable=True), {"Retry-After": "1"}
+        tenant = self._authenticate(headers)
+        if path == "/v1/graphs" and method == "GET":
+            return 200, {"graphs": self.registry.list_graphs(),
+                         "stats": self.registry.stats()}, {}
+        if path.startswith("/replication/"):
+            return await self._route_replication(method, path, params)
+        name, action = self._parse_graph_path(path)
+        admission = self.registry.admit(tenant)
+        try:
+            handle = self.registry.acquire(name)
+            try:
+                payload = await self._run_action(
+                    handle, method, action, self._parse_body(body),
+                    tenant)
+                version = handle.engine.graph.version()
+            finally:
+                self.registry.release(name)
+        finally:
+            admission.release()
+        payload.setdefault("elapsed_ms", round(
+            (time.perf_counter() - started) * 1000.0, 3))
+        return 200, payload, {"X-Repro-Graph-Version": str(version)}
+
+    @staticmethod
+    def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+        parts = urlsplit(target)
+        return parts.path, dict(parse_qsl(parts.query))
+
+    # -- replication feed (primary side) -------------------------------
+
+    async def _route_replication(self, method: str, path: str,
+                                 params: Dict[str, str]
+                                 ) -> Tuple[int, bytes, Dict[str, str]]:
+        action = path[len("/replication/"):]
+        if method != "GET" or action not in ("snapshot", "wal"):
+            raise UnknownGraphError("{} {}".format(method, path))
+        name = params.get("graph", "")
+        if not name:
+            names = self.registry.list_graphs()
+            if len(names) != 1:
+                raise _BadRequest(
+                    "graph parameter required ({} graphs "
+                    "served)".format(len(names)))
+            name = names[0]
+        from repro.replication import PrimaryFeed
+        loop = asyncio.get_running_loop()
+        handle = self.registry.acquire(name)
+        try:
+            if handle.store.segments is None:
+                raise _BadRequest(
+                    "store {!r} has no segment log; serve with "
+                    "--replicate to ship replication".format(name))
+            feed = PrimaryFeed(handle.store)
+            if action == "snapshot":
+                data, meta = await loop.run_in_executor(
+                    None, feed.snapshot)
+                return 200, data, {
+                    "X-Repro-Graph-Name": str(meta["graph"]),
+                    "X-Repro-Snapshot": str(meta["snapshot"]),
+                    "X-Repro-Snapshot-Version":
+                        str(meta["snapshot_version"]),
+                    "X-Repro-Replication-Cursor": str(meta["cursor"]),
+                    "X-Repro-Primary-Version": str(meta["version"]),
+                    "X-Repro-Bytes": str(meta["bytes"]),
+                }
+            cursor = params.get("cursor", "")
+            if not cursor:
+                raise _BadRequest("cursor parameter required")
+            try:
+                from repro.storage.segments import ReplicationCursor
+                ReplicationCursor.parse(cursor)
+            except ReplicationError as exc:
+                # A malformed token is the client's bug (400), not a
+                # transient feed failure (503).
+                raise _BadRequest(str(exc)) from exc
+            try:
+                max_bytes = min(MAX_SHIP_BYTES,
+                                int(params.get("max_bytes", 1 << 20)))
+            except ValueError as exc:
+                raise _BadRequest("bad max_bytes") from exc
+            if max_bytes <= 0:
+                raise _BadRequest("max_bytes must be positive")
+            data, meta = await loop.run_in_executor(
+                None, feed.wal, cursor, max_bytes)
+            return 200, data, {
+                "X-Repro-Graph-Name": str(meta["graph"]),
+                "X-Repro-Next-Cursor": str(meta["cursor"]),
+                "X-Repro-At-End": "1" if meta["at_end"] else "0",
+                "X-Repro-Primary-Version": str(meta["version"]),
+                "X-Repro-Bytes": str(meta["bytes"]),
+            }
+        finally:
+            self.registry.release(name)
 
     def _authenticate(self, headers: Dict[str, str]) -> str:
         if not self.tokens:
@@ -442,11 +687,192 @@ class HttpServer:
         return {"graph": handle.name, "info": info}
 
 
+class ReplicaHttpServer(HttpServer):
+    """The read-only HTTP front end of one tailing replica.
+
+    Same wire protocol and error contract as :class:`HttpServer` minus
+    everything that writes: ``query``/``explain-free`` reads serve from
+    the replica's applied state, ``mutate``/``checkpoint`` get **403**
+    (:class:`~repro.errors.ReplicaReadOnlyError` — promote first), and
+    ``/readyz`` reports *catching-up* (503) until the tailer has caught
+    up at least once and is currently healthy.
+
+    Every graph-scoped response carries
+    ``X-Repro-Replica-Lag: records=N; seconds=S`` and
+    ``X-Repro-Graph-Version`` (the applied version).  A request may
+    bound its tolerated staleness with ``max_staleness_ms`` in the body
+    (or the ``X-Repro-Max-Staleness-Ms`` header): when the replica's
+    uncertainty window exceeds the bound the request gets **503** with
+    ``Retry-After`` instead of a silently stale answer.
+    """
+
+    def __init__(self, replica: Any, tailer: Optional[Any] = None,
+                 tokens: Optional[Dict[str, str]] = None,
+                 max_body: int = MAX_BODY_BYTES,
+                 access_log: Optional[AccessLog] = None,
+                 keepalive_max_requests: int = KEEPALIVE_MAX_REQUESTS,
+                 keepalive_idle_timeout: float = KEEPALIVE_IDLE_TIMEOUT):
+        self.replica = replica
+        self.tailer = tailer
+        self.tokens = dict(tokens or {})
+        self.max_body = max_body
+        self.access_log = access_log
+        self.keepalive_max_requests = max(1, keepalive_max_requests)
+        self.keepalive_idle_timeout = keepalive_idle_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+        self.connections_reused = 0
+
+    async def stop(self, deadline: Optional[float] = 30.0) -> None:
+        """Stop accepting; the caller owns the replica's lifecycle."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _lag_headers(self) -> Dict[str, str]:
+        records, seconds = self.replica.lag()
+        return {
+            "X-Repro-Replica-Lag":
+                "records={}; seconds={:.3f}".format(records, seconds),
+            "X-Repro-Graph-Version": str(self.replica.applied_version),
+        }
+
+    @staticmethod
+    def _staleness_bound(headers: Dict[str, str],
+                         body: Dict[str, Any]) -> Optional[float]:
+        value = body.get("max_staleness_ms",
+                         headers.get("x-repro-max-staleness-ms"))
+        if value is None:
+            return None
+        if isinstance(value, str):
+            try:
+                value = float(value)
+            except ValueError as exc:
+                raise _BadRequest(
+                    "max_staleness_ms must be a number") from exc
+        if not isinstance(value, (int, float)) or value < 0:
+            raise _BadRequest("max_staleness_ms must be a non-negative "
+                              "number")
+        return float(value)
+
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes
+                     ) -> Tuple[int, Union[Dict[str, Any], bytes],
+                                Dict[str, str]]:
+        started = time.perf_counter()
+        path, _params = self._split_target(path)
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}, {}
+        if path == "/readyz" and method == "GET":
+            state = self.tailer.state() if self.tailer is not None else {
+                "ready": True, "phase": "ready"}
+            if state.get("ready"):
+                return 200, dict(state, status="ready"), \
+                    self._lag_headers()
+            return 503, dict(state, status=state.get("phase",
+                                                     "catching-up"),
+                             retriable=True), \
+                dict(self._lag_headers(), **{"Retry-After": "1"})
+        tenant = self._authenticate(headers)
+        if path == "/v1/graphs" and method == "GET":
+            return 200, {"graphs": [self.replica.graph_name],
+                         "replica": self.replica.info()}, \
+                self._lag_headers()
+        name, action = self._parse_graph_path(path)
+        if name != self.replica.graph_name:
+            raise UnknownGraphError(name)
+        parsed = self._parse_body(body)
+        bound = self._staleness_bound(headers, parsed)
+        if bound is not None:
+            self.replica.check_staleness(bound)
+        if (method, action) == ("POST", "query"):
+            payload = await self._replica_query(parsed, tenant)
+        elif (method, action) == ("GET", "stats"):
+            payload = {"graph": self.replica.graph_name,
+                       "info": self.replica.info()}
+            if self.tailer is not None:
+                payload["tailer"] = self.tailer.state()
+        elif (method, action) in (("POST", "mutate"),
+                                  ("POST", "checkpoint")):
+            raise ReplicaReadOnlyError(self.replica.directory)
+        else:
+            raise UnknownGraphError("{} {}".format(method, action))
+        payload.setdefault("elapsed_ms", round(
+            (time.perf_counter() - started) * 1000.0, 3))
+        return 200, payload, self._lag_headers()
+
+    @staticmethod
+    def _lower_replica_query(query: str, sources, targets):
+        """PathQL text -> ``(label_expr, sources, targets)`` for a replica.
+
+        Replicas run the compact pairs kernel only, so the query must
+        lower to a (possibly endpoint-bound) label RPQ — same fast path
+        the primary engine routes eligible queries through.  Returns
+        ``None`` as the expression when the lowering proves the answer
+        empty (a bound endpoint excluded by the caller's filter).
+        """
+        from repro.engine.engine import Engine
+        from repro.engine.rewrite import normalize
+        from repro.lang import parse
+        from repro.rpq.evaluation import lower_to_constrained_query
+        expression = normalize(parse(query))
+        constrained = lower_to_constrained_query(expression)
+        if constrained is None:
+            raise _BadRequest(
+                "query {!r} needs the bounded edge-set engine; a replica "
+                "answers label-path pairs() queries only".format(query))
+        merged = Engine._constrained_filters(constrained, sources, targets)
+        if merged is None:
+            return None, None, None
+        return (constrained.label_expression,) + merged
+
+    async def _replica_query(self, body: Dict[str, Any],
+                             tenant: str) -> Dict[str, Any]:
+        for unsupported in ("max_length", "processes"):
+            if body.get(unsupported) is not None:
+                raise _BadRequest(
+                    "{} is not supported on a replica".format(unsupported))
+        sources = self._endpoints_of(body, "sources")
+        targets = self._endpoints_of(body, "targets")
+        loop = asyncio.get_running_loop()
+
+        async def answer_one(query: str) -> frozenset:
+            label, merged_sources, merged_targets = \
+                self._lower_replica_query(query, sources, targets)
+            if label is None:
+                return frozenset()
+            return await loop.run_in_executor(
+                None, self.replica.pairs, label, merged_sources,
+                merged_targets)
+
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not all(
+                    isinstance(q, str) for q in queries):
+                raise _BadRequest("queries must be a list of PathQL "
+                                  "strings")
+            answers = [await answer_one(q) for q in queries]
+            return {"graph": self.replica.graph_name, "tenant": tenant,
+                    "replica": True,
+                    "results": [{"query": q, "count": len(a),
+                                 "pairs": sorted(map(list, a), key=repr)}
+                                for q, a in zip(queries, answers)]}
+        query = body.get("query")
+        if not isinstance(query, str):
+            raise _BadRequest('body must carry "query" (PathQL text)')
+        answer = await answer_one(query)
+        return {"graph": self.replica.graph_name, "tenant": tenant,
+                "replica": True, "query": query, "count": len(answer),
+                "pairs": sorted(map(list, answer), key=repr)}
+
+
 async def serve(root: str, host: str = "127.0.0.1", port: int = 8080,
                 tokens: Optional[Dict[str, str]] = None,
                 registry: Optional[GraphRegistry] = None,
                 ready: Optional[Callable[[str, int], None]] = None,
                 stop_event: Optional[asyncio.Event] = None,
+                access_log: Optional[AccessLog] = None,
                 **registry_options: Any) -> None:
     """Run the HTTP server until ``stop_event`` is set.
 
@@ -457,7 +883,7 @@ async def serve(root: str, host: str = "127.0.0.1", port: int = 8080,
     own_registry = registry is None
     if registry is None:
         registry = GraphRegistry(root, **registry_options)
-    server = HttpServer(registry, tokens=tokens)
+    server = HttpServer(registry, tokens=tokens, access_log=access_log)
     bound_host, bound_port = await server.start(host=host, port=port)
     if ready is not None:
         ready(bound_host, bound_port)
@@ -474,3 +900,64 @@ async def serve(root: str, host: str = "127.0.0.1", port: int = 8080,
                 server_only.close()
                 await server_only.wait_closed()
                 server._server = None
+
+
+async def serve_replica(directory: str, primary_url: str,
+                        host: str = "127.0.0.1", port: int = 8080,
+                        graph: Optional[str] = None,
+                        tokens: Optional[Dict[str, str]] = None,
+                        primary_token: Optional[str] = None,
+                        poll_interval: float = 0.2,
+                        ready: Optional[Callable[[str, int], None]] = None,
+                        stop_event: Optional[asyncio.Event] = None,
+                        access_log: Optional[AccessLog] = None,
+                        seed: int = 0) -> None:
+    """Run a tailing read replica of ``primary_url`` until stopped.
+
+    Bootstraps ``directory`` from the primary's snapshot on first run
+    (reopens and resumes from the local cursor afterwards), tails the
+    WAL feed on a background thread over one keep-alive connection, and
+    serves read-only queries throughout — including while catching up
+    (``/readyz`` says so).  ``repro serve --replica-of URL`` lands here.
+    """
+    import threading
+
+    from repro.replication import ReplicaGraph, ReplicaTailer
+    from repro.service.client import RemoteFeed, ReproClient
+
+    client = ReproClient(primary_url, token=primary_token,
+                         keep_alive=True, jitter_seed=seed)
+    source = RemoteFeed(client, graph=graph)
+    loop = asyncio.get_running_loop()
+    # Bootstrap blocks on the primary (snapshot fetch + CRC verify) —
+    # run it off-loop so a primary served by this same loop (tests,
+    # single-process demos) cannot deadlock it.
+    if os.path.exists(os.path.join(directory, REPLICA_META_NAME)):
+        replica = await loop.run_in_executor(None, ReplicaGraph.open,
+                                             directory)
+    else:
+        replica = await loop.run_in_executor(
+            None, lambda: ReplicaGraph.bootstrap(directory, source,
+                                                 primary=primary_url))
+    tailer = ReplicaTailer(replica, source, poll_interval=poll_interval,
+                           seed=seed)
+    tail_stop = threading.Event()
+    tail_thread = threading.Thread(
+        target=tailer.run, args=(tail_stop,),
+        name="repro-replica-tail", daemon=True)
+    tail_thread.start()
+    server = ReplicaHttpServer(replica, tailer, tokens=tokens,
+                               access_log=access_log)
+    bound_host, bound_port = await server.start(host=host, port=port)
+    if ready is not None:
+        ready(bound_host, bound_port)
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    try:
+        await stop_event.wait()
+    finally:
+        await server.stop()
+        tail_stop.set()
+        tail_thread.join(timeout=10.0)
+        replica.close()
+        client.close()

@@ -122,7 +122,8 @@ class GraphRegistry:
                  cache_capacity: int = 256,
                  max_open: int = 16,
                  quotas: Optional[Dict[str, int]] = None,
-                 default_quota: int = DEFAULT_TENANT_QUOTA):
+                 default_quota: int = DEFAULT_TENANT_QUOTA,
+                 replicate: bool = False):
         self.root = os.path.abspath(root)
         if not os.path.isdir(self.root):
             raise StorageError(
@@ -133,6 +134,9 @@ class GraphRegistry:
         self.default_deadline = default_deadline
         self.max_open = max(1, max_open)
         self.default_quota = default_quota
+        #: Open every store with a shippable segment log, so this server
+        #: can serve replica bootstrap/tail reads (``--replicate``).
+        self.replicate = replicate
         self._quotas = dict(quotas or {})
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-registry")
@@ -197,7 +201,8 @@ class GraphRegistry:
         if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
             raise UnknownGraphError(name)
         self._evict_idle()
-        store = PersistentGraph.open(directory, materialize=True)
+        store = PersistentGraph.open(directory, materialize=True,
+                                     replicate=self.replicate)
         engine = Engine(store.graph(), cache=self._cache)
         async_engine = AsyncEngine(
             engine,

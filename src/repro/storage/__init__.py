@@ -17,12 +17,24 @@ from repro.storage.snapshots import (
     write_digraph_snapshot,
     write_sharded_snapshots,
 )
+from repro.storage.segments import (
+    ReplicationCursor,
+    ShipResult,
+    WalSegments,
+    decode_frames,
+    scrub_wal_file,
+)
 from repro.storage.wal import WriteAheadLog, scan_wal
 
 __all__ = [
     "PersistentGraph",
     "WriteAheadLog",
     "scan_wal",
+    "WalSegments",
+    "ReplicationCursor",
+    "ShipResult",
+    "decode_frames",
+    "scrub_wal_file",
     "SnapshotMetadata",
     "fold_view",
     "write_adjacency_snapshot",

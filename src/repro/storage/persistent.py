@@ -43,6 +43,13 @@ from repro.errors import StorageError, StoreDegradedError
 from repro.faults import fault_point
 from repro.graph.compact import _CACHE_ATTR, DeltaAdjacency, adjacency_snapshot
 from repro.graph.graph import MultiRelationalGraph
+from repro.storage.segments import (
+    SEGMENTS_DIRNAME,
+    SEGMENTS_MANIFEST_NAME,
+    ReplicationCursor,
+    ShipResult,
+    WalSegments,
+)
 from repro.storage.snapshots import (
     open_adjacency_snapshot,
     write_adjacency_snapshot,
@@ -160,6 +167,16 @@ class _WalSink:
             raise
         except StorageError as exc:
             raise self.store._enter_degraded(str(exc)) from exc
+        segments = self.store._segments
+        if segments is not None:
+            try:
+                segments.append(record)
+            except (StorageError, OSError) as exc:
+                # The shippable log missed a record the WAL took: the
+                # store degrades, and the healing checkpoint resets the
+                # segment log so no replica can tail across the gap.
+                raise self.store._enter_degraded(
+                    "segment log append failed: {}".format(exc)) from exc
 
     def precheck(self, entry: Tuple) -> None:
         self.store._check_writable()
@@ -181,6 +198,7 @@ class PersistentGraph:
         self._graph: Optional[MultiRelationalGraph] = None
         self._base = None
         self._overlay: Optional[DeltaAdjacency] = None
+        self._segments: Optional[WalSegments] = None
         self._vertex_props: Dict[Hashable, Dict[str, Any]] = {}
         self._edge_props: Dict[Tuple, Dict[str, Any]] = {}
         self._adapter = _CompactGraphAdapter()
@@ -208,12 +226,15 @@ class PersistentGraph:
     def create(cls, directory: str,
                graph: Optional[MultiRelationalGraph] = None,
                name: str = "", sync: str = "batch",
-               batch_size: int = 64) -> "PersistentGraph":
+               batch_size: int = 64,
+               replicate: bool = False) -> "PersistentGraph":
         """Initialize a store directory (generation 1) and attach to ``graph``.
 
         ``graph`` defaults to a fresh empty graph; an existing graph is
         snapshotted as the first generation, so bulk loads should happen
         *before* ``create`` (no per-edge WAL record) and churn after.
+        ``replicate=True`` additionally starts the shippable segment log
+        (``segments/``) replicas tail; see :mod:`repro.replication`.
         """
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
@@ -246,13 +267,19 @@ class PersistentGraph:
             raise
         store = cls(directory, manifest, wal, sync, batch_size, mmap=True)
         store._graph = graph
+        if replicate:
+            store._segments = WalSegments(
+                os.path.join(directory, SEGMENTS_DIRNAME),
+                sync=sync, batch_size=batch_size,
+                base_version=graph.version())
         graph.attach_wal_sink(store._wal_sink)
         return store
 
     @classmethod
     def open(cls, directory: str, materialize: bool = False,
              mmap: bool = True, sync: str = "batch",
-             batch_size: int = 64) -> "PersistentGraph":
+             batch_size: int = 64,
+             replicate: bool = False) -> "PersistentGraph":
         """Map the latest snapshot and replay the WAL suffix.
 
         The default is the lazy read path: CSR arrays stay on disk behind
@@ -260,7 +287,14 @@ class PersistentGraph:
         :class:`DeltaAdjacency` overlay, and queries run through the
         compact kernels directly.  ``materialize=True`` additionally builds
         the dict store up front (required before mutating; otherwise done
-        on the first write)."""
+        on the first write).
+
+        The shippable segment log reopens automatically whenever
+        ``segments/segments.json`` exists (a store that ever replicated
+        must keep its log contiguous — silently mutating past it would
+        diverge every replica); ``replicate=True`` starts one fresh.
+        Either way the log is reconciled against the scanned WAL before
+        anything is served (see :meth:`WalSegments.sync_from`)."""
         manifest = _read_manifest(directory)
         snapshot_path = os.path.join(directory, manifest["snapshot"])
         wal_path = os.path.join(directory, manifest["wal"])
@@ -275,6 +309,14 @@ class PersistentGraph:
         store._recovery = {"wal_records": len(entries),
                            "tail_torn": tail_torn}
         store._replay(entries)
+        segments_dir = os.path.join(directory, SEGMENTS_DIRNAME)
+        if replicate or os.path.exists(
+                os.path.join(segments_dir, SEGMENTS_MANIFEST_NAME)):
+            snapshot_version = int(manifest["snapshot_version"])
+            store._segments = WalSegments(
+                segments_dir, sync=sync, batch_size=batch_size,
+                base_version=snapshot_version)
+            store._segments.sync_from(list(entries), snapshot_version)
         if materialize:
             store.graph()
         return store
@@ -325,6 +367,15 @@ class PersistentGraph:
                 if self._degraded is None:
                     raise
             finally:
+                if self._segments is not None:
+                    try:
+                        self._segments.close()
+                    except (StorageError, OSError):
+                        # A lost segment tail is reconciled against the
+                        # WAL on the next open (sync_from); teardown
+                        # must still complete.
+                        pass
+                    self._segments = None
                 self._base = None
                 self._overlay = None
                 self._closed = True
@@ -342,6 +393,12 @@ class PersistentGraph:
             self._wal.flush()
         except StorageError as exc:
             raise self._enter_degraded(str(exc)) from exc
+        if self._segments is not None:
+            try:
+                self._segments.flush()
+            except (StorageError, OSError) as exc:
+                raise self._enter_degraded(
+                    "segment log flush failed: {}".format(exc)) from exc
 
     def __enter__(self) -> "PersistentGraph":
         return self
@@ -399,6 +456,16 @@ class PersistentGraph:
         for (tail, label, head), props in self._edge_props.items():
             if props and graph.has_edge(tail, label, head):
                 graph.add_edge(tail, label, head, **props)
+        # Continue the version clock past everything the durable log (and
+        # any replica tailing it) has already seen: the rebuild restarted
+        # the counter, and reused versions would be dropped by version
+        # dedup downstream.
+        floor = int(self._manifest["snapshot_version"])
+        if self._overlay is not None:
+            floor = max(floor, int(self._overlay.version))
+        if self._segments is not None:
+            floor = max(floor, self._segments.last_version)
+        graph.advance_version(floor)
         # Adopt the mapped view as the graph's snapshot cache: the ids it
         # interned stay valid, so the first compact query after
         # materialization slices the same mmap pages instead of rebuilding.
@@ -548,6 +615,12 @@ class PersistentGraph:
 
     def _checkpoint_locked(self) -> Dict[str, Any]:  # guarded-by: _lock
         self._check_open()
+        if self._degraded is None and self._segments is not None:
+            try:
+                self._segments.flush()
+            except (StorageError, OSError) as exc:
+                self._enter_degraded(
+                    "segment log flush failed: {}".format(exc))
         if self._degraded is None:
             try:
                 self._wal.flush()
@@ -596,11 +669,26 @@ class PersistentGraph:
             # A degraded generation's log may refuse its final flush; its
             # durable prefix is superseded by the snapshot just published.
             pass
+        was_degraded = self._degraded is not None
         self._wal = new_wal
         self._manifest = manifest
         # Every live entry is folded into the published generation: the
         # store is durable again.
         self._degraded = None
+        if self._segments is not None:
+            try:
+                if was_degraded:
+                    # The degraded window may have mutations the segment
+                    # log never saw (they are only in the fold just
+                    # published).  Resetting gaps every replica cursor,
+                    # forcing a re-bootstrap from this snapshot instead
+                    # of a silent skip.
+                    self._segments.reset_base(version)
+                else:
+                    self._segments.archive_through(version)
+            except (StorageError, OSError) as exc:
+                self._enter_degraded(
+                    "segment log retention failed: {}".format(exc))
         for stale in (os.path.join(self.directory, old_snapshot),
                       old_wal_path):
             try:
@@ -619,8 +707,106 @@ class PersistentGraph:
         return self.info()
 
     # ------------------------------------------------------------------
+    # Replication feed (primary side)
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> Optional[WalSegments]:
+        """The shippable segment log, or None when not replicating."""
+        return self._segments
+
+    def current_version(self) -> int:
+        """The journal version of the live state (what a replica chases)."""
+        if self._graph is not None:
+            return self._graph.version()
+        if self._overlay is not None:
+            return int(self._overlay.version)
+        return int(self._manifest["snapshot_version"])
+
+    def _check_replicating(self) -> WalSegments:
+        if self._segments is None:
+            raise StorageError(
+                "store {} has no segment log; open it with replicate=True "
+                "to serve replication".format(self.directory))
+        return self._segments
+
+    def replication_bootstrap(self) -> Tuple[bytes, Dict[str, Any]]:
+        """Snapshot bytes + metadata for a replica bootstrap.
+
+        Runs under the store lock so the snapshot file, its manifest
+        version, and the start cursor are one consistent cut — a
+        concurrent checkpoint cannot swap generations mid-read.  The
+        returned cursor covers every record after ``snapshot_version``.
+        """
+        with self._lock:
+            self._check_open()
+            segments = self._check_replicating()
+            segments.flush()
+            snapshot_version = int(self._manifest["snapshot_version"])
+            if segments.base_version > snapshot_version:
+                # The retained log restarted past the published snapshot
+                # (a degraded-heal reset raced this read before its new
+                # manifest landed, or direct segment surgery): a
+                # bootstrap now would have a hole between snapshot and
+                # log.  Refuse rather than ship a silently gapped feed.
+                raise StorageError(
+                    "replication bootstrap unavailable: snapshot version "
+                    "{} predates the retained segment log (base {}); "
+                    "checkpoint the store first".format(
+                        snapshot_version, segments.base_version))
+            path = os.path.join(self.directory, self._manifest["snapshot"])
+            with open(path, "rb") as stream:
+                data = stream.read()
+            meta = {
+                "graph": self._manifest.get("name", ""),
+                "snapshot": str(self._manifest["snapshot"]),
+                "snapshot_version": snapshot_version,
+                "cursor": segments.cursor_for_version(
+                    snapshot_version).token(),
+                "version": max(snapshot_version, segments.last_version),
+            }
+            return data, meta
+
+    def replication_version(self) -> int:
+        """The shipped-log frontier a caught-up replica converges to.
+
+        This is the newest version a replica can *reach* — the last
+        record in the segment log (or the snapshot version when the log
+        is empty).  Deliberately not :meth:`current_version`: the live
+        graph clock advances on no-op mutations that log nothing, so
+        measuring replica lag against it would never read zero.
+        """
+        with self._lock:
+            self._check_open()
+            segments = self._check_replicating()
+            return max(int(self._manifest["snapshot_version"]),
+                       segments.last_version)
+
+    def replication_read(self, cursor: ReplicationCursor,
+                         max_bytes: int = 1 << 20) -> ShipResult:
+        """The CRC-framed WAL suffix at ``cursor`` (durable records only).
+
+        Flushes the segment log first so a tailing replica's lag is
+        bounded by the poll interval, not the fsync batch size.
+        """
+        self._check_open()
+        segments = self._check_replicating()
+        segments.flush()
+        return segments.read_from(cursor, max_bytes=max_bytes)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The graph's name from the manifest — no view materialization.
+
+        ``info()`` builds the full adjacency view to report sizes; hot
+        metadata consumers (the replication feed stamps the name on
+        every WAL ship) must not pay that just for a label.
+        """
+        return str(self._manifest.get("name", ""))
 
     def info(self) -> Dict[str, Any]:
         """A JSON-ready summary: manifest, sizes, WAL and recovery state."""
@@ -645,6 +831,7 @@ class PersistentGraph:
             "size": view.num_edges,
             "labels": view.num_labels,
             "overlay_ops": overlay_ops,
+            "replicating": self._segments is not None,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,896 @@
+"""Size-capped, CRC-framed WAL segments — the shippable replication log.
+
+A :class:`~repro.storage.wal.WriteAheadLog` is one per-generation file
+that a checkpoint *truncates*; nothing outlives the fold, so there is
+nothing a replica could tail.  This module keeps a second, long-lived
+copy of the same journal records as a sequence of **segments**::
+
+    store/segments/
+      segments.json        manifest: retained segments + base version
+      segment-000001.wal   sealed   (RPWAL001-framed, CRC per record)
+      segment-000002.wal   active   (appends go here)
+      archive/             sealed segments already folded into a snapshot
+
+Each segment file uses the exact WAL framing from :mod:`.wal` (magic,
+``<II`` length+crc32 frame, JSON payload), so the frame readers, torn-tail
+recovery, and fsync batching are all reused rather than re-invented.  The
+active segment rotates once it exceeds ``segment_bytes``: it is flushed,
+recorded as *sealed* in the manifest (with its durable byte length and
+last record version), and a fresh segment opens.  Sealed segments whose
+records are all folded into a published snapshot are *archived* — moved
+aside, no longer served — which bounds retained disk.
+
+Cursors
+-------
+A :class:`ReplicationCursor` addresses a byte position ``(segment,
+offset)`` in this log.  :meth:`WalSegments.read_from` returns the raw
+CRC-framed byte run starting at a cursor — the bytes are shipped as-is,
+so the per-record CRC32 protects the records end-to-end from the
+primary's disk to the replica's apply loop.  A cursor pointing before the
+first retained segment raises
+:class:`~repro.errors.ReplicationCursorGapError`: the suffix can no
+longer be served and the replica must re-bootstrap.  Segment indices are
+never reused (archival and :meth:`reset_base` keep counting upward), so a
+stale cursor is always *detected*, never silently re-interpreted.
+
+``base_version`` is the journal version the segment log starts after —
+records with ``version <= base_version`` are only available via the
+snapshot.  :meth:`reset_base` reseals everything and starts a fresh log
+after an event that may have lost records (healing from degraded mode, a
+primary that rewound to its durable prefix); every outstanding cursor
+then gaps, forcing replicas back through bootstrap instead of letting
+them tail across a discontinuity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.concurrency import ordered_lock, release_resource, track_resource
+from repro.errors import (
+    ReplicationCorruptionError,
+    ReplicationCursorGapError,
+    ReplicationError,
+    StorageError,
+)
+from repro.storage.wal import (
+    WAL_MAGIC,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "ReplicationCursor",
+    "WalSegments",
+    "ShipResult",
+    "SEGMENTS_DIRNAME",
+    "SEGMENTS_MANIFEST_NAME",
+    "scrub_wal_file",
+    "decode_frames",
+]
+
+#: Subdirectory of a store that holds the segment log.
+SEGMENTS_DIRNAME = "segments"
+
+#: Manifest file inside the segments directory.
+SEGMENTS_MANIFEST_NAME = "segments.json"
+
+#: Archived (no-longer-served) sealed segments live here.
+ARCHIVE_DIRNAME = "archive"
+
+#: Rotate the active segment once it exceeds this many bytes.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_FRAME = struct.Struct("<II")  # payload length, payload crc32 (wal framing)
+
+_DATA_START = len(WAL_MAGIC)
+
+
+class ReplicationCursor:
+    """An immutable position in the segment log: ``(segment, offset)``.
+
+    ``segment`` is a segment *index* (monotonic, never reused) and
+    ``offset`` a byte offset inside that segment file, always on a frame
+    boundary when produced by this module.  The wire form is the token
+    ``"<segment>:<offset>"`` (``str(cursor)``).
+    """
+
+    __slots__ = ("segment", "offset")
+
+    def __init__(self, segment: int, offset: int):
+        if segment < 1 or offset < _DATA_START:
+            raise ReplicationError(
+                "invalid replication cursor ({}, {})".format(segment, offset))
+        object.__setattr__(self, "segment", segment)
+        object.__setattr__(self, "offset", offset)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ReplicationCursor is immutable")
+
+    def __getstate__(self) -> Tuple[int, int]:
+        return (self.segment, self.offset)
+
+    def __setstate__(self, state: Tuple[int, int]) -> None:
+        object.__setattr__(self, "segment", state[0])
+        object.__setattr__(self, "offset", state[1])
+
+    @classmethod
+    def parse(cls, token: str) -> "ReplicationCursor":
+        """Parse the ``"segment:offset"`` wire token."""
+        head, sep, tail = token.partition(":")
+        if not sep:
+            raise ReplicationError(
+                "bad replication cursor token {!r}: expected "
+                "'segment:offset'".format(token))
+        try:
+            return cls(int(head), int(tail))
+        except ValueError as exc:
+            raise ReplicationError(
+                "bad replication cursor token {!r}: {}".format(token, exc)) \
+                from exc
+
+    def token(self) -> str:
+        return "{}:{}".format(self.segment, self.offset)
+
+    def __str__(self) -> str:
+        return self.token()
+
+    def __repr__(self) -> str:
+        return "ReplicationCursor<{}>".format(self.token())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReplicationCursor) \
+            and (self.segment, self.offset) == (other.segment, other.offset)
+
+    def __hash__(self) -> int:
+        return hash((self.segment, self.offset))
+
+    def __lt__(self, other: "ReplicationCursor") -> bool:
+        return (self.segment, self.offset) < (other.segment, other.offset)
+
+
+class ShipResult:
+    """One :meth:`WalSegments.read_from` batch: framed bytes + next cursor.
+
+    ``data`` is a raw run of CRC-framed records (possibly empty);
+    ``cursor`` is where the *next* read should start; ``at_end`` is True
+    when the read drained everything durable at the time of the call.
+    """
+
+    __slots__ = ("data", "cursor", "at_end")
+
+    def __init__(self, data: bytes, cursor: ReplicationCursor, at_end: bool):
+        self.data = data
+        self.cursor = cursor
+        self.at_end = at_end
+
+    def __repr__(self) -> str:
+        return "ShipResult<{} bytes, next={}, at_end={}>".format(
+            len(self.data), self.cursor, self.at_end)
+
+
+def _segment_name(index: int) -> str:
+    return "segment-{:06d}.wal".format(index)
+
+
+def scrub_wal_file(path: str, limit: Optional[int] = None
+                   ) -> Tuple[int, int, Optional[Dict[str, Any]]]:
+    """CRC-walk one RPWAL001 file: ``(records, durable_end, finding)``.
+
+    ``finding`` is None for a clean file, else a dict with ``kind``
+    (``"torn-tail"`` for an incomplete trailing frame — the documented
+    crash artifact — or ``"corrupt"`` for a CRC mismatch or a short file
+    inside the committed region), plus the record index and byte offset
+    of the first bad frame.  ``limit`` bounds the committed region (a
+    sealed segment's recorded durable length): anything unreadable below
+    it is corruption, never a torn tail.
+    """
+    records = 0
+    try:
+        stream = open(path, "rb")
+    except OSError as exc:
+        return 0, 0, {"kind": "corrupt", "record": 0, "offset": 0,
+                      "reason": "unreadable: {}".format(exc)}
+    with stream:
+        magic = stream.read(len(WAL_MAGIC))
+        if magic != WAL_MAGIC:
+            return 0, 0, {"kind": "corrupt", "record": 0, "offset": 0,
+                          "reason": "bad magic"}
+        offset = _DATA_START
+        while True:
+            if limit is not None and offset >= limit:
+                return records, offset, None
+            frame = stream.read(_FRAME.size)
+            if not frame:
+                return records, offset, None
+            if len(frame) < _FRAME.size:
+                kind = "corrupt" if limit is not None else "torn-tail"
+                return records, offset, {
+                    "kind": kind, "record": records, "offset": offset,
+                    "reason": "incomplete frame header"}
+            length, crc = _FRAME.unpack(frame)
+            payload = stream.read(length)
+            if len(payload) < length:
+                kind = "corrupt" if limit is not None else "torn-tail"
+                return records, offset, {
+                    "kind": kind, "record": records, "offset": offset,
+                    "reason": "incomplete payload"}
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return records, offset, {
+                    "kind": "corrupt", "record": records, "offset": offset,
+                    "reason": "payload crc32 mismatch"}
+            records += 1
+            offset += _FRAME.size + length
+
+
+class WalSegments:
+    """The rotating, shippable segment log under ``<dir>``.
+
+    Thread-safe: one ``storage.segments`` ordered lock guards appends,
+    rotation, archival, and reads (reads open their own file handle but
+    the manifest snapshot they act on must be consistent).  Appends go
+    through a real :class:`WriteAheadLog` on the active segment, so
+    fsync batching, short-write rollback, and torn-tail recovery are the
+    storage tier's own, not a parallel implementation.
+    """
+
+    def __init__(self, directory: str,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 sync: str = "batch", batch_size: int = 64,
+                 base_version: int = 0):
+        self.directory = os.path.abspath(directory)
+        self.segment_bytes = max(1, segment_bytes)
+        self._sync = sync
+        self._batch_size = batch_size
+        self._lock = ordered_lock("storage.segments")
+        self._closed = False
+        self._active: Optional[WriteAheadLog] = None
+        manifest_path = os.path.join(self.directory, SEGMENTS_MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            manifest = self._load_manifest(manifest_path)
+        else:
+            os.makedirs(self.directory, exist_ok=True)
+            manifest = {"format": 1, "base_version": base_version,
+                        "next_index": 1, "segments": []}
+        self._base_version = int(manifest["base_version"])
+        self._next_index = int(manifest["next_index"])
+        self._segments: List[Dict[str, Any]] = list(manifest["segments"])
+        self._leak_token = track_resource("segments", self.directory)
+        try:
+            self._last_version = self._recover_tail()
+            self._write_manifest()
+        except BaseException:
+            release_resource(self._leak_token)
+            raise
+
+    # -- manifest ------------------------------------------------------
+
+    @staticmethod
+    def _load_manifest(path: str) -> Dict[str, Any]:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise StorageError(
+                "unreadable segments manifest {}: {}".format(path, exc)) \
+                from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != 1 \
+                or not isinstance(manifest.get("segments"), list):
+            raise StorageError(
+                "segments manifest {} has unsupported structure".format(path))
+        return manifest
+
+    def _manifest_dict(self) -> Dict[str, Any]:
+        return {"format": 1, "base_version": self._base_version,
+                "next_index": self._next_index, "segments": self._segments}
+
+    def _write_manifest(self) -> None:  # guarded-by: _lock
+        path = os.path.join(self.directory, SEGMENTS_MANIFEST_NAME)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            json.dump(self._manifest_dict(), stream, indent=1, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+
+    # -- open/recovery -------------------------------------------------
+
+    def _recover_tail(self) -> int:  # guarded-by: _lock (construction)
+        """Open (or create) the active segment; return the last version."""
+        last_version = self._base_version
+        for entry in self._segments[:-1]:
+            if not entry.get("sealed"):
+                # A crash between seal and manifest write can only lose
+                # the *seal mark* of the final segment; anything earlier
+                # unsealed means the manifest was edited by hand.
+                raise StorageError(
+                    "segments manifest lists unsealed non-tail segment "
+                    "{!r}".format(entry.get("name")))
+        if self._segments:
+            for entry in self._segments:
+                if entry.get("sealed"):
+                    last_version = int(entry["end_version"])
+        tail = self._segments[-1] if self._segments else None
+        self._active_bytes = _DATA_START
+        if tail is not None and not tail.get("sealed"):
+            path = os.path.join(self.directory, str(tail["name"]))
+            entries, durable_end, tail_torn = scan_wal(path)
+            if entries:
+                last_version = int(entries[-1][0])
+            tail["end_offset"] = durable_end
+            tail["end_version"] = last_version
+            self._active = WriteAheadLog(
+                path, sync=self._sync, batch_size=self._batch_size,
+                scanned=(durable_end, tail_torn))
+            self._active_bytes = durable_end
+        return last_version
+
+    def _open_fresh_segment(self) -> None:  # guarded-by: _lock
+        index = self._next_index
+        self._next_index += 1
+        name = _segment_name(index)
+        self._segments.append({
+            "index": index, "name": name, "sealed": False,
+            "end_offset": _DATA_START, "end_version": self._last_version})
+        self._active = WriteAheadLog(
+            os.path.join(self.directory, name),
+            sync=self._sync, batch_size=self._batch_size)
+        self._active_bytes = _DATA_START
+        self._write_manifest()
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def base_version(self) -> int:
+        """Versions at or below this are only in the snapshot."""
+        return self._base_version
+
+    @property
+    def last_version(self) -> int:
+        """Version of the newest appended record (buffered included)."""
+        return self._last_version
+
+    def first_retained(self) -> Optional[int]:
+        with self._lock:
+            return int(self._segments[0]["index"]) if self._segments else None
+
+    def end_cursor(self) -> ReplicationCursor:
+        """The durable end of the log — where a fresh tail would start."""
+        with self._lock:
+            return self._end_cursor_locked()
+
+    def _end_cursor_locked(self) -> ReplicationCursor:
+        if not self._segments:
+            return ReplicationCursor(self._next_index, _DATA_START)
+        tail = self._segments[-1]
+        if tail.get("sealed") or self._active is None:
+            return ReplicationCursor(int(tail["index"]),
+                                     int(tail["end_offset"]))
+        return ReplicationCursor(int(tail["index"]),
+                                 self._active.durable_end)
+
+    def cursor_for_version(self, version: int) -> ReplicationCursor:
+        """The earliest retained cursor whose suffix covers ``> version``.
+
+        Used at bootstrap: the replica restored a snapshot at ``version``
+        and needs every later record; sealed segments that end at or
+        before it are skipped entirely (their records would only be
+        dropped by the version-dedup on apply anyway).
+        """
+        with self._lock:
+            for entry in self._segments:
+                if entry.get("sealed") and int(entry["end_version"]) \
+                        <= version:
+                    continue
+                return ReplicationCursor(int(entry["index"]), _DATA_START)
+            return self._end_cursor_locked()
+
+    # -- appends -------------------------------------------------------
+
+    def append(self, entry: Tuple) -> None:
+        """Append one journal record ``(version, op, *args)``."""
+        record = encode_record(entry)
+        with self._lock:
+            self._check_open()
+            self._extend_run_locked([entry], record, [0, len(record)])
+
+    def extend(self, entries: List[Tuple]) -> None:
+        """Append a run of records under one lock acquisition.
+
+        Each record is framed once, the run lands as (at most one
+        buffered write per segment crossed), the rotation threshold
+        still honoured mid-run.  Durability still requires
+        :meth:`flush`.
+        """
+        if not entries:
+            return
+        records = [encode_record(entry) for entry in entries]
+        offsets = [0]
+        for record in records:
+            offsets.append(offsets[-1] + len(record))
+        blob = b"".join(records)
+        with self._lock:
+            self._check_open()
+            self._extend_run_locked(list(entries), blob, offsets)
+
+    def extend_run(self, entries: List[Tuple], blob: bytes,
+                   offsets: List[int]) -> None:
+        """Append a pre-framed byte run as one batch (replica fast path).
+
+        ``entries`` are the decoded records, ``offsets`` their frame
+        start offsets into ``blob`` plus an end sentinel (the shape
+        ``decode_frames(..., with_spans=True)`` returns — ``offsets``
+        may address a suffix of the decode, with ``offsets[-1]`` the
+        end of the last frame).  The shipped bytes are journaled
+        verbatim: no re-encode, one lock acquisition, one buffered
+        write per segment crossed.  The caller vouches that each span
+        is :func:`encode_record` of its entry; frames are CRC-checked
+        again on every later read, so a lying caller is caught at read
+        time, not silently replayed.
+        """
+        if not entries:
+            return
+        if len(offsets) != len(entries) + 1:
+            raise StorageError(
+                "extend_run needs one frame span per entry plus the end "
+                "sentinel: {} entries, {} offsets".format(
+                    len(entries), len(offsets)))
+        with self._lock:
+            self._check_open()
+            self._extend_run_locked(list(entries), blob, offsets)
+
+    def _extend_run_locked(self, entries: List[Tuple], blob: bytes,
+                           offsets: List[int]) -> None:  # guarded-by: _lock
+        view = memoryview(blob)
+        count = len(entries)
+        position = 0
+        while position < count:
+            if self._active is None:
+                self._open_fresh_segment()
+            assert self._active is not None
+            room = self.segment_bytes - self._active_bytes
+            cut = position
+            chunk = 0
+            while cut < count and chunk < room:
+                chunk += offsets[cut + 1] - offsets[cut]
+                cut += 1
+            self._active.append_blob(
+                bytes(view[offsets[position]:offsets[cut]]),
+                cut - position)
+            self._active_bytes += chunk
+            self._last_version = int(entries[cut - 1][0])
+            self._segments[-1]["end_version"] = self._last_version
+            if self._active_bytes >= self.segment_bytes:
+                self._seal_active_locked()
+            position = cut
+
+    def flush(self) -> None:
+        """Flush (and fsync, per policy) the active segment."""
+        with self._lock:
+            self._check_open()
+            if self._active is not None:
+                self._active.flush()
+                self._segments[-1]["end_offset"] = self._active.durable_end
+
+    def seal_tail(self) -> None:
+        """Flush and seal the active segment (promote/rotation barrier).
+
+        The next append opens a fresh segment; until then the log has no
+        active segment and :meth:`end_cursor` points at the sealed tail.
+        """
+        with self._lock:
+            self._check_open()
+            if self._active is not None:
+                self._seal_active_locked()
+
+    def _seal_active_locked(self) -> None:  # guarded-by: _lock
+        assert self._active is not None
+        self._active.flush()
+        tail = self._segments[-1]
+        tail["end_offset"] = self._active.durable_end
+        tail["end_version"] = self._last_version
+        tail["sealed"] = True
+        self._active.close()
+        self._active = None
+        self._write_manifest()
+
+    def sync_from(self, entries: List[Tuple], snapshot_version: int) -> None:
+        """Reconcile with the generation WAL's scanned ``entries`` on open.
+
+        The generation WAL is the durable truth for ``(snapshot_version,
+        now]``.  Records it has that the segment log lacks (a crash took
+        the segment tail, or replication was just enabled) are copied in;
+        a segment log *ahead* of it (the primary's WAL lost a flushed
+        suffix) or *behind the snapshot* (an unhealed gap) is discarded
+        via :meth:`reset_base` — replicas that applied the lost records
+        must re-bootstrap rather than tail across rewritten history.
+        """
+        with self._lock:
+            self._check_open()
+            last_durable = int(entries[-1][0]) if entries \
+                else snapshot_version
+            if self._last_version > last_durable \
+                    or self._last_version < snapshot_version:
+                self._reset_base_locked(snapshot_version)
+            for entry in entries:
+                if int(entry[0]) <= self._last_version:
+                    continue
+                if self._active is None:
+                    self._open_fresh_segment()
+                assert self._active is not None
+                self._active.append(entry)
+                self._active_bytes += len(encode_record(entry))
+                self._last_version = int(entry[0])
+                self._segments[-1]["end_version"] = self._last_version
+                if self._active_bytes >= self.segment_bytes:
+                    self._seal_active_locked()
+            if self._active is not None:
+                self._active.flush()
+                self._segments[-1]["end_offset"] = self._active.durable_end
+            self._write_manifest()
+
+    # -- retention -----------------------------------------------------
+
+    def archive_through(self, version: int) -> int:
+        """Archive sealed segments fully folded into snapshot ``version``.
+
+        Returns the number archived.  The active segment never moves; a
+        cursor into an archived segment gaps on its next read, which is
+        the signal for that replica to re-bootstrap.
+        """
+        with self._lock:
+            self._check_open()
+            return self._archive_locked(
+                lambda entry: int(entry["end_version"]) <= version)
+
+    def reset_base(self, version: int) -> None:
+        """Discard the whole retained log; restart after ``version``.
+
+        Called when the log can no longer promise a contiguous suffix
+        (degraded-mode heal, a rewound primary).  Every outstanding
+        cursor will gap — fail-stop for tailing replicas, which then
+        re-bootstrap from the snapshot that ``version`` identifies.
+        """
+        with self._lock:
+            self._check_open()
+            self._reset_base_locked(version)
+
+    def _reset_base_locked(self, version: int) -> None:  # guarded-by: _lock
+        if self._active is not None:
+            self._seal_active_locked()
+        self._archive_locked(lambda entry: True)
+        # Always burn the upcoming segment index, even when the log was
+        # empty and there was nothing to seal: an empty log's
+        # ``cursor_for_version`` hands out a cursor into the *next*
+        # segment speculatively, and that cursor predates whatever this
+        # reset is hiding (a degraded window folded straight into the
+        # snapshot).  Burning the index makes it gap instead of silently
+        # resuming past the hole.
+        self._next_index += 1
+        self._base_version = version
+        self._last_version = version
+        self._write_manifest()
+
+    def _archive_locked(self, should_archive: Any) -> int:  # guarded-by: _lock
+        archive_dir = os.path.join(self.directory, ARCHIVE_DIRNAME)
+        moved = 0
+        kept: List[Dict[str, Any]] = []
+        for entry in self._segments:
+            if entry.get("sealed") and should_archive(entry):
+                os.makedirs(archive_dir, exist_ok=True)
+                name = str(entry["name"])
+                os.replace(os.path.join(self.directory, name),
+                           os.path.join(archive_dir, name))
+                moved += 1
+            else:
+                kept.append(entry)
+        if moved:
+            self._segments = kept
+            self._write_manifest()
+        return moved
+
+    # -- reads ---------------------------------------------------------
+
+    def read_from(self, cursor: ReplicationCursor,
+                  max_bytes: int = 1 << 20) -> ShipResult:
+        """The raw CRC-framed byte run at ``cursor``, whole frames only.
+
+        Walks frames (validating each CRC — a corrupt retained segment is
+        a primary-side fail-stop, not something to ship) until the
+        durable end of the log or ``max_bytes``, crossing sealed-segment
+        boundaries.  Raises :class:`ReplicationCursorGapError` when the
+        cursor predates the first retained segment.
+        """
+        with self._lock:
+            self._check_open()
+            segments = [dict(entry) for entry in self._segments]
+            active_durable = self._active.durable_end \
+                if self._active is not None else None
+            next_index = self._next_index
+        if not segments:
+            if cursor.segment < next_index:
+                raise ReplicationCursorGapError(cursor.token(), next_index)
+            return ShipResult(b"", cursor, True)
+        first = int(segments[0]["index"])
+        last = int(segments[-1]["index"])
+        if cursor.segment < first:
+            raise ReplicationCursorGapError(cursor.token(), first)
+        if cursor.segment > last or (cursor.segment == last
+                                     and cursor.offset > self._limit_of(
+                                         segments[-1], active_durable)):
+            raise ReplicationError(
+                "replication cursor {} is beyond the log end".format(
+                    cursor.token()))
+        by_index = {int(entry["index"]): entry for entry in segments}
+        chunks: List[bytes] = []
+        budget = max(_FRAME.size + 1, max_bytes)
+        segment, offset = cursor.segment, cursor.offset
+        while True:
+            entry = by_index[segment]
+            limit = self._limit_of(entry, active_durable)
+            if offset < limit and budget > 0:
+                data, offset = self._read_frames(
+                    str(entry["name"]), offset, limit, budget)
+                if data:
+                    chunks.append(data)
+                    budget -= len(data)
+            if offset >= limit:
+                if entry.get("sealed") and segment + 1 in by_index:
+                    segment, offset = segment + 1, _DATA_START
+                    continue
+                at_end = True
+                break
+            at_end = False  # budget exhausted mid-segment
+            break
+        return ShipResult(b"".join(chunks),
+                          ReplicationCursor(segment, offset), at_end)
+
+    @staticmethod
+    def _limit_of(entry: Dict[str, Any],
+                  active_durable: Optional[int]) -> int:
+        if not entry.get("sealed") and active_durable is not None:
+            return active_durable
+        return int(entry["end_offset"])
+
+    def _read_frames(self, name: str, start: int, limit: int,
+                     budget: int) -> Tuple[bytes, int]:
+        """Whole CRC-checked frames from ``start`` toward ``limit``.
+
+        One bulk read of (at most) the byte budget, then an in-memory
+        frame walk — the per-frame stream round trips this replaces were
+        the primary-side hot spot of replica catch-up.  A run is cut at
+        the last whole frame inside the window, except that a single
+        frame larger than the whole budget is shipped alone: a poll must
+        always make progress, or a record bigger than ``max_bytes``
+        would wedge every replica forever.
+        """
+        path = os.path.join(self.directory, name)
+        span = limit - start
+        want = min(span, max(budget, _FRAME.size + 1))
+        try:
+            with open(path, "rb") as stream:
+                stream.seek(start)
+                blob = stream.read(want)
+                if len(blob) < want:
+                    raise ReplicationCorruptionError(
+                        "{} truncated below its durable end at byte "
+                        "{}".format(name, start + len(blob)))
+                view = memoryview(blob)
+                total = len(blob)
+                end = 0
+                while end < total:
+                    if end + _FRAME.size > total:
+                        if total == span:
+                            raise ReplicationCorruptionError(
+                                "{} truncated below its durable end at "
+                                "byte {}".format(name, start + end))
+                        break  # header straddles the budget window
+                    length, crc = _FRAME.unpack_from(blob, end)
+                    frame_end = end + _FRAME.size + length
+                    if frame_end > total:
+                        if total == span:
+                            raise ReplicationCorruptionError(
+                                "{} record at byte {} failed crc".format(
+                                    name, start + end))
+                        if end == 0:
+                            # One frame bigger than the budget window:
+                            # fetch its remainder and ship it whole.
+                            if start + frame_end > limit:
+                                raise ReplicationCorruptionError(
+                                    "{} record at byte {} failed "
+                                    "crc".format(name, start))
+                            rest = stream.read(frame_end - total)
+                            if len(rest) < frame_end - total:
+                                raise ReplicationCorruptionError(
+                                    "{} truncated below its durable end "
+                                    "at byte {}".format(name,
+                                                        start + total))
+                            blob = blob + rest
+                            view = memoryview(blob)
+                            total = len(blob)
+                            continue
+                        break  # frame straddles the budget window
+                    payload = view[end + _FRAME.size:frame_end]
+                    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                        raise ReplicationCorruptionError(
+                            "{} record at byte {} failed crc".format(
+                                name, start + end))
+                    end = frame_end
+        except OSError as exc:
+            raise ReplicationCorruptionError(
+                "cannot read segment {}: {}".format(name, exc)) from exc
+        return (blob if end == len(blob) else blob[:end]), start + end
+
+    def iter_entries(self, after_version: int = -1) -> Iterator[Tuple]:
+        """Decode retained records with ``version > after_version``.
+
+        Replays the log locally (replica reopen, promote) through the
+        same scan path crash recovery uses — sealed segments are read up
+        to their recorded durable length, the active one through its
+        intact prefix.
+        """
+        with self._lock:
+            self._check_open()
+            if self._active is not None:
+                self._active.flush()
+                self._segments[-1]["end_offset"] = self._active.durable_end
+            segments = [dict(entry) for entry in self._segments]
+        for entry in segments:
+            path = os.path.join(self.directory, str(entry["name"]))
+            records, durable_end, _ = scan_wal(path)
+            if entry.get("sealed") and durable_end < int(entry["end_offset"]):
+                raise ReplicationCorruptionError(
+                    "sealed segment {} readable only to byte {} of "
+                    "{}".format(entry["name"], durable_end,
+                                entry["end_offset"]))
+            for record in records:
+                if int(record[0]) > after_version:
+                    yield record
+
+    # -- verification --------------------------------------------------
+
+    def verify(self) -> Dict[str, Any]:
+        """Offline CRC scrub of every retained segment + the manifest.
+
+        Returns ``{"ok": bool, "segments": [...], "first_corrupt":
+        {...}|None}``; a torn active tail is reported but does not fail
+        the scrub (it is the documented crash artifact — reopen truncates
+        it), while any CRC mismatch or a sealed segment shorter than its
+        recorded durable length does.
+        """
+        with self._lock:
+            self._check_open()
+            if self._active is not None:
+                self._active.flush()
+                self._segments[-1]["end_offset"] = self._active.durable_end
+            segments = [dict(entry) for entry in self._segments]
+        report: Dict[str, Any] = {"ok": True, "segments": [],
+                                  "first_corrupt": None}
+        for entry in segments:
+            name = str(entry["name"])
+            limit = int(entry["end_offset"]) if entry.get("sealed") else None
+            records, durable_end, finding = scrub_wal_file(
+                os.path.join(self.directory, name), limit=limit)
+            if finding is None and limit is not None \
+                    and durable_end < limit:
+                finding = {"kind": "corrupt", "record": records,
+                           "offset": durable_end,
+                           "reason": "sealed segment shorter than its "
+                                     "recorded durable length"}
+            item = {"name": name, "records": records,
+                    "durable_end": durable_end, "finding": finding}
+            report["segments"].append(item)
+            if finding is not None and finding["kind"] == "corrupt" \
+                    and report["first_corrupt"] is None:
+                report["ok"] = False
+                report["first_corrupt"] = dict(finding, segment=name)
+        return report
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "segment log {} is closed".format(self.directory))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._active is not None:
+                try:
+                    self._active.flush()
+                    self._segments[-1]["end_offset"] = \
+                        self._active.durable_end
+                    self._write_manifest()
+                finally:
+                    self._active.close()
+                    self._active = None
+            release_resource(self._leak_token)
+
+    def __enter__(self) -> "WalSegments":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "WalSegments<{}, {} retained, base={}, last={}{}>".format(
+            self.directory, len(self._segments), self._base_version,
+            self._last_version, ", closed" if self._closed else "")
+
+
+def decode_frames(data: bytes, with_spans: bool = False) -> Any:
+    """Decode a shipped byte run back into journal entries, CRC-checked.
+
+    The replica-side mirror of :meth:`WalSegments.read_from`: any torn or
+    corrupt frame (a ship cut mid-payload, a flipped bit in transit)
+    raises :class:`ReplicationCorruptionError` — the batch is rejected
+    whole, never partially applied.
+
+    With ``with_spans=True`` returns ``(entries, offsets)`` where
+    ``offsets`` holds each frame's start offset into ``data`` plus an
+    end sentinel (``len(entries) + 1`` values) — the shape
+    :meth:`WalSegments.extend_run` takes, so a replica can journal the
+    verified shipped bytes verbatim instead of re-encoding records it
+    just decoded.
+    """
+    starts: List[int] = []
+    payloads: List[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _FRAME.size:
+            raise ReplicationCorruptionError(
+                "shipped run torn mid-frame at byte {} of {}".format(
+                    offset, total))
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start:start + length]
+        if len(payload) < length:
+            raise ReplicationCorruptionError(
+                "shipped run torn mid-payload at byte {} of {}".format(
+                    offset, total))
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ReplicationCorruptionError(
+                "shipped record at byte {} failed crc".format(offset))
+        starts.append(offset)
+        payloads.append(payload)
+        offset = start + length
+    if not payloads:
+        return ([], [len(data)]) if with_spans else []
+    # One parser call for the whole verified run (each payload is a JSON
+    # array, so the concatenation is itself one array of arrays) — the
+    # hot path of replica catch-up.  Only on failure does the per-frame
+    # fallback below re-parse to attribute the error to a byte offset.
+    try:
+        decoded_run: Optional[List[Any]] = json.loads(
+            b"[" + b",".join(payloads) + b"]")
+    except (UnicodeDecodeError, ValueError):
+        decoded_run = None
+    entries: List[Tuple] = []
+    for position, payload in enumerate(payloads):
+        if decoded_run is not None:
+            decoded = decoded_run[position]
+        else:
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ReplicationCorruptionError(
+                    "shipped record at byte {} is not valid JSON: "
+                    "{}".format(starts[position], exc)) from exc
+        if not isinstance(decoded, list) or len(decoded) < 2:
+            raise ReplicationCorruptionError(
+                "shipped record at byte {} has no (version, op) "
+                "prelude".format(starts[position]))
+        entries.append(tuple(decoded))
+    if with_spans:
+        starts.append(total)
+        return entries, starts
+    return entries

@@ -208,7 +208,18 @@ class WriteAheadLog:
 
     def append(self, entry: Tuple) -> None:
         """Buffer one ``(version, op, *args)`` entry; flush per the policy."""
-        record = encode_record(entry)
+        self.append_blob(encode_record(entry), 1)
+
+    def append_blob(self, blob: bytes, records: int) -> None:
+        """Buffer a pre-framed byte run holding ``records`` frames.
+
+        The replica-apply fast path: a shipped run arrives already
+        length+CRC framed and verified, so re-journaling it must not
+        pay a lock round-trip (or a re-encode) per record — the whole
+        run lands as one buffered write.  The flush policy fires once:
+        ``sync="always"`` still flushes, ``sync="batch"`` flushes when
+        the pending batch has reached ``batch_size`` records.
+        """
         with self._lock:
             if self._broken is not None:
                 raise StorageError(
@@ -218,9 +229,9 @@ class WriteAheadLog:
             if self._stream is None:
                 raise StorageError(
                     "write-ahead log {} is closed".format(self.path))
-            self._pending.append(record)
-            self._pending_records += 1
-            self.records_logged += 1
+            self._pending.append(blob)
+            self._pending_records += records
+            self.records_logged += records
             if self.sync == "always" \
                     or self._pending_records >= self.batch_size:
                 self._flush_pending()

@@ -101,6 +101,13 @@ class TestUnguardedWrite:
             "    def reset(self):  # guarded-by: _lock\n")
         assert _analyze_snippet(tmp_path, source) == []
 
+    def test_guarded_by_on_wrapped_signature_line(self, tmp_path):
+        source = COUNTER.replace(
+            "    def reset(self):\n",
+            "    def reset(\n"
+            "            self):  # guarded-by: _lock\n")
+        assert _analyze_snippet(tmp_path, source) == []
+
     def test_declared_guard_needs_no_locked_write(self, tmp_path):
         source = (
             "import threading\n"
